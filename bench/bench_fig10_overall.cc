@@ -1,0 +1,74 @@
+// Figure 10: overall standalone throughput — Memcached+graphene, Baseline,
+// ShieldBase, ShieldOpt across the three data sizes at 1 and 4 threads,
+// averaged over the eight Table 2 workloads, normalized to Baseline.
+//
+// Paper shape: ShieldBase 7-10x over Baseline at 1 thread, 21-26x at 4;
+// ShieldOpt 8-11x and 24-30x; Memcached+graphene within ±35% of Baseline.
+#include "bench/systems.h"
+
+namespace shield::bench {
+namespace {
+
+constexpr double kSecondsPerCell = 0.12;
+
+double AverageKops(System& system, const workload::DataSet& ds, size_t num_keys) {
+  double total = 0;
+  for (const workload::WorkloadConfig& config : workload::AllTable2Workloads()) {
+    total += system.Run(config, ds, num_keys, kSecondsPerCell).Kops();
+  }
+  return total / static_cast<double>(workload::AllTable2Workloads().size());
+}
+
+void Run() {
+  // Paper: 10M keys vs ~90 MB EPC (3.5x-58x overcommit across sizes).
+  // Scaled: 1.2M keys vs 24 MB EPC keeps even the small set past the EPC.
+  const size_t num_keys = Scaled(1'200'000);
+  const size_t shield_buckets = Scaled(800'000);  // MAC hashes ~70% of EPC, like the paper
+  Table table("Figure 10: standalone throughput normalized to Baseline (avg of 8 workloads)");
+  table.Header({"threads", "dataset", "Mc+graphene", "Baseline", "ShieldBase", "ShieldOpt",
+                "SB/Base", "SO/Base"});
+
+  for (size_t threads : {1u, 4u}) {
+    for (const workload::DataSet& ds :
+         {workload::SmallDataSet(), workload::MediumDataSet(), workload::LargeDataSet()}) {
+      double kops[4] = {};
+      const char* names[4] = {"mc", "base", "sbase", "sopt"};
+      (void)names;
+      for (int s = 0; s < 4; ++s) {
+        std::unique_ptr<System> system;
+        switch (s) {
+          case 0:
+            system = MakeMemcachedSystem(true, num_keys, threads);
+            break;
+          case 1:
+            system = MakeBaselineSystem(true, num_keys, threads);
+            break;
+          case 2:
+            system = MakeShieldSystem("ShieldBase", ShieldBaseOptions(shield_buckets), threads);
+            break;
+          case 3:
+            system = MakeShieldSystem("ShieldOpt", ShieldOptOptions(shield_buckets), threads);
+            break;
+        }
+        if (!Preload(system->store(), num_keys, ds)) {
+          kops[s] = 0;
+          continue;
+        }
+        kops[s] = AverageKops(*system, ds, num_keys);
+      }
+      const double base = std::max(kops[1], 1e-9);
+      table.Row({std::to_string(threads), ds.name, Fmt(kops[0]), Fmt(kops[1]), Fmt(kops[2]),
+                 Fmt(kops[3]), Fmt(kops[2] / base, "%.1fx"), Fmt(kops[3] / base, "%.1fx")});
+    }
+  }
+  std::printf("# paper: ShieldOpt 8-11x over Baseline at 1 thread, 24-30x at 4 threads;\n"
+              "# ShieldBase slightly below ShieldOpt; Memcached+graphene near Baseline.\n");
+}
+
+}  // namespace
+}  // namespace shield::bench
+
+int main() {
+  shield::bench::Run();
+  return 0;
+}

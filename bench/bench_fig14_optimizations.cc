@@ -1,0 +1,69 @@
+// Figure 14: cumulative effect of the §5 optimizations — ShieldBase, then
+// +key hint (§5.4), +extra heap allocator (§5.1), +MAC bucketing (§5.2) —
+// across four table geometries whose average chain lengths are 1.25, 5, 10
+// and 40 (the paper's 1M/8M buckets x 10M/40M entries, scaled).
+//
+// Paper shape: little headroom at chain length 1.25 (the heap allocator
+// still helps RD50's sets); gains grow with chain length.
+#include "bench/systems.h"
+
+namespace shield::bench {
+namespace {
+
+void Run() {
+  struct Geometry {
+    size_t buckets;
+    size_t entries;
+  };
+  const Geometry geometries[] = {
+      {Scaled(64'000), Scaled(80'000)},   // chain ~1.25  (8M buckets, 10M entries)
+      {Scaled(64'000), Scaled(320'000)},  // chain ~5     (8M buckets, 40M entries)
+      {Scaled(8'000), Scaled(80'000)},    // chain ~10    (1M buckets, 10M entries)
+      {Scaled(8'000), Scaled(320'000)},   // chain ~40    (1M buckets, 40M entries)
+  };
+  const workload::DataSet ds = workload::LargeDataSet();
+  const std::vector<workload::WorkloadConfig> workloads = {workload::RD50_Z(),
+                                                           workload::RD95_Z(),
+                                                           workload::RD100_Z()};
+
+  Table table("Figure 14: cumulative optimizations (Kop/s), large data set");
+  table.Header({"geometry", "workload", "ShieldBase", "+KeyOPT", "+HeapAlloc", "+MACBucket"});
+
+  for (const Geometry& g : geometries) {
+    // Four cumulative configurations.
+    shieldstore::Options configs[4];
+    configs[0] = ShieldBaseOptions(g.buckets);
+    configs[1] = configs[0];
+    configs[1].key_hint = true;
+    configs[2] = configs[1];
+    configs[2].extra_heap = true;
+    configs[3] = configs[2];
+    configs[3].mac_bucketing = true;
+
+    // One store per configuration, preloaded once, reused across workloads.
+    std::vector<std::unique_ptr<System>> systems;
+    for (const auto& options : configs) {
+      systems.push_back(MakeShieldSystem("variant", options, 1));
+      Preload(systems.back()->store(), g.entries, ds);
+    }
+    const std::string label =
+        std::to_string(g.buckets / 1000) + "k-bkt/" + std::to_string(g.entries / 1000) + "k-ent";
+    for (const workload::WorkloadConfig& config : workloads) {
+      std::vector<std::string> row = {label, config.name};
+      for (auto& system : systems) {
+        row.push_back(Fmt(system->Run(config, ds, g.entries, 0.25).Kops()));
+      }
+      table.Row(row);
+    }
+  }
+  std::printf("# paper: flat at chain ~1.25 except +HeapAlloc on RD50; the hint and MAC\n"
+              "# bucketing gains grow as chains lengthen.\n");
+}
+
+}  // namespace
+}  // namespace shield::bench
+
+int main() {
+  shield::bench::Run();
+  return 0;
+}

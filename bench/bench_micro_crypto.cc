@@ -1,0 +1,88 @@
+// Microbenchmarks of the crypto substrate (google-benchmark): these are the
+// primitive costs every figure decomposes into — per-entry AES-CTR + CMAC
+// (ShieldStore's op cost), page-sized crypto (the simulated EWB/ELDU and
+// Eleos' per-fault cost), and the keyed hashes on the lookup path.
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/aes.h"
+#include "src/crypto/cmac.h"
+#include "src/crypto/ctr.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/siphash.h"
+#include "src/crypto/x25519.h"
+
+namespace shield::crypto {
+namespace {
+
+const AesKey kKey = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+
+void BM_AesCtr(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  Bytes data(size, 0xAB);
+  Aes128 aes(ByteSpan(kKey.data(), kKey.size()));
+  uint8_t ctr[16] = {};
+  for (auto _ : state) {
+    AesCtrTransform(aes, ctr, 32, data, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_AesCtr)->Arg(16)->Arg(128)->Arg(512)->Arg(4096);
+
+void BM_Cmac(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  Bytes data(size, 0xCD);
+  for (auto _ : state) {
+    Mac mac = CmacSign(ByteSpan(kKey.data(), kKey.size()), data);
+    benchmark::DoNotOptimize(mac);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_Cmac)->Arg(16)->Arg(128)->Arg(512)->Arg(4096);
+
+void BM_Sha256(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  Bytes data(size, 0x5A);
+  for (auto _ : state) {
+    Sha256Digest digest = Sha256Hash(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
+
+void BM_SipHash(benchmark::State& state) {
+  SipHashKey key{};
+  key[0] = 7;
+  Bytes data(static_cast<size_t>(state.range(0)), 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SipHash24(key, data));
+  }
+}
+BENCHMARK(BM_SipHash)->Arg(16)->Arg(64);
+
+void BM_DrbgFill(benchmark::State& state) {
+  Drbg drbg(AsBytes("bench"));
+  Bytes out(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    drbg.Fill(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * out.size()));
+}
+BENCHMARK(BM_DrbgFill)->Arg(16)->Arg(4096);
+
+void BM_X25519(benchmark::State& state) {
+  X25519Key scalar{};
+  scalar[0] = 9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(X25519BasePoint(scalar));
+  }
+}
+BENCHMARK(BM_X25519);
+
+}  // namespace
+}  // namespace shield::crypto
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+#include "bench/harness.h"
+
+#include <atomic>
+
+namespace shield::bench {
+
+bool Preload(kv::KeyValueStore& store, size_t num_keys, const workload::DataSet& ds) {
+  for (size_t i = 0; i < num_keys; ++i) {
+    const Status s =
+        store.Set(workload::KeyAt(i, ds.key_bytes), workload::ValueFor(i, 0, ds.value_bytes));
+    if (!s.ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ExecuteOp(kv::KeyValueStore& store, const workload::Op& op, const workload::DataSet& ds,
+               uint64_t* version_counter) {
+  const std::string key = workload::KeyAt(op.key_index, ds.key_bytes);
+  switch (op.kind) {
+    case workload::Op::Kind::kGet:
+      return store.Get(key).ok();
+    case workload::Op::Kind::kSet:
+      return store.Set(key, workload::ValueFor(op.key_index, (*version_counter)++,
+                                               ds.value_bytes))
+          .ok();
+    case workload::Op::Kind::kAppend:
+      return store.Append(key, "app8byte").ok();
+    case workload::Op::Kind::kReadModifyWrite: {
+      Result<std::string> value = store.Get(key);
+      if (!value.ok()) {
+        return false;
+      }
+      std::string next = std::move(value.value());
+      if (!next.empty()) {
+        next[0] = static_cast<char>('a' + (*version_counter)++ % 26);
+      }
+      return store.Set(key, next).ok();
+    }
+  }
+  return false;
+}
+
+RunResult RunWorkload(kv::KeyValueStore& store, const workload::WorkloadConfig& config,
+                      const workload::DataSet& ds, size_t num_keys, double seconds,
+                      uint64_t seed) {
+  workload::WorkloadGenerator gen(config, num_keys, seed);
+  uint64_t version = 1;
+  RunResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                    std::chrono::duration<double>(seconds));
+  for (;;) {
+    for (int batch = 0; batch < 64; ++batch) {
+      ExecuteOp(store, gen.Next(), ds, &version);
+      ++result.ops;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+RunResult RunWorkloadShared(kv::KeyValueStore& store, const workload::WorkloadConfig& config,
+                            const workload::DataSet& ds, size_t num_keys, size_t threads,
+                            double seconds) {
+  // Sequential simulated multicore (see harness.h): the store's configured
+  // virtual_contention charges the lock serialization each op would see.
+  RunResult total;
+  for (size_t t = 0; t < threads; ++t) {
+    const RunResult r = RunWorkload(store, config, ds, num_keys, seconds, 2000 + t);
+    total.ops += r.ops;
+    total.seconds = std::max(total.seconds, r.seconds);
+  }
+  return total;
+}
+
+}  // namespace shield::bench

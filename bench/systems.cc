@@ -1,0 +1,158 @@
+#include "bench/systems.h"
+
+namespace shield::bench {
+namespace {
+
+sgx::EnclaveConfig WithContention(sgx::EnclaveConfig cfg, size_t threads, bool model) {
+  cfg.epc.virtual_contention = model ? std::max<size_t>(threads, 1) : 1;
+  return cfg;
+}
+
+class ShieldSystem : public System {
+ public:
+  ShieldSystem(std::string name, const shieldstore::Options& options, size_t threads,
+               const sgx::EnclaveConfig& enclave_cfg, bool model_contention)
+      : name_(std::move(name)),
+        enclave_(WithContention(enclave_cfg, threads, model_contention)),
+        store_(enclave_, options, threads) {}
+
+  std::string name() const override { return name_; }
+  kv::KeyValueStore& store() override { return store_; }
+  sgx::Enclave* enclave() override { return &enclave_; }
+
+  RunResult Run(const workload::WorkloadConfig& config, const workload::DataSet& ds,
+                size_t num_keys, double seconds) override {
+    if (store_.num_partitions() == 1) {
+      return RunWorkload(store_.partition(0), config, ds, num_keys, seconds);
+    }
+    return RunWorkloadPartitioned(store_, config, ds, num_keys, seconds);
+  }
+
+ private:
+  std::string name_;
+  sgx::Enclave enclave_;
+  shieldstore::PartitionedStore store_;
+};
+
+class BaselineSystem : public System {
+ public:
+  BaselineSystem(bool sgx, size_t num_buckets, size_t threads,
+                 const sgx::EnclaveConfig& enclave_cfg, bool model_contention)
+      : sgx_(sgx), enclave_(WithContention(enclave_cfg, threads, model_contention)) {
+    std::vector<std::unique_ptr<baseline::BaselineStore>> parts;
+    for (size_t i = 0; i < threads; ++i) {
+      parts.push_back(std::make_unique<baseline::BaselineStore>(
+          sgx ? &enclave_ : nullptr,
+          sgx ? baseline::Placement::kEnclaveNaive : baseline::Placement::kNoSgx,
+          std::max<size_t>(num_buckets / threads, 1)));
+    }
+    crypto::SipHashKey route_key{};
+    enclave_.ReadRand(MutableByteSpan(route_key.data(), route_key.size()));
+    store_ = std::make_unique<kv::PartitionedKv<baseline::BaselineStore>>(route_key,
+                                                                          std::move(parts));
+  }
+
+  std::string name() const override { return sgx_ ? "Baseline" : "InsecureBaseline"; }
+  kv::KeyValueStore& store() override { return *store_; }
+  sgx::Enclave* enclave() override { return &enclave_; }
+
+  RunResult Run(const workload::WorkloadConfig& config, const workload::DataSet& ds,
+                size_t num_keys, double seconds) override {
+    if (store_->num_partitions() == 1) {
+      return RunWorkload(store_->partition(0), config, ds, num_keys, seconds);
+    }
+    return RunWorkloadPartitioned(*store_, config, ds, num_keys, seconds);
+  }
+
+ private:
+  bool sgx_;
+  sgx::Enclave enclave_;
+  std::unique_ptr<kv::PartitionedKv<baseline::BaselineStore>> store_;
+};
+
+class MemcachedSystem : public System {
+ public:
+  MemcachedSystem(bool graphene, size_t num_buckets, size_t threads,
+                  const sgx::EnclaveConfig& enclave_cfg, bool model_contention)
+      : graphene_(graphene),
+        threads_(threads),
+        // The global cache lock is the op-level serializer and already covers
+        // the EPC faults taken under it; charging the fault path separately
+        // would double-count, so the enclave keeps contention 1.
+        enclave_(WithContention(enclave_cfg, 1, model_contention)) {
+    baseline::MemcachedOptions options;
+    options.graphene = graphene;
+    options.num_buckets = num_buckets;
+    options.virtual_contention = model_contention ? std::max<size_t>(threads, 1) : 1;
+    store_ = std::make_unique<baseline::MemcachedLikeStore>(graphene ? &enclave_ : nullptr,
+                                                            options);
+  }
+
+  std::string name() const override {
+    return graphene_ ? "Memcached+graphene" : "InsecureMemcached";
+  }
+  kv::KeyValueStore& store() override { return *store_; }
+  sgx::Enclave* enclave() override { return &enclave_; }
+
+  RunResult Run(const workload::WorkloadConfig& config, const workload::DataSet& ds,
+                size_t num_keys, double seconds) override {
+    // memcached's model: every worker thread drives the shared store.
+    return RunWorkloadShared(*store_, config, ds, num_keys, threads_, seconds);
+  }
+
+ private:
+  bool graphene_;
+  size_t threads_;
+  sgx::Enclave enclave_;
+  std::unique_ptr<baseline::MemcachedLikeStore> store_;
+};
+
+class EleosSystem : public System {
+ public:
+  EleosSystem(const eleos::SuvmConfig& suvm, size_t num_buckets,
+              const sgx::EnclaveConfig& enclave_cfg)
+      : enclave_(enclave_cfg), store_(enclave_, suvm, num_buckets) {}
+
+  std::string name() const override { return "Eleos"; }
+  kv::KeyValueStore& store() override { return store_; }
+  sgx::Enclave* enclave() override { return &enclave_; }
+
+  RunResult Run(const workload::WorkloadConfig& config, const workload::DataSet& ds,
+                size_t num_keys, double seconds) override {
+    return RunWorkload(store_, config, ds, num_keys, seconds);
+  }
+
+ private:
+  sgx::Enclave enclave_;
+  eleos::EleosStore store_;
+};
+
+}  // namespace
+
+std::unique_ptr<System> MakeShieldSystem(std::string name, const shieldstore::Options& options,
+                                         size_t threads, const sgx::EnclaveConfig& enclave_cfg,
+                                         bool model_contention) {
+  return std::make_unique<ShieldSystem>(std::move(name), options, threads, enclave_cfg,
+                                        model_contention);
+}
+
+std::unique_ptr<System> MakeBaselineSystem(bool sgx, size_t num_buckets, size_t threads,
+                                           const sgx::EnclaveConfig& enclave_cfg,
+                                           bool model_contention) {
+  return std::make_unique<BaselineSystem>(sgx, num_buckets, threads, enclave_cfg,
+                                          model_contention);
+}
+
+std::unique_ptr<System> MakeMemcachedSystem(bool graphene, size_t num_buckets, size_t threads,
+                                            const sgx::EnclaveConfig& enclave_cfg,
+                                            bool model_contention) {
+  return std::make_unique<MemcachedSystem>(graphene, num_buckets, threads, enclave_cfg,
+                                           model_contention);
+}
+
+std::unique_ptr<System> MakeEleosSystem(const eleos::SuvmConfig& suvm, size_t num_buckets,
+                                        const sgx::EnclaveConfig& enclave_cfg) {
+  return std::make_unique<EleosSystem>(suvm, num_buckets, enclave_cfg);
+}
+
+}  // namespace shield::bench

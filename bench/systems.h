@@ -1,0 +1,79 @@
+// System-under-test factories for the multi-system figures (10-13, 16-18):
+// each system bundles its own enclave, store, threading model, and a Run()
+// method implementing the appropriate execution style (partition-owned
+// threads for the partitioned stores, shared-store threads for memcached).
+#ifndef SHIELDSTORE_BENCH_SYSTEMS_H_
+#define SHIELDSTORE_BENCH_SYSTEMS_H_
+
+#include <memory>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/baseline/baseline_store.h"
+#include "src/baseline/memcached_like.h"
+#include "src/eleos/eleos_kv.h"
+#include "src/kv/partition.h"
+#include "src/shieldstore/partitioned.h"
+
+namespace shield::bench {
+
+class System {
+ public:
+  virtual ~System() = default;
+  virtual std::string name() const = 0;
+  // Thread-safe store facade (used for preloading and the network server).
+  virtual kv::KeyValueStore& store() = 0;
+  // Runs the workload in this system's native threading model.
+  virtual RunResult Run(const workload::WorkloadConfig& config, const workload::DataSet& ds,
+                        size_t num_keys, double seconds) = 0;
+  virtual sgx::Enclave* enclave() { return nullptr; }
+};
+
+// ShieldStore variants of Figure 14 / §6.1's configurations.
+inline shieldstore::Options ShieldBaseOptions(size_t num_buckets) {
+  shieldstore::Options o;
+  o.num_buckets = num_buckets;
+  o.key_hint = false;
+  o.mac_bucketing = false;
+  o.extra_heap = false;
+  return o;
+}
+
+inline shieldstore::Options ShieldOptOptions(size_t num_buckets) {
+  shieldstore::Options o;
+  o.num_buckets = num_buckets;
+  return o;
+}
+
+// Zero-cost enclave configuration for the insecure comparison rows: the
+// networked server still routes requests through Boundary::Ecall, which must
+// be free when simulating a plain (non-SGX) deployment.
+inline sgx::EnclaveConfig InsecureEnclave() {
+  sgx::EnclaveConfig c = BenchEnclave();
+  c.epc.crossing_cycles = 0;
+  c.epc.kernel_fault_cycles = 0;
+  c.epc.resident_access_cycles = 0;
+  c.epc.page_crypto = false;
+  return c;
+}
+
+// Factories. `threads` fixes the partition/worker count for the run. When
+// `model_contention` is true (standalone simulated-multicore benches) the
+// serialized resources charge `threads`-way virtual contention; the
+// networked benches use real threads and pass false.
+std::unique_ptr<System> MakeShieldSystem(std::string name, const shieldstore::Options& options,
+                                         size_t threads,
+                                         const sgx::EnclaveConfig& enclave_cfg = BenchEnclave(),
+                                         bool model_contention = true);
+std::unique_ptr<System> MakeBaselineSystem(bool sgx, size_t num_buckets, size_t threads,
+                                           const sgx::EnclaveConfig& enclave_cfg = BenchEnclave(),
+                                           bool model_contention = true);
+std::unique_ptr<System> MakeMemcachedSystem(bool graphene, size_t num_buckets, size_t threads,
+                                            const sgx::EnclaveConfig& enclave_cfg = BenchEnclave(),
+                                            bool model_contention = true);
+std::unique_ptr<System> MakeEleosSystem(const eleos::SuvmConfig& suvm, size_t num_buckets,
+                                        const sgx::EnclaveConfig& enclave_cfg = BenchEnclave());
+
+}  // namespace shield::bench
+
+#endif  // SHIELDSTORE_BENCH_SYSTEMS_H_

@@ -1,0 +1,65 @@
+// Quickstart: embed ShieldStore in a process.
+//
+// Creates a simulated enclave, opens a store whose hash table lives in
+// untrusted memory with per-entry encryption + integrity (the paper's §4
+// design), and runs through the basic operations. Build & run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/shieldstore/store.h"
+
+using shield::Code;
+using shield::Result;
+using shield::Status;
+
+int main() {
+  // The enclave: EPC-backed protected memory plus boundary-cost simulation.
+  shield::sgx::EnclaveConfig enclave_config;
+  enclave_config.name = "quickstart-enclave";
+  enclave_config.epc.epc_bytes = 16u << 20;
+  shield::sgx::Enclave enclave(enclave_config);
+
+  // The store: keys/values are encrypted and MAC'd individually; only the
+  // store keys and the bucket-set MAC hashes consume protected memory.
+  shield::shieldstore::Options options;
+  options.num_buckets = 1 << 14;
+  shield::shieldstore::Store store(enclave, options);
+
+  // Basic operations.
+  if (Status s = store.Set("greeting", "hello, shielded world"); !s.ok()) {
+    std::fprintf(stderr, "set failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Result<std::string> value = store.Get("greeting");
+  std::printf("greeting = %s\n", value.ok() ? value->c_str() : value.status().ToString().c_str());
+
+  // Server-side computation (§3.2): the value never leaves the enclave
+  // boundary in plaintext while being modified.
+  store.Set("counter", "41");
+  Result<int64_t> count = store.Increment("counter", 1);
+  std::printf("counter = %lld\n", static_cast<long long>(count.value()));
+
+  store.Append("greeting", " (appended inside the enclave)");
+  std::printf("greeting = %s\n", store.Get("greeting")->c_str());
+
+  // Misses and deletes are explicit statuses, not exceptions.
+  store.Delete("greeting");
+  Result<std::string> gone = store.Get("greeting");
+  std::printf("after delete: %s\n", gone.status().ToString().c_str());
+
+  // The store can audit the untrusted memory wholesale.
+  const Status audit = store.VerifyFullIntegrity();
+  std::printf("full integrity audit: %s\n", audit.ToString().c_str());
+
+  // What the simulation charged us for this session.
+  const auto epc = enclave.epc().stats();
+  const auto stats = store.stats();
+  std::printf("epc: %llu touches, %llu faults | store: %llu decryptions, %llu MAC checks\n",
+              static_cast<unsigned long long>(epc.touches),
+              static_cast<unsigned long long>(epc.faults),
+              static_cast<unsigned long long>(stats.decryptions),
+              static_cast<unsigned long long>(stats.mac_verifications));
+  return 0;
+}

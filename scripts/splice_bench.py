@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Splices regenerated per-figure outputs into bench_output.txt.
+
+Usage: splice_bench.py OUTPUT_TXT SECTION_NAME FRESH_FILE
+Replaces the section starting at '### bench/SECTION_NAME' (up to the next
+'### bench/' or EOF) with the contents of FRESH_FILE under the same header.
+"""
+import sys
+
+
+def main() -> int:
+    output_path, section, fresh_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    with open(output_path) as f:
+        text = f.read()
+    header = f"### bench/{section}"
+    start = text.index(header)
+    next_marker = text.find("\n### bench/", start + len(header))
+    end = len(text) if next_marker < 0 else next_marker + 1
+    with open(fresh_path) as f:
+        fresh = f.read()
+    replacement = header + "\n" + fresh
+    if not replacement.endswith("\n"):
+        replacement += "\n"
+    with open(output_path, "w") as f:
+        f.write(text[:start] + replacement + text[end:])
+    print(f"spliced {section}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+#include "src/alloc/free_list.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace shield::alloc {
+namespace {
+
+// Size classes: powers of two and midpoints, covering every entry size the
+// stores produce. Requests above the largest class take the large-block path.
+constexpr size_t kClassSizes[] = {16,   24,   32,   48,   64,   96,   128,  192,  256,
+                                  384,  512,  768,  1024, 1536, 2048, 3072, 4096, 6144,
+                                  8192, 12288, 16384};
+constexpr size_t kNumClasses = sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+constexpr uint64_t kLargeMarker = ~uint64_t{0} << 32;
+
+uint64_t* HeaderOf(void* ptr) {
+  return reinterpret_cast<uint64_t*>(static_cast<uint8_t*>(ptr) - 8);
+}
+
+}  // namespace
+
+FreeListAllocator::FreeListAllocator(ChunkSource source, size_t chunk_bytes, bool thread_safe)
+    : source_(std::move(source)),
+      chunk_bytes_(std::max<size_t>(chunk_bytes, 4096)),
+      thread_safe_(thread_safe),
+      free_lists_(kNumClasses, nullptr) {}
+
+size_t FreeListAllocator::ClassForSize(size_t bytes) {
+  for (size_t i = 0; i < kNumClasses; ++i) {
+    if (kClassSizes[i] >= bytes) {
+      return i;
+    }
+  }
+  return kNumClasses;  // large
+}
+
+void* FreeListAllocator::Allocate(size_t bytes) {
+  if (thread_safe_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return AllocateLocked(bytes);
+  }
+  return AllocateLocked(bytes);
+}
+
+void* FreeListAllocator::AllocateLocked(size_t bytes) {
+  stats_.alloc_calls++;
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  const size_t ci = ClassForSize(bytes);
+  if (ci == kNumClasses) {
+    return CarveLarge(bytes);
+  }
+  if (free_lists_[ci] == nullptr && !Refill(ci)) {
+    return nullptr;
+  }
+  FreeNode* node = free_lists_[ci];
+  free_lists_[ci] = node->next;
+  uint64_t* header = reinterpret_cast<uint64_t*>(node);
+  *header = ci;
+  stats_.bytes_allocated += kClassSizes[ci] + kHeaderBytes;
+  return header + 1;
+}
+
+bool FreeListAllocator::Refill(size_t class_index) {
+  const size_t block = kClassSizes[class_index] + kHeaderBytes;
+  if (static_cast<size_t>(bump_end_ - bump_begin_) < block) {
+    const size_t want = std::max(chunk_bytes_, block);
+    const Chunk chunk = source_(want);
+    if (chunk.base == nullptr || chunk.bytes < block) {
+      return false;
+    }
+    stats_.chunk_requests++;
+    stats_.bytes_reserved += chunk.bytes;
+    bump_begin_ = static_cast<uint8_t*>(chunk.base);
+    bump_end_ = bump_begin_ + chunk.bytes;
+  }
+  // Carve as many blocks of this class as fit into a batch (bounded so one
+  // class cannot monopolize a fresh chunk).
+  size_t carved = 0;
+  while (static_cast<size_t>(bump_end_ - bump_begin_) >= block && carved < 64) {
+    FreeNode* node = reinterpret_cast<FreeNode*>(bump_begin_);
+    node->next = free_lists_[class_index];
+    free_lists_[class_index] = node;
+    bump_begin_ += block;
+    ++carved;
+  }
+  return carved > 0;
+}
+
+void* FreeListAllocator::CarveLarge(size_t bytes) {
+  const size_t total = ((bytes + kHeaderBytes + kAlignment - 1) / kAlignment) * kAlignment;
+  if (static_cast<size_t>(bump_end_ - bump_begin_) < total) {
+    const Chunk chunk = source_(std::max(chunk_bytes_, total));
+    if (chunk.base == nullptr || chunk.bytes < total) {
+      return nullptr;
+    }
+    stats_.chunk_requests++;
+    stats_.bytes_reserved += chunk.bytes;
+    bump_begin_ = static_cast<uint8_t*>(chunk.base);
+    bump_end_ = bump_begin_ + chunk.bytes;
+  }
+  uint64_t* header = reinterpret_cast<uint64_t*>(bump_begin_);
+  bump_begin_ += total;
+  *header = kLargeMarker | (total - kHeaderBytes);
+  stats_.bytes_allocated += total;
+  return header + 1;
+}
+
+void FreeListAllocator::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (thread_safe_) {
+    lock.lock();
+  }
+  stats_.free_calls++;
+  uint64_t* header = HeaderOf(ptr);
+  const uint64_t tag = *header;
+  if ((tag & kLargeMarker) == kLargeMarker) {
+    // Large blocks are not recycled (they are rare: > largest class). The
+    // bytes remain reserved, matching the paper's simple allocator.
+    stats_.bytes_allocated -= (tag & 0xFFFFFFFFu) + kHeaderBytes;
+    return;
+  }
+  const size_t ci = static_cast<size_t>(tag);
+  assert(ci < kNumClasses);
+  stats_.bytes_allocated -= kClassSizes[ci] + kHeaderBytes;
+  FreeNode* node = reinterpret_cast<FreeNode*>(header);
+  node->next = free_lists_[ci];
+  free_lists_[ci] = node;
+}
+
+size_t FreeListAllocator::UsableSize(void* ptr) {
+  const uint64_t tag = *HeaderOf(ptr);
+  if ((tag & kLargeMarker) == kLargeMarker) {
+    return tag & 0xFFFFFFFFu;
+  }
+  return kClassSizes[tag];
+}
+
+FreeListStats FreeListAllocator::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (thread_safe_) {
+    lock.lock();
+  }
+  return stats_;
+}
+
+}  // namespace shield::alloc

@@ -1,0 +1,83 @@
+// Size-class segregated free-list allocator over externally provided chunks.
+//
+// This is the allocation core shared by two different heaps:
+//  * the enclave heap: chunks come from the enclave's reserved arena
+//    (EPC-backed, so allocations page like real enclave memory);
+//  * the paper's "extra heap allocator" (§5.1): an allocator whose *logic*
+//    runs inside the enclave but whose chunks are untrusted memory obtained
+//    via an OCALL'd mmap/sbrk — the chunk size is the knob Figure 6 sweeps.
+//
+// The chunk source abstracts that difference; the allocator itself never
+// performs a system call.
+#ifndef SHIELDSTORE_SRC_ALLOC_FREE_LIST_H_
+#define SHIELDSTORE_SRC_ALLOC_FREE_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace shield::alloc {
+
+// Returns a new chunk of at least `min_bytes` (the provider may round up),
+// or {nullptr, 0} when exhausted. The allocator keeps chunks forever.
+struct Chunk {
+  void* base = nullptr;
+  size_t bytes = 0;
+};
+using ChunkSource = std::function<Chunk(size_t min_bytes)>;
+
+struct FreeListStats {
+  uint64_t chunk_requests = 0;   // == OCALL count for the extra heap
+  uint64_t bytes_reserved = 0;   // total chunk bytes obtained
+  uint64_t bytes_allocated = 0;  // live, headers included
+  uint64_t alloc_calls = 0;
+  uint64_t free_calls = 0;
+};
+
+class FreeListAllocator {
+ public:
+  // `chunk_bytes` is the granularity requested from the source (Figure 6's
+  // sweep variable). `thread_safe` guards all operations with a mutex.
+  FreeListAllocator(ChunkSource source, size_t chunk_bytes, bool thread_safe = true);
+
+  FreeListAllocator(const FreeListAllocator&) = delete;
+  FreeListAllocator& operator=(const FreeListAllocator&) = delete;
+
+  // Returns 8-byte-aligned storage, or nullptr when the source is exhausted.
+  void* Allocate(size_t bytes);
+  void Free(void* ptr);
+
+  // Size usable by the caller for a pointer returned by Allocate.
+  static size_t UsableSize(void* ptr);
+
+  FreeListStats stats() const;
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr size_t kHeaderBytes = 8;
+  static constexpr size_t kAlignment = 8;
+
+  static size_t ClassForSize(size_t bytes);  // index into kClassSizes
+  void* AllocateLocked(size_t bytes);
+  bool Refill(size_t class_index);
+  void* CarveLarge(size_t bytes);
+
+  const ChunkSource source_;
+  const size_t chunk_bytes_;
+  const bool thread_safe_;
+
+  mutable std::mutex mutex_;
+  std::vector<FreeNode*> free_lists_;
+  uint8_t* bump_begin_ = nullptr;  // unused tail of the newest chunk
+  uint8_t* bump_end_ = nullptr;
+  FreeListStats stats_;
+};
+
+}  // namespace shield::alloc
+
+#endif  // SHIELDSTORE_SRC_ALLOC_FREE_LIST_H_

@@ -1,0 +1,199 @@
+#include "src/alloc/memsys5.h"
+
+#include <sys/mman.h>
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace shield::alloc {
+namespace {
+
+size_t FloorPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) {
+    p *= 2;
+  }
+  return p;
+}
+
+constexpr int64_t kNil = -1;
+
+}  // namespace
+
+Memsys5Pool::Memsys5Pool(size_t pool_bytes) {
+  pool_bytes_ = FloorPowerOfTwo(std::max(pool_bytes, kMinBlock));
+  if (pool_bytes_ > kMaxPoolBytes) {
+    pool_bytes_ = kMaxPoolBytes;
+  }
+  num_blocks_ = pool_bytes_ / kMinBlock;
+  void* mem = mmap(nullptr, pool_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED) {
+    throw std::bad_alloc();
+  }
+  base_ = static_cast<uint8_t*>(mem);
+  next_.assign(num_blocks_, kNil);
+  prev_.assign(num_blocks_, kNil);
+  order_.assign(num_blocks_, 0);
+
+  size_t max_order = 0;
+  while ((kMinBlock << max_order) < pool_bytes_) {
+    ++max_order;
+  }
+  free_heads_.assign(max_order + 1, kNil);
+  // The entire pool starts as one maximal free block.
+  free_heads_[max_order] = 0;
+  order_[0] = static_cast<uint8_t>(max_order);
+}
+
+Memsys5Pool::~Memsys5Pool() {
+  munmap(base_, pool_bytes_);
+}
+
+size_t Memsys5Pool::OrderFor(size_t bytes) const {
+  size_t order = 0;
+  size_t block = kMinBlock;
+  while (block < bytes) {
+    block <<= 1;
+    ++order;
+  }
+  return order;
+}
+
+size_t Memsys5Pool::BlockIndex(const void* p) const {
+  return (static_cast<const uint8_t*>(p) - base_) / kMinBlock;
+}
+
+void* Memsys5Pool::Allocate(size_t bytes) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  if (bytes > pool_bytes_) {
+    return nullptr;
+  }
+  const size_t want = OrderFor(bytes);
+  if (want >= free_heads_.size()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Find the smallest available order >= want.
+  size_t order = want;
+  while (order < free_heads_.size() && free_heads_[order] == kNil) {
+    ++order;
+  }
+  if (order >= free_heads_.size()) {
+    return nullptr;
+  }
+  // Pop the block.
+  int64_t index = free_heads_[order];
+  free_heads_[order] = next_[static_cast<size_t>(index)];
+  if (free_heads_[order] != kNil) {
+    prev_[static_cast<size_t>(free_heads_[order])] = kNil;
+  }
+  // Split down to the wanted order, pushing buddies onto free lists.
+  while (order > want) {
+    --order;
+    const int64_t buddy = index + static_cast<int64_t>(size_t{1} << order);
+    order_[static_cast<size_t>(buddy)] = static_cast<uint8_t>(order);
+    next_[static_cast<size_t>(buddy)] = free_heads_[order];
+    prev_[static_cast<size_t>(buddy)] = kNil;
+    if (free_heads_[order] != kNil) {
+      prev_[static_cast<size_t>(free_heads_[order])] = buddy;
+    }
+    free_heads_[order] = buddy;
+  }
+  order_[static_cast<size_t>(index)] = static_cast<uint8_t>(want) | 0x80;  // mark allocated
+  bytes_in_use_ += kMinBlock << want;
+  return base_ + static_cast<size_t>(index) * kMinBlock;
+}
+
+void Memsys5Pool::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t index = BlockIndex(ptr);
+  assert(index < num_blocks_ && (order_[index] & 0x80));
+  size_t order = order_[index] & 0x7F;
+  bytes_in_use_ -= kMinBlock << order;
+  // Coalesce with the buddy while it is free and of the same order.
+  while (order + 1 < free_heads_.size()) {
+    const size_t buddy = index ^ (size_t{1} << order);
+    if (buddy >= num_blocks_ || (order_[buddy] & 0x80) || (order_[buddy] & 0x7F) != order) {
+      break;
+    }
+    // Unlink the buddy from its free list.
+    const int64_t bn = next_[buddy];
+    const int64_t bp = prev_[buddy];
+    if (bp != kNil) {
+      next_[static_cast<size_t>(bp)] = bn;
+    } else {
+      free_heads_[order] = bn;
+    }
+    if (bn != kNil) {
+      prev_[static_cast<size_t>(bn)] = bp;
+    }
+    index = std::min(index, buddy);
+    ++order;
+  }
+  order_[index] = static_cast<uint8_t>(order);
+  next_[index] = free_heads_[order];
+  prev_[index] = kNil;
+  if (free_heads_[order] != kNil) {
+    prev_[static_cast<size_t>(free_heads_[order])] = static_cast<int64_t>(index);
+  }
+  free_heads_[order] = static_cast<int64_t>(index);
+}
+
+bool Memsys5Pool::Contains(const void* ptr) const {
+  const uint8_t* p = static_cast<const uint8_t*>(ptr);
+  return p >= base_ && p < base_ + pool_bytes_;
+}
+
+PoolSet::PoolSet(size_t pool_bytes, size_t max_pools)
+    : pool_bytes_(pool_bytes), max_pools_(std::max<size_t>(max_pools, 1)) {}
+
+void* PoolSet::Allocate(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& pool : pools_) {
+    if (void* p = pool->Allocate(bytes)) {
+      return p;
+    }
+  }
+  if (pools_.size() >= max_pools_) {
+    return nullptr;
+  }
+  pools_.push_back(std::make_unique<Memsys5Pool>(pool_bytes_));
+  return pools_.back()->Allocate(bytes);
+}
+
+void PoolSet::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& pool : pools_) {
+    if (pool->Contains(ptr)) {
+      pool->Free(ptr);
+      return;
+    }
+  }
+  assert(false && "Free of pointer not owned by any pool");
+}
+
+size_t PoolSet::num_pools() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pools_.size();
+}
+
+size_t PoolSet::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& pool : pools_) {
+    total += pool->pool_bytes();
+  }
+  return total;
+}
+
+}  // namespace shield::alloc

@@ -1,0 +1,78 @@
+// memsys5-style buddy allocator over fixed pools (after SQLite's
+// zero-malloc allocation system), used as the Eleos backing-store allocator.
+//
+// Eleos pre-allocates untrusted memory pools for its secure user-space
+// virtual memory; each memsys5 pool can manage at most 2 GB, and data sets
+// beyond one pool need several pools with extra bookkeeping — the reason the
+// paper's Figure 17 shows Eleos stopping at 2 GB. PoolSet reproduces exactly
+// that boundary.
+#ifndef SHIELDSTORE_SRC_ALLOC_MEMSYS5_H_
+#define SHIELDSTORE_SRC_ALLOC_MEMSYS5_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace shield::alloc {
+
+// Binary-buddy allocator over one contiguous pool. Minimum block 64 bytes;
+// all requests round up to a power of two.
+class Memsys5Pool {
+ public:
+  static constexpr size_t kMinBlock = 64;
+  static constexpr size_t kMaxPoolBytes = size_t{2} << 30;  // the 2 GB limit
+
+  // Rounds `pool_bytes` down to a power of two (>= kMinBlock, <= 2 GB).
+  explicit Memsys5Pool(size_t pool_bytes);
+  ~Memsys5Pool();
+
+  Memsys5Pool(const Memsys5Pool&) = delete;
+  Memsys5Pool& operator=(const Memsys5Pool&) = delete;
+
+  void* Allocate(size_t bytes);
+  void Free(void* ptr);
+  bool Contains(const void* ptr) const;
+
+  size_t pool_bytes() const { return pool_bytes_; }
+  size_t bytes_in_use() const { return bytes_in_use_; }
+
+ private:
+  size_t OrderFor(size_t bytes) const;   // log2(block/kMinBlock)
+  size_t BlockIndex(const void* p) const;
+
+  size_t pool_bytes_;
+  size_t num_blocks_;  // in kMinBlock units
+  uint8_t* base_;
+  std::vector<int64_t> next_;   // free-list links per min-block index
+  std::vector<int64_t> prev_;
+  std::vector<uint8_t> order_;  // allocation order per min-block index
+  std::vector<int64_t> free_heads_;  // per order
+  size_t bytes_in_use_ = 0;
+  mutable std::mutex mutex_;
+};
+
+// A set of memsys5 pools grown on demand up to `max_pools`. Reproduces the
+// multi-pool overhead and hard ceiling of Eleos's backing store.
+class PoolSet {
+ public:
+  PoolSet(size_t pool_bytes, size_t max_pools);
+
+  // nullptr once every pool is exhausted and no more pools may be created.
+  void* Allocate(size_t bytes);
+  void Free(void* ptr);
+
+  size_t num_pools() const;
+  size_t total_bytes() const;
+
+ private:
+  const size_t pool_bytes_;
+  const size_t max_pools_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Memsys5Pool>> pools_;
+};
+
+}  // namespace shield::alloc
+
+#endif  // SHIELDSTORE_SRC_ALLOC_MEMSYS5_H_

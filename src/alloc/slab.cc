@@ -1,0 +1,81 @@
+#include "src/alloc/slab.h"
+
+#include <cassert>
+
+namespace shield::alloc {
+
+SlabAllocator::SlabAllocator(ChunkSource source, const Options& options)
+    : source_(std::move(source)), options_(options) {
+  assert(options_.growth_factor > 1.0);
+  size_t size = options_.min_item_bytes;
+  while (size <= options_.max_item_bytes) {
+    class_sizes_.push_back(size);
+    size_t next = static_cast<size_t>(static_cast<double>(size) * options_.growth_factor);
+    // Keep 8-byte alignment and guarantee forward progress.
+    next = (next + 7) & ~size_t{7};
+    if (next <= size) {
+      next = size + 8;
+    }
+    size = next;
+  }
+  free_lists_.assign(class_sizes_.size(), nullptr);
+}
+
+size_t SlabAllocator::ClassFor(size_t bytes) const {
+  for (size_t i = 0; i < class_sizes_.size(); ++i) {
+    if (class_sizes_[i] >= bytes) {
+      return i;
+    }
+  }
+  return class_sizes_.size();
+}
+
+void* SlabAllocator::Allocate(size_t bytes) {
+  const size_t ci = ClassFor(bytes);
+  if (ci == class_sizes_.size()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_lists_[ci] == nullptr) {
+    const size_t item = class_sizes_[ci];
+    const size_t want = std::max(options_.slab_page_bytes, item);
+    const Chunk chunk = source_(want);
+    if (chunk.base == nullptr || chunk.bytes < item) {
+      return nullptr;
+    }
+    stats_.slab_pages++;
+    stats_.bytes_reserved += chunk.bytes;
+    uint8_t* p = static_cast<uint8_t*>(chunk.base);
+    uint8_t* end = p + chunk.bytes;
+    while (static_cast<size_t>(end - p) >= item) {
+      FreeNode* node = reinterpret_cast<FreeNode*>(p);
+      node->next = free_lists_[ci];
+      free_lists_[ci] = node;
+      p += item;
+    }
+  }
+  FreeNode* node = free_lists_[ci];
+  free_lists_[ci] = node->next;
+  stats_.items_allocated++;
+  return node;
+}
+
+void SlabAllocator::Free(void* ptr, size_t bytes) {
+  if (ptr == nullptr) {
+    return;
+  }
+  const size_t ci = ClassFor(bytes);
+  assert(ci < class_sizes_.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  FreeNode* node = static_cast<FreeNode*>(ptr);
+  node->next = free_lists_[ci];
+  free_lists_[ci] = node;
+  stats_.items_freed++;
+}
+
+SlabStats SlabAllocator::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace shield::alloc

@@ -1,0 +1,163 @@
+#include "src/baseline/baseline_store.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+namespace shield::baseline {
+namespace {
+
+// FNV-1a; the baseline predates the keyed-hash hardening of ShieldStore.
+uint64_t Fnv1a(std::string_view s, uint64_t seed) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (char c : s) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+BaselineStore::BaselineStore(sgx::Enclave* enclave, Placement placement, size_t num_buckets)
+    : enclave_(enclave), placement_(placement), num_buckets_(std::max<size_t>(num_buckets, 1)) {
+  assert(placement_ == Placement::kNoSgx || enclave_ != nullptr);
+  hash_seed_ = 0x5851F42D4C957F2DULL;
+  buckets_ = static_cast<Node**>(Allocate(num_buckets_ * sizeof(Node*)));
+  TouchRange(buckets_, num_buckets_ * sizeof(Node*), /*write=*/true);
+  std::memset(buckets_, 0, num_buckets_ * sizeof(Node*));
+}
+
+BaselineStore::~BaselineStore() {
+  for (size_t b = 0; b < num_buckets_; ++b) {
+    Node* node = buckets_[b];
+    while (node != nullptr) {
+      Node* next = node->next;
+      Deallocate(node);
+      node = next;
+    }
+  }
+  Deallocate(buckets_);
+}
+
+void* BaselineStore::Allocate(size_t bytes) {
+  if (placement_ == Placement::kEnclaveNaive) {
+    return enclave_->Allocate(bytes);
+  }
+  return std::malloc(bytes);
+}
+
+void BaselineStore::Deallocate(void* ptr) {
+  if (placement_ == Placement::kEnclaveNaive) {
+    enclave_->Free(ptr);
+    return;
+  }
+  std::free(ptr);
+}
+
+void BaselineStore::TouchRange(const void* ptr, size_t len, bool write) const {
+  if (placement_ == Placement::kEnclaveNaive) {
+    enclave_->Touch(ptr, len, write);
+  }
+}
+
+size_t BaselineStore::BucketOf(std::string_view key) const {
+  return Fnv1a(key, hash_seed_) % num_buckets_;
+}
+
+BaselineStore::Node* BaselineStore::Find(size_t bucket, std::string_view key, Node** prev_out) {
+  TouchRange(&buckets_[bucket], sizeof(Node*), false);
+  Node* prev = nullptr;
+  Node* node = buckets_[bucket];
+  while (node != nullptr) {
+    TouchRange(node, sizeof(Node) + node->key_size, false);
+    if (node->key_size == key.size() &&
+        std::memcmp(node->Data(), key.data(), key.size()) == 0) {
+      if (prev_out != nullptr) {
+        *prev_out = prev;
+      }
+      return node;
+    }
+    prev = node;
+    node = node->next;
+  }
+  return nullptr;
+}
+
+Status BaselineStore::Set(std::string_view key, std::string_view value) {
+  stats_.sets++;
+  const size_t bucket = BucketOf(key);
+  Node* node = Find(bucket, key, nullptr);
+  if (node != nullptr && node->val_size >= value.size()) {
+    // Overwrite in place when it fits (sizes shrink-only, like the naive
+    // implementation the paper measures).
+    TouchRange(node->Data() + node->key_size, value.size(), true);
+    node->val_size = static_cast<uint32_t>(value.size());
+    std::memcpy(node->Data() + node->key_size, value.data(), value.size());
+    return Status::Ok();
+  }
+  Node* fresh = static_cast<Node*>(Allocate(sizeof(Node) + key.size() + value.size()));
+  if (fresh == nullptr) {
+    return Status(Code::kCapacityExceeded, "out of memory");
+  }
+  TouchRange(fresh, sizeof(Node) + key.size() + value.size(), true);
+  fresh->key_size = static_cast<uint32_t>(key.size());
+  fresh->val_size = static_cast<uint32_t>(value.size());
+  std::memcpy(fresh->Data(), key.data(), key.size());
+  std::memcpy(fresh->Data() + key.size(), value.data(), value.size());
+  if (node != nullptr) {
+    // Replace the undersized node.
+    Node* prev = nullptr;
+    Find(bucket, key, &prev);
+    fresh->next = node->next;
+    TouchRange(&buckets_[bucket], sizeof(Node*), true);
+    if (prev != nullptr) {
+      TouchRange(prev, sizeof(Node), true);
+      prev->next = fresh;
+    } else {
+      buckets_[bucket] = fresh;
+    }
+    Deallocate(node);
+  } else {
+    TouchRange(&buckets_[bucket], sizeof(Node*), true);
+    fresh->next = buckets_[bucket];
+    buckets_[bucket] = fresh;
+    ++entry_count_;
+  }
+  return Status::Ok();
+}
+
+Result<std::string> BaselineStore::Get(std::string_view key) {
+  stats_.gets++;
+  const size_t bucket = BucketOf(key);
+  Node* node = Find(bucket, key, nullptr);
+  if (node == nullptr) {
+    stats_.misses++;
+    return Status(Code::kNotFound, "no such key");
+  }
+  stats_.hits++;
+  TouchRange(node->Data() + node->key_size, node->val_size, false);
+  return std::string(reinterpret_cast<const char*>(node->Data()) + node->key_size,
+                     node->val_size);
+}
+
+Status BaselineStore::Delete(std::string_view key) {
+  stats_.deletes++;
+  const size_t bucket = BucketOf(key);
+  Node* prev = nullptr;
+  Node* node = Find(bucket, key, &prev);
+  if (node == nullptr) {
+    return Status(Code::kNotFound, "no such key");
+  }
+  TouchRange(&buckets_[bucket], sizeof(Node*), true);
+  if (prev != nullptr) {
+    TouchRange(prev, sizeof(Node), true);
+    prev->next = node->next;
+  } else {
+    buckets_[bucket] = node->next;
+  }
+  Deallocate(node);
+  --entry_count_;
+  return Status::Ok();
+}
+
+}  // namespace shield::baseline

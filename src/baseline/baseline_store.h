@@ -1,0 +1,72 @@
+// The baseline key-value store of §3.1: a plaintext chained hash table.
+//
+// Two placements reproduce the paper's comparison points:
+//  * kNoSgx       — ordinary memory, no protection, no costs (the "NoSGX"
+//                   line of Figures 2/3 and "Insecure Baseline" of Fig. 18);
+//  * kEnclaveNaive — the entire table (bucket array and nodes) lives in
+//                   enclave memory. Every access is declared to the EPC
+//                   simulator, so working sets beyond the EPC limit pay
+//                   demand paging exactly as the naive SGX port does
+//                   (the "Baseline" of Figures 3/10–13).
+#ifndef SHIELDSTORE_SRC_BASELINE_BASELINE_STORE_H_
+#define SHIELDSTORE_SRC_BASELINE_BASELINE_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kv/interface.h"
+#include "src/sgx/enclave.h"
+
+namespace shield::baseline {
+
+enum class Placement {
+  kNoSgx,
+  kEnclaveNaive,
+};
+
+class BaselineStore : public kv::KeyValueStore {
+ public:
+  // `enclave` may be null only for kNoSgx.
+  BaselineStore(sgx::Enclave* enclave, Placement placement, size_t num_buckets);
+  ~BaselineStore() override;
+
+  BaselineStore(const BaselineStore&) = delete;
+  BaselineStore& operator=(const BaselineStore&) = delete;
+
+  Status Set(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  size_t Size() const override { return entry_count_; }
+  std::string Name() const override {
+    return placement_ == Placement::kNoSgx ? "Baseline/NoSGX" : "Baseline/SGX";
+  }
+  kv::StoreStats stats() const override { return stats_; }
+
+ private:
+  struct Node {
+    Node* next;
+    uint32_t key_size;
+    uint32_t val_size;
+    uint8_t* Data() { return reinterpret_cast<uint8_t*>(this + 1); }
+    const uint8_t* Data() const { return reinterpret_cast<const uint8_t*>(this + 1); }
+  };
+
+  void* Allocate(size_t bytes);
+  void Deallocate(void* ptr);
+  void TouchRange(const void* ptr, size_t len, bool write) const;
+  size_t BucketOf(std::string_view key) const;
+  Node* Find(size_t bucket, std::string_view key, Node** prev_out);
+
+  sgx::Enclave* enclave_;
+  Placement placement_;
+  size_t num_buckets_;
+  Node** buckets_;  // placement-dependent memory
+  size_t entry_count_ = 0;
+  uint64_t hash_seed_;
+  kv::StoreStats stats_;
+};
+
+}  // namespace shield::baseline
+
+#endif  // SHIELDSTORE_SRC_BASELINE_BASELINE_STORE_H_

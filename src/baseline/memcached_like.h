@@ -1,0 +1,101 @@
+// memcached-like store under a Graphene-SGX cost model — the
+// "Memcached+graphene" configuration of §6.1.
+//
+// Reproduces the three behaviours the paper attributes to it:
+//  * a slab allocator (memcached's edge over the naive baseline allocator);
+//  * a global cache lock plus a background maintainer thread that
+//    periodically holds that lock while it walks the table (the reason its
+//    4-thread numbers regress below its 2-thread numbers in Figure 13);
+//  * libOS placement: when run "under Graphene", the whole store lives in
+//    enclave memory (paging beyond EPC) and every operation pays a
+//    configurable syscall-forwarding overhead.
+#ifndef SHIELDSTORE_SRC_BASELINE_MEMCACHED_LIKE_H_
+#define SHIELDSTORE_SRC_BASELINE_MEMCACHED_LIKE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/alloc/slab.h"
+#include "src/kv/interface.h"
+#include "src/sgx/enclave.h"
+
+namespace shield::baseline {
+
+struct MemcachedOptions {
+  size_t num_buckets = size_t{1} << 16;
+  // Graphene mode: enclave placement + per-op libOS overhead.
+  bool graphene = true;
+  uint64_t libos_op_overhead_cycles = 1500;
+  // Maintainer thread cadence: every `maintenance_interval_us` it takes the
+  // global lock and walks `maintenance_buckets_per_pass` buckets (hash-table
+  // balancing / LRU bookkeeping in real memcached). Under Graphene the walk
+  // touches enclave pages and faults beyond the EPC, so a pass over N
+  // buckets can hold the lock for ~N fault-times — the cadence below keeps
+  // its duty cycle near real memcached's while preserving the lock-holding
+  // interference the paper blames for its 4-thread regression.
+  uint64_t maintenance_interval_us = 5000;
+  size_t maintenance_buckets_per_pass = 32;
+  bool start_maintainer = true;
+
+  // Virtual-multicore contention: every operation runs entirely under the
+  // global cache lock, so with n saturating worker threads each op observes
+  // ~n x its service time. The sequential multicore simulation sets this to
+  // the simulated thread count; real concurrent threads leave it at 1 and
+  // contend on the mutex for real.
+  size_t virtual_contention = 1;
+};
+
+class MemcachedLikeStore : public kv::KeyValueStore {
+ public:
+  // `enclave` may be null when options.graphene is false (plain insecure
+  // memcached, Table 1 / Figure 18's "Insecure Memcached").
+  MemcachedLikeStore(sgx::Enclave* enclave, const MemcachedOptions& options);
+  ~MemcachedLikeStore() override;
+
+  Status Set(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  size_t Size() const override;
+  std::string Name() const override {
+    return options_.graphene ? "Memcached+graphene" : "Memcached";
+  }
+  kv::StoreStats stats() const override;
+
+ private:
+  struct Item {
+    Item* next;
+    uint32_t key_size;
+    uint32_t val_size;
+    uint32_t slab_bytes;  // size passed back to the slab allocator
+    uint32_t access_clock;
+    uint8_t* Data() { return reinterpret_cast<uint8_t*>(this + 1); }
+    const uint8_t* Data() const { return reinterpret_cast<const uint8_t*>(this + 1); }
+  };
+
+  void TouchRange(const void* ptr, size_t len, bool write) const;
+  void ChargeLibOs() const;
+  size_t BucketOf(std::string_view key) const;
+  Item* FindLocked(size_t bucket, std::string_view key, Item** prev_out);
+  void MaintainerLoop();
+
+  sgx::Enclave* enclave_;
+  MemcachedOptions options_;
+  std::unique_ptr<alloc::SlabAllocator> slabs_;
+  std::vector<Item*> buckets_;
+
+  mutable std::mutex cache_lock_;  // memcached's global lock
+  size_t entry_count_ = 0;
+  uint32_t clock_ = 0;
+  kv::StoreStats stats_;
+
+  std::atomic<bool> stop_maintainer_{false};
+  std::thread maintainer_;
+  size_t maintenance_cursor_ = 0;
+};
+
+}  // namespace shield::baseline
+
+#endif  // SHIELDSTORE_SRC_BASELINE_MEMCACHED_LIKE_H_

@@ -1,0 +1,80 @@
+// Byte-buffer aliases and small helpers shared by every module.
+#ifndef SHIELDSTORE_SRC_COMMON_BYTES_H_
+#define SHIELDSTORE_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shield {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+
+// Views a string's characters as bytes without copying.
+inline ByteSpan AsBytes(std::string_view s) {
+  return ByteSpan(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+inline std::string_view AsString(ByteSpan b) {
+  return std::string_view(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// Lowercase hex rendering, for logs and test assertions.
+std::string HexEncode(ByteSpan data);
+
+// Parses lowercase/uppercase hex; returns empty vector on malformed input of
+// odd length or non-hex characters.
+Bytes HexDecode(std::string_view hex);
+
+// Constant-time equality for MACs and other secrets. Returns false when the
+// lengths differ (length is not secret for our fixed-size tags).
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+
+// Unaligned little-endian loads/stores used by codecs and ciphers.
+inline uint32_t LoadLe32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t LoadLe64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreLe32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreLe64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) | (uint32_t{p[2]} << 8) | uint32_t{p[3]};
+}
+
+inline void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+inline uint64_t LoadBe64(const uint8_t* p) {
+  return (uint64_t{LoadBe32(p)} << 32) | LoadBe32(p + 4);
+}
+
+inline void StoreBe64(uint8_t* p, uint64_t v) {
+  StoreBe32(p, static_cast<uint32_t>(v >> 32));
+  StoreBe32(p + 4, static_cast<uint32_t>(v));
+}
+
+}  // namespace shield
+
+#endif  // SHIELDSTORE_SRC_COMMON_BYTES_H_

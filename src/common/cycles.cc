@@ -1,0 +1,75 @@
+#include "src/common/cycles.h"
+
+#include <chrono>
+#include <mutex>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace shield {
+namespace {
+
+uint64_t SteadyNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double Calibrate() {
+  // Measure counter ticks across a ~2 ms steady-clock window.
+  const uint64_t t0 = SteadyNow();
+  const uint64_t c0 = ReadCycleCounter();
+  uint64_t t1 = t0;
+  while (t1 - t0 < 2'000'000) {
+    t1 = SteadyNow();
+  }
+  const uint64_t c1 = ReadCycleCounter();
+  const double ns = static_cast<double>(t1 - t0);
+  const double cycles = static_cast<double>(c1 - c0);
+  double rate = cycles / ns;
+  if (rate <= 0.0) {
+    rate = 1.0;
+  }
+  return rate;
+}
+
+}  // namespace
+
+uint64_t ReadCycleCounter() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return SteadyNow();
+#endif
+}
+
+double CyclesPerNanosecond() {
+  static const double rate = Calibrate();
+  return rate;
+}
+
+void SpinCycles(uint64_t cycles) {
+  if (cycles == 0) {
+    return;
+  }
+  const uint64_t start = ReadCycleCounter();
+  while (ReadCycleCounter() - start < cycles) {
+    // Busy-wait: this models time the hardware would spend, so yielding would
+    // be wrong here.
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#endif
+  }
+}
+
+double CyclesToNanoseconds(uint64_t cycles) {
+  return static_cast<double>(cycles) / CyclesPerNanosecond();
+}
+
+}  // namespace shield

@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr.
+#ifndef SHIELDSTORE_SRC_COMMON_LOGGING_H_
+#define SHIELDSTORE_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace shield {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Messages below this level are discarded. Default: kWarning (quiet benches).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+struct LogVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace shield
+
+#define SHIELD_LOG(level)                                                    \
+  (::shield::LogLevel::k##level < ::shield::GetLogLevel())                   \
+      ? (void)0                                                              \
+      : ::shield::internal::LogVoidify() &                                   \
+            ::shield::internal::LogMessage(::shield::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // SHIELDSTORE_SRC_COMMON_LOGGING_H_

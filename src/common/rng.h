@@ -1,0 +1,47 @@
+// Fast non-cryptographic PRNGs for workload generation and tests.
+//
+// Cryptographic randomness lives in src/crypto/drbg.h; these generators are
+// for reproducible workloads only.
+#ifndef SHIELDSTORE_SRC_COMMON_RNG_H_
+#define SHIELDSTORE_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace shield {
+
+// SplitMix64: tiny, statistically solid seeder / general-purpose generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** — the workhorse generator for workloads.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace shield
+
+#endif  // SHIELDSTORE_SRC_COMMON_RNG_H_

@@ -1,0 +1,40 @@
+// AES-128 block cipher (FIPS-197), implemented from scratch.
+//
+// This is the cipher the SGX SDK shim (sgx_aes_ctr_encrypt,
+// sgx_rijndael128_cmac_msg) is built on. The implementation is a portable
+// byte-oriented one: on the simulation host its software cost per byte plays
+// the role that MEE/AES-NI overheads play on real SGX hardware, which keeps
+// the relative cost of per-entry crypto vs. page crypto realistic.
+#ifndef SHIELDSTORE_SRC_CRYPTO_AES_H_
+#define SHIELDSTORE_SRC_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace shield::crypto {
+
+inline constexpr size_t kAesBlockSize = 16;
+inline constexpr size_t kAesKeySize = 16;
+
+using AesKey = std::array<uint8_t, kAesKeySize>;
+using AesBlock = std::array<uint8_t, kAesBlockSize>;
+
+// AES-128 with a fixed key. Copyable; holds only expanded round keys.
+class Aes128 {
+ public:
+  // key must be exactly 16 bytes.
+  explicit Aes128(ByteSpan key);
+
+  void EncryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const;
+  void DecryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const;
+
+ private:
+  // 11 round keys of 16 bytes, stored as bytes in column order.
+  std::array<uint8_t, 176> round_keys_;
+};
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_AES_H_

@@ -1,0 +1,96 @@
+#include "src/crypto/cmac.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace shield::crypto {
+namespace {
+
+// Doubles a value in GF(2^128) with the CMAC polynomial (x^128+x^7+x^2+x+1).
+void GfDouble(const uint8_t in[16], uint8_t out[16]) {
+  uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const uint8_t b = in[i];
+    out[i] = static_cast<uint8_t>((b << 1) | carry);
+    carry = b >> 7;
+  }
+  if (carry) {
+    out[15] ^= 0x87;
+  }
+}
+
+}  // namespace
+
+Cmac::Cmac(ByteSpan key) : aes_(key) {
+  uint8_t zero[16] = {};
+  uint8_t l[16];
+  aes_.EncryptBlock(zero, l);
+  GfDouble(l, k1_.data());
+  GfDouble(k1_.data(), k2_.data());
+  Reset();
+}
+
+void Cmac::Reset() {
+  state_.fill(0);
+  partial_.fill(0);
+  partial_len_ = 0;
+  any_data_ = false;
+}
+
+void Cmac::Update(ByteSpan data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    if (partial_len_ == kAesBlockSize) {
+      // Flush a full non-final block.
+      for (size_t i = 0; i < kAesBlockSize; ++i) {
+        state_[i] ^= partial_[i];
+      }
+      aes_.EncryptBlock(state_.data(), state_.data());
+      partial_len_ = 0;
+    }
+    const size_t n = std::min(data.size() - offset, kAesBlockSize - partial_len_);
+    std::memcpy(partial_.data() + partial_len_, data.data() + offset, n);
+    partial_len_ += n;
+    offset += n;
+    any_data_ = true;
+  }
+}
+
+Mac Cmac::Finalize() {
+  Mac tag;
+  AesBlock last{};
+  if (any_data_ && partial_len_ == kAesBlockSize) {
+    // Complete final block: XOR with K1.
+    for (size_t i = 0; i < kAesBlockSize; ++i) {
+      last[i] = static_cast<uint8_t>(partial_[i] ^ k1_[i]);
+    }
+  } else {
+    // Padded final block: 10* padding, XOR with K2.
+    std::memcpy(last.data(), partial_.data(), partial_len_);
+    last[partial_len_] = 0x80;
+    for (size_t i = partial_len_ + 1; i < kAesBlockSize; ++i) {
+      last[i] = 0;
+    }
+    for (size_t i = 0; i < kAesBlockSize; ++i) {
+      last[i] = static_cast<uint8_t>(last[i] ^ k2_[i]);
+    }
+  }
+  for (size_t i = 0; i < kAesBlockSize; ++i) {
+    state_[i] ^= last[i];
+  }
+  aes_.EncryptBlock(state_.data(), tag.data());
+  return tag;
+}
+
+Mac CmacSign(ByteSpan key, ByteSpan data) {
+  Cmac cmac(key);
+  cmac.Update(data);
+  return cmac.Finalize();
+}
+
+bool CmacVerify(ByteSpan key, ByteSpan data, ByteSpan tag) {
+  const Mac computed = CmacSign(key, data);
+  return ConstantTimeEqual(ByteSpan(computed.data(), computed.size()), tag);
+}
+
+}  // namespace shield::crypto

@@ -1,0 +1,50 @@
+// AES-128-CMAC (RFC 4493), mirroring sgx_rijndael128_cmac_msg.
+#ifndef SHIELDSTORE_SRC_CRYPTO_CMAC_H_
+#define SHIELDSTORE_SRC_CRYPTO_CMAC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/crypto/aes.h"
+
+namespace shield::crypto {
+
+inline constexpr size_t kCmacSize = 16;
+using Mac = std::array<uint8_t, kCmacSize>;
+
+// Streaming CMAC for multi-part messages (MAC-hash over bucket-set MAC lists
+// is computed incrementally without concatenating buffers).
+class Cmac {
+ public:
+  // key must be exactly 16 bytes.
+  explicit Cmac(ByteSpan key);
+
+  // Re-arms the state for a new message without re-deriving subkeys.
+  void Reset();
+
+  void Update(ByteSpan data);
+
+  // Finalizes and returns the 128-bit tag. The object must be Reset() before
+  // reuse.
+  Mac Finalize();
+
+ private:
+  Aes128 aes_;
+  AesBlock k1_;
+  AesBlock k2_;
+  AesBlock state_;    // running CBC-MAC state
+  AesBlock partial_;  // buffered tail block (1..16 bytes once any data seen)
+  size_t partial_len_ = 0;
+  bool any_data_ = false;
+};
+
+// One-shot CMAC of a single buffer.
+Mac CmacSign(ByteSpan key, ByteSpan data);
+
+// Verifies in constant time.
+bool CmacVerify(ByteSpan key, ByteSpan data, ByteSpan tag);
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_CMAC_H_

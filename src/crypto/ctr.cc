@@ -1,0 +1,48 @@
+#include "src/crypto/ctr.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace shield::crypto {
+
+void IncrementCounter(uint8_t counter[kAesBlockSize], uint32_t bits, uint64_t amount) {
+  // Byte-aligned windows only: the SGX SDK uses 32-bit increments and the
+  // entry codec uses 64/128-bit ones.
+  assert(bits >= 8 && bits <= 128 && bits % 8 == 0);
+  // Add `amount` into the trailing `bits` bits, big-endian, wrapping inside
+  // that window (matching the SGX SDK's increment semantics).
+  const uint32_t bytes = bits / 8;
+  uint64_t carry = amount;
+  for (uint32_t i = 0; i < bytes && carry != 0; ++i) {
+    uint8_t* p = counter + (kAesBlockSize - 1 - i);
+    const uint64_t sum = static_cast<uint64_t>(*p) + (carry & 0xFF);
+    *p = static_cast<uint8_t>(sum);
+    carry = (carry >> 8) + (sum >> 8);
+  }
+}
+
+void AesCtrTransform(const Aes128& aes, const uint8_t counter[kAesBlockSize],
+                     uint32_t ctr_inc_bits, ByteSpan in, MutableByteSpan out) {
+  assert(in.size() == out.size());
+  uint8_t ctr[kAesBlockSize];
+  std::memcpy(ctr, counter, kAesBlockSize);
+  uint8_t keystream[kAesBlockSize];
+  size_t offset = 0;
+  while (offset < in.size()) {
+    aes.EncryptBlock(ctr, keystream);
+    const size_t n = std::min(in.size() - offset, kAesBlockSize);
+    for (size_t i = 0; i < n; ++i) {
+      out[offset + i] = static_cast<uint8_t>(in[offset + i] ^ keystream[i]);
+    }
+    IncrementCounter(ctr, ctr_inc_bits, 1);
+    offset += n;
+  }
+}
+
+void AesCtrTransform(ByteSpan key, const uint8_t counter[kAesBlockSize], uint32_t ctr_inc_bits,
+                     ByteSpan in, MutableByteSpan out) {
+  Aes128 aes(key);
+  AesCtrTransform(aes, counter, ctr_inc_bits, in, out);
+}
+
+}  // namespace shield::crypto

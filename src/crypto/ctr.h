@@ -1,0 +1,33 @@
+// AES-128 counter-mode encryption, mirroring sgx_aes_ctr_encrypt semantics:
+// the caller supplies a 128-bit IV/counter block and the number of counter
+// bits that increment per cipher block (the SGX SDK uses 32).
+#ifndef SHIELDSTORE_SRC_CRYPTO_CTR_H_
+#define SHIELDSTORE_SRC_CRYPTO_CTR_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/crypto/aes.h"
+
+namespace shield::crypto {
+
+// Encrypts (== decrypts) `in` into `out` with AES-128-CTR.
+//
+// `counter` is the initial 128-bit counter block (big-endian increment over
+// its trailing `ctr_inc_bits` bits, as in the SGX SDK). The counter argument
+// is not modified; callers manage IV/counter evolution across messages
+// themselves (see kv::Entry).
+// in and out may alias exactly; sizes must match.
+void AesCtrTransform(const Aes128& aes, const uint8_t counter[kAesBlockSize],
+                     uint32_t ctr_inc_bits, ByteSpan in, MutableByteSpan out);
+
+// Convenience wrapper constructing the cipher from a raw 16-byte key.
+void AesCtrTransform(ByteSpan key, const uint8_t counter[kAesBlockSize], uint32_t ctr_inc_bits,
+                     ByteSpan in, MutableByteSpan out);
+
+// Increments the trailing `bits` of a big-endian counter block by `amount`.
+void IncrementCounter(uint8_t counter[kAesBlockSize], uint32_t bits, uint64_t amount);
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_CTR_H_

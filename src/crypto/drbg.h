@@ -1,0 +1,44 @@
+// ChaCha20-based deterministic random bit generator.
+//
+// Backs the sgx_read_rand shim. Each Drbg instance is seeded once (from the
+// OS or from a caller-provided seed for reproducible tests) and then produces
+// an unlimited keystream with periodic rekeying (fast-key-erasure style).
+#ifndef SHIELDSTORE_SRC_CRYPTO_DRBG_H_
+#define SHIELDSTORE_SRC_CRYPTO_DRBG_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace shield::crypto {
+
+// Raw ChaCha20 block function (RFC 8439): fills out[64] from a 32-byte key,
+// a 12-byte nonce, and a 32-bit block counter. Exposed for tests.
+void ChaCha20Block(const uint8_t key[32], const uint8_t nonce[12], uint32_t counter,
+                   uint8_t out[64]);
+
+class Drbg {
+ public:
+  // Seeds from the operating system (getrandom / /dev/urandom).
+  Drbg();
+
+  // Seeds deterministically; for tests and reproducible simulations.
+  explicit Drbg(ByteSpan seed);
+
+  void Fill(MutableByteSpan out);
+
+  uint64_t NextUint64();
+
+ private:
+  void Refill();
+
+  std::array<uint8_t, 32> key_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_pos_ = sizeof(buffer_);
+  uint64_t block_counter_ = 0;
+};
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_DRBG_H_

@@ -1,0 +1,61 @@
+#include "src/crypto/hmac.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace shield::crypto {
+
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan data) {
+  uint8_t key_block[kSha256BlockSize] = {};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest hashed = Sha256Hash(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+  uint8_t ipad[kSha256BlockSize];
+  uint8_t opad[kSha256BlockSize];
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = static_cast<uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(key_block[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.Update(ByteSpan(ipad, sizeof(ipad)));
+  inner.Update(data);
+  const Sha256Digest inner_digest = inner.Finalize();
+  Sha256 outer;
+  outer.Update(ByteSpan(opad, sizeof(opad)));
+  outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.Finalize();
+}
+
+Sha256Digest HkdfExtract(ByteSpan salt, ByteSpan ikm) {
+  return HmacSha256(salt, ikm);
+}
+
+Bytes HkdfExpand(ByteSpan prk, ByteSpan info, size_t length) {
+  assert(length <= 255 * kSha256Size);
+  Bytes okm;
+  okm.reserve(length);
+  Sha256Digest t{};
+  size_t t_len = 0;
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block;
+    block.insert(block.end(), t.begin(), t.begin() + t_len);
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    t_len = t.size();
+    const size_t n = std::min(length - okm.size(), t.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + n);
+  }
+  return okm;
+}
+
+Bytes Hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t length) {
+  const Sha256Digest prk = HkdfExtract(salt, ikm);
+  return HkdfExpand(ByteSpan(prk.data(), prk.size()), info, length);
+}
+
+}  // namespace shield::crypto

@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869): session key derivation for the
+// attestation handshake and the sealing key hierarchy.
+#ifndef SHIELDSTORE_SRC_CRYPTO_HMAC_H_
+#define SHIELDSTORE_SRC_CRYPTO_HMAC_H_
+
+#include "src/common/bytes.h"
+#include "src/crypto/sha256.h"
+
+namespace shield::crypto {
+
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan data);
+
+// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest HkdfExtract(ByteSpan salt, ByteSpan ikm);
+
+// HKDF-Expand: derives `length` bytes (length <= 255*32) bound to `info`.
+Bytes HkdfExpand(ByteSpan prk, ByteSpan info, size_t length);
+
+// Extract-then-expand convenience.
+Bytes Hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t length);
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_HMAC_H_

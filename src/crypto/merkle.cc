@@ -1,0 +1,76 @@
+#include "src/crypto/merkle.h"
+
+#include <cassert>
+
+namespace shield::crypto {
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(size_t leaf_count)
+    : leaf_count_(NextPowerOfTwo(std::max<size_t>(leaf_count, 1))) {
+  height_ = 0;
+  for (size_t n = leaf_count_; n > 1; n >>= 1) {
+    ++height_;
+  }
+  nodes_.assign(2 * leaf_count_, Sha256Digest{});
+  // Build interior nodes over the all-zero leaves.
+  for (size_t i = leaf_count_ - 1; i >= 1; --i) {
+    nodes_[i] = HashPair(nodes_[2 * i], nodes_[2 * i + 1]);
+  }
+}
+
+Sha256Digest MerkleTree::HashPair(const Sha256Digest& left, const Sha256Digest& right) {
+  Sha256 sha;
+  sha.Update(ByteSpan(left.data(), left.size()));
+  sha.Update(ByteSpan(right.data(), right.size()));
+  return sha.Finalize();
+}
+
+void MerkleTree::UpdateLeaf(size_t index, const Sha256Digest& value) {
+  assert(index < leaf_count_);
+  size_t node = leaf_count_ + index;
+  nodes_[node] = value;
+  for (node >>= 1; node >= 1; node >>= 1) {
+    nodes_[node] = HashPair(nodes_[2 * node], nodes_[2 * node + 1]);
+  }
+}
+
+const Sha256Digest& MerkleTree::Leaf(size_t index) const {
+  assert(index < leaf_count_);
+  return nodes_[leaf_count_ + index];
+}
+
+std::vector<Sha256Digest> MerkleTree::Prove(size_t index) const {
+  assert(index < leaf_count_);
+  std::vector<Sha256Digest> proof;
+  proof.reserve(height_);
+  for (size_t node = leaf_count_ + index; node > 1; node >>= 1) {
+    proof.push_back(nodes_[node ^ 1]);
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Sha256Digest& root, size_t index, const Sha256Digest& leaf,
+                        const std::vector<Sha256Digest>& proof) {
+  Sha256Digest acc = leaf;
+  for (const Sha256Digest& sibling : proof) {
+    if (index & 1) {
+      acc = HashPair(sibling, acc);
+    } else {
+      acc = HashPair(acc, sibling);
+    }
+    index >>= 1;
+  }
+  return ConstantTimeEqual(ByteSpan(acc.data(), acc.size()), ByteSpan(root.data(), root.size()));
+}
+
+}  // namespace shield::crypto

@@ -1,0 +1,56 @@
+// Binary Merkle tree over SHA-256.
+//
+// ShieldStore itself uses the *flattened* one-level scheme of §4.3
+// (src/shieldstore/mac_tree.h); this full tree is the reference design the
+// paper derives from. It is used by tests to cross-check the flattened
+// scheme's guarantees and by benchmarks to quantify why the paper flattens
+// the tree (root-update cost grows with tree height).
+#ifndef SHIELDSTORE_SRC_CRYPTO_MERKLE_H_
+#define SHIELDSTORE_SRC_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/sha256.h"
+
+namespace shield::crypto {
+
+// Fixed-arity (binary) Merkle tree with a power-of-two leaf count. Leaves are
+// 32-byte values supplied by the caller; interior nodes are
+// SHA-256(left || right). Updates recompute the root in O(log n).
+class MerkleTree {
+ public:
+  // leaf_count is rounded up to the next power of two; extra leaves are zero.
+  explicit MerkleTree(size_t leaf_count);
+
+  size_t leaf_count() const { return leaf_count_; }
+  size_t height() const { return height_; }
+
+  const Sha256Digest& Root() const { return nodes_[1]; }
+
+  // Sets leaf `index` and recomputes the path to the root.
+  void UpdateLeaf(size_t index, const Sha256Digest& value);
+
+  const Sha256Digest& Leaf(size_t index) const;
+
+  // Inclusion proof: sibling hashes from the leaf to the root.
+  std::vector<Sha256Digest> Prove(size_t index) const;
+
+  // Verifies an inclusion proof against a root.
+  static bool Verify(const Sha256Digest& root, size_t index, const Sha256Digest& leaf,
+                     const std::vector<Sha256Digest>& proof);
+
+ private:
+  static Sha256Digest HashPair(const Sha256Digest& left, const Sha256Digest& right);
+
+  size_t leaf_count_;  // padded, power of two
+  size_t height_;      // edges from leaf to root
+  // 1-indexed heap layout: nodes_[1] is the root, leaves start at leaf_count_.
+  std::vector<Sha256Digest> nodes_;
+};
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_MERKLE_H_

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), used by sealing, attestation measurements, HMAC/HKDF
+// and the reference Merkle tree.
+#ifndef SHIELDSTORE_SRC_CRYPTO_SHA256_H_
+#define SHIELDSTORE_SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace shield::crypto {
+
+inline constexpr size_t kSha256Size = 32;
+inline constexpr size_t kSha256BlockSize = 64;
+using Sha256Digest = std::array<uint8_t, kSha256Size>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(ByteSpan data);
+  Sha256Digest Finalize();
+
+ private:
+  void ProcessBlock(const uint8_t block[kSha256BlockSize]);
+
+  uint32_t h_[8];
+  uint8_t buffer_[kSha256BlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+Sha256Digest Sha256Hash(ByteSpan data);
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,64 @@
+#include "src/crypto/siphash.h"
+
+namespace shield::crypto {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline void SipRound(uint64_t& v0, uint64_t& v1, uint64_t& v2, uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl(v0, 32);
+  v2 += v3;
+  v3 = Rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl(v2, 32);
+}
+
+}  // namespace
+
+uint64_t SipHash24(const SipHashKey& key, ByteSpan data) {
+  const uint64_t k0 = LoadLe64(key.data());
+  const uint64_t k1 = LoadLe64(key.data() + 8);
+  uint64_t v0 = k0 ^ 0x736f6d6570736575ULL;
+  uint64_t v1 = k1 ^ 0x646f72616e646f6dULL;
+  uint64_t v2 = k0 ^ 0x6c7967656e657261ULL;
+  uint64_t v3 = k1 ^ 0x7465646279746573ULL;
+
+  const size_t full_blocks = data.size() / 8;
+  for (size_t i = 0; i < full_blocks; ++i) {
+    const uint64_t m = LoadLe64(data.data() + 8 * i);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  uint64_t last = static_cast<uint64_t>(data.size() & 0xFF) << 56;
+  const size_t tail = data.size() % 8;
+  for (size_t i = 0; i < tail; ++i) {
+    last |= static_cast<uint64_t>(data[8 * full_blocks + i]) << (8 * i);
+  }
+  v3 ^= last;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xFF;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace shield::crypto

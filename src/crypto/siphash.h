@@ -1,0 +1,21 @@
+// SipHash-2-4: the keyed hash used for the hash-table index and the 1-byte
+// key hint (§4.2, §5.4 of the paper — a keyed hash keeps the per-bucket key
+// distribution secret from an observer of the untrusted chains).
+#ifndef SHIELDSTORE_SRC_CRYPTO_SIPHASH_H_
+#define SHIELDSTORE_SRC_CRYPTO_SIPHASH_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace shield::crypto {
+
+using SipHashKey = std::array<uint8_t, 16>;
+
+// 64-bit SipHash-2-4 of `data` under a 128-bit key.
+uint64_t SipHash24(const SipHashKey& key, ByteSpan data);
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_SIPHASH_H_

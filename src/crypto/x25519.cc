@@ -1,0 +1,162 @@
+#include "src/crypto/x25519.h"
+
+#include <cstring>
+
+namespace shield::crypto {
+namespace {
+
+// Field element: 16 signed 64-bit limbs of 16 bits each, TweetNaCl layout.
+using Fe = int64_t[16];
+
+constexpr int64_t kA24[16] = {0xDB41, 1};  // (486662 - 2) / 4
+
+void Carry(Fe o) {
+  for (int i = 0; i < 16; ++i) {
+    const int64_t c = o[i] >> 16;
+    o[i] -= c << 16;
+    if (i < 15) {
+      o[i + 1] += c;
+    } else {
+      o[0] += 38 * c;
+    }
+  }
+}
+
+void Select(Fe p, Fe q, int64_t bit) {
+  const int64_t mask = ~(bit - 1);
+  for (int i = 0; i < 16; ++i) {
+    const int64_t t = mask & (p[i] ^ q[i]);
+    p[i] ^= t;
+    q[i] ^= t;
+  }
+}
+
+void Pack(uint8_t out[32], const Fe n) {
+  Fe t;
+  std::memcpy(t, n, sizeof(Fe));
+  Carry(t);
+  Carry(t);
+  Carry(t);
+  for (int pass = 0; pass < 2; ++pass) {
+    Fe m;
+    m[0] = t[0] - 0xFFED;
+    for (int i = 1; i < 15; ++i) {
+      m[i] = t[i] - 0xFFFF - ((m[i - 1] >> 16) & 1);
+      m[i - 1] &= 0xFFFF;
+    }
+    m[15] = t[15] - 0x7FFF - ((m[14] >> 16) & 1);
+    const int64_t borrow = (m[15] >> 16) & 1;
+    m[14] &= 0xFFFF;
+    Select(t, m, 1 - borrow);
+  }
+  for (int i = 0; i < 16; ++i) {
+    out[2 * i] = static_cast<uint8_t>(t[i] & 0xFF);
+    out[2 * i + 1] = static_cast<uint8_t>(t[i] >> 8);
+  }
+}
+
+void Unpack(Fe out, const uint8_t in[32]) {
+  for (int i = 0; i < 16; ++i) {
+    out[i] = static_cast<int64_t>(in[2 * i]) + (static_cast<int64_t>(in[2 * i + 1]) << 8);
+  }
+  out[15] &= 0x7FFF;
+}
+
+void Add(Fe o, const Fe a, const Fe b) {
+  for (int i = 0; i < 16; ++i) {
+    o[i] = a[i] + b[i];
+  }
+}
+
+void Sub(Fe o, const Fe a, const Fe b) {
+  for (int i = 0; i < 16; ++i) {
+    o[i] = a[i] - b[i];
+  }
+}
+
+void Mul(Fe o, const Fe a, const Fe b) {
+  int64_t t[31] = {};
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      t[i + j] += a[i] * b[j];
+    }
+  }
+  for (int i = 0; i < 15; ++i) {
+    t[i] += 38 * t[i + 16];
+  }
+  std::memcpy(o, t, 16 * sizeof(int64_t));
+  Carry(o);
+  Carry(o);
+}
+
+void Square(Fe o, const Fe a) {
+  Mul(o, a, a);
+}
+
+void Invert(Fe o, const Fe in) {
+  Fe c;
+  std::memcpy(c, in, sizeof(Fe));
+  // c = in^(p-2), p-2 = 2^255 - 21.
+  for (int i = 253; i >= 0; --i) {
+    Square(c, c);
+    if (i != 2 && i != 4) {
+      Mul(c, c, in);
+    }
+  }
+  std::memcpy(o, c, sizeof(Fe));
+}
+
+}  // namespace
+
+X25519Key X25519(const X25519Key& scalar, const X25519Key& point) {
+  uint8_t clamped[32];
+  std::memcpy(clamped, scalar.data(), 32);
+  clamped[0] &= 0xF8;
+  clamped[31] = static_cast<uint8_t>((clamped[31] & 0x7F) | 0x40);
+
+  Fe x;
+  Unpack(x, point.data());
+
+  Fe a = {1}, b, c = {}, d = {1}, e, f;
+  std::memcpy(b, x, sizeof(Fe));
+
+  for (int i = 254; i >= 0; --i) {
+    const int64_t bit = (clamped[i >> 3] >> (i & 7)) & 1;
+    Select(a, b, bit);
+    Select(c, d, bit);
+    Add(e, a, c);
+    Sub(a, a, c);
+    Add(c, b, d);
+    Sub(b, b, d);
+    Square(d, e);
+    Square(f, a);
+    Mul(a, c, a);
+    Mul(c, b, e);
+    Add(e, a, c);
+    Sub(a, a, c);
+    Square(b, a);
+    Sub(c, d, f);
+    Mul(a, c, kA24);
+    Add(a, a, d);
+    Mul(c, c, a);
+    Mul(a, d, f);
+    Mul(d, b, x);
+    Square(b, e);
+    Select(a, b, bit);
+    Select(c, d, bit);
+  }
+  Fe inv_c;
+  Invert(inv_c, c);
+  Mul(a, a, inv_c);
+  X25519Key out;
+  Pack(out.data(), a);
+  return out;
+}
+
+X25519Key X25519BasePoint(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return X25519(scalar, base);
+}
+
+}  // namespace shield::crypto

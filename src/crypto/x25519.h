@@ -1,0 +1,25 @@
+// X25519 Diffie-Hellman (RFC 7748), used by the attestation handshake to
+// establish client/server session keys. Ported in the compact TweetNaCl
+// style (16 x 64-bit limbs holding 16-bit digits).
+#ifndef SHIELDSTORE_SRC_CRYPTO_X25519_H_
+#define SHIELDSTORE_SRC_CRYPTO_X25519_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace shield::crypto {
+
+inline constexpr size_t kX25519KeySize = 32;
+using X25519Key = std::array<uint8_t, kX25519KeySize>;
+
+// out = scalar * point (u-coordinate scalar multiplication).
+X25519Key X25519(const X25519Key& scalar, const X25519Key& point);
+
+// out = scalar * 9 (the curve base point).
+X25519Key X25519BasePoint(const X25519Key& scalar);
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_X25519_H_

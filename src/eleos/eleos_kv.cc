@@ -1,0 +1,137 @@
+#include "src/eleos/eleos_kv.h"
+
+#include <cstring>
+
+namespace shield::eleos {
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : s) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+EleosStore::EleosStore(sgx::Enclave& enclave, const SuvmConfig& suvm_config, size_t num_buckets)
+    : enclave_(enclave),
+      suvm_(enclave, suvm_config),
+      bucket_heads_(std::max<size_t>(num_buckets, 1), kNullSPtr) {}
+
+size_t EleosStore::BucketOf(std::string_view key) const {
+  return Fnv1a(key) % bucket_heads_.size();
+}
+
+SPtr EleosStore::Find(size_t bucket, std::string_view key, SPtr* prev_out,
+                      NodeHeader* header_out) {
+  SPtr prev = kNullSPtr;
+  SPtr node = bucket_heads_[bucket];
+  std::string node_key;
+  while (node != kNullSPtr) {
+    NodeHeader header;
+    suvm_.Read(node, &header, sizeof(header));
+    if (header.key_size == key.size()) {
+      node_key.resize(header.key_size);
+      suvm_.Read(node + sizeof(NodeHeader), node_key.data(), header.key_size);
+      if (node_key == key) {
+        if (prev_out != nullptr) {
+          *prev_out = prev;
+        }
+        if (header_out != nullptr) {
+          *header_out = header;
+        }
+        return node;
+      }
+    }
+    prev = node;
+    node = header.next;
+  }
+  return kNullSPtr;
+}
+
+Status EleosStore::Set(std::string_view key, std::string_view value) {
+  stats_.sets++;
+  const size_t bucket = BucketOf(key);
+  NodeHeader header;
+  SPtr prev = kNullSPtr;
+  SPtr node = Find(bucket, key, &prev, &header);
+  if (node != kNullSPtr && header.val_size >= value.size()) {
+    header.val_size = static_cast<uint32_t>(value.size());
+    suvm_.Write(node, &header, sizeof(header));
+    suvm_.Write(node + sizeof(NodeHeader) + key.size(), value.data(), value.size());
+    return Status::Ok();
+  }
+  const size_t needed = sizeof(NodeHeader) + key.size() + value.size();
+  SPtr fresh = suvm_.Allocate(needed);
+  if (fresh == kNullSPtr) {
+    // The memsys5 pool ceiling (2 GB/pool) — Figure 17's hard stop.
+    return Status(Code::kCapacityExceeded, "SUVM backing pools exhausted");
+  }
+  NodeHeader fresh_header;
+  fresh_header.key_size = static_cast<uint32_t>(key.size());
+  fresh_header.val_size = static_cast<uint32_t>(value.size());
+  if (node != kNullSPtr) {
+    fresh_header.next = header.next;
+  } else {
+    fresh_header.next = bucket_heads_[bucket];
+  }
+  suvm_.Write(fresh, &fresh_header, sizeof(fresh_header));
+  suvm_.Write(fresh + sizeof(NodeHeader), key.data(), key.size());
+  suvm_.Write(fresh + sizeof(NodeHeader) + key.size(), value.data(), value.size());
+  if (node != kNullSPtr) {
+    // Unlink the undersized node.
+    if (prev != kNullSPtr) {
+      NodeHeader prev_header;
+      suvm_.Read(prev, &prev_header, sizeof(prev_header));
+      prev_header.next = fresh;
+      suvm_.Write(prev, &prev_header, sizeof(prev_header));
+    } else {
+      bucket_heads_[bucket] = fresh;
+    }
+    suvm_.Free(node);
+  } else {
+    bucket_heads_[bucket] = fresh;
+    ++entry_count_;
+  }
+  return Status::Ok();
+}
+
+Result<std::string> EleosStore::Get(std::string_view key) {
+  stats_.gets++;
+  NodeHeader header;
+  SPtr node = Find(BucketOf(key), key, nullptr, &header);
+  if (node == kNullSPtr) {
+    stats_.misses++;
+    return Status(Code::kNotFound, "no such key");
+  }
+  stats_.hits++;
+  std::string value(header.val_size, '\0');
+  suvm_.Read(node + sizeof(NodeHeader) + header.key_size, value.data(), header.val_size);
+  return value;
+}
+
+Status EleosStore::Delete(std::string_view key) {
+  stats_.deletes++;
+  const size_t bucket = BucketOf(key);
+  NodeHeader header;
+  SPtr prev = kNullSPtr;
+  SPtr node = Find(bucket, key, &prev, &header);
+  if (node == kNullSPtr) {
+    return Status(Code::kNotFound, "no such key");
+  }
+  if (prev != kNullSPtr) {
+    NodeHeader prev_header;
+    suvm_.Read(prev, &prev_header, sizeof(prev_header));
+    prev_header.next = header.next;
+    suvm_.Write(prev, &prev_header, sizeof(prev_header));
+  } else {
+    bucket_heads_[bucket] = header.next;
+  }
+  suvm_.Free(node);
+  --entry_count_;
+  return Status::Ok();
+}
+
+}  // namespace shield::eleos

@@ -1,0 +1,51 @@
+// The baseline key-value store ported to Eleos (§6.3): the same chained
+// hash table as src/baseline, but with every node placed in SUVM space and
+// accessed through the exit-less paging layer.
+#ifndef SHIELDSTORE_SRC_ELEOS_ELEOS_KV_H_
+#define SHIELDSTORE_SRC_ELEOS_ELEOS_KV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/eleos/suvm.h"
+#include "src/kv/interface.h"
+
+namespace shield::eleos {
+
+class EleosStore : public kv::KeyValueStore {
+ public:
+  EleosStore(sgx::Enclave& enclave, const SuvmConfig& suvm_config, size_t num_buckets);
+
+  Status Set(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  size_t Size() const override { return entry_count_; }
+  std::string Name() const override { return "Baseline+Eleos"; }
+  kv::StoreStats stats() const override { return stats_; }
+
+  const Suvm& suvm() const { return suvm_; }
+
+ private:
+  // Node layout inside SUVM space:
+  // [next: SPtr][key_size: u32][val_size: u32][key bytes][value bytes].
+  struct NodeHeader {
+    SPtr next;
+    uint32_t key_size;
+    uint32_t val_size;
+  };
+
+  size_t BucketOf(std::string_view key) const;
+  // Returns the node and its predecessor (kNullSPtr if none / head).
+  SPtr Find(size_t bucket, std::string_view key, SPtr* prev_out, NodeHeader* header_out);
+
+  sgx::Enclave& enclave_;
+  Suvm suvm_;
+  std::vector<SPtr> bucket_heads_;  // enclave-side index
+  size_t entry_count_ = 0;
+  kv::StoreStats stats_;
+};
+
+}  // namespace shield::eleos
+
+#endif  // SHIELDSTORE_SRC_ELEOS_ELEOS_KV_H_

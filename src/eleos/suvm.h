@@ -1,0 +1,102 @@
+// SUVM: secure user-space virtual memory, after Eleos [Orenbach et al.,
+// EuroSys'17] — the comparison system of §6.3.
+//
+// Objects live in a "backing store" of untrusted memory that only ever holds
+// ENCRYPTED page images; a page cache of decrypted frames lives in enclave
+// (EPC-backed) memory. Faults are exit-less: a miss decrypts the page into a
+// frame (evicting + re-encrypting a dirty victim) without crossing the
+// enclave boundary. Granularity is the page (4 KB default, 1 KB sub-pages
+// supported) — the coarse-grained design whose mismatch with small values
+// Figure 16 demonstrates.
+//
+// The backing store is allocated from memsys5 pools capped at 2 GB each
+// (Eleos inherits SQLite's memsys5), bounded by max_pools — the hard data-set
+// ceiling visible in Figure 17.
+#ifndef SHIELDSTORE_SRC_ELEOS_SUVM_H_
+#define SHIELDSTORE_SRC_ELEOS_SUVM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alloc/memsys5.h"
+#include "src/crypto/aes.h"
+#include "src/sgx/enclave.h"
+
+namespace shield::eleos {
+
+// Handle into SUVM space. Implemented as the backing-store address; user
+// code must only dereference through Read/Write.
+using SPtr = uintptr_t;
+inline constexpr SPtr kNullSPtr = 0;
+
+struct SuvmConfig {
+  size_t page_bytes = 4096;           // 4 KB default; Eleos also supports 1 KB
+  size_t cache_bytes = 64u << 20;     // decrypted frames, enclave memory
+  size_t pool_bytes = size_t{2} << 30;  // memsys5 pool size (max 2 GB)
+  size_t max_pools = 1;
+  bool integrity = true;              // MAC pages on evict, verify on load
+};
+
+struct SuvmStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t page_faults = 0;     // cache misses (decrypt)
+  uint64_t writebacks = 0;      // dirty evictions (encrypt)
+};
+
+class Suvm {
+ public:
+  Suvm(sgx::Enclave& enclave, const SuvmConfig& config);
+  ~Suvm();
+
+  Suvm(const Suvm&) = delete;
+  Suvm& operator=(const Suvm&) = delete;
+
+  // Allocates `bytes` of secure virtual memory; kNullSPtr when the pools are
+  // exhausted (the 2 GB-per-pool ceiling).
+  SPtr Allocate(size_t bytes);
+  void Free(SPtr ptr);
+
+  // Copies len bytes out of / into SUVM space, faulting pages through the
+  // in-enclave cache. May span pages.
+  void Read(SPtr ptr, void* out, size_t len);
+  void Write(SPtr ptr, const void* src, size_t len);
+
+  const SuvmConfig& config() const { return config_; }
+  SuvmStats stats() const { return stats_; }
+  size_t backing_bytes() const { return pools_.total_bytes(); }
+
+ private:
+  struct Frame {  // frame table entry (enclave-side metadata)
+    uint64_t page_id = 0;  // backing address / page_bytes
+    bool valid = false;
+    bool dirty = false;
+    bool referenced = false;
+  };
+
+  // Returns the frame index holding `page_id`, faulting it in as needed.
+  size_t EnsureCached(uint64_t page_id);
+  void WriteBack(size_t frame_index);
+  uint8_t* FrameData(size_t frame_index) {
+    return frames_data_ + frame_index * config_.page_bytes;
+  }
+
+  sgx::Enclave& enclave_;
+  SuvmConfig config_;
+  alloc::PoolSet pools_;            // untrusted backing store (ciphertext)
+  crypto::Aes128 page_aes_;
+
+  size_t num_frames_;
+  uint8_t* frames_data_;            // enclave memory: decrypted pages
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, size_t> page_to_frame_;
+  std::unordered_map<uint64_t, crypto::AesBlock> page_macs_;  // trusted MACs
+  size_t clock_hand_ = 0;
+  SuvmStats stats_;
+};
+
+}  // namespace shield::eleos
+
+#endif  // SHIELDSTORE_SRC_ELEOS_SUVM_H_

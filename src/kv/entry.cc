@@ -1,0 +1,134 @@
+#include "src/kv/entry.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/crypto/ctr.h"
+#include "src/crypto/hmac.h"
+
+namespace shield::kv {
+namespace {
+
+// The SGX SDK's counter-mode increment window (sgx_aes_ctr_encrypt).
+constexpr uint32_t kCtrIncBits = 32;
+
+void EncryptPayload(const StoreKeys& keys, std::string_view key, std::string_view value,
+                    EntryHeader* header) {
+  uint8_t* ct = header->Ciphertext();
+  // key || value, encrypted as one CTR stream.
+  crypto::Aes128 aes(ByteSpan(keys.enc_key.data(), keys.enc_key.size()));
+  std::memcpy(ct, key.data(), key.size());
+  std::memcpy(ct + key.size(), value.data(), value.size());
+  crypto::AesCtrTransform(aes, header->iv_ctr, kCtrIncBits,
+                          ByteSpan(ct, key.size() + value.size()),
+                          MutableByteSpan(ct, key.size() + value.size()));
+}
+
+}  // namespace
+
+StoreKeys StoreKeys::Derive(ByteSpan master) {
+  StoreKeys keys;
+  const Bytes okm = crypto::Hkdf(AsBytes("shieldstore-keys-v1"), master,
+                                 AsBytes("enc|mac|index|hint"), 64);
+  std::memcpy(keys.enc_key.data(), okm.data(), 16);
+  std::memcpy(keys.mac_key.data(), okm.data() + 16, 16);
+  std::memcpy(keys.index_key.data(), okm.data() + 32, 16);
+  std::memcpy(keys.hint_key.data(), okm.data() + 48, 16);
+  return keys;
+}
+
+uint8_t KeyHint(const StoreKeys& keys, std::string_view key) {
+  return static_cast<uint8_t>(crypto::SipHash24(keys.hint_key, AsBytes(key)) & 0xFF);
+}
+
+uint64_t BucketHash(const StoreKeys& keys, std::string_view key) {
+  return crypto::SipHash24(keys.index_key, AsBytes(key));
+}
+
+void SealNewEntry(const StoreKeys& keys, std::string_view key, std::string_view value,
+                  uint8_t flags, ByteSpan fresh_iv, EntryHeader* header) {
+  assert(fresh_iv.size() == 16);
+  header->key_size = static_cast<uint32_t>(key.size());
+  header->val_size = static_cast<uint32_t>(value.size());
+  header->key_hint = KeyHint(keys, key);
+  header->flags = flags;
+  std::memset(header->reserved, 0, sizeof(header->reserved));
+  std::memcpy(header->iv_ctr, fresh_iv.data(), 16);
+  EncryptPayload(keys, key, value, header);
+  const crypto::Mac mac = ComputeEntryMac(keys, *header);
+  std::memcpy(header->mac, mac.data(), mac.size());
+}
+
+void ResealEntry(const StoreKeys& keys, std::string_view key, std::string_view value,
+                 uint8_t flags, EntryHeader* header) {
+  // Increment the upper 64-bit half of the IV/counter: successive versions
+  // use disjoint counter windows, so CTR keystreams never repeat even though
+  // the in-stream counter (low 32 bits) restarts at the stored value.
+  for (int i = 7; i >= 0; --i) {
+    if (++header->iv_ctr[i] != 0) {
+      break;
+    }
+  }
+  header->key_size = static_cast<uint32_t>(key.size());
+  header->val_size = static_cast<uint32_t>(value.size());
+  header->key_hint = KeyHint(keys, key);
+  header->flags = flags;
+  EncryptPayload(keys, key, value, header);
+  const crypto::Mac mac = ComputeEntryMac(keys, *header);
+  std::memcpy(header->mac, mac.data(), mac.size());
+}
+
+crypto::Mac ComputeEntryMac(const StoreKeys& keys, const EntryHeader& header) {
+  // MAC over: ciphertext || key_size || val_size || key_hint || flags ||
+  // iv_ctr (§4.2's field list plus the flags byte, which must be
+  // authenticated because it encodes tombstones). The chain pointer is
+  // intentionally excluded: placement integrity comes from the bucket-set
+  // MAC hash.
+  crypto::Cmac cmac(ByteSpan(keys.mac_key.data(), keys.mac_key.size()));
+  cmac.Update(ByteSpan(header.Ciphertext(), header.CiphertextSize()));
+  uint8_t fields[10];
+  StoreLe32(fields, header.key_size);
+  StoreLe32(fields + 4, header.val_size);
+  fields[8] = header.key_hint;
+  fields[9] = header.flags;
+  cmac.Update(ByteSpan(fields, sizeof(fields)));
+  cmac.Update(ByteSpan(header.iv_ctr, 16));
+  return cmac.Finalize();
+}
+
+bool EntryKeyEquals(const StoreKeys& keys, const EntryHeader& header, std::string_view key) {
+  if (header.key_size != key.size()) {
+    return false;
+  }
+  // CTR lets us decrypt just the key prefix of the stream.
+  std::string plain_key(header.key_size, '\0');
+  crypto::AesCtrTransform(ByteSpan(keys.enc_key.data(), keys.enc_key.size()), header.iv_ctr,
+                          kCtrIncBits, ByteSpan(header.Ciphertext(), header.key_size),
+                          MutableByteSpan(reinterpret_cast<uint8_t*>(plain_key.data()),
+                                          plain_key.size()));
+  return plain_key == key;
+}
+
+Result<std::string> OpenEntryValue(const StoreKeys& keys, const EntryHeader& header) {
+  const crypto::Mac mac = ComputeEntryMac(keys, header);
+  if (!ConstantTimeEqual(ByteSpan(mac.data(), mac.size()), ByteSpan(header.mac, 16))) {
+    return Status(Code::kIntegrityFailure, "entry MAC mismatch");
+  }
+  std::string plaintext(header.CiphertextSize(), '\0');
+  crypto::AesCtrTransform(ByteSpan(keys.enc_key.data(), keys.enc_key.size()), header.iv_ctr,
+                          kCtrIncBits, ByteSpan(header.Ciphertext(), header.CiphertextSize()),
+                          MutableByteSpan(reinterpret_cast<uint8_t*>(plaintext.data()),
+                                          plaintext.size()));
+  return plaintext.substr(header.key_size);
+}
+
+std::string OpenEntryKey(const StoreKeys& keys, const EntryHeader& header) {
+  std::string plain_key(header.key_size, '\0');
+  crypto::AesCtrTransform(ByteSpan(keys.enc_key.data(), keys.enc_key.size()), header.iv_ctr,
+                          kCtrIncBits, ByteSpan(header.Ciphertext(), header.key_size),
+                          MutableByteSpan(reinterpret_cast<uint8_t*>(plain_key.data()),
+                                          plain_key.size()));
+  return plain_key;
+}
+
+}  // namespace shield::kv

@@ -1,0 +1,47 @@
+#include "src/kv/interface.h"
+
+#include <charconv>
+
+namespace shield::kv {
+
+Status KeyValueStore::Append(std::string_view key, std::string_view suffix) {
+  Result<std::string> current = Get(key);
+  if (!current.ok()) {
+    return current.status();
+  }
+  std::string next = std::move(current.value());
+  next.append(suffix);
+  return Set(key, next);
+}
+
+Result<int64_t> KeyValueStore::Increment(std::string_view key, int64_t delta) {
+  Result<std::string> current = Get(key);
+  if (!current.ok()) {
+    return current.status();
+  }
+  int64_t value = 0;
+  const std::string& s = current.value();
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status(Code::kInvalidArgument, "value is not an integer");
+  }
+  value += delta;
+  const Status set = Set(key, std::to_string(value));
+  if (!set.ok()) {
+    return set;
+  }
+  return value;
+}
+
+Result<bool> KeyValueStore::Exists(std::string_view key) {
+  Result<std::string> current = Get(key);
+  if (current.ok()) {
+    return true;
+  }
+  if (current.status().code() == Code::kNotFound) {
+    return false;
+  }
+  return current.status();
+}
+
+}  // namespace shield::kv

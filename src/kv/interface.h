@@ -1,0 +1,60 @@
+// The key-value store interface every engine in this repository implements:
+// ShieldStore, the naive SGX baseline, the NoSGX baseline, the
+// memcached-like store, and the Eleos-backed store. Benchmarks and the
+// network server are written against this interface only.
+#ifndef SHIELDSTORE_SRC_KV_INTERFACE_H_
+#define SHIELDSTORE_SRC_KV_INTERFACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace shield::kv {
+
+struct StoreStats {
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+  uint64_t deletes = 0;
+  uint64_t appends = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t decryptions = 0;        // entry decrypt operations (Figure 9)
+  uint64_t mac_verifications = 0;  // bucket-set MAC-hash checks
+  uint64_t cache_hits = 0;         // EPC-resident plaintext cache (§6.3)
+};
+
+class KeyValueStore {
+ public:
+  virtual ~KeyValueStore() = default;
+
+  // Inserts or overwrites.
+  virtual Status Set(std::string_view key, std::string_view value) = 0;
+
+  // kNotFound when absent; kIntegrityFailure if tampering is detected.
+  virtual Result<std::string> Get(std::string_view key) = 0;
+
+  virtual Status Delete(std::string_view key) = 0;
+
+  // Server-side computation on the stored value (§3.2): concatenates
+  // `suffix` to the current value (kNotFound when the key is absent).
+  virtual Status Append(std::string_view key, std::string_view suffix);
+
+  // Server-side computation: parses the value as a decimal integer, adds
+  // `delta`, stores and returns the new value.
+  virtual Result<int64_t> Increment(std::string_view key, int64_t delta);
+
+  virtual Result<bool> Exists(std::string_view key);
+
+  // Number of live keys.
+  virtual size_t Size() const = 0;
+
+  virtual std::string Name() const = 0;
+
+  virtual StoreStats stats() const { return {}; }
+};
+
+}  // namespace shield::kv
+
+#endif  // SHIELDSTORE_SRC_KV_INTERFACE_H_

@@ -1,0 +1,88 @@
+// Generic hash-partitioned facade over any KeyValueStore engine (§5.3 style
+// partitioning, reused by the baseline and Eleos stores; ShieldStore has its
+// own typed PartitionedStore).
+//
+// Routing uses a contiguous division of a keyed-hash space, matching the
+// paper's Partition(KEY) = H(KEY) / total_threads. The facade methods lock a
+// per-partition mutex; callers wanting the paper's lock-free mode drive
+// partition(p) from its owning thread and route with PartitionOf().
+#ifndef SHIELDSTORE_SRC_KV_PARTITION_H_
+#define SHIELDSTORE_SRC_KV_PARTITION_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/crypto/siphash.h"
+#include "src/kv/interface.h"
+
+namespace shield::kv {
+
+template <typename StoreT>
+class PartitionedKv : public KeyValueStore {
+ public:
+  PartitionedKv(crypto::SipHashKey route_key, std::vector<std::unique_ptr<StoreT>> partitions)
+      : route_key_(route_key), partitions_(std::move(partitions)), locks_(partitions_.size()) {}
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+  size_t PartitionOf(std::string_view key) const {
+    const uint64_t h = crypto::SipHash24(route_key_, AsBytes(key));
+    return static_cast<size_t>(
+        (static_cast<unsigned __int128>(h) * partitions_.size()) >> 64);
+  }
+
+  StoreT& partition(size_t p) { return *partitions_[p]; }
+
+  Status Set(std::string_view key, std::string_view value) override {
+    const size_t p = PartitionOf(key);
+    std::lock_guard<std::mutex> lock(locks_[p]);
+    return partitions_[p]->Set(key, value);
+  }
+
+  Result<std::string> Get(std::string_view key) override {
+    const size_t p = PartitionOf(key);
+    std::lock_guard<std::mutex> lock(locks_[p]);
+    return partitions_[p]->Get(key);
+  }
+
+  Status Delete(std::string_view key) override {
+    const size_t p = PartitionOf(key);
+    std::lock_guard<std::mutex> lock(locks_[p]);
+    return partitions_[p]->Delete(key);
+  }
+
+  Status Append(std::string_view key, std::string_view suffix) override {
+    const size_t p = PartitionOf(key);
+    std::lock_guard<std::mutex> lock(locks_[p]);
+    return partitions_[p]->Append(key, suffix);
+  }
+
+  Result<int64_t> Increment(std::string_view key, int64_t delta) override {
+    const size_t p = PartitionOf(key);
+    std::lock_guard<std::mutex> lock(locks_[p]);
+    return partitions_[p]->Increment(key, delta);
+  }
+
+  size_t Size() const override {
+    size_t total = 0;
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      std::lock_guard<std::mutex> lock(locks_[p]);
+      total += partitions_[p]->Size();
+    }
+    return total;
+  }
+
+  std::string Name() const override {
+    return partitions_.empty() ? "empty" : partitions_[0]->Name() + "/partitioned";
+  }
+
+ private:
+  crypto::SipHashKey route_key_;
+  std::vector<std::unique_ptr<StoreT>> partitions_;
+  mutable std::vector<std::mutex> locks_;
+};
+
+}  // namespace shield::kv
+
+#endif  // SHIELDSTORE_SRC_KV_PARTITION_H_

@@ -1,0 +1,70 @@
+// Session crypto and the attestation handshake (§3.2).
+//
+// Handshake (one round trip):
+//   client -> server : client X25519 public key || client nonce
+//   server -> client : server public key || server nonce || quote
+// where the quote's report_data binds the server's DH key and a transcript
+// hash, so a man-in-the-middle cannot splice its own key into an honest
+// quote. Both sides HKDF the X25519 shared secret (salted with both nonces)
+// into four keys: client->server {AES-CTR, CMAC} and server->client
+// {AES-CTR, CMAC}.
+//
+// Record protection: each direction numbers its records; the counter block
+// is the record sequence number, and the CMAC covers direction || sequence
+// || ciphertext, so records cannot be replayed, reordered, or reflected.
+#ifndef SHIELDSTORE_SRC_NET_CHANNEL_H_
+#define SHIELDSTORE_SRC_NET_CHANNEL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sgx/attestation.h"
+#include "src/sgx/enclave.h"
+
+namespace shield::net {
+
+// Per-session record protection. Constructed from the 64 bytes of HKDF
+// output; the `is_client` flag selects which half keys which direction.
+class SessionCrypto {
+ public:
+  static constexpr size_t kKeyMaterialSize = 64;
+
+  // encrypt == false disables record protection entirely (the paper's
+  // "without network security" ablation in §6.4).
+  SessionCrypto(ByteSpan key_material, bool is_client, bool encrypt);
+
+  // Protects an outgoing payload: returns ciphertext || MAC(16).
+  Bytes Seal(ByteSpan plaintext);
+
+  // Opens an incoming record; kProtocolError on any forgery or replay.
+  Result<Bytes> Open(ByteSpan record);
+
+  bool encrypting() const { return encrypt_; }
+
+ private:
+  std::array<uint8_t, 16> send_enc_key_;
+  std::array<uint8_t, 16> send_mac_key_;
+  std::array<uint8_t, 16> recv_enc_key_;
+  std::array<uint8_t, 16> recv_mac_key_;
+  uint8_t send_direction_;
+  uint8_t recv_direction_;
+  uint64_t send_seq_ = 0;
+  uint64_t recv_seq_ = 0;
+  bool encrypt_;
+};
+
+// Server side of the handshake; returns the session key material. All
+// cryptographic steps are enclave work (the caller wraps this in an ECALL).
+Result<Bytes> ServerHandshake(int fd, sgx::Enclave& enclave,
+                              const sgx::AttestationAuthority& authority);
+
+// Client side. Verifies the quote through `authority` (the IAS role) and
+// checks the measurement against `expected`.
+Result<Bytes> ClientHandshake(int fd, const sgx::AttestationAuthority& authority,
+                              const sgx::Measurement& expected);
+
+}  // namespace shield::net
+
+#endif  // SHIELDSTORE_SRC_NET_CHANNEL_H_

@@ -1,0 +1,154 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstring>
+
+namespace shield::net {
+
+Client::Client(const sgx::AttestationAuthority& authority, const sgx::Measurement& expected,
+               bool encrypt)
+    : authority_(authority), expected_(expected), encrypt_(encrypt) {}
+
+Client::~Client() {
+  Close();
+}
+
+Status Client::Connect(uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status(Code::kIoError, "socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return Status(Code::kIoError, "connect() failed");
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Result<Bytes> key_material = ClientHandshake(fd_, authority_, expected_);
+  if (!key_material.ok()) {
+    Close();
+    return key_material.status();
+  }
+  session_ = std::make_unique<SessionCrypto>(*key_material, /*is_client=*/true, encrypt_);
+  return Status::Ok();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  session_.reset();
+}
+
+Status Client::SendRequest(const Request& request) {
+  if (!connected()) {
+    return Status(Code::kIoError, "not connected");
+  }
+  return SendFrame(fd_, session_->Seal(EncodeRequest(request)));
+}
+
+Result<Response> Client::ReceiveResponse() {
+  if (!connected()) {
+    return Status(Code::kIoError, "not connected");
+  }
+  Result<Bytes> record = RecvFrame(fd_);
+  if (!record.ok()) {
+    return record.status();
+  }
+  Result<Bytes> plaintext = session_->Open(*record);
+  if (!plaintext.ok()) {
+    return plaintext.status();
+  }
+  return DecodeResponse(*plaintext);
+}
+
+Result<Response> Client::Execute(const Request& request) {
+  if (Status s = SendRequest(request); !s.ok()) {
+    return s;
+  }
+  return ReceiveResponse();
+}
+
+Status Client::Set(std::string_view key, std::string_view value) {
+  Request request;
+  request.op = OpCode::kSet;
+  request.key = key;
+  request.value = value;
+  Result<Response> response = Execute(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  return Status(response->status);
+}
+
+Result<std::string> Client::Get(std::string_view key) {
+  Request request;
+  request.op = OpCode::kGet;
+  request.key = key;
+  Result<Response> response = Execute(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->status != Code::kOk) {
+    return Status(response->status, "server error");
+  }
+  return std::move(response->value);
+}
+
+Status Client::Delete(std::string_view key) {
+  Request request;
+  request.op = OpCode::kDelete;
+  request.key = key;
+  Result<Response> response = Execute(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  return Status(response->status);
+}
+
+Status Client::Append(std::string_view key, std::string_view suffix) {
+  Request request;
+  request.op = OpCode::kAppend;
+  request.key = key;
+  request.value = suffix;
+  Result<Response> response = Execute(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  return Status(response->status);
+}
+
+Result<int64_t> Client::Increment(std::string_view key, int64_t delta) {
+  Request request;
+  request.op = OpCode::kIncrement;
+  request.key = key;
+  request.delta = delta;
+  Result<Response> response = Execute(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->status != Code::kOk) {
+    return Status(response->status, "server error");
+  }
+  int64_t value = 0;
+  const std::string& s = response->value;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status(Code::kProtocolError, "bad increment response");
+  }
+  return value;
+}
+
+}  // namespace shield::net

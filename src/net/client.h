@@ -1,0 +1,56 @@
+// Remote client: attests the server, establishes a session, and issues
+// operations. Supports synchronous calls and pipelining (used by the load
+// generator to simulate many concurrent users per connection, §6.4).
+#ifndef SHIELDSTORE_SRC_NET_CLIENT_H_
+#define SHIELDSTORE_SRC_NET_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/net/channel.h"
+#include "src/net/protocol.h"
+
+namespace shield::net {
+
+class Client {
+ public:
+  // `expected` is the enclave measurement the client trusts (obtained from
+  // the service operator out of band, like a release's published MRENCLAVE).
+  Client(const sgx::AttestationAuthority& authority, const sgx::Measurement& expected,
+         bool encrypt = true);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to 127.0.0.1:port and runs the attestation handshake.
+  Status Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Synchronous request/response.
+  Result<Response> Execute(const Request& request);
+
+  // Pipelined interface: up to `depth` Sends may be outstanding before the
+  // matching Receives (responses arrive in order).
+  Status SendRequest(const Request& request);
+  Result<Response> ReceiveResponse();
+
+  // Convenience wrappers.
+  Status Set(std::string_view key, std::string_view value);
+  Result<std::string> Get(std::string_view key);
+  Status Delete(std::string_view key);
+  Status Append(std::string_view key, std::string_view suffix);
+  Result<int64_t> Increment(std::string_view key, int64_t delta);
+
+ private:
+  const sgx::AttestationAuthority& authority_;
+  sgx::Measurement expected_;
+  bool encrypt_;
+  int fd_ = -1;
+  std::unique_ptr<SessionCrypto> session_;
+};
+
+}  // namespace shield::net
+
+#endif  // SHIELDSTORE_SRC_NET_CLIENT_H_

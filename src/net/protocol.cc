@@ -1,0 +1,144 @@
+#include "src/net/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace shield::net {
+namespace {
+
+void PutString(Bytes& out, std::string_view s) {
+  uint8_t len[4];
+  StoreLe32(len, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), len, len + 4);
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+bool TakeString(ByteSpan& in, std::string& out) {
+  if (in.size() < 4) {
+    return false;
+  }
+  const uint32_t len = LoadLe32(in.data());
+  in = in.subspan(4);
+  if (in.size() < len) {
+    return false;
+  }
+  out.assign(reinterpret_cast<const char*>(in.data()), len);
+  in = in.subspan(len);
+  return true;
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status(Code::kIoError, std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadAll(int fd, uint8_t* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = recv(fd, data + got, len - got, 0);
+    if (n == 0) {
+      return Status(Code::kIoError, "connection closed");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status(Code::kIoError, std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes EncodeRequest(const Request& request) {
+  Bytes out;
+  out.reserve(1 + 8 + 8 + request.key.size() + request.value.size());
+  out.push_back(static_cast<uint8_t>(request.op));
+  uint8_t delta[8];
+  StoreLe64(delta, static_cast<uint64_t>(request.delta));
+  out.insert(out.end(), delta, delta + 8);
+  PutString(out, request.key);
+  PutString(out, request.value);
+  return out;
+}
+
+Result<Request> DecodeRequest(ByteSpan payload) {
+  if (payload.size() < 9) {
+    return Status(Code::kProtocolError, "request too short");
+  }
+  Request request;
+  const uint8_t op = payload[0];
+  if (op < 1 || op > 6) {
+    return Status(Code::kProtocolError, "unknown opcode");
+  }
+  request.op = static_cast<OpCode>(op);
+  request.delta = static_cast<int64_t>(LoadLe64(payload.data() + 1));
+  ByteSpan rest = payload.subspan(9);
+  if (!TakeString(rest, request.key) || !TakeString(rest, request.value) || !rest.empty()) {
+    return Status(Code::kProtocolError, "malformed request body");
+  }
+  return request;
+}
+
+Bytes EncodeResponse(const Response& response) {
+  Bytes out;
+  out.reserve(1 + 4 + response.value.size());
+  out.push_back(static_cast<uint8_t>(response.status));
+  PutString(out, response.value);
+  return out;
+}
+
+Result<Response> DecodeResponse(ByteSpan payload) {
+  if (payload.empty()) {
+    return Status(Code::kProtocolError, "response too short");
+  }
+  Response response;
+  response.status = static_cast<Code>(payload[0]);
+  ByteSpan rest = payload.subspan(1);
+  if (!TakeString(rest, response.value) || !rest.empty()) {
+    return Status(Code::kProtocolError, "malformed response body");
+  }
+  return response;
+}
+
+Status SendFrame(int fd, ByteSpan payload) {
+  uint8_t len[4];
+  StoreLe32(len, static_cast<uint32_t>(payload.size()));
+  if (Status s = WriteAll(fd, len, 4); !s.ok()) {
+    return s;
+  }
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<Bytes> RecvFrame(int fd, size_t max_bytes) {
+  uint8_t len_bytes[4];
+  if (Status s = ReadAll(fd, len_bytes, 4); !s.ok()) {
+    return s;
+  }
+  const uint32_t len = LoadLe32(len_bytes);
+  if (len > max_bytes) {
+    return Status(Code::kProtocolError, "frame too large");
+  }
+  Bytes payload(len);
+  if (Status s = ReadAll(fd, payload.data(), payload.size()); !s.ok()) {
+    return s;
+  }
+  return payload;
+}
+
+}  // namespace shield::net

@@ -1,0 +1,48 @@
+// Wire protocol: length-prefixed frames over TCP carrying serialized
+// requests/responses (§3.2's operation set, including the server-side
+// computations append and increment).
+#ifndef SHIELDSTORE_SRC_NET_PROTOCOL_H_
+#define SHIELDSTORE_SRC_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace shield::net {
+
+enum class OpCode : uint8_t {
+  kGet = 1,
+  kSet = 2,
+  kDelete = 3,
+  kAppend = 4,
+  kIncrement = 5,
+  kPing = 6,
+};
+
+struct Request {
+  OpCode op = OpCode::kPing;
+  std::string key;
+  std::string value;   // set/append payload
+  int64_t delta = 0;   // increment amount
+};
+
+struct Response {
+  Code status = Code::kOk;
+  std::string value;  // get result / increment result (decimal)
+};
+
+Bytes EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(ByteSpan payload);
+Bytes EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(ByteSpan payload);
+
+// Blocking length-prefixed framing over a socket. A frame is
+// [u32 little-endian length][payload]. Recv returns kIoError on EOF.
+Status SendFrame(int fd, ByteSpan payload);
+Result<Bytes> RecvFrame(int fd, size_t max_bytes = 64u << 20);
+
+}  // namespace shield::net
+
+#endif  // SHIELDSTORE_SRC_NET_PROTOCOL_H_

@@ -1,0 +1,231 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace shield::net {
+
+Server::Server(sgx::Enclave& enclave, kv::KeyValueStore& store,
+               const sgx::AttestationAuthority& authority, const ServerOptions& options)
+    : enclave_(enclave), store_(store), authority_(authority), options_(options) {}
+
+Server::~Server() {
+  Stop();
+}
+
+Status Server::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status(Code::kIoError, "socket() failed");
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(Code::kIoError, "bind() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, 128) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(Code::kIoError, "listen() failed");
+  }
+
+  if (options_.use_hotcalls) {
+    hotcalls_ = std::make_unique<sgx::HotCallChannel>(512);
+    for (size_t i = 0; i < std::max<size_t>(options_.enclave_workers, 1); ++i) {
+      enclave_workers_.emplace_back([this] { EnclaveWorkerLoop(); });
+    }
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    shutdown(listen_fd_, SHUT_RDWR);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  {
+    // Unblock connection threads parked in recv() on live clients, then join.
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (int fd : connection_fds_) {
+      shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread& t : connection_threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    connection_threads_.clear();
+    connection_fds_.clear();
+  }
+  if (hotcalls_ != nullptr) {
+    hotcalls_->Stop();
+    for (std::thread& t : enclave_workers_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    enclave_workers_.clear();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        return;
+      }
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+Response Server::Dispatch(const Request& request) {
+  Response response;
+  switch (request.op) {
+    case OpCode::kGet: {
+      Result<std::string> value = store_.Get(request.key);
+      response.status = value.ok() ? Code::kOk : value.status().code();
+      if (value.ok()) {
+        response.value = std::move(value.value());
+      }
+      break;
+    }
+    case OpCode::kSet:
+      response.status = store_.Set(request.key, request.value).code();
+      break;
+    case OpCode::kDelete:
+      response.status = store_.Delete(request.key).code();
+      break;
+    case OpCode::kAppend:
+      response.status = store_.Append(request.key, request.value).code();
+      break;
+    case OpCode::kIncrement: {
+      Result<int64_t> value = store_.Increment(request.key, request.delta);
+      response.status = value.ok() ? Code::kOk : value.status().code();
+      if (value.ok()) {
+        response.value = std::to_string(value.value());
+      }
+      break;
+    }
+    case OpCode::kPing:
+      response.status = Code::kOk;
+      response.value = "pong";
+      break;
+  }
+  return response;
+}
+
+Bytes Server::ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status) {
+  Result<Bytes> plaintext = session.Open(record);
+  if (!plaintext.ok()) {
+    *status = plaintext.status();
+    return {};
+  }
+  Result<Request> request = DecodeRequest(*plaintext);
+  Response response;
+  if (!request.ok()) {
+    response.status = Code::kProtocolError;
+  } else {
+    response = Dispatch(*request);
+  }
+  *status = Status::Ok();
+  return session.Seal(EncodeResponse(response));
+}
+
+void Server::EnclaveWorkerLoop() {
+  // A HotCalls responder: a thread that entered the enclave once and now
+  // serves shared-memory requests without ever crossing the boundary.
+  while (!hotcalls_->stopped()) {
+    if (!hotcalls_->Poll([this](uint16_t, void* data) {
+          HotCallTask* task = static_cast<HotCallTask*>(data);
+          task->response_record =
+              ProcessInEnclave(*task->session, *task->request_record, &task->status);
+        })) {
+      // Nothing pending. A dedicated core would keep spinning; on shared
+      // cores yield so requesters can run.
+      std::this_thread::yield();
+    }
+  }
+  // Drain after stop so no caller is left waiting.
+  while (hotcalls_->Poll([this](uint16_t, void* data) {
+    HotCallTask* task = static_cast<HotCallTask*>(data);
+    task->response_record =
+        ProcessInEnclave(*task->session, *task->request_record, &task->status);
+  })) {
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  // Handshake: enclave work, entered once per connection.
+  Result<Bytes> key_material =
+      enclave_.boundary().Ecall([&] { return ServerHandshake(fd, enclave_, authority_); });
+  if (!key_material.ok()) {
+    SHIELD_LOG(Info) << "handshake failed: " << key_material.status().ToString();
+    close(fd);
+    return;
+  }
+  SessionCrypto session(*key_material, /*is_client=*/false, options_.encrypt);
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Bytes> record = RecvFrame(fd);
+    if (!record.ok()) {
+      break;  // client went away
+    }
+    Bytes response_record;
+    Status status;
+    if (options_.use_hotcalls) {
+      HotCallTask task;
+      task.session = &session;
+      task.request_record = &record.value();
+      if (!hotcalls_->Call(0, &task)) {
+        break;  // server stopping
+      }
+      status = task.status;
+      response_record = std::move(task.response_record);
+    } else {
+      // Classic path: one ECALL (two crossings) per request.
+      response_record = enclave_.boundary().Ecall(
+          [&] { return ProcessInEnclave(session, record.value(), &status); });
+    }
+    if (!status.ok()) {
+      break;  // unauthentic record: drop the connection
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!SendFrame(fd, response_record).ok()) {
+      break;
+    }
+  }
+  close(fd);
+}
+
+}  // namespace shield::net

@@ -1,0 +1,87 @@
+// The networked ShieldStore front end (§6.4).
+//
+// Untrusted I/O threads own the sockets (an enclave cannot issue system
+// calls); every request must enter the enclave for session decryption and
+// store access. Two entry mechanisms reproduce the paper's comparison:
+//  * ECALL per request — two ~8000-cycle crossings each;
+//  * HotCalls — the I/O thread publishes the request in shared memory and a
+//    dedicated in-enclave worker thread polls and executes it, no crossings.
+#ifndef SHIELDSTORE_SRC_NET_SERVER_H_
+#define SHIELDSTORE_SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/kv/interface.h"
+#include "src/net/channel.h"
+#include "src/net/protocol.h"
+#include "src/sgx/attestation.h"
+#include "src/sgx/enclave.h"
+#include "src/sgx/hotcalls.h"
+
+namespace shield::net {
+
+struct ServerOptions {
+  uint16_t port = 0;  // 0 = ephemeral; read back with port()
+  bool use_hotcalls = false;
+  size_t enclave_workers = 2;  // HotCalls responder threads
+  bool encrypt = true;         // session record protection (±net crypto, §6.4)
+};
+
+class Server {
+ public:
+  // `store` must be thread-safe (e.g. PartitionedStore); it is shared by
+  // all connections.
+  Server(sgx::Enclave& enclave, kv::KeyValueStore& store,
+         const sgx::AttestationAuthority& authority, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  struct HotCallTask {
+    SessionCrypto* session;
+    const Bytes* request_record;
+    Bytes response_record;
+    Status status;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  void EnclaveWorkerLoop();
+  // Enclave-side request processing: open the record, run the operation,
+  // seal the response. Used by both entry mechanisms.
+  Bytes ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status);
+  Response Dispatch(const Request& request);
+
+  sgx::Enclave& enclave_;
+  kv::KeyValueStore& store_;
+  const sgx::AttestationAuthority& authority_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;  // live sockets, shut down on Stop()
+  std::mutex connections_mutex_;
+
+  std::unique_ptr<sgx::HotCallChannel> hotcalls_;
+  std::vector<std::thread> enclave_workers_;
+
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace shield::net
+
+#endif  // SHIELDSTORE_SRC_NET_SERVER_H_

@@ -1,0 +1,61 @@
+#include "src/sgx/attestation.h"
+
+#include <cstring>
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/hmac.h"
+
+namespace shield::sgx {
+
+Bytes Quote::Serialize() const {
+  Bytes out(kSerializedSize);
+  std::memcpy(out.data(), mrenclave.data(), 32);
+  std::memcpy(out.data() + 32, report_data.data(), 64);
+  std::memcpy(out.data() + 96, signature.data(), 32);
+  return out;
+}
+
+Result<Quote> Quote::Deserialize(ByteSpan data) {
+  if (data.size() != kSerializedSize) {
+    return Status(Code::kProtocolError, "bad quote size");
+  }
+  Quote q;
+  std::memcpy(q.mrenclave.data(), data.data(), 32);
+  std::memcpy(q.report_data.data(), data.data() + 32, 64);
+  std::memcpy(q.signature.data(), data.data() + 96, 32);
+  return q;
+}
+
+AttestationAuthority::AttestationAuthority() {
+  crypto::Drbg drbg;
+  drbg.Fill(MutableByteSpan(key_.data(), key_.size()));
+}
+
+AttestationAuthority::AttestationAuthority(ByteSpan seed) {
+  const auto digest = crypto::Sha256Hash(seed);
+  std::memcpy(key_.data(), digest.data(), key_.size());
+}
+
+Quote AttestationAuthority::GenerateQuote(const Enclave& enclave, ByteSpan report_data) const {
+  Quote q;
+  q.mrenclave = enclave.measurement();
+  const size_t n = std::min(report_data.size(), q.report_data.size());
+  std::memcpy(q.report_data.data(), report_data.data(), n);
+  Bytes signed_part(96);
+  std::memcpy(signed_part.data(), q.mrenclave.data(), 32);
+  std::memcpy(signed_part.data() + 32, q.report_data.data(), 64);
+  const auto mac = crypto::HmacSha256(ByteSpan(key_.data(), key_.size()), signed_part);
+  std::memcpy(q.signature.data(), mac.data(), 32);
+  return q;
+}
+
+bool AttestationAuthority::VerifyQuote(const Quote& quote) const {
+  Bytes signed_part(96);
+  std::memcpy(signed_part.data(), quote.mrenclave.data(), 32);
+  std::memcpy(signed_part.data() + 32, quote.report_data.data(), 64);
+  const auto mac = crypto::HmacSha256(ByteSpan(key_.data(), key_.size()), signed_part);
+  return ConstantTimeEqual(ByteSpan(mac.data(), mac.size()),
+                           ByteSpan(quote.signature.data(), quote.signature.size()));
+}
+
+}  // namespace shield::sgx

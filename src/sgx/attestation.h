@@ -1,0 +1,55 @@
+// Remote attestation, simulated.
+//
+// Real flow: the enclave's REPORT is converted by the quoting enclave into a
+// QUOTE signed with an Intel-provisioned key; the client submits the quote
+// to the Intel Attestation Service (IAS) for verification, then checks the
+// MRENCLAVE against the build it expects and reads its key-exchange public
+// key from the quote's report_data.
+//
+// The simulation keeps exactly that topology: AttestationAuthority plays
+// both the provisioning root and IAS. Quotes are authenticated with an HMAC
+// key known only to the authority — enclaves obtain quotes *from* the
+// authority and clients verify quotes *through* it, so neither ever holds
+// the key, matching the trust relationships of EPID attestation.
+#ifndef SHIELDSTORE_SRC_SGX_ATTESTATION_H_
+#define SHIELDSTORE_SRC_SGX_ATTESTATION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sgx/enclave.h"
+
+namespace shield::sgx {
+
+struct Quote {
+  Measurement mrenclave{};
+  std::array<uint8_t, 64> report_data{};  // carries the DH public key
+  std::array<uint8_t, 32> signature{};    // authority HMAC
+
+  Bytes Serialize() const;
+  static Result<Quote> Deserialize(ByteSpan data);
+  static constexpr size_t kSerializedSize = 32 + 64 + 32;
+};
+
+class AttestationAuthority {
+ public:
+  AttestationAuthority();
+  // Deterministic authority for reproducible tests.
+  explicit AttestationAuthority(ByteSpan seed);
+
+  // Quoting-enclave path: produce a quote for a local enclave's identity.
+  Quote GenerateQuote(const Enclave& enclave, ByteSpan report_data) const;
+
+  // IAS path: verify a quote's authenticity. The caller still must compare
+  // quote.mrenclave against the measurement it expects.
+  bool VerifyQuote(const Quote& quote) const;
+
+ private:
+  std::array<uint8_t, 32> key_;
+};
+
+}  // namespace shield::sgx
+
+#endif  // SHIELDSTORE_SRC_SGX_ATTESTATION_H_

@@ -1,0 +1,69 @@
+// Enclave boundary crossing costs (ECALL / OCALL).
+//
+// Crossing the enclave boundary costs ~8000 cycles on real hardware (EENTER/
+// EEXIT, TLB flush) [HotCalls, Eleos]. The simulation charges that cost with
+// a calibrated spin and counts crossings so benchmarks (Figure 6's OCALL
+// sweep) can report them.
+#ifndef SHIELDSTORE_SRC_SGX_BOUNDARY_H_
+#define SHIELDSTORE_SRC_SGX_BOUNDARY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "src/common/cycles.h"
+
+namespace shield::sgx {
+
+class Boundary {
+ public:
+  explicit Boundary(uint64_t crossing_cycles) : crossing_cycles_(crossing_cycles) {}
+
+  // Runs `fn` as an ECALL: enter the enclave, execute, exit.
+  template <typename Fn>
+  auto Ecall(Fn&& fn) -> decltype(fn()) {
+    ecalls_.fetch_add(1, std::memory_order_relaxed);
+    SpinCycles(crossing_cycles_);
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      std::forward<Fn>(fn)();
+      SpinCycles(crossing_cycles_);
+    } else {
+      auto result = std::forward<Fn>(fn)();
+      SpinCycles(crossing_cycles_);
+      return result;
+    }
+  }
+
+  // Runs `fn` as an OCALL: exit the enclave, execute untrusted, re-enter.
+  template <typename Fn>
+  auto Ocall(Fn&& fn) -> decltype(fn()) {
+    ocalls_.fetch_add(1, std::memory_order_relaxed);
+    SpinCycles(crossing_cycles_);
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      std::forward<Fn>(fn)();
+      SpinCycles(crossing_cycles_);
+    } else {
+      auto result = std::forward<Fn>(fn)();
+      SpinCycles(crossing_cycles_);
+      return result;
+    }
+  }
+
+  uint64_t ecall_count() const { return ecalls_.load(std::memory_order_relaxed); }
+  uint64_t ocall_count() const { return ocalls_.load(std::memory_order_relaxed); }
+  uint64_t crossing_cycles() const { return crossing_cycles_; }
+
+  void ResetCounts() {
+    ecalls_.store(0, std::memory_order_relaxed);
+    ocalls_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const uint64_t crossing_cycles_;
+  std::atomic<uint64_t> ecalls_{0};
+  std::atomic<uint64_t> ocalls_{0};
+};
+
+}  // namespace shield::sgx
+
+#endif  // SHIELDSTORE_SRC_SGX_BOUNDARY_H_

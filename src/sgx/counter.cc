@@ -1,0 +1,85 @@
+#include "src/sgx/counter.h"
+
+#include <cstdio>
+
+#include "src/common/cycles.h"
+
+namespace shield::sgx {
+
+MonotonicCounterService::MonotonicCounterService(const Options& options) : options_(options) {
+  LoadIfPresent();
+}
+
+void MonotonicCounterService::LoadIfPresent() {
+  if (options_.backing_file.empty()) {
+    return;
+  }
+  FILE* f = std::fopen(options_.backing_file.c_str(), "rb");
+  if (f == nullptr) {
+    return;
+  }
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) == 1 && count < 1'000'000) {
+    counters_.resize(count);
+    const size_t got = std::fread(counters_.data(), sizeof(uint64_t), count, f);
+    counters_.resize(got);
+  }
+  std::fclose(f);
+}
+
+Status MonotonicCounterService::Persist() {
+  if (options_.backing_file.empty()) {
+    return Status::Ok();
+  }
+  const std::string tmp = options_.backing_file + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(Code::kIoError, "cannot open counter backing file");
+  }
+  const uint64_t count = counters_.size();
+  bool ok = std::fwrite(&count, sizeof(count), 1, f) == 1;
+  ok = ok && std::fwrite(counters_.data(), sizeof(uint64_t), counters_.size(), f) ==
+                 counters_.size();
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), options_.backing_file.c_str()) != 0) {
+    return Status(Code::kIoError, "cannot persist counters");
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> MonotonicCounterService::CreateCounter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.push_back(0);
+  const Status s = Persist();
+  if (!s.ok()) {
+    counters_.pop_back();
+    return s;
+  }
+  return static_cast<uint32_t>(counters_.size() - 1);
+}
+
+Result<uint64_t> MonotonicCounterService::Increment(uint32_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= counters_.size()) {
+    return Status(Code::kInvalidArgument, "unknown counter id");
+  }
+  counters_[id]++;
+  const Status s = Persist();
+  if (!s.ok()) {
+    counters_[id]--;
+    return s;
+  }
+  SpinCycles(options_.increment_cost_cycles);
+  return counters_[id];
+}
+
+Result<uint64_t> MonotonicCounterService::Read(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= counters_.size()) {
+    return Status(Code::kInvalidArgument, "unknown counter id");
+  }
+  return counters_[id];
+}
+
+}  // namespace shield::sgx

@@ -1,0 +1,48 @@
+// Monotonic counter service: the SGX platform-services counter analogue
+// ShieldStore uses against snapshot rollback (§4.4).
+//
+// Counters persist in a small file (the non-volatile storage of the real
+// platform). Increment is deliberately slow — the paper notes hardware
+// monotonic counters are too slow for per-operation logging, which is why
+// ShieldStore snapshots instead — so Increment charges a configurable cost.
+#ifndef SHIELDSTORE_SRC_SGX_COUNTER_H_
+#define SHIELDSTORE_SRC_SGX_COUNTER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace shield::sgx {
+
+class MonotonicCounterService {
+ public:
+  struct Options {
+    std::string backing_file;          // empty => in-memory only (tests)
+    uint64_t increment_cost_cycles = 2'000'000;  // ~ms-scale NV write, scaled
+  };
+
+  explicit MonotonicCounterService(const Options& options);
+
+  // Creates a counter starting at 0 and returns its id.
+  Result<uint32_t> CreateCounter();
+
+  // Increments and returns the new value; persists before returning.
+  Result<uint64_t> Increment(uint32_t id);
+
+  Result<uint64_t> Read(uint32_t id) const;
+
+ private:
+  Status Persist();
+  void LoadIfPresent();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> counters_;
+};
+
+}  // namespace shield::sgx
+
+#endif  // SHIELDSTORE_SRC_SGX_COUNTER_H_

@@ -1,0 +1,99 @@
+#include "src/sgx/enclave.h"
+
+#include <sys/mman.h>
+
+#include <cassert>
+#include <new>
+
+namespace shield::sgx {
+namespace {
+
+crypto::Drbg MakeRng(const Bytes& seed) {
+  if (seed.empty()) {
+    return crypto::Drbg();
+  }
+  return crypto::Drbg(ByteSpan(seed.data(), seed.size()));
+}
+
+Measurement ComputeMeasurement(const EnclaveConfig& config) {
+  // MRENCLAVE analogue: hash of the enclave identity and its security-
+  // relevant configuration (EPC geometry is attested so a client can reject
+  // a server started with protection disabled).
+  crypto::Sha256 sha;
+  sha.Update(AsBytes("shieldstore-mrenclave-v1"));
+  sha.Update(AsBytes(config.name));
+  uint8_t fields[24];
+  StoreLe64(fields, config.epc.epc_bytes);
+  StoreLe64(fields + 8, config.epc.page_bytes);
+  StoreLe64(fields + 16, config.heap_reserve_bytes);
+  sha.Update(ByteSpan(fields, sizeof(fields)));
+  return sha.Finalize();
+}
+
+}  // namespace
+
+Enclave::Enclave(const EnclaveConfig& config)
+    : config_(config),
+      region_bytes_(config.heap_reserve_bytes),
+      boundary_(config.epc.crossing_cycles),
+      measurement_(ComputeMeasurement(config)),
+      rng_(MakeRng(config.rng_seed)) {
+  void* mem = mmap(nullptr, region_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED) {
+    throw std::bad_alloc();
+  }
+  region_ = static_cast<uint8_t*>(mem);
+  epc_ = std::make_unique<EpcSimulator>(config.epc, region_, region_bytes_);
+  // The enclave heap draws 1 MB chunks from the reserved arena. Chunk grants
+  // are free (the EPC cost is paid on access, not on reservation).
+  heap_ = std::make_unique<alloc::FreeListAllocator>(
+      [this](size_t min_bytes) -> alloc::Chunk {
+        std::lock_guard<std::mutex> lock(arena_mutex_);
+        const size_t want = std::max(min_bytes, size_t{1} << 20);
+        if (arena_used_ + want > region_bytes_) {
+          return {};
+        }
+        alloc::Chunk chunk{region_ + arena_used_, want};
+        arena_used_ += want;
+        return chunk;
+      },
+      /*chunk_bytes=*/size_t{1} << 20, /*thread_safe=*/true);
+}
+
+Enclave::~Enclave() {
+  heap_.reset();
+  epc_.reset();
+  munmap(region_, region_bytes_);
+}
+
+void* Enclave::Allocate(size_t bytes) {
+  void* p = heap_->Allocate(bytes);
+  if (p != nullptr) {
+    // Writing allocator metadata / initialization touches the pages.
+    Touch(p, bytes, /*write=*/true);
+  }
+  return p;
+}
+
+void Enclave::Free(void* ptr) {
+  heap_->Free(ptr);
+}
+
+bool Enclave::ContainsAddress(const void* addr) const {
+  const uint8_t* p = static_cast<const uint8_t*>(addr);
+  return p >= region_ && p < region_ + region_bytes_;
+}
+
+bool Enclave::ContainsRange(const void* addr, size_t len) const {
+  const uint8_t* p = static_cast<const uint8_t*>(addr);
+  return p >= region_ && len <= region_bytes_ &&
+         p + len <= region_ + region_bytes_;
+}
+
+void Enclave::ReadRand(MutableByteSpan out) {
+  std::lock_guard<std::mutex> lock(rng_mutex_);
+  rng_.Fill(out);
+}
+
+}  // namespace shield::sgx

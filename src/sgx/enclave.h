@@ -1,0 +1,102 @@
+// The simulated enclave: a reserved virtual address range whose pages are
+// backed by the EPC simulator, an in-enclave heap, the boundary-crossing
+// cost model, and the enclave's measurement identity.
+//
+// "Trusted" code in this repository is ordinary C++ that disciplines itself
+// through this interface: it allocates protected state with Allocate(),
+// declares accesses to it with Touch()/Read()/Write(), performs untrusted
+// system services through boundary().Ocall(...), and range-checks pointers
+// read from untrusted memory with ContainsAddress() (§7 of the paper).
+#ifndef SHIELDSTORE_SRC_SGX_ENCLAVE_H_
+#define SHIELDSTORE_SRC_SGX_ENCLAVE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/alloc/free_list.h"
+#include "src/common/bytes.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha256.h"
+#include "src/sgx/boundary.h"
+#include "src/sgx/epc.h"
+
+namespace shield::sgx {
+
+using Measurement = crypto::Sha256Digest;  // MRENCLAVE analogue
+
+struct EnclaveConfig {
+  std::string name = "shieldstore-enclave";
+  EpcConfig epc;
+  // Virtual reservation for enclave memory. Pages are committed lazily by
+  // the OS; only the EPC-resident subset is "fast" in the simulation.
+  size_t heap_reserve_bytes = size_t{4} << 30;
+  // Deterministic DRBG seed for reproducible tests; empty => OS entropy.
+  Bytes rng_seed;
+};
+
+class Enclave {
+ public:
+  explicit Enclave(const EnclaveConfig& config);
+  ~Enclave();
+
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  // --- enclave heap (EPC-backed) ----------------------------------------
+  // Allocates protected memory. Accessing it without Touch() is a
+  // simulation-discipline error (it would be free, which real EPC is not).
+  void* Allocate(size_t bytes);
+  void Free(void* ptr);
+
+  // --- memory access discipline ------------------------------------------
+  // Declares an access to enclave memory; pages fault in as needed.
+  void Touch(const void* addr, size_t len, bool write = false) {
+    epc_->Touch(addr, len, write);
+  }
+
+  // Touch-and-copy helpers for small protected objects.
+  template <typename T>
+  T Read(const T* addr) {
+    Touch(addr, sizeof(T), false);
+    return *addr;
+  }
+  template <typename T>
+  void Write(T* addr, const T& value) {
+    Touch(addr, sizeof(T), true);
+    *addr = value;
+  }
+
+  // True when `addr` points into this enclave's reserved range — the §7
+  // untrusted-pointer check: pointers read from untrusted memory must NOT
+  // satisfy this before being written through.
+  bool ContainsAddress(const void* addr) const;
+  bool ContainsRange(const void* addr, size_t len) const;
+
+  // --- services ------------------------------------------------------------
+  Boundary& boundary() { return boundary_; }
+  EpcSimulator& epc() { return *epc_; }
+  const Measurement& measurement() const { return measurement_; }
+  const EnclaveConfig& config() const { return config_; }
+
+  // sgx_read_rand analogue; thread-safe.
+  void ReadRand(MutableByteSpan out);
+
+ private:
+  EnclaveConfig config_;
+  uint8_t* region_ = nullptr;
+  size_t region_bytes_ = 0;
+  std::unique_ptr<EpcSimulator> epc_;
+  Boundary boundary_;
+  std::unique_ptr<alloc::FreeListAllocator> heap_;
+  size_t arena_used_ = 0;  // bump offset handed to the heap's chunk source
+  std::mutex arena_mutex_;
+  Measurement measurement_;
+  crypto::Drbg rng_;
+  std::mutex rng_mutex_;
+};
+
+}  // namespace shield::sgx
+
+#endif  // SHIELDSTORE_SRC_SGX_ENCLAVE_H_

@@ -1,0 +1,109 @@
+#include "src/sgx/hotcalls.h"
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define SHIELD_PAUSE() _mm_pause()
+#else
+#define SHIELD_PAUSE() (void)0
+#endif
+
+namespace shield::sgx {
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+HotCallChannel::HotCallChannel(size_t capacity) {
+  const size_t cap = RoundUpPowerOfTwo(std::max<size_t>(capacity, 2));
+  mask_ = cap - 1;
+  cells_ = std::make_unique<Cell[]>(cap);
+  for (size_t i = 0; i < cap; ++i) {
+    cells_[i].sequence.store(i, std::memory_order_relaxed);
+    cells_[i].request = nullptr;
+  }
+}
+
+bool HotCallChannel::Enqueue(HotCallRequest* request) {
+  size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (stopped_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    Cell& cell = cells_[pos & mask_];
+    const size_t seq = cell.sequence.load(std::memory_order_acquire);
+    const intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (diff == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        cell.request = request;
+        cell.sequence.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (diff < 0) {
+      // Ring full: wait until the responder frees a slot.
+      SHIELD_PAUSE();
+      std::this_thread::yield();
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+HotCallRequest* HotCallChannel::Dequeue() {
+  size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const size_t seq = cell.sequence.load(std::memory_order_acquire);
+    const intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+    if (diff == 0) {
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        HotCallRequest* req = cell.request;
+        cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+        return req;
+      }
+    } else if (diff < 0) {
+      return nullptr;  // empty
+    } else {
+      pos = dequeue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool HotCallChannel::Call(uint16_t call_id, void* data) {
+  HotCallRequest request;
+  request.call_id = call_id;
+  request.data = data;
+  if (!Enqueue(&request)) {
+    return false;
+  }
+  // Busy-wait for completion — the point of HotCalls is to trade a spinning
+  // core for avoided crossings. On hosts with fewer cores than spinners the
+  // pure spin would deadlock the scheduler's timeslice, so after a bounded
+  // spin the waiter yields (a concession HotCalls itself makes via its
+  // responder sleep policy).
+  int spins = 0;
+  while (!request.done.load(std::memory_order_acquire)) {
+    SHIELD_PAUSE();
+    if (++spins >= 256) {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void HotCallChannel::Stop() {
+  stopped_.store(true, std::memory_order_release);
+}
+
+}  // namespace shield::sgx

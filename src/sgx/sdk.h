@@ -1,0 +1,39 @@
+// Thin shims matching the Intel SGX SDK crypto entry points ShieldStore's
+// published implementation calls (§4.2 names them explicitly), so the store
+// code reads like the original. All are header-only forwards to src/crypto.
+#ifndef SHIELDSTORE_SRC_SGX_SDK_H_
+#define SHIELDSTORE_SRC_SGX_SDK_H_
+
+#include "src/common/bytes.h"
+#include "src/crypto/cmac.h"
+#include "src/crypto/ctr.h"
+#include "src/sgx/enclave.h"
+
+namespace shield::sgx {
+
+// sgx_aes_ctr_encrypt / sgx_aes_ctr_decrypt: AES-128-CTR with a 32-bit
+// incrementing counter window. CTR encryption and decryption are the same
+// transform; both names are provided for fidelity.
+inline void SgxAesCtrEncrypt(ByteSpan key, ByteSpan src, const uint8_t ctr[16],
+                             uint32_t ctr_inc_bits, MutableByteSpan dst) {
+  crypto::AesCtrTransform(key, ctr, ctr_inc_bits, src, dst);
+}
+
+inline void SgxAesCtrDecrypt(ByteSpan key, ByteSpan src, const uint8_t ctr[16],
+                             uint32_t ctr_inc_bits, MutableByteSpan dst) {
+  crypto::AesCtrTransform(key, ctr, ctr_inc_bits, src, dst);
+}
+
+// sgx_rijndael128_cmac_msg.
+inline crypto::Mac SgxRijndael128Cmac(ByteSpan key, ByteSpan msg) {
+  return crypto::CmacSign(key, msg);
+}
+
+// sgx_read_rand.
+inline void SgxReadRand(Enclave& enclave, MutableByteSpan out) {
+  enclave.ReadRand(out);
+}
+
+}  // namespace shield::sgx
+
+#endif  // SHIELDSTORE_SRC_SGX_SDK_H_

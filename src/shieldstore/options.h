@@ -1,0 +1,49 @@
+// Configuration knobs for ShieldStore. Every optimization of §5 is an
+// independent flag so Figure 14's cumulative-ablation bench and Figure 15's
+// MAC-hash sweep are pure parameter sweeps over this struct.
+#ifndef SHIELDSTORE_SRC_SHIELDSTORE_OPTIONS_H_
+#define SHIELDSTORE_SRC_SHIELDSTORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace shield::shieldstore {
+
+struct Options {
+  // Hash-table geometry. num_mac_hashes == 0 means one MAC hash per bucket
+  // (the paper's default whenever buckets < 1M); when smaller than
+  // num_buckets, each MAC hash covers a contiguous set of buckets (§4.3).
+  size_t num_buckets = size_t{1} << 16;
+  size_t num_mac_hashes = 0;
+
+  // §5.4: 1-byte key hint in each entry, with the two-step search fallback.
+  bool key_hint = true;
+
+  // §5.2: per-bucket MAC buckets holding copies of the entry MACs.
+  bool mac_bucketing = true;
+
+  // §5.1: in-enclave allocator for untrusted memory, drawing chunks of
+  // heap_chunk_bytes per OCALL. When false, every entry allocation pays an
+  // individual OCALL (the ShieldBase configuration of Figure 14).
+  bool extra_heap = true;
+  size_t heap_chunk_bytes = size_t{16} << 20;
+
+  // §6.3: plaintext cache of hot entries in the EPC left over after the MAC
+  // hashes (the ShieldOpt+cache line of Figure 17). cache_slots == 0 derives
+  // a slot count from cache_bytes assuming ~512-byte entries.
+  bool epc_cache = false;
+  size_t cache_bytes = size_t{8} << 20;
+  size_t cache_slots = 0;
+
+  // Integrity machinery on/off (off is only for ablation benches).
+  bool integrity = true;
+
+  // Master secret; empty => drawn from the enclave's DRBG.
+  Bytes master_key;
+};
+
+}  // namespace shield::shieldstore
+
+#endif  // SHIELDSTORE_SRC_SHIELDSTORE_OPTIONS_H_

@@ -1,0 +1,146 @@
+#include "src/shieldstore/partitioned.h"
+
+namespace shield::shieldstore {
+
+PartitionedStore::PartitionedStore(sgx::Enclave& enclave, const Options& options,
+                                   size_t partitions)
+    : enclave_(enclave), base_options_(options) {
+  enclave_.ReadRand(MutableByteSpan(route_key_.data(), route_key_.size()));
+  partitions_ = BuildPartitions(std::max<size_t>(partitions, 1));
+  locks_.clear();
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    locks_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+std::vector<std::unique_ptr<Store>> PartitionedStore::BuildPartitions(size_t count) const {
+  Options per_partition = base_options_;
+  per_partition.num_buckets = std::max<size_t>(base_options_.num_buckets / count, 1);
+  per_partition.num_mac_hashes =
+      base_options_.num_mac_hashes == 0
+          ? 0
+          : std::max<size_t>(base_options_.num_mac_hashes / count, 1);
+  per_partition.cache_bytes = base_options_.cache_bytes / count;
+  per_partition.cache_slots = base_options_.cache_slots / count;
+  std::vector<std::unique_ptr<Store>> result;
+  result.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    result.push_back(std::make_unique<Store>(enclave_, per_partition));
+  }
+  return result;
+}
+
+size_t PartitionedStore::num_partitions() const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  return partitions_.size();
+}
+
+size_t PartitionedStore::PartitionOfLocked(std::string_view key) const {
+  const uint64_t h = crypto::SipHash24(route_key_, AsBytes(key));
+  // Contiguous division of the hash space: hash / (2^64 / P).
+  return static_cast<size_t>(
+      (static_cast<unsigned __int128>(h) * partitions_.size()) >> 64);
+}
+
+size_t PartitionedStore::PartitionOf(std::string_view key) const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  return PartitionOfLocked(key);
+}
+
+Status PartitionedStore::Repartition(size_t new_partitions) {
+  new_partitions = std::max<size_t>(new_partitions, 1);
+  std::unique_lock<std::shared_mutex> structure(structure_mutex_);
+  if (new_partitions == partitions_.size()) {
+    return Status::Ok();
+  }
+  // Build the new layout, then stream every live entry across. Each entry
+  // is decrypted (and integrity-verified) by its old partition and re-sealed
+  // under its new partition's keys.
+  std::vector<std::unique_ptr<Store>> rebuilt = BuildPartitions(new_partitions);
+  const auto route = [&](std::string_view key) {
+    const uint64_t h = crypto::SipHash24(route_key_, AsBytes(key));
+    return static_cast<size_t>(
+        (static_cast<unsigned __int128>(h) * new_partitions) >> 64);
+  };
+  for (const auto& old_partition : partitions_) {
+    const Status s = old_partition->ForEachDecrypted(
+        [&](std::string_view key, std::string_view value) {
+          return rebuilt[route(key)]->Set(key, value);
+        });
+    if (!s.ok()) {
+      return s;  // store unchanged: `rebuilt` is dropped
+    }
+  }
+  partitions_ = std::move(rebuilt);
+  locks_.clear();
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    locks_.push_back(std::make_unique<std::mutex>());
+  }
+  return Status::Ok();
+}
+
+Status PartitionedStore::Set(std::string_view key, std::string_view value) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  const size_t p = PartitionOfLocked(key);
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  return partitions_[p]->Set(key, value);
+}
+
+Result<std::string> PartitionedStore::Get(std::string_view key) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  const size_t p = PartitionOfLocked(key);
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  return partitions_[p]->Get(key);
+}
+
+Status PartitionedStore::Delete(std::string_view key) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  const size_t p = PartitionOfLocked(key);
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  return partitions_[p]->Delete(key);
+}
+
+Status PartitionedStore::Append(std::string_view key, std::string_view suffix) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  const size_t p = PartitionOfLocked(key);
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  return partitions_[p]->Append(key, suffix);
+}
+
+Result<int64_t> PartitionedStore::Increment(std::string_view key, int64_t delta) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  const size_t p = PartitionOfLocked(key);
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  return partitions_[p]->Increment(key, delta);
+}
+
+size_t PartitionedStore::Size() const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  size_t total = 0;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    std::lock_guard<std::mutex> lock(*locks_[p]);
+    total += partitions_[p]->Size();
+  }
+  return total;
+}
+
+kv::StoreStats PartitionedStore::stats() const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  kv::StoreStats total;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    std::lock_guard<std::mutex> lock(*locks_[p]);
+    const kv::StoreStats s = partitions_[p]->stats();
+    total.gets += s.gets;
+    total.sets += s.sets;
+    total.deletes += s.deletes;
+    total.appends += s.appends;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.decryptions += s.decryptions;
+    total.mac_verifications += s.mac_verifications;
+    total.cache_hits += s.cache_hits;
+  }
+  return total;
+}
+
+}  // namespace shield::shieldstore

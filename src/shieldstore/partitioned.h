@@ -1,0 +1,76 @@
+// Multi-threading by hash-key partitioning (§5.3).
+//
+// Each worker thread owns an exclusive partition of the key space; a key's
+// serving partition is fixed by a keyed hash, so two threads never touch the
+// same buckets and the table needs no locks. Following the paper, the
+// partition function divides the hash space contiguously
+// (Partition(KEY) = H(KEY) / total_threads).
+//
+// Two usage modes:
+//  * partition-owned threads (the paper's design): callers route with
+//    PartitionOf() and drive partition(p) from its owning thread, lock-free;
+//  * convenience facade: the KeyValueStore methods below route internally
+//    and take a per-partition mutex, for examples and mixed callers.
+//
+// Repartition() implements the dynamic parallelism adjustment the paper
+// leaves as future work (current SGX cannot change enclave thread counts at
+// runtime; the simulation has no such restriction).
+#ifndef SHIELDSTORE_SRC_SHIELDSTORE_PARTITIONED_H_
+#define SHIELDSTORE_SRC_SHIELDSTORE_PARTITIONED_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/crypto/siphash.h"
+#include "src/kv/interface.h"
+#include "src/shieldstore/store.h"
+
+namespace shield::shieldstore {
+
+class PartitionedStore : public kv::KeyValueStore {
+ public:
+  // `options.num_buckets` is the TOTAL bucket count, split evenly across
+  // partitions (likewise num_mac_hashes, cache_bytes and cache_slots).
+  PartitionedStore(sgx::Enclave& enclave, const Options& options, size_t partitions);
+
+  size_t num_partitions() const;
+  size_t PartitionOf(std::string_view key) const;
+  // Direct partition access for partition-owned threads. Callers in that
+  // mode must not call Repartition concurrently.
+  Store& partition(size_t p) { return *partitions_[p]; }
+
+  // Dynamic parallelism adjustment — §5.3's future work: rebuilds the store
+  // with `new_partitions` partitions, re-encrypting every entry under the
+  // new partitions' keys. Facade calls block for the duration. Fails (store
+  // unchanged) if any entry fails integrity verification.
+  Status Repartition(size_t new_partitions);
+
+  // Locked facade.
+  Status Set(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  Status Append(std::string_view key, std::string_view suffix) override;
+  Result<int64_t> Increment(std::string_view key, int64_t delta) override;
+  size_t Size() const override;
+  std::string Name() const override { return "ShieldStore/partitioned"; }
+  kv::StoreStats stats() const override;
+
+ private:
+  std::vector<std::unique_ptr<Store>> BuildPartitions(size_t count) const;
+  size_t PartitionOfLocked(std::string_view key) const;
+
+  sgx::Enclave& enclave_;
+  Options base_options_;  // the TOTAL geometry, before per-partition split
+  crypto::SipHashKey route_key_{};
+  // structure_mutex_ guards the partition layout (shared for ops, exclusive
+  // for Repartition); per-partition mutexes serialize ops within a partition.
+  mutable std::shared_mutex structure_mutex_;
+  std::vector<std::unique_ptr<Store>> partitions_;
+  mutable std::vector<std::unique_ptr<std::mutex>> locks_;
+};
+
+}  // namespace shield::shieldstore
+
+#endif  // SHIELDSTORE_SRC_SHIELDSTORE_PARTITIONED_H_

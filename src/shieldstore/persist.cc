@@ -1,0 +1,276 @@
+#include "src/shieldstore/persist.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace shield::shieldstore {
+namespace {
+
+constexpr char kMetaMagic[4] = {'S', 'S', 'P', '1'};
+constexpr char kDataMagic[4] = {'S', 'S', 'D', '1'};
+
+// AAD binding the sealed metadata to a specific counter and value.
+Bytes CounterAad(uint32_t id, uint64_t value) {
+  Bytes aad(12);
+  StoreLe32(aad.data(), id);
+  StoreLe64(aad.data() + 4, value);
+  return aad;
+}
+
+Status WriteFileAtomically(const std::string& path, const std::function<bool(FILE*)>& writer) {
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(Code::kIoError, "cannot open " + tmp);
+  }
+  bool ok = writer(f);
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(Code::kIoError, "cannot write " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadWholeFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(Code::kNotFound, "no snapshot at " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes data(size > 0 ? static_cast<size_t>(size) : 0);
+  const size_t got = data.empty() ? 0 : std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (got != data.size()) {
+    return Status(Code::kIoError, "short read of " + path);
+  }
+  return data;
+}
+
+}  // namespace
+
+Snapshotter::Snapshotter(Store& store, const sgx::SealingService& sealer,
+                         sgx::MonotonicCounterService& counters, PersistOptions options)
+    : store_(store), sealer_(sealer), counters_(counters), options_(std::move(options)) {}
+
+Snapshotter::~Snapshotter() {
+  if (writer_.joinable()) {
+    writer_.join();
+  }
+}
+
+std::string Snapshotter::MetaPath() const {
+  return options_.directory + "/shieldstore.meta";
+}
+
+std::string Snapshotter::DataPath() const {
+  return options_.directory + "/shieldstore.data";
+}
+
+Status Snapshotter::SealAndWriteMetadata(uint64_t counter_value) {
+  const Bytes metadata = store_.ExportSecureMetadata();
+  const Bytes aad = CounterAad(static_cast<uint32_t>(counter_id_), counter_value);
+  const Bytes sealed = sealer_.Seal(metadata, aad);
+  return WriteFileAtomically(MetaPath(), [&](FILE* f) {
+    bool ok = std::fwrite(kMetaMagic, 1, 4, f) == 4;
+    uint8_t header[12];
+    StoreLe32(header, static_cast<uint32_t>(counter_id_));
+    StoreLe64(header + 4, counter_value);
+    ok = ok && std::fwrite(header, 1, sizeof(header), f) == sizeof(header);
+    ok = ok && std::fwrite(sealed.data(), 1, sealed.size(), f) == sealed.size();
+    return ok;
+  });
+}
+
+Status Snapshotter::WriteDataFile() {
+  // §4.4: entries are already ciphertext in untrusted memory — stream them
+  // out verbatim, no re-encryption.
+  return WriteFileAtomically(DataPath(), [&](FILE* f) {
+    bool ok = std::fwrite(kDataMagic, 1, 4, f) == 4;
+    uint64_t count = 0;
+    const long count_pos = std::ftell(f);
+    uint8_t count_bytes[8] = {};
+    ok = ok && std::fwrite(count_bytes, 1, 8, f) == 8;
+    store_.ForEachEntryRecord([&](ByteSpan record) {
+      if (!ok) {
+        return;
+      }
+      uint8_t len[4];
+      StoreLe32(len, static_cast<uint32_t>(record.size()));
+      ok = std::fwrite(len, 1, 4, f) == 4 &&
+           std::fwrite(record.data(), 1, record.size(), f) == record.size();
+      ++count;
+    });
+    if (ok) {
+      std::fseek(f, count_pos, SEEK_SET);
+      StoreLe64(count_bytes, count);
+      ok = std::fwrite(count_bytes, 1, 8, f) == 8;
+    }
+    return ok;
+  });
+}
+
+Status Snapshotter::StartSnapshot() {
+  if (in_progress_) {
+    return Status(Code::kInvalidArgument, "snapshot already in progress");
+  }
+  if (counter_id_ < 0) {
+    // Adopt the counter bound to any existing snapshot in this directory:
+    // creating a fresh counter per snapshotter would let an attacker replay
+    // a stale snapshot against a counter that never advanced.
+    Result<Bytes> existing = ReadWholeFile(MetaPath());
+    if (existing.ok() && existing->size() >= 16 &&
+        std::memcmp(existing->data(), kMetaMagic, 4) == 0) {
+      counter_id_ = static_cast<int32_t>(LoadLe32(existing->data() + 4));
+    } else {
+      Result<uint32_t> id = counters_.CreateCounter();
+      if (!id.ok()) {
+        return id.status();
+      }
+      counter_id_ = static_cast<int32_t>(id.value());
+    }
+  }
+
+  if (options_.optimized) {
+    // Algorithm 1: freeze the main table behind a snapshot epoch first, then
+    // seal metadata consistent with the frozen table.
+    if (Status s = store_.BeginSnapshotEpoch(); !s.ok()) {
+      return s;
+    }
+  }
+  Result<uint64_t> value = counters_.Increment(static_cast<uint32_t>(counter_id_));
+  if (!value.ok()) {
+    if (options_.optimized) {
+      (void)store_.EndSnapshotEpoch();
+    }
+    return value.status();
+  }
+  if (Status s = SealAndWriteMetadata(value.value()); !s.ok()) {
+    if (options_.optimized) {
+      (void)store_.EndSnapshotEpoch();
+    }
+    return s;
+  }
+
+  if (!options_.optimized) {
+    // Naive persistence: the owner writes the data file inline; every
+    // request issued meanwhile is simply stalled behind this call.
+    return WriteDataFile();
+  }
+
+  in_progress_ = true;
+  writer_done_.store(false, std::memory_order_release);
+  writer_ = std::thread([this] {
+    writer_status_ = WriteDataFile();
+    writer_done_.store(true, std::memory_order_release);
+  });
+  return Status::Ok();
+}
+
+bool Snapshotter::WriterDone() const {
+  return writer_done_.load(std::memory_order_acquire);
+}
+
+Status Snapshotter::FinishSnapshot(bool wait) {
+  if (!in_progress_) {
+    return Status::Ok();
+  }
+  if (!wait && !WriterDone()) {
+    return Status(Code::kInvalidArgument, "writer still running");
+  }
+  writer_.join();
+  in_progress_ = false;
+  const Status writer_status = writer_status_;
+  // Merge the epoch's temporary table back into the main table (Alg. 1
+  // step: "update the main table with the temporary table").
+  const Status merge = store_.EndSnapshotEpoch();
+  if (!writer_status.ok()) {
+    return writer_status;
+  }
+  return merge;
+}
+
+Status Snapshotter::SnapshotNow() {
+  if (Status s = StartSnapshot(); !s.ok()) {
+    return s;
+  }
+  return FinishSnapshot(/*wait=*/true);
+}
+
+Result<std::unique_ptr<Store>> Snapshotter::Recover(sgx::Enclave& enclave,
+                                                    const Options& options,
+                                                    const sgx::SealingService& sealer,
+                                                    sgx::MonotonicCounterService& counters,
+                                                    const PersistOptions& persist) {
+  Result<Bytes> meta_file = ReadWholeFile(persist.directory + "/shieldstore.meta");
+  if (!meta_file.ok()) {
+    return meta_file.status();
+  }
+  const Bytes& meta = meta_file.value();
+  if (meta.size() < 16 || std::memcmp(meta.data(), kMetaMagic, 4) != 0) {
+    return Status(Code::kIntegrityFailure, "metadata file corrupted");
+  }
+  const uint32_t counter_id = LoadLe32(meta.data() + 4);
+  const uint64_t sealed_value = LoadLe64(meta.data() + 8);
+
+  // Rollback check BEFORE trusting anything else: the sealed value must
+  // match the live monotonic counter exactly.
+  Result<uint64_t> live = counters.Read(counter_id);
+  if (!live.ok()) {
+    return Status(Code::kRollbackDetected, "monotonic counter missing");
+  }
+  if (live.value() != sealed_value) {
+    return Status(Code::kRollbackDetected, "snapshot counter value " +
+                                               std::to_string(sealed_value) +
+                                               " != live counter " +
+                                               std::to_string(live.value()));
+  }
+
+  const Bytes aad = CounterAad(counter_id, sealed_value);
+  Result<Bytes> metadata = sealer.Unseal(ByteSpan(meta.data() + 16, meta.size() - 16), aad);
+  if (!metadata.ok()) {
+    return metadata.status();
+  }
+
+  auto store = std::make_unique<Store>(enclave, options);
+  if (Status s = store->ImportSecureMetadata(metadata.value()); !s.ok()) {
+    return s;
+  }
+
+  Result<Bytes> data_file = ReadWholeFile(persist.directory + "/shieldstore.data");
+  if (!data_file.ok()) {
+    return data_file.status();
+  }
+  const Bytes& data = data_file.value();
+  if (data.size() < 12 || std::memcmp(data.data(), kDataMagic, 4) != 0) {
+    return Status(Code::kIntegrityFailure, "data file corrupted");
+  }
+  const uint64_t count = LoadLe64(data.data() + 4);
+  size_t offset = 12;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (offset + 4 > data.size()) {
+      return Status(Code::kIntegrityFailure, "data file truncated");
+    }
+    const uint32_t len = LoadLe32(data.data() + offset);
+    offset += 4;
+    if (offset + len > data.size()) {
+      return Status(Code::kIntegrityFailure, "data file truncated");
+    }
+    if (Status s = store->RestoreEntry(ByteSpan(data.data() + offset, len)); !s.ok()) {
+      return s;
+    }
+    offset += len;
+  }
+  if (offset != data.size()) {
+    return Status(Code::kIntegrityFailure, "trailing garbage in data file");
+  }
+  if (Status s = store->FinishRestore(); !s.ok()) {
+    return s;
+  }
+  return store;
+}
+
+}  // namespace shield::shieldstore

@@ -1,0 +1,865 @@
+#include "src/shieldstore/store.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+namespace shield::shieldstore {
+namespace {
+
+// Serialized entry record layout (ForEachEntryRecord / RestoreEntry):
+// [bucket:8][key_size:4][val_size:4][key_hint:1][flags:1][iv_ctr:16][mac:16][ct].
+constexpr size_t kRecordHeader = 8 + 4 + 4 + 1 + 1 + 16 + 16;
+
+}  // namespace
+
+// ----------------------------------------------------------- UntrustedHeap
+
+UntrustedHeap::UntrustedHeap(sgx::Boundary& boundary, bool extra_heap, size_t chunk_bytes)
+    : boundary_(boundary), extra_heap_(extra_heap) {
+  if (extra_heap_) {
+    free_list_ = std::make_unique<alloc::FreeListAllocator>(
+        [this](size_t min_bytes) -> alloc::Chunk {
+          // §5.1: the in-enclave allocator ran out of pooled memory; one
+          // OCALL obtains a fresh chunk of untrusted memory via mmap.
+          return boundary_.Ocall([this, min_bytes]() -> alloc::Chunk {
+            void* mem = mmap(nullptr, min_bytes, PROT_READ | PROT_WRITE,
+                             MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+            if (mem == MAP_FAILED) {
+              return {};
+            }
+            std::lock_guard<std::mutex> lock(mappings_mutex_);
+            mappings_.emplace_back(mem, min_bytes);
+            return alloc::Chunk{mem, min_bytes};
+          });
+        },
+        chunk_bytes, /*thread_safe=*/true);
+  }
+}
+
+UntrustedHeap::~UntrustedHeap() {
+  for (const auto& [base, bytes] : mappings_) {
+    munmap(base, bytes);
+  }
+}
+
+void* UntrustedHeap::Allocate(size_t bytes) {
+  if (extra_heap_) {
+    return free_list_->Allocate(bytes);
+  }
+  // ShieldBase path: every allocation crosses the boundary individually.
+  direct_ocalls_.fetch_add(1, std::memory_order_relaxed);
+  return boundary_.Ocall([bytes]() -> void* {
+    uint64_t* mem = static_cast<uint64_t*>(std::malloc(bytes + 8));
+    if (mem == nullptr) {
+      return nullptr;
+    }
+    *mem = bytes;
+    return mem + 1;
+  });
+}
+
+void UntrustedHeap::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  if (extra_heap_) {
+    free_list_->Free(ptr);
+    return;
+  }
+  direct_ocalls_.fetch_add(1, std::memory_order_relaxed);
+  boundary_.Ocall([ptr]() { std::free(static_cast<uint64_t*>(ptr) - 1); });
+}
+
+size_t UntrustedHeap::UsableSize(void* ptr) const {
+  if (extra_heap_) {
+    return alloc::FreeListAllocator::UsableSize(ptr);
+  }
+  return static_cast<size_t>(*(static_cast<uint64_t*>(ptr) - 1));
+}
+
+uint64_t UntrustedHeap::ocall_count() const {
+  if (extra_heap_) {
+    return free_list_->stats().chunk_requests;
+  }
+  return direct_ocalls_.load(std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------------- Store
+
+Store::Store(sgx::Enclave& enclave, const Options& options)
+    : enclave_(enclave), options_(options) {
+  assert(options_.num_buckets > 0);
+  num_mac_hashes_ = options_.num_mac_hashes == 0
+                        ? options_.num_buckets
+                        : std::min(options_.num_mac_hashes, options_.num_buckets);
+  buckets_per_set_ = (options_.num_buckets + num_mac_hashes_ - 1) / num_mac_hashes_;
+
+  keys_ = static_cast<kv::StoreKeys*>(enclave_.Allocate(sizeof(kv::StoreKeys)));
+  Bytes master = options_.master_key;
+  if (master.empty()) {
+    master.resize(32);
+    enclave_.ReadRand(master);
+  }
+  enclave_.Touch(keys_, sizeof(kv::StoreKeys), /*write=*/true);
+  *keys_ = kv::StoreKeys::Derive(master);
+
+  // The flattened Merkle "tree" (§4.3): one trusted MAC hash per bucket set,
+  // in enclave memory. Pages fault in lazily on first use; a trusted
+  // initialized-bitmap distinguishes "never written" (hash of the empty set)
+  // from stored values.
+  mac_hashes_ = static_cast<crypto::Mac*>(enclave_.Allocate(num_mac_hashes_ * 16));
+
+  buckets_.assign(options_.num_buckets, Bucket{});
+  heap_ = std::make_unique<UntrustedHeap>(enclave_.boundary(), options_.extra_heap,
+                                          options_.heap_chunk_bytes);
+  if (options_.epc_cache) {
+    const size_t slots =
+        options_.cache_slots != 0 ? options_.cache_slots : std::max<size_t>(options_.cache_bytes / 512, 16);
+    cache_ = std::make_unique<EnclaveCache>(enclave_, slots);
+  }
+
+  const size_t bitmap_words = (num_mac_hashes_ + 63) / 64;
+  uint64_t* bitmap = static_cast<uint64_t*>(enclave_.Allocate(bitmap_words * 8));
+  enclave_.Touch(bitmap, bitmap_words * 8, /*write=*/true);
+  std::memset(bitmap, 0, bitmap_words * 8);
+  mac_init_bitmap_ = bitmap;
+}
+
+Store::~Store() {
+  // Chains live in untrusted memory and may have been corrupted by an
+  // attacker; teardown must never follow hostile pointers, loop on cycles,
+  // or double-free. Collect bounded, deduplicated pointer lists first;
+  // abandoned blocks die with the heap's mappings.
+  const size_t max_steps = entry_count_ + 64;
+  std::vector<void*> doomed;
+  for (Bucket& bucket : buckets_) {
+    size_t steps = 0;
+    for (kv::EntryHeader* e = bucket.head;
+         e != nullptr && !enclave_.ContainsAddress(e) && steps++ < max_steps; e = e->next) {
+      doomed.push_back(e);
+    }
+    steps = 0;
+    for (MacBucket* mb = bucket.macs;
+         mb != nullptr && !enclave_.ContainsAddress(mb) && steps++ < max_steps; mb = mb->next) {
+      doomed.push_back(mb);
+    }
+  }
+  std::sort(doomed.begin(), doomed.end());
+  doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
+  for (void* p : doomed) {
+    heap_->Free(p);
+  }
+  cache_.reset();
+  enclave_.Free(mac_init_bitmap_);
+  enclave_.Free(mac_hashes_);
+  enclave_.Free(keys_);
+}
+
+void Store::TouchKeys() const {
+  enclave_.Touch(keys_, sizeof(kv::StoreKeys));
+}
+
+Status Store::CheckUntrustedPointer(const void* ptr) const {
+  // §7: a corrupted chain pointer redirected into the enclave could make the
+  // store overwrite trusted state; refuse to follow such pointers.
+  if (ptr != nullptr && enclave_.ContainsAddress(ptr)) {
+    return Status(Code::kIntegrityFailure, "untrusted pointer aliases enclave memory");
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- MAC hashing
+
+bool Store::SetInitialized(size_t set) const {
+  const uint64_t* word = mac_init_bitmap_ + set / 64;
+  enclave_.Touch(word, 8);
+  return (*word >> (set % 64)) & 1;
+}
+
+void Store::MarkSetInitialized(size_t set) {
+  uint64_t* word = mac_init_bitmap_ + set / 64;
+  enclave_.Touch(word, 8, /*write=*/true);
+  *word |= uint64_t{1} << (set % 64);
+}
+
+crypto::Mac Store::ComputeBucketSetMac(size_t set) const {
+  TouchKeys();
+  crypto::Cmac cmac(ByteSpan(keys_->mac_key.data(), keys_->mac_key.size()));
+  uint8_t index[8];
+  StoreLe64(index, static_cast<uint64_t>(set));
+  cmac.Update(ByteSpan(index, sizeof(index)));
+  const size_t begin = set * buckets_per_set_;
+  const size_t end = std::min(begin + buckets_per_set_, options_.num_buckets);
+  for (size_t b = begin; b < end; ++b) {
+    const Bucket& bucket = buckets_[b];
+    if (options_.mac_bucketing && bucket.macs != nullptr) {
+      // §5.2: read the contiguous MAC copies instead of chasing entries.
+      for (const MacBucket* mb = bucket.macs; mb != nullptr; mb = mb->next) {
+        cmac.Update(ByteSpan(&mb->macs[0][0], size_t{16} * mb->count));
+      }
+    } else {
+      for (const kv::EntryHeader* e = bucket.head; e != nullptr; e = e->next) {
+        cmac.Update(ByteSpan(e->mac, 16));
+      }
+    }
+  }
+  return cmac.Finalize();
+}
+
+Status Store::VerifyBucketSet(size_t set) {
+  if (!options_.integrity) {
+    return Status::Ok();
+  }
+  stats_.mac_verifications++;
+  const crypto::Mac computed = ComputeBucketSetMac(set);
+  if (SetInitialized(set)) {
+    enclave_.Touch(&mac_hashes_[set], 16);
+    if (!ConstantTimeEqual(ByteSpan(computed.data(), 16), ByteSpan(mac_hashes_[set].data(), 16))) {
+      return Status(Code::kIntegrityFailure, "bucket-set MAC hash mismatch");
+    }
+    return Status::Ok();
+  }
+  // Never written: the trusted value is the MAC of the empty set.
+  TouchKeys();
+  crypto::Cmac empty(ByteSpan(keys_->mac_key.data(), keys_->mac_key.size()));
+  uint8_t index[8];
+  StoreLe64(index, static_cast<uint64_t>(set));
+  empty.Update(ByteSpan(index, sizeof(index)));
+  const crypto::Mac expected = empty.Finalize();
+  if (!ConstantTimeEqual(ByteSpan(computed.data(), 16), ByteSpan(expected.data(), 16))) {
+    return Status(Code::kIntegrityFailure, "entries forged into untouched bucket set");
+  }
+  return Status::Ok();
+}
+
+void Store::StoreBucketSetMac(size_t set) {
+  if (!options_.integrity) {
+    return;
+  }
+  const crypto::Mac computed = ComputeBucketSetMac(set);
+  enclave_.Touch(&mac_hashes_[set], 16, /*write=*/true);
+  mac_hashes_[set] = computed;
+  MarkSetInitialized(set);
+}
+
+// ------------------------------------------------------------- MAC buckets
+
+void Store::RebuildMacBucket(size_t bucket_index) {
+  if (!options_.mac_bucketing) {
+    return;
+  }
+  Bucket& bucket = buckets_[bucket_index];
+  MacBucket* node = bucket.macs;
+  MacBucket* prev = nullptr;
+  size_t slot = 0;
+  for (const kv::EntryHeader* e = bucket.head; e != nullptr; e = e->next) {
+    if (node == nullptr) {
+      node = static_cast<MacBucket*>(heap_->Allocate(sizeof(MacBucket)));
+      node->next = nullptr;
+      node->count = 0;
+      if (prev != nullptr) {
+        prev->next = node;
+      } else {
+        bucket.macs = node;
+      }
+    }
+    std::memcpy(node->macs[slot], e->mac, 16);
+    ++slot;
+    node->count = static_cast<uint32_t>(slot);
+    if (slot == MacBucket::kCapacity) {
+      prev = node;
+      node = node->next;
+      slot = 0;
+    }
+  }
+  // Trim surplus nodes.
+  MacBucket* surplus;
+  if (slot == 0) {
+    // The current node (if any) is entirely unused.
+    surplus = node;
+    if (prev != nullptr) {
+      prev->next = nullptr;
+    } else {
+      bucket.macs = nullptr;
+    }
+  } else {
+    surplus = node->next;
+    node->next = nullptr;
+  }
+  while (surplus != nullptr) {
+    MacBucket* next = surplus->next;
+    heap_->Free(surplus);
+    surplus = next;
+  }
+}
+
+void Store::UpdateMacBucketSlot(size_t bucket_index, size_t position, const uint8_t mac[16]) {
+  if (!options_.mac_bucketing) {
+    return;
+  }
+  MacBucket* node = buckets_[bucket_index].macs;
+  size_t hop = position / MacBucket::kCapacity;
+  while (hop-- > 0) {
+    node = node->next;
+  }
+  std::memcpy(node->macs[position % MacBucket::kCapacity], mac, 16);
+}
+
+// ------------------------------------------------------------------ search
+
+Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key, uint8_t hint,
+                                             bool full_walk) {
+  const size_t max_steps = entry_count_ + 8;  // cycle guard for corrupted chains
+  const bool check_copies = options_.mac_bucketing && options_.integrity;
+  SearchResult result;
+
+  // Cross-check cursor into the bucket's MAC-copy list.
+  const MacBucket* copy_node = buckets_[bucket].macs;
+  size_t copy_slot = 0;
+
+  // First step (§5.4): follow the chain, decrypting only hint matches.
+  kv::EntryHeader* prev = nullptr;
+  kv::EntryHeader* entry = buckets_[bucket].head;
+  size_t steps = 0;
+  size_t position = 0;
+  bool walked_to_end = true;
+  while (entry != nullptr) {
+    if (Status s = CheckUntrustedPointer(entry); !s.ok()) {
+      return s;
+    }
+    if (++steps > max_steps) {
+      return Status(Code::kIntegrityFailure, "hash chain cycle detected");
+    }
+    if (check_copies) {
+      if (copy_node != nullptr && !enclave_.ContainsAddress(copy_node) &&
+          copy_slot < copy_node->count &&
+          std::memcmp(entry->mac, copy_node->macs[copy_slot], 16) == 0) {
+        ++copy_slot;
+        if (copy_slot == MacBucket::kCapacity) {
+          copy_node = copy_node->next;
+          copy_slot = 0;
+        }
+      } else {
+        return Status(Code::kIntegrityFailure, "entry MAC diverges from MAC bucket");
+      }
+    }
+    if (result.entry == nullptr && (!options_.key_hint || entry->key_hint == hint)) {
+      stats_.decryptions++;
+      TouchKeys();
+      if (kv::EntryKeyEquals(*keys_, *entry, key)) {
+        result.entry = entry;
+        result.prev = prev;
+        result.position = position;
+        if (!full_walk) {
+          walked_to_end = false;
+          break;
+        }
+      }
+    }
+    prev = entry;
+    entry = entry->next;
+    ++position;
+  }
+  if (check_copies && walked_to_end) {
+    // Count check: the copy list must end exactly where the chain did, or an
+    // unlinked tail entry would vanish as a clean miss.
+    const bool leftovers =
+        copy_node != nullptr && (copy_slot < copy_node->count || copy_node->next != nullptr);
+    if (leftovers) {
+      return Status(Code::kIntegrityFailure, "MAC bucket longer than hash chain");
+    }
+  }
+  if (result.entry != nullptr || !options_.key_hint) {
+    return result;  // found, or the single pass was already a full search
+  }
+
+  // Second step: full search decrypting every key — preserves availability
+  // when an attacker tampers with the plaintext hints (§5.4).
+  prev = nullptr;
+  entry = buckets_[bucket].head;
+  steps = 0;
+  position = 0;
+  while (entry != nullptr) {
+    if (++steps > max_steps) {
+      return Status(Code::kIntegrityFailure, "hash chain cycle detected");
+    }
+    if (entry->key_hint != hint) {  // hint matches were decrypted in step one
+      stats_.decryptions++;
+      TouchKeys();
+      if (kv::EntryKeyEquals(*keys_, *entry, key)) {
+        result.entry = entry;
+        result.prev = prev;
+        result.position = position;
+        result.used_full_search = true;
+        return result;
+      }
+    }
+    prev = entry;
+    entry = entry->next;
+    ++position;
+  }
+  return result;  // not found
+}
+
+// -------------------------------------------------------------- operations
+
+Status Store::Set(std::string_view key, std::string_view value) {
+  if (temp_table_ != nullptr) {
+    return temp_table_->SetInternal(key, value, 0);
+  }
+  return SetInternal(key, value, 0);
+}
+
+Result<std::string> Store::Get(std::string_view key) {
+  uint8_t flags = 0;
+  if (temp_table_ != nullptr) {
+    Result<std::string> from_temp = temp_table_->GetInternal(key, &flags);
+    if (from_temp.ok()) {
+      if (flags & kFlagTombstone) {
+        return Status(Code::kNotFound, "deleted during snapshot epoch");
+      }
+      return from_temp;
+    }
+    if (from_temp.status().code() != Code::kNotFound) {
+      return from_temp.status();
+    }
+  }
+  return GetInternal(key, &flags);
+}
+
+Status Store::Delete(std::string_view key) {
+  if (temp_table_ != nullptr) {
+    // Tombstone in the temporary table; applied to the main table on merge.
+    // Preserve delete semantics: only keys currently visible through the
+    // epoch layering may be deleted.
+    uint8_t flags = 0;
+    Result<std::string> in_temp = temp_table_->GetInternal(key, &flags);
+    if (in_temp.ok()) {
+      if (flags & kFlagTombstone) {
+        return Status(Code::kNotFound, "already deleted during snapshot epoch");
+      }
+    } else if (in_temp.status().code() == Code::kNotFound) {
+      Result<std::string> in_main = GetInternal(key, &flags);
+      if (!in_main.ok()) {
+        return in_main.status();  // kNotFound or an integrity failure
+      }
+    } else {
+      return in_temp.status();
+    }
+    return temp_table_->SetInternal(key, "", kFlagTombstone);
+  }
+  return DeleteInternal(key);
+}
+
+Result<std::string> Store::GetInternal(std::string_view key, uint8_t* flags_out) {
+  stats_.gets++;
+  TouchKeys();
+  const uint64_t hash = kv::BucketHash(*keys_, key);
+
+  if (cache_ != nullptr) {
+    if (std::optional<std::string> hit = cache_->Get(hash, key)) {
+      stats_.cache_hits++;
+      stats_.hits++;
+      *flags_out = 0;
+      return std::move(*hit);
+    }
+  }
+
+  const size_t bucket = BucketIndex(hash);
+  const uint8_t hint = kv::KeyHint(*keys_, key);
+  Result<SearchResult> found = FindEntry(bucket, key, hint, /*full_walk=*/false);
+  if (!found.ok()) {
+    return found.status();
+  }
+  // Freshness/completeness check (§4.3): recompute the bucket-set MAC hash
+  // and compare against the trusted in-enclave copy. Performed for misses
+  // too — a mismatch there means entries were unlinked by an attacker.
+  if (Status s = VerifyBucketSet(SetOf(bucket)); !s.ok()) {
+    return s;
+  }
+  if (found->entry == nullptr) {
+    stats_.misses++;
+    return Status(Code::kNotFound, "no such key");
+  }
+  TouchKeys();
+  Result<std::string> value = kv::OpenEntryValue(*keys_, *found->entry);
+  if (!value.ok()) {
+    return value.status();
+  }
+  stats_.hits++;
+  *flags_out = found->entry->flags;
+  if (cache_ != nullptr) {
+    cache_->Put(hash, key, value.value());
+  }
+  return value;
+}
+
+Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t flags) {
+  stats_.sets++;
+  TouchKeys();
+  const uint64_t hash = kv::BucketHash(*keys_, key);
+  const size_t bucket = BucketIndex(hash);
+  const size_t set = SetOf(bucket);
+  const uint8_t hint = kv::KeyHint(*keys_, key);
+
+  Result<SearchResult> found = FindEntry(bucket, key, hint, /*full_walk=*/true);
+  if (!found.ok()) {
+    return found.status();
+  }
+  // Verify before update: never fold tampered state into a fresh MAC hash.
+  if (Status s = VerifyBucketSet(set); !s.ok()) {
+    return s;
+  }
+
+  if (found->entry != nullptr) {
+    kv::EntryHeader* entry = found->entry;
+    const size_t needed = kv::EntryHeader::BytesNeeded(key.size(), value.size());
+    if (heap_->UsableSize(entry) >= needed) {
+      TouchKeys();
+      kv::ResealEntry(*keys_, key, value, flags, entry);
+    } else {
+      // Grow: move to a larger block, carrying the IV/counter history along
+      // so the reseal still advances it.
+      kv::EntryHeader* grown = static_cast<kv::EntryHeader*>(heap_->Allocate(needed));
+      if (grown == nullptr) {
+        return Status(Code::kCapacityExceeded, "untrusted heap exhausted");
+      }
+      std::memcpy(grown->iv_ctr, entry->iv_ctr, 16);
+      grown->next = entry->next;
+      TouchKeys();
+      kv::ResealEntry(*keys_, key, value, flags, grown);
+      if (found->prev != nullptr) {
+        found->prev->next = grown;
+      } else {
+        buckets_[bucket].head = grown;
+      }
+      heap_->Free(entry);
+      entry = grown;
+    }
+    UpdateMacBucketSlot(bucket, found->position, entry->mac);
+  } else {
+    const size_t needed = kv::EntryHeader::BytesNeeded(key.size(), value.size());
+    kv::EntryHeader* entry = static_cast<kv::EntryHeader*>(heap_->Allocate(needed));
+    if (entry == nullptr) {
+      return Status(Code::kCapacityExceeded, "untrusted heap exhausted");
+    }
+    uint8_t iv[16];
+    enclave_.ReadRand(MutableByteSpan(iv, sizeof(iv)));
+    TouchKeys();
+    kv::SealNewEntry(*keys_, key, value, flags, ByteSpan(iv, sizeof(iv)), entry);
+    entry->next = buckets_[bucket].head;
+    buckets_[bucket].head = entry;
+    ++entry_count_;
+    RebuildMacBucket(bucket);
+  }
+
+  StoreBucketSetMac(set);
+  if (cache_ != nullptr) {
+    if (flags == 0) {
+      cache_->Put(hash, key, value);
+    } else {
+      cache_->Invalidate(hash, key);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Store::DeleteInternal(std::string_view key) {
+  stats_.deletes++;
+  TouchKeys();
+  const uint64_t hash = kv::BucketHash(*keys_, key);
+  const size_t bucket = BucketIndex(hash);
+  const size_t set = SetOf(bucket);
+  const uint8_t hint = kv::KeyHint(*keys_, key);
+
+  Result<SearchResult> found = FindEntry(bucket, key, hint, /*full_walk=*/true);
+  if (!found.ok()) {
+    return found.status();
+  }
+  if (Status s = VerifyBucketSet(set); !s.ok()) {
+    return s;
+  }
+  if (found->entry == nullptr) {
+    return Status(Code::kNotFound, "no such key");
+  }
+  if (found->prev != nullptr) {
+    found->prev->next = found->entry->next;
+  } else {
+    buckets_[bucket].head = found->entry->next;
+  }
+  heap_->Free(found->entry);
+  --entry_count_;
+  RebuildMacBucket(bucket);
+  StoreBucketSetMac(set);
+  if (cache_ != nullptr) {
+    cache_->Invalidate(hash, key);
+  }
+  return Status::Ok();
+}
+
+size_t Store::Size() const {
+  size_t n = entry_count_;
+  if (temp_table_ != nullptr) {
+    n += temp_table_->Size();  // approximate: overwrites counted twice
+  }
+  return n;
+}
+
+kv::StoreStats Store::stats() const {
+  kv::StoreStats s = stats_;
+  if (cache_ != nullptr) {
+    s.cache_hits = cache_->hits();
+  }
+  return s;
+}
+
+Status Store::VerifyFullIntegrity() const {
+  for (size_t set = 0; set < num_mac_hashes_; ++set) {
+    const crypto::Mac computed = ComputeBucketSetMac(set);
+    crypto::Mac expected;
+    if (SetInitialized(set)) {
+      enclave_.Touch(&mac_hashes_[set], 16);
+      expected = mac_hashes_[set];
+    } else {
+      TouchKeys();
+      crypto::Cmac empty(ByteSpan(keys_->mac_key.data(), keys_->mac_key.size()));
+      uint8_t index[8];
+      StoreLe64(index, static_cast<uint64_t>(set));
+      empty.Update(ByteSpan(index, sizeof(index)));
+      expected = empty.Finalize();
+    }
+    if (!ConstantTimeEqual(ByteSpan(computed.data(), 16), ByteSpan(expected.data(), 16))) {
+      return Status(Code::kIntegrityFailure, "bucket-set " + std::to_string(set) + " corrupted");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Store::ForEachDecrypted(
+    const std::function<Status(std::string_view key, std::string_view value)>& fn) const {
+  for (size_t b = 0; b < options_.num_buckets; ++b) {
+    size_t steps = 0;
+    const size_t max_steps = entry_count_ + 8;
+    for (const kv::EntryHeader* e = buckets_[b].head; e != nullptr; e = e->next) {
+      if (Status s = CheckUntrustedPointer(e); !s.ok()) {
+        return s;
+      }
+      if (++steps > max_steps) {
+        return Status(Code::kIntegrityFailure, "hash chain cycle detected");
+      }
+      TouchKeys();
+      Result<std::string> value = kv::OpenEntryValue(*keys_, *e);
+      if (!value.ok()) {
+        return value.status();
+      }
+      if (e->flags & kFlagTombstone) {
+        continue;
+      }
+      const std::string key = kv::OpenEntryKey(*keys_, *e);
+      if (Status s = fn(key, value.value()); !s.ok()) {
+        return s;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------- snapshot persistence
+
+Bytes Store::ExportSecureMetadata() const {
+  TouchKeys();
+  const size_t bitmap_words = (num_mac_hashes_ + 63) / 64;
+  Bytes out;
+  out.reserve(44 + 64 + bitmap_words * 8 + num_mac_hashes_ * 16);
+  auto put64 = [&out](uint64_t v) {
+    uint8_t b[8];
+    StoreLe64(b, v);
+    out.insert(out.end(), b, b + 8);
+  };
+  out.insert(out.end(), {'S', 'S', 'M', '1'});
+  put64(options_.num_buckets);
+  put64(num_mac_hashes_);
+  put64(entry_count_);
+  out.insert(out.end(), keys_->enc_key.begin(), keys_->enc_key.end());
+  out.insert(out.end(), keys_->mac_key.begin(), keys_->mac_key.end());
+  out.insert(out.end(), keys_->index_key.begin(), keys_->index_key.end());
+  out.insert(out.end(), keys_->hint_key.begin(), keys_->hint_key.end());
+  enclave_.Touch(mac_init_bitmap_, bitmap_words * 8);
+  out.insert(out.end(), reinterpret_cast<const uint8_t*>(mac_init_bitmap_),
+             reinterpret_cast<const uint8_t*>(mac_init_bitmap_) + bitmap_words * 8);
+  enclave_.Touch(mac_hashes_, num_mac_hashes_ * 16);
+  out.insert(out.end(), reinterpret_cast<const uint8_t*>(mac_hashes_),
+             reinterpret_cast<const uint8_t*>(mac_hashes_) + num_mac_hashes_ * 16);
+  return out;
+}
+
+Status Store::ImportSecureMetadata(ByteSpan metadata) {
+  if (entry_count_ != 0) {
+    return Status(Code::kInvalidArgument, "metadata import requires an empty store");
+  }
+  const size_t bitmap_words = (num_mac_hashes_ + 63) / 64;
+  const size_t expect = 4 + 24 + 64 + bitmap_words * 8 + num_mac_hashes_ * 16;
+  if (metadata.size() != expect || std::memcmp(metadata.data(), "SSM1", 4) != 0) {
+    return Status(Code::kInvalidArgument, "metadata blob malformed");
+  }
+  const uint64_t num_buckets = LoadLe64(metadata.data() + 4);
+  const uint64_t num_hashes = LoadLe64(metadata.data() + 12);
+  if (num_buckets != options_.num_buckets || num_hashes != num_mac_hashes_) {
+    return Status(Code::kInvalidArgument, "store geometry differs from snapshot");
+  }
+  restore_expected_entries_ = LoadLe64(metadata.data() + 20);
+  const uint8_t* p = metadata.data() + 28;
+  enclave_.Touch(keys_, sizeof(kv::StoreKeys), /*write=*/true);
+  std::memcpy(keys_->enc_key.data(), p, 16);
+  std::memcpy(keys_->mac_key.data(), p + 16, 16);
+  std::memcpy(keys_->index_key.data(), p + 32, 16);
+  std::memcpy(keys_->hint_key.data(), p + 48, 16);
+  p += 64;
+  enclave_.Touch(mac_init_bitmap_, bitmap_words * 8, /*write=*/true);
+  std::memcpy(mac_init_bitmap_, p, bitmap_words * 8);
+  p += bitmap_words * 8;
+  enclave_.Touch(mac_hashes_, num_mac_hashes_ * 16, /*write=*/true);
+  std::memcpy(mac_hashes_, p, num_mac_hashes_ * 16);
+  return Status::Ok();
+}
+
+void Store::ForEachEntryRecord(const std::function<void(ByteSpan record)>& fn) const {
+  Bytes record;
+  std::vector<const kv::EntryHeader*> chain;
+  for (size_t b = 0; b < options_.num_buckets; ++b) {
+    chain.clear();
+    for (const kv::EntryHeader* e = buckets_[b].head; e != nullptr; e = e->next) {
+      chain.push_back(e);
+    }
+    // Reverse order: restoring with head-insertion recreates today's chain.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const kv::EntryHeader* e = *it;
+      record.resize(kRecordHeader + e->CiphertextSize());
+      StoreLe64(record.data(), static_cast<uint64_t>(b));
+      StoreLe32(record.data() + 8, e->key_size);
+      StoreLe32(record.data() + 12, e->val_size);
+      record[16] = e->key_hint;
+      record[17] = e->flags;
+      std::memcpy(record.data() + 18, e->iv_ctr, 16);
+      std::memcpy(record.data() + 34, e->mac, 16);
+      std::memcpy(record.data() + kRecordHeader, e->Ciphertext(), e->CiphertextSize());
+      fn(record);
+    }
+  }
+}
+
+Status Store::RestoreEntry(ByteSpan record) {
+  if (record.size() < kRecordHeader) {
+    return Status(Code::kInvalidArgument, "entry record too short");
+  }
+  const uint64_t bucket = LoadLe64(record.data());
+  const uint32_t key_size = LoadLe32(record.data() + 8);
+  const uint32_t val_size = LoadLe32(record.data() + 12);
+  if (bucket >= options_.num_buckets ||
+      record.size() != kRecordHeader + size_t{key_size} + val_size) {
+    return Status(Code::kIntegrityFailure, "entry record fields corrupted");
+  }
+  kv::EntryHeader* entry = static_cast<kv::EntryHeader*>(
+      heap_->Allocate(kv::EntryHeader::BytesNeeded(key_size, val_size)));
+  if (entry == nullptr) {
+    return Status(Code::kCapacityExceeded, "untrusted heap exhausted");
+  }
+  entry->key_size = key_size;
+  entry->val_size = val_size;
+  entry->key_hint = record[16];
+  entry->flags = record[17];
+  std::memset(entry->reserved, 0, sizeof(entry->reserved));
+  std::memcpy(entry->iv_ctr, record.data() + 18, 16);
+  std::memcpy(entry->mac, record.data() + 34, 16);
+  std::memcpy(entry->Ciphertext(), record.data() + kRecordHeader,
+              size_t{key_size} + val_size);
+  // Snapshot records carry ciphertext verbatim; authenticate each against
+  // its MAC here so a tampered data file fails at recovery, not first read.
+  TouchKeys();
+  const crypto::Mac mac = kv::ComputeEntryMac(*keys_, *entry);
+  if (!ConstantTimeEqual(ByteSpan(mac.data(), 16), ByteSpan(entry->mac, 16))) {
+    heap_->Free(entry);
+    return Status(Code::kIntegrityFailure, "snapshot entry MAC mismatch");
+  }
+  entry->next = buckets_[bucket].head;
+  buckets_[bucket].head = entry;
+  ++entry_count_;
+  return Status::Ok();
+}
+
+Status Store::FinishRestore() {
+  if (entry_count_ != restore_expected_entries_) {
+    return Status(Code::kIntegrityFailure, "snapshot entry count mismatch");
+  }
+  for (size_t b = 0; b < options_.num_buckets; ++b) {
+    RebuildMacBucket(b);
+  }
+  // Every restored entry and chain must reproduce the sealed MAC hashes.
+  return VerifyFullIntegrity();
+}
+
+// --------------------------------------------------------- snapshot epochs
+
+Status Store::BeginSnapshotEpoch() {
+  if (temp_table_ != nullptr) {
+    return Status(Code::kInvalidArgument, "snapshot epoch already open");
+  }
+  Options temp_options = options_;
+  temp_options.num_buckets = std::max<size_t>(options_.num_buckets / 64, 1024);
+  temp_options.num_mac_hashes = 0;
+  temp_options.epc_cache = false;
+  temp_options.master_key.clear();  // fresh keys for the temporary table
+  temp_table_ = std::make_unique<Store>(enclave_, temp_options);
+  return Status::Ok();
+}
+
+Status Store::EndSnapshotEpoch() {
+  if (temp_table_ == nullptr) {
+    return Status(Code::kInvalidArgument, "no snapshot epoch open");
+  }
+  std::unique_ptr<Store> temp = std::move(temp_table_);
+  // Re-apply everything recorded during the epoch to the main table.
+  Status result = Status::Ok();
+  temp->ForEachEntryRecord([&](ByteSpan record) {
+    if (!result.ok()) {
+      return;
+    }
+    const uint8_t flags = record[17];
+    const uint32_t key_size = LoadLe32(record.data() + 8);
+    const uint32_t val_size = LoadLe32(record.data() + 12);
+    // Rebuild a transient header to reuse the codec.
+    Bytes storage(sizeof(kv::EntryHeader) + key_size + val_size);
+    kv::EntryHeader* transient = reinterpret_cast<kv::EntryHeader*>(storage.data());
+    transient->next = nullptr;
+    transient->key_size = key_size;
+    transient->val_size = val_size;
+    transient->key_hint = record[16];
+    transient->flags = flags;
+    std::memcpy(transient->iv_ctr, record.data() + 18, 16);
+    std::memcpy(transient->mac, record.data() + 34, 16);
+    std::memcpy(transient->Ciphertext(), record.data() + kRecordHeader,
+                size_t{key_size} + val_size);
+    temp->TouchKeys();
+    const std::string key = kv::OpenEntryKey(*temp->keys_, *transient);
+    Result<std::string> value = kv::OpenEntryValue(*temp->keys_, *transient);
+    if (!value.ok()) {
+      result = value.status();
+      return;
+    }
+    if (flags & kFlagTombstone) {
+      const Status s = DeleteInternal(key);
+      if (!s.ok() && s.code() != Code::kNotFound) {
+        result = s;
+      }
+    } else {
+      result = SetInternal(key, value.value(), 0);
+    }
+  });
+  return result;
+}
+
+}  // namespace shield::shieldstore

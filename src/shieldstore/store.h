@@ -1,0 +1,199 @@
+// ShieldStore: the paper's contribution (§4, §5).
+//
+// The main chained hash table lives in UNTRUSTED memory; every entry is
+// individually AES-CTR encrypted and CMAC'd by enclave code (src/kv/entry).
+// Only secrets and integrity roots stay in enclave (EPC-backed) memory:
+//   * the store keys, and
+//   * the flattened-Merkle array of bucket-set MAC hashes (§4.3).
+// Optimizations (§5): extra heap allocator for untrusted memory, per-bucket
+// MAC buckets, 1-byte key hints with a two-step search, and an optional
+// EPC-resident plaintext cache (§6.3). Multi-threading is provided by
+// PartitionedStore (partitioned key space, §5.3).
+//
+// Threading contract: a Store is owned by one mutating thread. During an
+// optimized snapshot (§4.4) a background writer thread may concurrently
+// *read* the main table because the owner redirects all writes to the
+// temporary table for the duration of the epoch.
+#ifndef SHIELDSTORE_SRC_SHIELDSTORE_STORE_H_
+#define SHIELDSTORE_SRC_SHIELDSTORE_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/alloc/free_list.h"
+#include "src/kv/entry.h"
+#include "src/kv/interface.h"
+#include "src/sgx/enclave.h"
+#include "src/shieldstore/cache.h"
+#include "src/shieldstore/options.h"
+
+namespace shield::shieldstore {
+
+// Entry flag bits.
+inline constexpr uint8_t kFlagTombstone = 0x1;  // delete recorded in a temp table
+
+// Untrusted-memory heap used for entries and MAC buckets. In extra-heap mode
+// (§5.1) an in-enclave free-list allocator draws chunks via one OCALL'd mmap
+// per `chunk_bytes`; otherwise every allocation is an individual OCALL.
+class UntrustedHeap {
+ public:
+  UntrustedHeap(sgx::Boundary& boundary, bool extra_heap, size_t chunk_bytes);
+  ~UntrustedHeap();
+
+  UntrustedHeap(const UntrustedHeap&) = delete;
+  UntrustedHeap& operator=(const UntrustedHeap&) = delete;
+
+  void* Allocate(size_t bytes);
+  void Free(void* ptr);
+  // Usable payload size of an allocation (for in-place value updates).
+  size_t UsableSize(void* ptr) const;
+
+  uint64_t ocall_count() const;
+
+ private:
+  sgx::Boundary& boundary_;
+  const bool extra_heap_;
+  std::unique_ptr<alloc::FreeListAllocator> free_list_;
+  std::vector<std::pair<void*, size_t>> mappings_;  // chunks to unmap
+  std::mutex mappings_mutex_;
+  std::atomic<uint64_t> direct_ocalls_{0};
+};
+
+class Store : public kv::KeyValueStore {
+ public:
+  Store(sgx::Enclave& enclave, const Options& options);
+  ~Store() override;
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // --- kv::KeyValueStore ---------------------------------------------------
+  Status Set(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  size_t Size() const override;
+  std::string Name() const override { return "ShieldStore"; }
+  kv::StoreStats stats() const override;
+
+  const Options& options() const { return options_; }
+  sgx::Enclave& enclave() { return enclave_; }
+  uint64_t heap_ocalls() const { return heap_->ocall_count(); }
+
+  // --- snapshot persistence hooks (§4.4; driven by persist.h) --------------
+  // Serialized secure metadata (keys + MAC hash array); callers seal it.
+  Bytes ExportSecureMetadata() const;
+  // Loads metadata into an EMPTY store with matching geometry; subsequent
+  // RestoreEntry calls rebuild the table, and FinishRestore() verifies the
+  // rebuilt table against the imported MAC hashes.
+  Status ImportSecureMetadata(ByteSpan metadata);
+  // Serialized form of one entry: everything but the chain pointer.
+  static constexpr size_t kEntryRecordHeaderBytes = 8 + 4 + 4 + 1 + 1 + 16 + 16;
+  // Invokes fn(bucket, record_bytes) for every entry, bucket by bucket in
+  // reverse chain order (so restoring with head-insertion recreates the
+  // exact chain order, which the bucket-set MAC hashes depend on).
+  void ForEachEntryRecord(const std::function<void(ByteSpan record)>& fn) const;
+  // Re-inserts a serialized entry without re-encrypting (§4.4: snapshot data
+  // is already ciphertext). Integrity is checked later by FinishRestore.
+  Status RestoreEntry(ByteSpan record);
+  Status FinishRestore();
+
+  // --- snapshot epochs (optimized persistence, Algorithm 1) ---------------
+  // While an epoch is open, writes land in a temporary table and the main
+  // table is read-only (safe for a concurrent snapshot writer thread).
+  Status BeginSnapshotEpoch();
+  // Merges the temporary table back (applying tombstones) and closes.
+  Status EndSnapshotEpoch();
+  bool InSnapshotEpoch() const { return temp_table_ != nullptr; }
+
+  // Test hook: recomputes every bucket-set MAC hash from untrusted memory
+  // and compares with the trusted copies. O(store size).
+  Status VerifyFullIntegrity() const;
+
+  // Decrypts and visits every live entry (enclave work; entry MACs are
+  // verified as entries are opened). Used by dynamic repartitioning.
+  Status ForEachDecrypted(
+      const std::function<Status(std::string_view key, std::string_view value)>& fn) const;
+
+ private:
+  friend class StoreTestPeer;
+
+  // Per-bucket MAC list node (§5.2), in untrusted memory.
+  struct MacBucket {
+    static constexpr size_t kCapacity = 30;
+    MacBucket* next;
+    uint32_t count;
+    uint32_t reserved;
+    uint8_t macs[kCapacity][16];
+  };
+
+  struct Bucket {  // untrusted
+    kv::EntryHeader* head = nullptr;
+    MacBucket* macs = nullptr;
+  };
+
+  struct SearchResult {
+    kv::EntryHeader* entry = nullptr;
+    kv::EntryHeader* prev = nullptr;
+    size_t position = 0;  // index within the chain
+    bool used_full_search = false;
+  };
+
+  // --- internals -----------------------------------------------------------
+  size_t BucketIndex(uint64_t hash) const { return hash % options_.num_buckets; }
+  size_t SetOf(size_t bucket) const { return bucket / buckets_per_set_; }
+
+  // §7: untrusted pointers must not alias enclave memory.
+  Status CheckUntrustedPointer(const void* ptr) const;
+
+  // Two-step search (§5.4): hint-filtered pass, then a full-decryption pass.
+  // With MAC bucketing, the walk cross-checks each entry's header MAC
+  // against its MAC-bucket copy (binding chain and copies together), and a
+  // full walk additionally checks that the copy count matches the chain
+  // length — without this, replayed entries or spliced/unlinked chain nodes
+  // would slip past a bucket-set hash computed from the untrusted copies.
+  // `full_walk` forces walking the whole chain even after a hit; mutations
+  // require it so RebuildMacBucket never launders unverified tail entries.
+  Result<SearchResult> FindEntry(size_t bucket, std::string_view key, uint8_t hint,
+                                 bool full_walk);
+
+  crypto::Mac ComputeBucketSetMac(size_t set) const;
+  Status VerifyBucketSet(size_t set);
+  void StoreBucketSetMac(size_t set);
+  bool SetInitialized(size_t set) const;
+  void MarkSetInitialized(size_t set);
+
+  void RebuildMacBucket(size_t bucket);
+  void UpdateMacBucketSlot(size_t bucket, size_t position, const uint8_t mac[16]);
+
+  Status SetInternal(std::string_view key, std::string_view value, uint8_t flags);
+  Result<std::string> GetInternal(std::string_view key, uint8_t* flags_out);
+  Status DeleteInternal(std::string_view key);
+
+  void TouchKeys() const;  // declares the EPC access to the key material
+
+  sgx::Enclave& enclave_;
+  Options options_;
+  size_t buckets_per_set_;
+  size_t num_mac_hashes_;
+
+  kv::StoreKeys* keys_;          // enclave memory
+  crypto::Mac* mac_hashes_;      // enclave memory (the §4.3 flattened tree)
+  uint64_t* mac_init_bitmap_;    // enclave memory: which sets hold a stored hash
+  uint64_t restore_expected_entries_ = 0;
+
+  std::vector<Bucket> buckets_;  // untrusted
+  std::unique_ptr<UntrustedHeap> heap_;
+  std::unique_ptr<EnclaveCache> cache_;
+
+  std::unique_ptr<Store> temp_table_;  // live during a snapshot epoch
+
+  size_t entry_count_ = 0;
+  kv::StoreStats stats_;
+};
+
+}  // namespace shield::shieldstore
+
+#endif  // SHIELDSTORE_SRC_SHIELDSTORE_STORE_H_

@@ -1,0 +1,156 @@
+#include "src/workload/generator.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace shield::workload {
+namespace {
+
+WorkloadConfig Make(std::string name, double read_fraction, Distribution dist, double theta,
+                    WriteKind write_kind) {
+  WorkloadConfig c;
+  c.name = std::move(name);
+  c.read_fraction = read_fraction;
+  c.distribution = dist;
+  c.zipf_theta = theta;
+  c.write_kind = write_kind;
+  return c;
+}
+
+}  // namespace
+
+WorkloadConfig RD50_U() {
+  return Make("RD50_U", 0.50, Distribution::kUniform, 0.99, WriteKind::kSet);
+}
+WorkloadConfig RD95_U() {
+  return Make("RD95_U", 0.95, Distribution::kUniform, 0.99, WriteKind::kSet);
+}
+WorkloadConfig RD100_U() {
+  return Make("RD100_U", 1.0, Distribution::kUniform, 0.99, WriteKind::kSet);
+}
+WorkloadConfig RD50_Z() {
+  return Make("RD50_Z", 0.50, Distribution::kZipfian, 0.99, WriteKind::kSet);
+}
+WorkloadConfig RD95_Z() {
+  return Make("RD95_Z", 0.95, Distribution::kZipfian, 0.99, WriteKind::kSet);
+}
+WorkloadConfig RD100_Z() {
+  return Make("RD100_Z", 1.0, Distribution::kZipfian, 0.99, WriteKind::kSet);
+}
+WorkloadConfig RD95_L() {
+  return Make("RD95_L", 0.95, Distribution::kLatest, 0.99, WriteKind::kSet);
+}
+WorkloadConfig RMW50_Z() {
+  return Make("RMW50_Z", 0.50, Distribution::kZipfian, 0.99, WriteKind::kReadModifyWrite);
+}
+
+const std::vector<WorkloadConfig>& AllTable2Workloads() {
+  static const std::vector<WorkloadConfig> all = {RD50_U(),  RD95_U(), RD100_U(), RD50_Z(),
+                                                  RD95_Z(),  RD100_Z(), RD95_L(), RMW50_Z()};
+  return all;
+}
+
+WorkloadConfig AP50_U() {
+  return Make("AP50_U", 0.50, Distribution::kUniform, 0.99, WriteKind::kAppend);
+}
+WorkloadConfig AP95_U() {
+  return Make("AP95_U", 0.95, Distribution::kUniform, 0.99, WriteKind::kAppend);
+}
+WorkloadConfig AP95_Z99() {
+  return Make("AP95_Z99", 0.95, Distribution::kZipfian, 0.99, WriteKind::kAppend);
+}
+WorkloadConfig AP95_Z50() {
+  return Make("AP95_Z50", 0.95, Distribution::kZipfian, 0.50, WriteKind::kAppend);
+}
+
+DataSet SmallDataSet() {
+  return {"small", 16, 16};
+}
+DataSet MediumDataSet() {
+  return {"medium", 16, 128};
+}
+DataSet LargeDataSet() {
+  return {"large", 16, 512};
+}
+
+std::string KeyAt(uint64_t index, size_t key_bytes) {
+  assert(key_bytes >= 2);
+  std::string key(key_bytes, '0');
+  key[0] = 'k';
+  // Decimal index, right-aligned.
+  size_t pos = key_bytes;
+  while (index > 0 && pos > 1) {
+    key[--pos] = static_cast<char>('0' + index % 10);
+    index /= 10;
+  }
+  return key;
+}
+
+std::string ValueFor(uint64_t index, uint64_t version, size_t value_bytes) {
+  std::string value(value_bytes, '.');
+  // Stamp a recognizable prefix for correctness checks; fill the rest with a
+  // repeating pattern derived from (index, version).
+  char prefix[32];
+  const int n = std::snprintf(prefix, sizeof(prefix), "v%llu:%llu",
+                              static_cast<unsigned long long>(index),
+                              static_cast<unsigned long long>(version));
+  for (size_t i = 0; i < value.size(); ++i) {
+    value[i] = i < static_cast<size_t>(n)
+                   ? prefix[i]
+                   : static_cast<char>('a' + (index + version + i) % 26);
+  }
+  return value;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config, uint64_t num_keys,
+                                     uint64_t seed)
+    : config_(config), num_keys_(num_keys), rng_(seed) {
+  assert(num_keys_ > 0);
+  switch (config_.distribution) {
+    case Distribution::kUniform:
+      break;
+    case Distribution::kZipfian:
+      zipf_ = std::make_unique<ScrambledZipfGenerator>(num_keys_, config_.zipf_theta, seed ^ 1);
+      break;
+    case Distribution::kLatest:
+      // "Read latest": recency rank 0 is the most recently inserted key —
+      // with a preloaded key space, the highest index.
+      latest_ = std::make_unique<ZipfGenerator>(num_keys_, config_.zipf_theta, seed ^ 2);
+      break;
+  }
+}
+
+uint64_t WorkloadGenerator::NextKeyIndex() {
+  switch (config_.distribution) {
+    case Distribution::kUniform:
+      return rng_.NextBelow(num_keys_);
+    case Distribution::kZipfian:
+      return zipf_->Next();
+    case Distribution::kLatest:
+      return num_keys_ - 1 - latest_->Next();
+  }
+  return 0;
+}
+
+Op WorkloadGenerator::Next() {
+  Op op;
+  op.key_index = NextKeyIndex();
+  if (rng_.NextDouble() < config_.read_fraction) {
+    op.kind = Op::Kind::kGet;
+    return op;
+  }
+  switch (config_.write_kind) {
+    case WriteKind::kSet:
+      op.kind = Op::Kind::kSet;
+      break;
+    case WriteKind::kAppend:
+      op.kind = Op::Kind::kAppend;
+      break;
+    case WriteKind::kReadModifyWrite:
+      op.kind = Op::Kind::kReadModifyWrite;
+      break;
+  }
+  return op;
+}
+
+}  // namespace shield::workload

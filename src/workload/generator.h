@@ -1,0 +1,89 @@
+// YCSB-style workload generation reproducing Tables 2 and 3 of the paper:
+// operation mixes (RD50/RD95/RD100, RMW, append), key distributions
+// (uniform, zipfian 0.99 / 0.5, latest), and data-set geometries
+// (small 16B/16B, medium 16B/128B, large 16B/512B).
+#ifndef SHIELDSTORE_SRC_WORKLOAD_GENERATOR_H_
+#define SHIELDSTORE_SRC_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/zipf.h"
+
+namespace shield::workload {
+
+enum class Distribution { kUniform, kZipfian, kLatest };
+enum class WriteKind { kSet, kAppend, kReadModifyWrite };
+
+struct WorkloadConfig {
+  std::string name;
+  double read_fraction = 0.5;
+  Distribution distribution = Distribution::kUniform;
+  double zipf_theta = 0.99;
+  WriteKind write_kind = WriteKind::kSet;
+};
+
+// The eight rows of Table 2.
+WorkloadConfig RD50_U();
+WorkloadConfig RD95_U();
+WorkloadConfig RD100_U();
+WorkloadConfig RD50_Z();
+WorkloadConfig RD95_Z();
+WorkloadConfig RD100_Z();
+WorkloadConfig RD95_L();
+WorkloadConfig RMW50_Z();
+const std::vector<WorkloadConfig>& AllTable2Workloads();
+
+// Append-workload variants of Figure 12.
+WorkloadConfig AP50_U();    // 50% read / 50% append, uniform
+WorkloadConfig AP95_U();    // 95% read / 5% append, uniform
+WorkloadConfig AP95_Z99();  // 95% read / 5% append, zipf 0.99
+WorkloadConfig AP95_Z50();  // 95% read / 5% append, zipf 0.5
+
+// Table 3 geometries.
+struct DataSet {
+  std::string name;
+  size_t key_bytes;
+  size_t value_bytes;
+};
+DataSet SmallDataSet();   // 16 B keys, 16 B values
+DataSet MediumDataSet();  // 16 B keys, 128 B values
+DataSet LargeDataSet();   // 16 B keys, 512 B values
+
+// Fixed-width printable key for an index ("k00000000000042", key_bytes wide).
+std::string KeyAt(uint64_t index, size_t key_bytes);
+
+// Deterministic printable value derived from (index, version).
+std::string ValueFor(uint64_t index, uint64_t version, size_t value_bytes);
+
+struct Op {
+  enum class Kind { kGet, kSet, kAppend, kReadModifyWrite };
+  Kind kind;
+  uint64_t key_index;
+};
+
+class WorkloadGenerator {
+ public:
+  // Draws keys from [0, num_keys). The caller preloads those keys.
+  WorkloadGenerator(const WorkloadConfig& config, uint64_t num_keys, uint64_t seed);
+
+  Op Next();
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  uint64_t NextKeyIndex();
+
+  WorkloadConfig config_;
+  uint64_t num_keys_;
+  Xoshiro256 rng_;
+  std::unique_ptr<ScrambledZipfGenerator> zipf_;
+  std::unique_ptr<ZipfGenerator> latest_;  // rank 0 == most recent key
+};
+
+}  // namespace shield::workload
+
+#endif  // SHIELDSTORE_SRC_WORKLOAD_GENERATOR_H_

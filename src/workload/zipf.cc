@@ -1,0 +1,55 @@
+#include "src/workload/zipf.h"
+
+#include <cmath>
+
+namespace shield::workload {
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  alpha_ = 1.0 / (1.0 - theta_);
+  zeta2_ = Zeta(2, theta_);
+  zetan_ = Zeta(n_, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double rank =
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t result = static_cast<uint64_t>(rank);
+  if (result >= n_) {
+    result = n_ - 1;
+  }
+  return result;
+}
+
+uint64_t ScrambledZipfGenerator::Next() {
+  const uint64_t rank = zipf_.Next();
+  // SplitMix64 finalizer as the scramble hash.
+  uint64_t z = rank + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return z % n_;
+}
+
+}  // namespace shield::workload

@@ -1,0 +1,49 @@
+// Zipfian and scrambled-Zipfian generators (YCSB's algorithm [Cooper et
+// al., SoCC'10]; Gray et al.'s method underneath), used for the skewed
+// workloads of Table 2.
+#ifndef SHIELDSTORE_SRC_WORKLOAD_ZIPF_H_
+#define SHIELDSTORE_SRC_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace shield::workload {
+
+// Draws ranks in [0, n) with P(rank k) ∝ 1/(k+1)^theta.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+  Xoshiro256 rng_;
+};
+
+// YCSB's "scrambled" variant: hashes the rank so popular items spread over
+// the whole key space instead of clustering at low indices.
+class ScrambledZipfGenerator {
+ public:
+  ScrambledZipfGenerator(uint64_t n, double theta, uint64_t seed)
+      : zipf_(n, theta, seed), n_(n) {}
+
+  uint64_t Next();
+
+ private:
+  ZipfGenerator zipf_;
+  uint64_t n_;
+};
+
+}  // namespace shield::workload
+
+#endif  // SHIELDSTORE_SRC_WORKLOAD_ZIPF_H_

@@ -1,0 +1,258 @@
+// Allocator substrate tests: free-list heap (§5.1 core), slab allocator,
+// memsys5 buddy pools (Eleos backing store).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/alloc/free_list.h"
+#include "src/alloc/memsys5.h"
+#include "src/alloc/slab.h"
+#include "src/common/rng.h"
+
+namespace shield::alloc {
+namespace {
+
+// Chunk source backed by ordinary heap memory, counting requests.
+class TestChunks {
+ public:
+  ChunkSource Source() {
+    return [this](size_t min_bytes) -> Chunk {
+      storage_.push_back(std::vector<uint8_t>(min_bytes));
+      ++requests_;
+      return Chunk{storage_.back().data(), min_bytes};
+    };
+  }
+  size_t requests() const { return requests_; }
+
+ private:
+  std::vector<std::vector<uint8_t>> storage_;
+  size_t requests_ = 0;
+};
+
+TEST(FreeListTest, AllocateWriteFree) {
+  TestChunks chunks;
+  FreeListAllocator heap(chunks.Source(), 1 << 16);
+  std::vector<void*> ptrs;
+  for (int i = 1; i <= 100; ++i) {
+    void* p = heap.Allocate(static_cast<size_t>(i) * 7);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, i & 0xFF, static_cast<size_t>(i) * 7);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) {
+    heap.Free(p);
+  }
+  EXPECT_EQ(heap.stats().alloc_calls, 100u);
+  EXPECT_EQ(heap.stats().free_calls, 100u);
+  EXPECT_EQ(heap.stats().bytes_allocated, 0u);
+}
+
+TEST(FreeListTest, UsableSizeCoversRequest) {
+  TestChunks chunks;
+  FreeListAllocator heap(chunks.Source(), 1 << 16);
+  for (size_t want : {1u, 16u, 17u, 100u, 512u, 4000u, 8192u, 20000u}) {
+    void* p = heap.Allocate(want);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(FreeListAllocator::UsableSize(p), want);
+    heap.Free(p);
+  }
+}
+
+TEST(FreeListTest, RecyclesFreedBlocks) {
+  TestChunks chunks;
+  FreeListAllocator heap(chunks.Source(), 1 << 20);
+  void* a = heap.Allocate(100);
+  heap.Free(a);
+  void* b = heap.Allocate(100);
+  EXPECT_EQ(a, b) << "same size class must recycle";
+  heap.Free(b);
+}
+
+TEST(FreeListTest, LargerChunksMeanFewerRequests) {
+  size_t requests_small, requests_big;
+  {
+    TestChunks chunks;
+    FreeListAllocator heap(chunks.Source(), 1 << 14);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_NE(heap.Allocate(256), nullptr);
+    }
+    requests_small = chunks.requests();
+  }
+  {
+    TestChunks chunks;
+    FreeListAllocator heap(chunks.Source(), 1 << 20);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_NE(heap.Allocate(256), nullptr);
+    }
+    requests_big = chunks.requests();
+  }
+  EXPECT_GT(requests_small, requests_big * 10) << "Figure 6's premise";
+}
+
+TEST(FreeListTest, ExhaustionReturnsNull) {
+  size_t budget = 3;
+  FreeListAllocator heap(
+      [&budget](size_t min_bytes) -> Chunk {
+        if (budget == 0) {
+          return {};
+        }
+        --budget;
+        static std::vector<std::vector<uint8_t>> storage;
+        storage.push_back(std::vector<uint8_t>(min_bytes));
+        return Chunk{storage.back().data(), min_bytes};
+      },
+      4096);
+  std::vector<void*> live;
+  void* p = nullptr;
+  int count = 0;
+  while ((p = heap.Allocate(512)) != nullptr && count < 100000) {
+    live.push_back(p);
+    ++count;
+  }
+  EXPECT_EQ(p, nullptr);
+  EXPECT_GT(count, 10);
+}
+
+TEST(FreeListTest, RandomizedStressAgainstReferenceMap) {
+  TestChunks chunks;
+  FreeListAllocator heap(chunks.Source(), 1 << 18);
+  Xoshiro256 rng(42);
+  std::map<void*, std::pair<size_t, uint8_t>> live;  // ptr -> (size, fill)
+  for (int step = 0; step < 20000; ++step) {
+    if (live.empty() || rng.NextDouble() < 0.6) {
+      const size_t size = 1 + rng.NextBelow(2048);
+      const uint8_t fill = static_cast<uint8_t>(rng.Next());
+      void* p = heap.Allocate(size);
+      ASSERT_NE(p, nullptr);
+      ASSERT_EQ(live.count(p), 0u) << "allocator returned a live pointer";
+      std::memset(p, fill, size);
+      live[p] = {size, fill};
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(live.size())));
+      const auto [size, fill] = it->second;
+      const uint8_t* bytes = static_cast<const uint8_t*>(it->first);
+      for (size_t i = 0; i < size; ++i) {
+        ASSERT_EQ(bytes[i], fill) << "allocation was clobbered";
+      }
+      heap.Free(it->first);
+      live.erase(it);
+    }
+  }
+}
+
+// -------------------------------------------------------------------- slab
+
+TEST(SlabTest, ClassSizesGrowGeometrically) {
+  TestChunks chunks;
+  SlabAllocator slab(chunks.Source(), {});
+  ASSERT_GT(slab.NumClasses(), 4u);
+  for (size_t i = 1; i < slab.NumClasses(); ++i) {
+    EXPECT_GT(slab.ClassSize(i), slab.ClassSize(i - 1));
+  }
+}
+
+TEST(SlabTest, AllocFreeReuse) {
+  TestChunks chunks;
+  SlabAllocator slab(chunks.Source(), {});
+  void* a = slab.Allocate(100);
+  ASSERT_NE(a, nullptr);
+  std::memset(a, 0xAB, 100);
+  slab.Free(a, 100);
+  void* b = slab.Allocate(100);
+  EXPECT_EQ(a, b);
+  slab.Free(b, 100);
+}
+
+TEST(SlabTest, OversizeRejected) {
+  TestChunks chunks;
+  SlabAllocator::Options opts;
+  opts.max_item_bytes = 1024;
+  SlabAllocator slab(chunks.Source(), opts);
+  EXPECT_EQ(slab.Allocate(1 << 20), nullptr);
+}
+
+// ----------------------------------------------------------------- memsys5
+
+TEST(Memsys5Test, AllocateFreeCoalesce) {
+  Memsys5Pool pool(1 << 20);
+  void* a = pool.Allocate(1000);
+  void* b = pool.Allocate(1000);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  pool.Free(a);
+  pool.Free(b);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  // After coalescing, a maximal allocation must succeed again.
+  void* big = pool.Allocate((1 << 20) - 64);
+  EXPECT_NE(big, nullptr);
+  pool.Free(big);
+}
+
+TEST(Memsys5Test, PowerOfTwoRounding) {
+  Memsys5Pool pool(1 << 16);
+  void* p = pool.Allocate(65);  // rounds to 128
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(pool.bytes_in_use(), 128u);
+  pool.Free(p);
+}
+
+TEST(Memsys5Test, ExhaustionAndRecovery) {
+  Memsys5Pool pool(1 << 16);
+  std::vector<void*> blocks;
+  void* p;
+  while ((p = pool.Allocate(4096)) != nullptr) {
+    blocks.push_back(p);
+  }
+  EXPECT_EQ(blocks.size(), (1u << 16) / 4096);
+  pool.Free(blocks.back());
+  blocks.pop_back();
+  EXPECT_NE(pool.Allocate(4096), nullptr);
+}
+
+TEST(Memsys5Test, RandomizedStress) {
+  Memsys5Pool pool(1 << 20);
+  Xoshiro256 rng(7);
+  std::vector<std::pair<void*, size_t>> live;
+  for (int step = 0; step < 10000; ++step) {
+    if (live.empty() || rng.NextDouble() < 0.55) {
+      const size_t size = 1 + rng.NextBelow(8192);
+      void* p = pool.Allocate(size);
+      if (p != nullptr) {
+        std::memset(p, 0xCD, size);
+        live.emplace_back(p, size);
+      }
+    } else {
+      const size_t i = rng.NextBelow(live.size());
+      pool.Free(live[i].first);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  for (auto& [ptr, size] : live) {
+    pool.Free(ptr);
+  }
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+}
+
+TEST(PoolSetTest, GrowsPoolsUpToLimit) {
+  PoolSet pools(1 << 16, 3);
+  std::vector<void*> blocks;
+  void* p;
+  while ((p = pools.Allocate(4096)) != nullptr) {
+    blocks.push_back(p);
+  }
+  EXPECT_EQ(pools.num_pools(), 3u);
+  EXPECT_EQ(blocks.size(), 3u * ((1u << 16) / 4096));
+  // Frees route back to the owning pool.
+  for (void* b : blocks) {
+    pools.Free(b);
+  }
+  EXPECT_NE(pools.Allocate(4096), nullptr);
+}
+
+}  // namespace
+}  // namespace shield::alloc

@@ -1,0 +1,164 @@
+// Baseline store tests: NoSGX and naive-enclave placements, the paging
+// cliff, the memcached-like store, and the generic partitioned facade.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/baseline/baseline_store.h"
+#include "src/baseline/memcached_like.h"
+#include "src/common/cycles.h"
+#include "src/kv/partition.h"
+
+namespace shield::baseline {
+namespace {
+
+sgx::EnclaveConfig FastEnclave(size_t epc_bytes, size_t reserve) {
+  sgx::EnclaveConfig c;
+  c.epc.epc_bytes = epc_bytes;
+  c.epc.crossing_cycles = 0;
+  c.epc.kernel_fault_cycles = 0;
+  c.epc.resident_access_cycles = 0;
+  c.epc.page_crypto = false;
+  c.heap_reserve_bytes = reserve;
+  c.rng_seed = ToBytes("baseline-test");
+  return c;
+}
+
+TEST(BaselineStoreTest, NoSgxBasicOps) {
+  BaselineStore store(nullptr, Placement::kNoSgx, 1024);
+  EXPECT_TRUE(store.Set("a", "1").ok());
+  EXPECT_TRUE(store.Set("b", "2").ok());
+  EXPECT_EQ(store.Get("a").value(), "1");
+  EXPECT_TRUE(store.Set("a", "longer-value").ok());
+  EXPECT_EQ(store.Get("a").value(), "longer-value");
+  EXPECT_TRUE(store.Delete("a").ok());
+  EXPECT_EQ(store.Get("a").status().code(), Code::kNotFound);
+  EXPECT_EQ(store.Size(), 1u);
+  EXPECT_TRUE(store.Append("b", "3").ok());
+  EXPECT_EQ(store.Get("b").value(), "23");
+}
+
+TEST(BaselineStoreTest, EnclavePlacementCorrectness) {
+  sgx::Enclave enclave(FastEnclave(4u << 20, 64u << 20));
+  BaselineStore store(&enclave, Placement::kEnclaveNaive, 1024);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store.Set("key" + std::to_string(i), "value" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(store.Get("key" + std::to_string(i)).value(), "value" + std::to_string(i));
+  }
+}
+
+TEST(BaselineStoreTest, EnclaveTableFaultsWhenBeyondEpc) {
+  // Table much larger than EPC => uniform gets keep faulting (Figure 3's
+  // cliff); table within EPC => faults stop after warmup.
+  sgx::Enclave small_epc(FastEnclave(64 * 4096, 256u << 20));
+  BaselineStore store(&small_epc, Placement::kEnclaveNaive, 4096);
+  const std::string value(512, 'v');
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(store.Set("key" + std::to_string(i), value).ok());
+  }
+  small_epc.epc().ResetStats();
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(store.Get("key" + std::to_string(i * 2654435761u % 4000)).ok());
+  }
+  EXPECT_GT(small_epc.epc().stats().faults, 1000u) << "oversized table must thrash";
+
+  sgx::Enclave big_epc(FastEnclave(64u << 20, 256u << 20));
+  BaselineStore fits(&big_epc, Placement::kEnclaveNaive, 4096);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(fits.Set("key" + std::to_string(i), value).ok());
+  }
+  big_epc.epc().ResetStats();
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(fits.Get("key" + std::to_string(i * 2654435761u % 4000)).ok());
+  }
+  EXPECT_EQ(big_epc.epc().stats().faults, 0u) << "resident table must not fault";
+}
+
+TEST(MemcachedLikeTest, BasicOpsInsecureMode) {
+  MemcachedOptions options;
+  options.graphene = false;
+  options.start_maintainer = false;
+  MemcachedLikeStore store(nullptr, options);
+  EXPECT_TRUE(store.Set("k", "v").ok());
+  EXPECT_EQ(store.Get("k").value(), "v");
+  EXPECT_TRUE(store.Set("k", std::string(500, 'x')).ok());
+  EXPECT_EQ(store.Get("k").value(), std::string(500, 'x'));
+  EXPECT_TRUE(store.Delete("k").ok());
+  EXPECT_EQ(store.Get("k").status().code(), Code::kNotFound);
+}
+
+TEST(MemcachedLikeTest, GrapheneModeWithMaintainer) {
+  sgx::Enclave enclave(FastEnclave(16u << 20, 128u << 20));
+  MemcachedOptions options;
+  options.graphene = true;
+  options.libos_op_overhead_cycles = 0;
+  options.start_maintainer = true;
+  options.maintenance_interval_us = 50;
+  MemcachedLikeStore store(&enclave, options);
+  // Concurrent workers racing the maintainer on the global lock.
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, &failures, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "t" + std::to_string(t) + "k" + std::to_string(i);
+        if (!store.Set(key, "v" + std::to_string(i)).ok()) {
+          ++failures;
+        }
+        auto got = store.Get(key);
+        if (!got.ok() || got.value() != "v" + std::to_string(i)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.Size(), 2000u);
+}
+
+TEST(MemcachedLikeTest, LibOsOverheadCharged) {
+  sgx::Enclave enclave(FastEnclave(16u << 20, 64u << 20));
+  MemcachedOptions slow;
+  slow.graphene = true;
+  slow.libos_op_overhead_cycles = 100'000;
+  slow.start_maintainer = false;
+  MemcachedLikeStore store(&enclave, slow);
+  ASSERT_TRUE(store.Set("k", "v").ok());
+  const uint64_t t0 = ReadCycleCounter();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.Get("k").ok());
+  }
+  const uint64_t elapsed = ReadCycleCounter() - t0;
+  EXPECT_GE(elapsed, 50u * 100'000 * 9 / 10);
+}
+
+TEST(PartitionedKvTest, RoutesAndAggregates) {
+  std::vector<std::unique_ptr<BaselineStore>> parts;
+  for (int i = 0; i < 4; ++i) {
+    parts.push_back(std::make_unique<BaselineStore>(nullptr, Placement::kNoSgx, 64));
+  }
+  crypto::SipHashKey route_key{};
+  route_key[0] = 42;
+  kv::PartitionedKv<BaselineStore> store(route_key, std::move(parts));
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(store.Set("key" + std::to_string(i), std::to_string(i)).ok());
+  }
+  EXPECT_EQ(store.Size(), 400u);
+  size_t direct_total = 0;
+  for (size_t p = 0; p < store.num_partitions(); ++p) {
+    direct_total += store.partition(p).Size();
+    EXPECT_GT(store.partition(p).Size(), 50u) << "partitioning should be balanced";
+  }
+  EXPECT_EQ(direct_total, 400u);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_EQ(store.Get("key" + std::to_string(i)).value(), std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace shield::baseline

@@ -1,0 +1,170 @@
+// Eleos substrate tests: SUVM paging behaviour and the Eleos-backed store.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/eleos/eleos_kv.h"
+#include "src/eleos/suvm.h"
+
+namespace shield::eleos {
+namespace {
+
+sgx::EnclaveConfig FastEnclave() {
+  sgx::EnclaveConfig c;
+  c.epc.epc_bytes = 32u << 20;
+  c.epc.crossing_cycles = 0;
+  c.epc.kernel_fault_cycles = 0;
+  c.epc.resident_access_cycles = 0;
+  c.epc.page_crypto = false;
+  c.heap_reserve_bytes = 128u << 20;
+  c.rng_seed = ToBytes("eleos-test");
+  return c;
+}
+
+SuvmConfig SmallSuvm(size_t cache_bytes, size_t pool_bytes = 8u << 20) {
+  SuvmConfig c;
+  c.cache_bytes = cache_bytes;
+  c.pool_bytes = pool_bytes;
+  c.max_pools = 1;
+  return c;
+}
+
+TEST(SuvmTest, ReadWriteRoundTrip) {
+  sgx::Enclave enclave(FastEnclave());
+  Suvm suvm(enclave, SmallSuvm(1u << 20));
+  const SPtr p = suvm.Allocate(1000);
+  ASSERT_NE(p, kNullSPtr);
+  Bytes data(1000);
+  Xoshiro256 rng(1);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  suvm.Write(p, data.data(), data.size());
+  Bytes back(1000);
+  suvm.Read(p, back.data(), back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST(SuvmTest, SurvivesEvictionThroughCrypto) {
+  sgx::Enclave enclave(FastEnclave());
+  // Cache of only 4 frames; 64 pages of data forces constant eviction.
+  Suvm suvm(enclave, SmallSuvm(4 * 4096));
+  std::vector<SPtr> pages;
+  for (uint64_t i = 0; i < 64; ++i) {
+    const SPtr p = suvm.Allocate(4096);
+    ASSERT_NE(p, kNullSPtr);
+    uint64_t stamp = i * 0x9E3779B97F4A7C15ULL;
+    suvm.Write(p, &stamp, sizeof(stamp));
+    pages.push_back(p);
+  }
+  // Everything was evicted and re-loaded through encrypt/decrypt cycles.
+  for (uint64_t i = 0; i < 64; ++i) {
+    uint64_t stamp = 0;
+    suvm.Read(pages[i], &stamp, sizeof(stamp));
+    EXPECT_EQ(stamp, i * 0x9E3779B97F4A7C15ULL) << i;
+  }
+  const SuvmStats stats = suvm.stats();
+  EXPECT_GT(stats.page_faults, 64u);
+  EXPECT_GT(stats.writebacks, 32u);
+}
+
+TEST(SuvmTest, HotWorkingSetStopsFaulting) {
+  sgx::Enclave enclave(FastEnclave());
+  Suvm suvm(enclave, SmallSuvm(64 * 4096));
+  std::vector<SPtr> pages;
+  for (int i = 0; i < 16; ++i) {
+    pages.push_back(suvm.Allocate(4096));
+    uint64_t v = static_cast<uint64_t>(i);
+    suvm.Write(pages.back(), &v, sizeof(v));
+  }
+  const uint64_t faults_before = suvm.stats().page_faults;
+  for (int round = 0; round < 50; ++round) {
+    for (SPtr p : pages) {
+      uint64_t v;
+      suvm.Read(p, &v, sizeof(v));
+    }
+  }
+  EXPECT_EQ(suvm.stats().page_faults, faults_before) << "hot set must stay cached";
+}
+
+TEST(SuvmTest, CrossPageObjects) {
+  sgx::Enclave enclave(FastEnclave());
+  Suvm suvm(enclave, SmallSuvm(8 * 4096));
+  const SPtr p = suvm.Allocate(3 * 4096);
+  ASSERT_NE(p, kNullSPtr);
+  Bytes data(3 * 4096);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  suvm.Write(p, data.data(), data.size());
+  Bytes back(data.size());
+  suvm.Read(p, back.data(), back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST(SuvmTest, PoolCeilingIsHard) {
+  sgx::Enclave enclave(FastEnclave());
+  Suvm suvm(enclave, SmallSuvm(1u << 20, /*pool_bytes=*/1u << 20));
+  size_t allocated = 0;
+  while (suvm.Allocate(4096) != kNullSPtr) {
+    ++allocated;
+    ASSERT_LT(allocated, 10'000u);
+  }
+  EXPECT_EQ(allocated, (1u << 20) / 4096) << "one pool, no growth beyond it";
+}
+
+TEST(EleosStoreTest, BasicOps) {
+  sgx::Enclave enclave(FastEnclave());
+  EleosStore store(enclave, SmallSuvm(4u << 20), 1024);
+  EXPECT_TRUE(store.Set("a", "1").ok());
+  EXPECT_TRUE(store.Set("b", "2").ok());
+  EXPECT_EQ(store.Get("a").value(), "1");
+  EXPECT_TRUE(store.Set("a", "bigger-value").ok());
+  EXPECT_EQ(store.Get("a").value(), "bigger-value");
+  EXPECT_TRUE(store.Delete("b").ok());
+  EXPECT_EQ(store.Get("b").status().code(), Code::kNotFound);
+  EXPECT_EQ(store.Size(), 1u);
+}
+
+TEST(EleosStoreTest, ManyKeysThroughEviction) {
+  sgx::Enclave enclave(FastEnclave());
+  // Tiny page cache so data lives mostly encrypted in the backing store.
+  EleosStore store(enclave, SmallSuvm(16 * 4096), 512);
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(store.Set("key" + std::to_string(i), "value" + std::to_string(i * 3)).ok());
+  }
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_EQ(store.Get("key" + std::to_string(i)).value(), "value" + std::to_string(i * 3));
+  }
+  EXPECT_GT(store.suvm().stats().page_faults, 100u);
+}
+
+TEST(EleosStoreTest, CapacityExceededSurfaceo) {
+  sgx::Enclave enclave(FastEnclave());
+  EleosStore store(enclave, SmallSuvm(1u << 20, /*pool_bytes=*/1u << 20), 64);
+  const std::string value(4096, 'x');
+  Status last = Status::Ok();
+  for (int i = 0; i < 10'000 && last.ok(); ++i) {
+    last = store.Set("key" + std::to_string(i), value);
+  }
+  EXPECT_EQ(last.code(), Code::kCapacityExceeded) << "the 2 GB-per-pool ceiling, scaled down";
+}
+
+TEST(EleosStoreTest, SmallValuesCostWholePagesPerAccess) {
+  // Figure 16's premise: with 16 B values, every cold get decrypts a full
+  // 4 KB page.
+  sgx::Enclave enclave(FastEnclave());
+  EleosStore store(enclave, SmallSuvm(8 * 4096), 4096);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store.Set("key" + std::to_string(i), std::string(16, 'v')).ok());
+  }
+  const uint64_t faults_before = store.suvm().stats().page_faults;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(store.Get("key" + std::to_string(rng.NextBelow(2000))).ok());
+  }
+  const uint64_t faults = store.suvm().stats().page_faults - faults_before;
+  EXPECT_GT(faults, 400u) << "cold random gets over a tiny cache must fault about once each";
+}
+
+}  // namespace
+}  // namespace shield::eleos

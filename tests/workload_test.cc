@@ -1,0 +1,136 @@
+// Workload generator tests: distribution shapes, mix ratios, key/value
+// formatting (Tables 2 and 3).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/workload/generator.h"
+#include "src/workload/zipf.h"
+
+namespace shield::workload {
+namespace {
+
+TEST(ZipfTest, SkewConcentratesOnHotRanks) {
+  ZipfGenerator zipf(10'000, 0.99, 7);
+  std::map<uint64_t, size_t> counts;
+  constexpr size_t kDraws = 200'000;
+  for (size_t i = 0; i < kDraws; ++i) {
+    counts[zipf.Next()]++;
+  }
+  // With theta 0.99 over 10k items, rank 0 draws ~10% of all samples.
+  EXPECT_GT(counts[0], kDraws / 20);
+  EXPECT_GT(counts[0], counts[100] * 5);
+  // Everything is in range.
+  EXPECT_LT(counts.rbegin()->first, 10'000u);
+}
+
+TEST(ZipfTest, LowThetaIsFlatter) {
+  ZipfGenerator hot(10'000, 0.99, 7);
+  ZipfGenerator mild(10'000, 0.50, 7);
+  size_t hot0 = 0, mild0 = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    hot0 += hot.Next() == 0;
+    mild0 += mild.Next() == 0;
+  }
+  EXPECT_GT(hot0, mild0 * 3) << "theta 0.99 must be far more skewed than 0.5";
+}
+
+TEST(ZipfTest, ScrambledSpreadsHotKeys) {
+  ScrambledZipfGenerator zipf(10'000, 0.99, 7);
+  std::map<uint64_t, size_t> counts;
+  for (int i = 0; i < 100'000; ++i) {
+    counts[zipf.Next()]++;
+  }
+  // The hottest key should not be index 0 (that's the point of scrambling)
+  // but the distribution must remain heavily skewed.
+  auto hottest = counts.begin();
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    if (it->second > hottest->second) {
+      hottest = it;
+    }
+  }
+  EXPECT_GT(hottest->second, 5000u);
+}
+
+TEST(WorkloadTest, MixRatiosRespected) {
+  for (const WorkloadConfig& config : AllTable2Workloads()) {
+    WorkloadGenerator gen(config, 10'000, 11);
+    size_t reads = 0;
+    constexpr size_t kDraws = 50'000;
+    for (size_t i = 0; i < kDraws; ++i) {
+      reads += gen.Next().kind == Op::Kind::kGet;
+    }
+    const double observed = static_cast<double>(reads) / kDraws;
+    EXPECT_NEAR(observed, config.read_fraction, 0.02) << config.name;
+  }
+}
+
+TEST(WorkloadTest, WriteKindsMatchConfig) {
+  WorkloadGenerator rmw(RMW50_Z(), 1000, 3);
+  WorkloadGenerator append(AP50_U(), 1000, 3);
+  WorkloadGenerator set(RD50_U(), 1000, 3);
+  for (int i = 0; i < 1000; ++i) {
+    const Op a = rmw.Next(), b = append.Next(), c = set.Next();
+    if (a.kind != Op::Kind::kGet) {
+      EXPECT_EQ(a.kind, Op::Kind::kReadModifyWrite);
+    }
+    if (b.kind != Op::Kind::kGet) {
+      EXPECT_EQ(b.kind, Op::Kind::kAppend);
+    }
+    if (c.kind != Op::Kind::kGet) {
+      EXPECT_EQ(c.kind, Op::Kind::kSet);
+    }
+  }
+}
+
+TEST(WorkloadTest, LatestFavorsRecentKeys) {
+  WorkloadGenerator gen(RD95_L(), 10'000, 5);
+  size_t recent = 0;
+  constexpr size_t kDraws = 50'000;
+  for (size_t i = 0; i < kDraws; ++i) {
+    recent += gen.Next().key_index >= 9'000;  // newest 10% of the key space
+  }
+  EXPECT_GT(recent, kDraws / 2) << "read-latest must concentrate on recent keys";
+}
+
+TEST(WorkloadTest, UniformCoversKeySpace) {
+  WorkloadGenerator gen(RD100_U(), 100, 9);
+  std::map<uint64_t, size_t> counts;
+  for (int i = 0; i < 100'000; ++i) {
+    counts[gen.Next().key_index]++;
+  }
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [key, count] : counts) {
+    EXPECT_GT(count, 700u);
+    EXPECT_LT(count, 1300u);
+  }
+}
+
+TEST(WorkloadTest, KeyFormatting) {
+  EXPECT_EQ(KeyAt(0, 16).size(), 16u);
+  EXPECT_EQ(KeyAt(42, 16), "k000000000000042");
+  EXPECT_NE(KeyAt(1, 16), KeyAt(10, 16));
+  // Distinct indices give distinct keys within the representable range.
+  EXPECT_NE(KeyAt(123456, 8), KeyAt(123457, 8));
+}
+
+TEST(WorkloadTest, ValueDeterministicAndSized) {
+  for (const DataSet& ds : {SmallDataSet(), MediumDataSet(), LargeDataSet()}) {
+    const std::string v1 = ValueFor(7, 0, ds.value_bytes);
+    const std::string v2 = ValueFor(7, 0, ds.value_bytes);
+    EXPECT_EQ(v1, v2);
+    EXPECT_EQ(v1.size(), ds.value_bytes);
+    EXPECT_NE(v1, ValueFor(8, 0, ds.value_bytes));
+    EXPECT_NE(v1, ValueFor(7, 1, ds.value_bytes));
+  }
+}
+
+TEST(WorkloadTest, Table3Geometries) {
+  EXPECT_EQ(SmallDataSet().key_bytes, 16u);
+  EXPECT_EQ(SmallDataSet().value_bytes, 16u);
+  EXPECT_EQ(MediumDataSet().value_bytes, 128u);
+  EXPECT_EQ(LargeDataSet().value_bytes, 512u);
+}
+
+}  // namespace
+}  // namespace shield::workload

@@ -1,0 +1,122 @@
+// Command-line client for a shieldstore_server instance.
+//
+//   shieldstore_cli --port 4555 --measurement <hex from the server> \
+//       set mykey myvalue
+//   shieldstore_cli --port 4555 --measurement <hex> get mykey
+//   shieldstore_cli --port 4555 --measurement <hex> append mykey ",more"
+//   shieldstore_cli --port 4555 --measurement <hex> incr counter 5
+//   shieldstore_cli --port 4555 --measurement <hex> del mykey
+//
+// The client refuses to talk to a server whose attested measurement differs
+// from --measurement — the remote-attestation trust anchor of §3.2.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/net/client.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: shieldstore_cli --port N --measurement HEX64 [--authority-seed S]\n"
+               "       [--plaintext] COMMAND ARGS...\n"
+               "commands: get K | set K V | del K | append K SUFFIX | incr K DELTA | ping\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace shield;
+  uint16_t port = 4555;
+  std::string measurement_hex;
+  std::string authority_seed = "dev-authority";
+  bool plaintext = false;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--measurement" && i + 1 < argc) {
+      measurement_hex = argv[++i];
+    } else if (arg == "--authority-seed" && i + 1 < argc) {
+      authority_seed = argv[++i];
+    } else if (arg == "--plaintext") {
+      plaintext = true;
+    } else {
+      break;  // start of the command
+    }
+  }
+  if (i >= argc || measurement_hex.size() != 64) {
+    Usage();
+    return 2;
+  }
+  const Bytes measurement_bytes = HexDecode(measurement_hex);
+  if (measurement_bytes.size() != 32) {
+    std::fprintf(stderr, "--measurement must be 64 hex characters\n");
+    return 2;
+  }
+  sgx::Measurement expected;
+  std::memcpy(expected.data(), measurement_bytes.data(), 32);
+
+  sgx::AttestationAuthority authority(AsBytes(authority_seed));
+  net::Client client(authority, expected, !plaintext);
+  if (Status s = client.Connect(port); !s.ok()) {
+    std::fprintf(stderr, "connect/attestation failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::string command = argv[i];
+  auto arg_at = [&](int offset) -> const char* {
+    return i + offset < argc ? argv[i + offset] : nullptr;
+  };
+  if (command == "get" && arg_at(1) != nullptr) {
+    Result<std::string> value = client.Get(arg_at(1));
+    if (!value.ok()) {
+      std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", value->c_str());
+  } else if (command == "set" && arg_at(2) != nullptr) {
+    const Status s = client.Set(arg_at(1), arg_at(2));
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("OK\n");
+  } else if (command == "del" && arg_at(1) != nullptr) {
+    const Status s = client.Delete(arg_at(1));
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("OK\n");
+  } else if (command == "append" && arg_at(2) != nullptr) {
+    const Status s = client.Append(arg_at(1), arg_at(2));
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("OK\n");
+  } else if (command == "incr" && arg_at(2) != nullptr) {
+    Result<int64_t> value = client.Increment(arg_at(1), std::atoll(arg_at(2)));
+    if (!value.ok()) {
+      std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%lld\n", static_cast<long long>(*value));
+  } else if (command == "ping") {
+    net::Request request;
+    request.op = net::OpCode::kPing;
+    Result<net::Response> response = client.Execute(request);
+    if (!response.ok() || response->status != Code::kOk) {
+      std::fprintf(stderr, "ping failed\n");
+      return 1;
+    }
+    std::printf("%s\n", response->value.c_str());
+  } else {
+    Usage();
+    return 2;
+  }
+  return 0;
+}

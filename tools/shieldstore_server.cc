@@ -1,0 +1,117 @@
+// Standalone ShieldStore server daemon.
+//
+// Runs the full stack: simulated enclave, partitioned store, attestation
+// authority, encrypted network front end, optional periodic snapshots.
+//
+//   shieldstore_server --port 4555 --partitions 4 --buckets 1048576 \
+//       --hotcalls --authority-seed my-deployment
+//
+// (Snapshot persistence is a single-owner-thread protocol — see
+// examples/persistent_store.cpp; this daemon serves volatile data.)
+//
+// The enclave measurement is printed at startup; clients pass it to
+// shieldstore_cli (out-of-band trust anchor, like a release checksum).
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/net/server.h"
+#include "src/shieldstore/partitioned.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) {
+  g_stop = 1;
+}
+
+struct Flags {
+  uint16_t port = 4555;
+  size_t partitions = 2;
+  size_t buckets = 1 << 18;
+  size_t epc_mb = 64;
+  bool hotcalls = false;
+  bool plaintext = false;
+  std::string authority_seed = "dev-authority";
+  std::string enclave_name = "shieldstore-server-v1";
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--port") {
+      flags->port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--partitions") {
+      flags->partitions = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--buckets") {
+      flags->buckets = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--epc-mb") {
+      flags->epc_mb = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--hotcalls") {
+      flags->hotcalls = true;
+    } else if (arg == "--plaintext") {
+      flags->plaintext = true;
+    } else if (arg == "--authority-seed") {
+      flags->authority_seed = next();
+    } else if (arg == "--name") {
+      flags->enclave_name = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: shieldstore_server [--port N] [--partitions N] [--buckets N]\n"
+                   "    [--epc-mb N] [--hotcalls] [--plaintext] [--authority-seed S] [--name S]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace shield;
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    return 2;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  sgx::EnclaveConfig enclave_config;
+  enclave_config.name = flags.enclave_name;
+  enclave_config.epc.epc_bytes = flags.epc_mb << 20;
+  sgx::Enclave enclave(enclave_config);
+  sgx::AttestationAuthority authority(AsBytes(flags.authority_seed));
+
+  shieldstore::Options options;
+  options.num_buckets = flags.buckets;
+  shieldstore::PartitionedStore store(enclave, options, flags.partitions);
+
+  net::ServerOptions server_options;
+  server_options.port = flags.port;
+  server_options.use_hotcalls = flags.hotcalls;
+  server_options.enclave_workers = flags.partitions;
+  server_options.encrypt = !flags.plaintext;
+  net::Server server(enclave, store, authority, server_options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("shieldstore: listening on 127.0.0.1:%u (%s entry, %s)\n", server.port(),
+              flags.hotcalls ? "HotCalls" : "ECALL",
+              flags.plaintext ? "PLAINTEXT sessions" : "encrypted sessions");
+  std::printf("enclave measurement (give to clients): %s\n",
+              HexEncode(ByteSpan(enclave.measurement().data(), 32)).c_str());
+  std::fflush(stdout);
+
+  // Serve until signalled.
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("shutting down (%llu requests served)\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  server.Stop();
+  return 0;
+}
