@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_merkle.dir/bench_ablation_merkle.cc.o"
+  "CMakeFiles/bench_ablation_merkle.dir/bench_ablation_merkle.cc.o.d"
+  "bench_ablation_merkle"
+  "bench_ablation_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_heap_chunk.dir/bench_fig06_heap_chunk.cc.o"
+  "CMakeFiles/bench_fig06_heap_chunk.dir/bench_fig06_heap_chunk.cc.o.d"
+  "bench_fig06_heap_chunk"
+  "bench_fig06_heap_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_heap_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

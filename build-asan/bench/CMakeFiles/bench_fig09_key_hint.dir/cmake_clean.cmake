@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_key_hint.dir/bench_fig09_key_hint.cc.o"
+  "CMakeFiles/bench_fig09_key_hint.dir/bench_fig09_key_hint.cc.o.d"
+  "bench_fig09_key_hint"
+  "bench_fig09_key_hint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_key_hint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

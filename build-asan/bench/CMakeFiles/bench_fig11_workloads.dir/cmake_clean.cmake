@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_workloads.dir/bench_fig11_workloads.cc.o"
+  "CMakeFiles/bench_fig11_workloads.dir/bench_fig11_workloads.cc.o.d"
+  "bench_fig11_workloads"
+  "bench_fig11_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

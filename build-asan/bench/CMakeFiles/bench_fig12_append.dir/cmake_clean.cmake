@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_append.dir/bench_fig12_append.cc.o"
+  "CMakeFiles/bench_fig12_append.dir/bench_fig12_append.cc.o.d"
+  "bench_fig12_append"
+  "bench_fig12_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_mac_hashes.dir/bench_fig15_mac_hashes.cc.o"
+  "CMakeFiles/bench_fig15_mac_hashes.dir/bench_fig15_mac_hashes.cc.o.d"
+  "bench_fig15_mac_hashes"
+  "bench_fig15_mac_hashes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_mac_hashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

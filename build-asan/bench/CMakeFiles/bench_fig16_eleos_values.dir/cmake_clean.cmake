@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_eleos_values.dir/bench_fig16_eleos_values.cc.o"
+  "CMakeFiles/bench_fig16_eleos_values.dir/bench_fig16_eleos_values.cc.o.d"
+  "bench_fig16_eleos_values"
+  "bench_fig16_eleos_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_eleos_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

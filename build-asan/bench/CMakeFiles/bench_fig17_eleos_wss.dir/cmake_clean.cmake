@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_eleos_wss.dir/bench_fig17_eleos_wss.cc.o"
+  "CMakeFiles/bench_fig17_eleos_wss.dir/bench_fig17_eleos_wss.cc.o.d"
+  "bench_fig17_eleos_wss"
+  "bench_fig17_eleos_wss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_eleos_wss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

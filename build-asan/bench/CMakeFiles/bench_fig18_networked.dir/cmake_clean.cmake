@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_networked.dir/bench_fig18_networked.cc.o"
+  "CMakeFiles/bench_fig18_networked.dir/bench_fig18_networked.cc.o.d"
+  "bench_fig18_networked"
+  "bench_fig18_networked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_networked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_persistence.dir/bench_fig19_persistence.cc.o"
+  "CMakeFiles/bench_fig19_persistence.dir/bench_fig19_persistence.cc.o.d"
+  "bench_fig19_persistence"
+  "bench_fig19_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

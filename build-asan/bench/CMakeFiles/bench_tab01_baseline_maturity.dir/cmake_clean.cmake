@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_baseline_maturity.dir/bench_tab01_baseline_maturity.cc.o"
+  "CMakeFiles/bench_tab01_baseline_maturity.dir/bench_tab01_baseline_maturity.cc.o.d"
+  "bench_tab01_baseline_maturity"
+  "bench_tab01_baseline_maturity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_baseline_maturity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

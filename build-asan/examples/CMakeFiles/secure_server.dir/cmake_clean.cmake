@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_server.dir/secure_server.cpp.o"
+  "CMakeFiles/secure_server.dir/secure_server.cpp.o.d"
+  "secure_server"
+  "secure_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

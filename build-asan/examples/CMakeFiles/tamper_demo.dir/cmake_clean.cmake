@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamper_demo.dir/tamper_demo.cpp.o"
+  "CMakeFiles/tamper_demo.dir/tamper_demo.cpp.o.d"
+  "tamper_demo"
+  "tamper_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamper_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("sgx")
+subdirs("alloc")
+subdirs("kv")
+subdirs("shieldstore")
+subdirs("faultinject")
+subdirs("baseline")
+subdirs("eleos")
+subdirs("workload")
+subdirs("net")

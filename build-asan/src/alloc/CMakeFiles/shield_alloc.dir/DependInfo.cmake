@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/free_list.cc" "src/alloc/CMakeFiles/shield_alloc.dir/free_list.cc.o" "gcc" "src/alloc/CMakeFiles/shield_alloc.dir/free_list.cc.o.d"
+  "/root/repo/src/alloc/memsys5.cc" "src/alloc/CMakeFiles/shield_alloc.dir/memsys5.cc.o" "gcc" "src/alloc/CMakeFiles/shield_alloc.dir/memsys5.cc.o.d"
+  "/root/repo/src/alloc/slab.cc" "src/alloc/CMakeFiles/shield_alloc.dir/slab.cc.o" "gcc" "src/alloc/CMakeFiles/shield_alloc.dir/slab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/shield_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

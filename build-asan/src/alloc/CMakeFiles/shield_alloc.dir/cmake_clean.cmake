@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_alloc.dir/free_list.cc.o"
+  "CMakeFiles/shield_alloc.dir/free_list.cc.o.d"
+  "CMakeFiles/shield_alloc.dir/memsys5.cc.o"
+  "CMakeFiles/shield_alloc.dir/memsys5.cc.o.d"
+  "CMakeFiles/shield_alloc.dir/slab.cc.o"
+  "CMakeFiles/shield_alloc.dir/slab.cc.o.d"
+  "libshield_alloc.a"
+  "libshield_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_baseline.dir/baseline_store.cc.o"
+  "CMakeFiles/shield_baseline.dir/baseline_store.cc.o.d"
+  "CMakeFiles/shield_baseline.dir/memcached_like.cc.o"
+  "CMakeFiles/shield_baseline.dir/memcached_like.cc.o.d"
+  "libshield_baseline.a"
+  "libshield_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

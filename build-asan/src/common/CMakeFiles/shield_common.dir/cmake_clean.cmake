@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_common.dir/bytes.cc.o"
+  "CMakeFiles/shield_common.dir/bytes.cc.o.d"
+  "CMakeFiles/shield_common.dir/cycles.cc.o"
+  "CMakeFiles/shield_common.dir/cycles.cc.o.d"
+  "CMakeFiles/shield_common.dir/logging.cc.o"
+  "CMakeFiles/shield_common.dir/logging.cc.o.d"
+  "CMakeFiles/shield_common.dir/rng.cc.o"
+  "CMakeFiles/shield_common.dir/rng.cc.o.d"
+  "CMakeFiles/shield_common.dir/status.cc.o"
+  "CMakeFiles/shield_common.dir/status.cc.o.d"
+  "libshield_common.a"
+  "libshield_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshield_common.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/shield_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/shield_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/cmac.cc" "src/crypto/CMakeFiles/shield_crypto.dir/cmac.cc.o" "gcc" "src/crypto/CMakeFiles/shield_crypto.dir/cmac.cc.o.d"
+  "/root/repo/src/crypto/ctr.cc" "src/crypto/CMakeFiles/shield_crypto.dir/ctr.cc.o" "gcc" "src/crypto/CMakeFiles/shield_crypto.dir/ctr.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/crypto/CMakeFiles/shield_crypto.dir/drbg.cc.o" "gcc" "src/crypto/CMakeFiles/shield_crypto.dir/drbg.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/shield_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/shield_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/crypto/CMakeFiles/shield_crypto.dir/merkle.cc.o" "gcc" "src/crypto/CMakeFiles/shield_crypto.dir/merkle.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/shield_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/shield_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/siphash.cc" "src/crypto/CMakeFiles/shield_crypto.dir/siphash.cc.o" "gcc" "src/crypto/CMakeFiles/shield_crypto.dir/siphash.cc.o.d"
+  "/root/repo/src/crypto/x25519.cc" "src/crypto/CMakeFiles/shield_crypto.dir/x25519.cc.o" "gcc" "src/crypto/CMakeFiles/shield_crypto.dir/x25519.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/shield_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

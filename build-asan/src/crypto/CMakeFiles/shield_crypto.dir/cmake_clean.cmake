@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_crypto.dir/aes.cc.o"
+  "CMakeFiles/shield_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/cmac.cc.o"
+  "CMakeFiles/shield_crypto.dir/cmac.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/ctr.cc.o"
+  "CMakeFiles/shield_crypto.dir/ctr.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/drbg.cc.o"
+  "CMakeFiles/shield_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/hmac.cc.o"
+  "CMakeFiles/shield_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/merkle.cc.o"
+  "CMakeFiles/shield_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/sha256.cc.o"
+  "CMakeFiles/shield_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/siphash.cc.o"
+  "CMakeFiles/shield_crypto.dir/siphash.cc.o.d"
+  "CMakeFiles/shield_crypto.dir/x25519.cc.o"
+  "CMakeFiles/shield_crypto.dir/x25519.cc.o.d"
+  "libshield_crypto.a"
+  "libshield_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_eleos.dir/eleos_kv.cc.o"
+  "CMakeFiles/shield_eleos.dir/eleos_kv.cc.o.d"
+  "CMakeFiles/shield_eleos.dir/suvm.cc.o"
+  "CMakeFiles/shield_eleos.dir/suvm.cc.o.d"
+  "libshield_eleos.a"
+  "libshield_eleos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_eleos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

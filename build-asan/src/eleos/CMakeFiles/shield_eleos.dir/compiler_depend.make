@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shield_eleos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_faultinject.dir/tamper.cc.o"
+  "CMakeFiles/shield_faultinject.dir/tamper.cc.o.d"
+  "libshield_faultinject.a"
+  "libshield_faultinject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_faultinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

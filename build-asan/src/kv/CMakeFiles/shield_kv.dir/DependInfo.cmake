@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/entry.cc" "src/kv/CMakeFiles/shield_kv.dir/entry.cc.o" "gcc" "src/kv/CMakeFiles/shield_kv.dir/entry.cc.o.d"
+  "/root/repo/src/kv/interface.cc" "src/kv/CMakeFiles/shield_kv.dir/interface.cc.o" "gcc" "src/kv/CMakeFiles/shield_kv.dir/interface.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/shield_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/shield_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

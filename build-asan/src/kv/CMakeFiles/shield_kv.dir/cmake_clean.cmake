@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_kv.dir/entry.cc.o"
+  "CMakeFiles/shield_kv.dir/entry.cc.o.d"
+  "CMakeFiles/shield_kv.dir/interface.cc.o"
+  "CMakeFiles/shield_kv.dir/interface.cc.o.d"
+  "libshield_kv.a"
+  "libshield_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_net.dir/channel.cc.o"
+  "CMakeFiles/shield_net.dir/channel.cc.o.d"
+  "CMakeFiles/shield_net.dir/client.cc.o"
+  "CMakeFiles/shield_net.dir/client.cc.o.d"
+  "CMakeFiles/shield_net.dir/protocol.cc.o"
+  "CMakeFiles/shield_net.dir/protocol.cc.o.d"
+  "CMakeFiles/shield_net.dir/server.cc.o"
+  "CMakeFiles/shield_net.dir/server.cc.o.d"
+  "libshield_net.a"
+  "libshield_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/attestation.cc" "src/sgx/CMakeFiles/shield_sgx.dir/attestation.cc.o" "gcc" "src/sgx/CMakeFiles/shield_sgx.dir/attestation.cc.o.d"
+  "/root/repo/src/sgx/counter.cc" "src/sgx/CMakeFiles/shield_sgx.dir/counter.cc.o" "gcc" "src/sgx/CMakeFiles/shield_sgx.dir/counter.cc.o.d"
+  "/root/repo/src/sgx/enclave.cc" "src/sgx/CMakeFiles/shield_sgx.dir/enclave.cc.o" "gcc" "src/sgx/CMakeFiles/shield_sgx.dir/enclave.cc.o.d"
+  "/root/repo/src/sgx/epc.cc" "src/sgx/CMakeFiles/shield_sgx.dir/epc.cc.o" "gcc" "src/sgx/CMakeFiles/shield_sgx.dir/epc.cc.o.d"
+  "/root/repo/src/sgx/hotcalls.cc" "src/sgx/CMakeFiles/shield_sgx.dir/hotcalls.cc.o" "gcc" "src/sgx/CMakeFiles/shield_sgx.dir/hotcalls.cc.o.d"
+  "/root/repo/src/sgx/seal.cc" "src/sgx/CMakeFiles/shield_sgx.dir/seal.cc.o" "gcc" "src/sgx/CMakeFiles/shield_sgx.dir/seal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/shield_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/shield_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/alloc/CMakeFiles/shield_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_sgx.dir/attestation.cc.o"
+  "CMakeFiles/shield_sgx.dir/attestation.cc.o.d"
+  "CMakeFiles/shield_sgx.dir/counter.cc.o"
+  "CMakeFiles/shield_sgx.dir/counter.cc.o.d"
+  "CMakeFiles/shield_sgx.dir/enclave.cc.o"
+  "CMakeFiles/shield_sgx.dir/enclave.cc.o.d"
+  "CMakeFiles/shield_sgx.dir/epc.cc.o"
+  "CMakeFiles/shield_sgx.dir/epc.cc.o.d"
+  "CMakeFiles/shield_sgx.dir/hotcalls.cc.o"
+  "CMakeFiles/shield_sgx.dir/hotcalls.cc.o.d"
+  "CMakeFiles/shield_sgx.dir/seal.cc.o"
+  "CMakeFiles/shield_sgx.dir/seal.cc.o.d"
+  "libshield_sgx.a"
+  "libshield_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shieldstore/cache.cc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/cache.cc.o" "gcc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/cache.cc.o.d"
+  "/root/repo/src/shieldstore/oplog.cc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/oplog.cc.o" "gcc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/oplog.cc.o.d"
+  "/root/repo/src/shieldstore/partitioned.cc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/partitioned.cc.o" "gcc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/partitioned.cc.o.d"
+  "/root/repo/src/shieldstore/persist.cc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/persist.cc.o" "gcc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/persist.cc.o.d"
+  "/root/repo/src/shieldstore/store.cc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/store.cc.o" "gcc" "src/shieldstore/CMakeFiles/shield_shieldstore.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/kv/CMakeFiles/shield_kv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sgx/CMakeFiles/shield_sgx.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/alloc/CMakeFiles/shield_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/shield_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/shield_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_shieldstore.dir/cache.cc.o"
+  "CMakeFiles/shield_shieldstore.dir/cache.cc.o.d"
+  "CMakeFiles/shield_shieldstore.dir/oplog.cc.o"
+  "CMakeFiles/shield_shieldstore.dir/oplog.cc.o.d"
+  "CMakeFiles/shield_shieldstore.dir/partitioned.cc.o"
+  "CMakeFiles/shield_shieldstore.dir/partitioned.cc.o.d"
+  "CMakeFiles/shield_shieldstore.dir/persist.cc.o"
+  "CMakeFiles/shield_shieldstore.dir/persist.cc.o.d"
+  "CMakeFiles/shield_shieldstore.dir/store.cc.o"
+  "CMakeFiles/shield_shieldstore.dir/store.cc.o.d"
+  "libshield_shieldstore.a"
+  "libshield_shieldstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_shieldstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shield_shieldstore.
+# This may be replaced when dependencies are built.

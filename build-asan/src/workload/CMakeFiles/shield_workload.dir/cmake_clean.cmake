@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shield_workload.dir/generator.cc.o"
+  "CMakeFiles/shield_workload.dir/generator.cc.o.d"
+  "CMakeFiles/shield_workload.dir/zipf.cc.o"
+  "CMakeFiles/shield_workload.dir/zipf.cc.o.d"
+  "libshield_workload.a"
+  "libshield_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shield_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

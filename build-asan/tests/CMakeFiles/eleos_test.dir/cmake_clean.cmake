@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eleos_test.dir/eleos_test.cc.o"
+  "CMakeFiles/eleos_test.dir/eleos_test.cc.o.d"
+  "eleos_test"
+  "eleos_test.pdb"
+  "eleos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eleos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultinject_test.dir/faultinject_test.cc.o"
+  "CMakeFiles/faultinject_test.dir/faultinject_test.cc.o.d"
+  "faultinject_test"
+  "faultinject_test.pdb"
+  "faultinject_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultinject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

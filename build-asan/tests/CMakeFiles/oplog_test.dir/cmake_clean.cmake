@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oplog_test.dir/oplog_test.cc.o"
+  "CMakeFiles/oplog_test.dir/oplog_test.cc.o.d"
+  "oplog_test"
+  "oplog_test.pdb"
+  "oplog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oplog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

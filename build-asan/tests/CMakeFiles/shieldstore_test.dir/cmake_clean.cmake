@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shieldstore_test.dir/shieldstore_test.cc.o"
+  "CMakeFiles/shieldstore_test.dir/shieldstore_test.cc.o.d"
+  "shieldstore_test"
+  "shieldstore_test.pdb"
+  "shieldstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shieldstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

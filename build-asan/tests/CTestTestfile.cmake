@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sgx_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/alloc_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/shieldstore_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/eleos_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/kv_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/oplog_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/faultinject_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")

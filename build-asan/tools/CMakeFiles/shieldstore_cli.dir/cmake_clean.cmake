@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shieldstore_cli.dir/shieldstore_cli.cc.o"
+  "CMakeFiles/shieldstore_cli.dir/shieldstore_cli.cc.o.d"
+  "shieldstore_cli"
+  "shieldstore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shieldstore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

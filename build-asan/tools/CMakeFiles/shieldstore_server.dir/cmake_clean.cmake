@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shieldstore_server.dir/shieldstore_server.cc.o"
+  "CMakeFiles/shieldstore_server.dir/shieldstore_server.cc.o.d"
+  "shieldstore_server"
+  "shieldstore_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shieldstore_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -239,6 +239,9 @@ bench/CMakeFiles/bench_fig10_overall.dir/bench_fig10_overall.cc.o: \
  /root/repo/src/eleos/eleos_kv.h /root/repo/src/eleos/suvm.h \
  /root/repo/src/alloc/memsys5.h /root/repo/src/kv/partition.h \
  /root/repo/src/crypto/siphash.h /root/repo/src/shieldstore/partitioned.h \
- /usr/include/c++/12/shared_mutex /root/repo/src/shieldstore/store.h \
- /root/repo/src/kv/entry.h /root/repo/src/crypto/cmac.h \
- /root/repo/src/shieldstore/cache.h /root/repo/src/shieldstore/options.h
+ /usr/include/c++/12/shared_mutex /root/repo/src/shieldstore/oplog.h \
+ /root/repo/src/sgx/counter.h /root/repo/src/sgx/seal.h \
+ /root/repo/src/shieldstore/store.h /root/repo/src/kv/entry.h \
+ /root/repo/src/crypto/cmac.h /root/repo/src/shieldstore/cache.h \
+ /root/repo/src/shieldstore/options.h \
+ /root/repo/src/shieldstore/persist.h

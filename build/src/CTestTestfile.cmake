@@ -10,6 +10,7 @@ subdirs("sgx")
 subdirs("alloc")
 subdirs("kv")
 subdirs("shieldstore")
+subdirs("faultinject")
 subdirs("baseline")
 subdirs("eleos")
 subdirs("workload")

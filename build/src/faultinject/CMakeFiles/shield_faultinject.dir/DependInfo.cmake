@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultinject/tamper.cc" "src/faultinject/CMakeFiles/shield_faultinject.dir/tamper.cc.o" "gcc" "src/faultinject/CMakeFiles/shield_faultinject.dir/tamper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shieldstore/CMakeFiles/shield_shieldstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/shield_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/shield_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/shield_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/shield_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shield_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

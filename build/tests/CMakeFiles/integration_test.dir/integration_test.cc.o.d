@@ -319,8 +319,8 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/net/protocol.h /root/repo/src/net/server.h \
  /root/repo/src/sgx/hotcalls.h /root/repo/src/shieldstore/partitioned.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/crypto/siphash.h \
- /root/repo/src/shieldstore/store.h /root/repo/src/kv/entry.h \
- /root/repo/src/crypto/cmac.h /root/repo/src/shieldstore/cache.h \
- /root/repo/src/shieldstore/options.h \
- /root/repo/src/shieldstore/persist.h /root/repo/src/sgx/counter.h \
- /root/repo/src/sgx/seal.h
+ /root/repo/src/shieldstore/oplog.h /root/repo/src/sgx/counter.h \
+ /root/repo/src/sgx/seal.h /root/repo/src/shieldstore/store.h \
+ /root/repo/src/kv/entry.h /root/repo/src/crypto/cmac.h \
+ /root/repo/src/shieldstore/cache.h /root/repo/src/shieldstore/options.h \
+ /root/repo/src/shieldstore/persist.h

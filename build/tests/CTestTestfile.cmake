@@ -15,4 +15,5 @@ include("/root/repo/build/tests/net_test[1]_include.cmake")
 include("/root/repo/build/tests/kv_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/oplog_test[1]_include.cmake")
+include("/root/repo/build/tests/faultinject_test[1]_include.cmake")
 include("/root/repo/build/tests/common_test[1]_include.cmake")

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: plain build + tests, then the same suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (SHIELD_SANITIZE).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: plain build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tier-1 under ASan/UBSan =="
+cmake -B build-asan -S . -DSHIELD_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "All checks passed."

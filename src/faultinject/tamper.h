@@ -1,0 +1,115 @@
+// Adversarial fault injection.
+//
+// ShieldStore's threat model (§3.3) grants the attacker full read/write
+// access to everything outside the enclave: the chained hash table, the MAC
+// buckets, and every persisted file. TamperAgent plays that attacker with
+// the same white-box access the tests have, mutating untrusted state the way
+// a malicious OS would, so every detection path the paper claims (§4.3 entry
+// MACs, MAC-bucket cross-checks, bucket-set hashes; §4.4 sealed snapshots
+// and monotonic counters) is exercised continuously rather than trusted on
+// faith.
+//
+// Every mutation is keyed by a deterministic seed so a failing tamper run
+// reproduces bit-for-bit. The agent never touches enclave memory — exactly
+// the boundary the real adversary cannot cross.
+#ifndef SHIELDSTORE_SRC_FAULTINJECT_TAMPER_H_
+#define SHIELDSTORE_SRC_FAULTINJECT_TAMPER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/shieldstore/store.h"
+
+namespace shield::faultinject {
+
+// In-memory attacks against a live Store. Each models one §4 adversary move.
+enum class TamperMode {
+  kBitFlipCiphertext,  // flip one bit of an entry's value ciphertext
+  kMacForge,           // overwrite an entry MAC with attacker-chosen bytes
+  kEntrySplice,        // relink a validly MAC'd entry into another bucket
+  kEntryReplay,        // restore a stale captured version of an entry
+  kChainTruncate,      // unlink a chain head (hide a committed key)
+  kChainCycle,         // close a chain into a cycle (hang attempt)
+  kKeyHintCorrupt,     // corrupt the 1-byte plaintext key hint (§5.4)
+  kMacBucketTamper,    // flip a bit inside an untrusted MAC-bucket copy
+};
+
+inline constexpr TamperMode kAllMemoryModes[] = {
+    TamperMode::kBitFlipCiphertext, TamperMode::kMacForge,
+    TamperMode::kEntrySplice,       TamperMode::kEntryReplay,
+    TamperMode::kChainTruncate,     TamperMode::kChainCycle,
+    TamperMode::kKeyHintCorrupt,    TamperMode::kMacBucketTamper,
+};
+
+std::string_view TamperModeName(TamperMode mode);
+
+// The status code the store must surface once the attack is observed. All
+// memory attacks are integrity violations; availability-only effects (a key
+// made unfindable) are accepted by the threat model but still audited by
+// Store::Scrub().
+Code ExpectedDetection(TamperMode mode);
+
+class TamperAgent {
+ public:
+  explicit TamperAgent(uint64_t seed) : rng_(seed) {}
+
+  // Mutates the store's untrusted state. kInvalidArgument when the store
+  // holds no suitable target (e.g. it is empty, or kEntryReplay without a
+  // prior CaptureEntry), kUnsupported when the configuration lacks the
+  // attacked structure (kMacBucketTamper without MAC bucketing).
+  Status Tamper(shieldstore::Store& store, TamperMode mode);
+
+  // Stashes one randomly chosen live entry (bytes + bucket) so a later
+  // kEntryReplay can restore it after the key is updated.
+  Status CaptureEntry(shieldstore::Store& store);
+
+  // Plaintext key of the entry the last Tamper/CaptureEntry call targeted.
+  // A real adversary cannot decrypt keys; the agent exposes this purely so
+  // tests can aim their probe reads at the attacked key.
+  const std::string& last_target_key() const { return last_target_key_; }
+
+  // --- host-side file attacks (snapshots, oplog) ---------------------------
+  // Stash / restore the snapshot generation files in `directory`
+  // (shieldstore.{meta,data} and their .prev twins) — the rollback attack.
+  Status CaptureSnapshotFiles(const std::string& directory);
+  Status RollbackSnapshotFiles(const std::string& directory);
+
+  // Drop the final `drop_bytes` of a file — a torn write / truncation.
+  static Status TruncateTail(const std::string& path, size_t drop_bytes);
+
+  // Flip one bit of the byte at `offset` (clamped to the file size).
+  static Status FlipFileByte(const std::string& path, size_t offset);
+
+ private:
+  struct Target {
+    size_t bucket = 0;
+    kv::EntryHeader* entry = nullptr;
+    kv::EntryHeader* prev = nullptr;
+  };
+
+  // Picks a random live entry; prefer_value selects entries with values so a
+  // ciphertext flip lands in the value region (key-region flips are only an
+  // availability attack, invisible to Get).
+  Result<Target> PickEntry(shieldstore::Store& store, bool prefer_value);
+
+  Xoshiro256 rng_;
+  std::string last_target_key_;
+
+  // kEntryReplay stash.
+  Bytes captured_bytes_;
+  std::string captured_key_;
+  size_t captured_bucket_ = 0;
+  bool have_capture_ = false;
+
+  // Snapshot-file stash: path -> contents (missing files recorded absent).
+  std::vector<std::pair<std::string, Bytes>> file_stash_;
+  std::vector<std::string> stash_missing_;
+};
+
+}  // namespace shield::faultinject
+
+#endif  // SHIELDSTORE_SRC_FAULTINJECT_TAMPER_H_

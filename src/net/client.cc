@@ -1,26 +1,39 @@
 #include "src/net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <charconv>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace shield::net {
+namespace {
+
+timeval ToTimeval(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  return tv;
+}
+
+}  // namespace
 
 Client::Client(const sgx::AttestationAuthority& authority, const sgx::Measurement& expected,
-               bool encrypt)
-    : authority_(authority), expected_(expected), encrypt_(encrypt) {}
+               bool encrypt, const ClientOptions& options)
+    : authority_(authority), expected_(expected), encrypt_(encrypt), options_(options) {}
 
 Client::~Client() {
   Close();
 }
 
-Status Client::Connect(uint16_t port) {
-  Close();
+Status Client::ConnectSocket(uint16_t port) {
   fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status(Code::kIoError, "socket() failed");
@@ -29,19 +42,71 @@ Status Client::Connect(uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+
+  // Non-blocking connect + poll: a plain connect() to a dropping host can
+  // block for minutes; the caller asked for connect_timeout_ms.
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
   if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Close();
-    return Status(Code::kIoError, "connect() failed");
+    if (errno != EINPROGRESS) {
+      Close();
+      return Status(Code::kIoError, std::string("connect: ") + std::strerror(errno));
+    }
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int ready = poll(&pfd, 1, options_.connect_timeout_ms);
+    if (ready <= 0) {
+      Close();
+      return Status(Code::kIoError, ready == 0 ? "connect timed out" : "poll() failed");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      Close();
+      return Status(Code::kIoError, std::string("connect: ") + std::strerror(err));
+    }
   }
+  fcntl(fd_, F_SETFL, flags);
+
+  // From here all socket I/O (handshake included) is bounded by timeouts: a
+  // server that accepts and then hangs yields kIoError, not a stuck client.
+  const timeval rcv = ToTimeval(options_.recv_timeout_ms);
+  const timeval snd = ToTimeval(options_.send_timeout_ms);
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &rcv, sizeof(rcv));
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd));
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  Result<Bytes> key_material = ClientHandshake(fd_, authority_, expected_);
-  if (!key_material.ok()) {
-    Close();
-    return key_material.status();
-  }
-  session_ = std::make_unique<SessionCrypto>(*key_material, /*is_client=*/true, encrypt_);
   return Status::Ok();
+}
+
+Status Client::Connect(uint16_t port) {
+  const int attempts = std::max(options_.connect_attempts, 1);
+  int backoff_ms = options_.connect_backoff_ms;
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    Close();
+    last = ConnectSocket(port);
+    if (!last.ok()) {
+      continue;
+    }
+    Result<Bytes> key_material = ClientHandshake(fd_, authority_, expected_);
+    if (key_material.ok()) {
+      session_ = std::make_unique<SessionCrypto>(*key_material, /*is_client=*/true, encrypt_);
+      return Status::Ok();
+    }
+    last = key_material.status();
+    Close();
+    if (last.code() != Code::kIoError) {
+      // Attestation / protocol rejection: retrying cannot help, and hides
+      // a possibly-impersonated server behind "transient failure".
+      return last;
+    }
+  }
+  return last;
 }
 
 void Client::Close() {

@@ -12,18 +12,30 @@
 
 namespace shield::net {
 
+// Robustness knobs: a dead or hung server must yield a timely, typed
+// kIoError instead of blocking the caller forever.
+struct ClientOptions {
+  int connect_attempts = 3;     // total tries; kIoError failures retry
+  int connect_backoff_ms = 50;  // doubles after each failed attempt
+  int connect_timeout_ms = 2000;
+  int send_timeout_ms = 5000;  // SO_SNDTIMEO
+  int recv_timeout_ms = 5000;  // SO_RCVTIMEO; covers handshake + responses
+};
+
 class Client {
  public:
   // `expected` is the enclave measurement the client trusts (obtained from
   // the service operator out of band, like a release's published MRENCLAVE).
   Client(const sgx::AttestationAuthority& authority, const sgx::Measurement& expected,
-         bool encrypt = true);
+         bool encrypt = true, const ClientOptions& options = {});
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  // Connects to 127.0.0.1:port and runs the attestation handshake.
+  // Connects to 127.0.0.1:port and runs the attestation handshake. Socket-
+  // level failures (refused, timed out) are retried up to connect_attempts
+  // with exponential backoff; attestation failures are never retried.
   Status Connect(uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }
@@ -44,9 +56,13 @@ class Client {
   Result<int64_t> Increment(std::string_view key, int64_t delta);
 
  private:
+  // One connection attempt: socket + timed connect + socket timeouts.
+  Status ConnectSocket(uint16_t port);
+
   const sgx::AttestationAuthority& authority_;
   sgx::Measurement expected_;
   bool encrypt_;
+  ClientOptions options_;
   int fd_ = -1;
   std::unique_ptr<SessionCrypto> session_;
 };

@@ -68,10 +68,12 @@ void Server::Stop() {
     accept_thread_.join();
   }
   {
-    // Unblock connection threads parked in recv() on live clients, then join.
+    // Unblock connection threads parked in recv() on live clients, then
+    // join. SHUT_RD only: a thread mid-request keeps its write side so the
+    // in-flight response still reaches the client (drain semantics).
     std::lock_guard<std::mutex> lock(connections_mutex_);
     for (int fd : connection_fds_) {
-      shutdown(fd, SHUT_RDWR);
+      shutdown(fd, SHUT_RD);
     }
     for (std::thread& t : connection_threads_) {
       if (t.joinable()) {
@@ -148,8 +150,13 @@ Response Server::Dispatch(const Request& request) {
 Bytes Server::ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status) {
   Result<Bytes> plaintext = session.Open(record);
   if (!plaintext.ok()) {
+    // Unauthentic or malformed record. Nothing in it can be trusted, so do
+    // not dispatch — but do tell the client why it is being dropped, with a
+    // sealed typed error rather than a silent hangup.
     *status = plaintext.status();
-    return {};
+    Response response;
+    response.status = Code::kProtocolError;
+    return session.Seal(EncodeResponse(response));
   }
   Result<Request> request = DecodeRequest(*plaintext);
   Response response;
@@ -218,7 +225,13 @@ void Server::ServeConnection(int fd) {
           [&] { return ProcessInEnclave(session, record.value(), &status); });
     }
     if (!status.ok()) {
-      break;  // unauthentic record: drop the connection
+      // Unauthentic record: answer with the typed protocol error (best
+      // effort), then drop only THIS connection. The accept loop and every
+      // other session keep serving.
+      if (!response_record.empty()) {
+        (void)SendFrame(fd, response_record);
+      }
+      break;
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (!SendFrame(fd, response_record).ok()) {

@@ -1,5 +1,7 @@
 #include "src/shieldstore/oplog.h"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <vector>
 
@@ -219,6 +221,11 @@ Status OperationLog::Commit() {
   }
   if (std::fflush(file_) != 0) {
     return Status(Code::kIoError, "log flush failed");
+  }
+  // A commit that only reached the page cache is not a commit: fsync so the
+  // group is durable before the caller acks anything to a client.
+  if (fsync(fileno(file_)) != 0) {
+    return Status(Code::kIoError, "log fsync failed");
   }
   uncommitted_ = 0;
   ++commits_;

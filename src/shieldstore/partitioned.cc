@@ -1,6 +1,40 @@
 #include "src/shieldstore/partitioned.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+
 namespace shield::shieldstore {
+namespace {
+
+// Replays a full-keyspace operation log into one partition: forwards only
+// the keys the partition owns, silently accepting the rest.
+class PartitionFilterStore : public kv::KeyValueStore {
+ public:
+  PartitionFilterStore(kv::KeyValueStore& target, std::function<bool(std::string_view)> owns)
+      : target_(target), owns_(std::move(owns)) {}
+
+  Status Set(std::string_view key, std::string_view value) override {
+    return owns_(key) ? target_.Set(key, value) : Status::Ok();
+  }
+  Result<std::string> Get(std::string_view key) override { return target_.Get(key); }
+  Status Delete(std::string_view key) override {
+    return owns_(key) ? target_.Delete(key) : Status::Ok();
+  }
+  Status Append(std::string_view key, std::string_view suffix) override {
+    return owns_(key) ? target_.Append(key, suffix) : Status::Ok();
+  }
+  size_t Size() const override { return target_.Size(); }
+  std::string Name() const override { return "partition-filter"; }
+
+ private:
+  kv::KeyValueStore& target_;
+  std::function<bool(std::string_view)> owns_;
+};
+
+}  // namespace
 
 PartitionedStore::PartitionedStore(sgx::Enclave& enclave, const Options& options,
                                    size_t partitions)
@@ -8,12 +42,14 @@ PartitionedStore::PartitionedStore(sgx::Enclave& enclave, const Options& options
   enclave_.ReadRand(MutableByteSpan(route_key_.data(), route_key_.size()));
   partitions_ = BuildPartitions(std::max<size_t>(partitions, 1));
   locks_.clear();
+  quarantined_.clear();
   for (size_t i = 0; i < partitions_.size(); ++i) {
     locks_.push_back(std::make_unique<std::mutex>());
+    quarantined_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
 }
 
-std::vector<std::unique_ptr<Store>> PartitionedStore::BuildPartitions(size_t count) const {
+Options PartitionedStore::PartitionOptions(size_t count) const {
   Options per_partition = base_options_;
   per_partition.num_buckets = std::max<size_t>(base_options_.num_buckets / count, 1);
   per_partition.num_mac_hashes =
@@ -22,6 +58,11 @@ std::vector<std::unique_ptr<Store>> PartitionedStore::BuildPartitions(size_t cou
           : std::max<size_t>(base_options_.num_mac_hashes / count, 1);
   per_partition.cache_bytes = base_options_.cache_bytes / count;
   per_partition.cache_slots = base_options_.cache_slots / count;
+  return per_partition;
+}
+
+std::vector<std::unique_ptr<Store>> PartitionedStore::BuildPartitions(size_t count) const {
+  const Options per_partition = PartitionOptions(count);
   std::vector<std::unique_ptr<Store>> result;
   result.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -47,11 +88,143 @@ size_t PartitionedStore::PartitionOf(std::string_view key) const {
   return PartitionOfLocked(key);
 }
 
+void PartitionedStore::NoteOutcome(size_t p, const Status& s) {
+  if (s.code() == Code::kIntegrityFailure || s.code() == Code::kRollbackDetected) {
+    quarantined_[p]->store(true, std::memory_order_release);
+  }
+}
+
+Status PartitionedStore::QuarantineGuard(size_t p) const {
+  if (quarantined_[p]->load(std::memory_order_acquire)) {
+    return Status(Code::kIntegrityFailure,
+                  "partition " + std::to_string(p) + " is quarantined pending recovery");
+  }
+  return Status::Ok();
+}
+
+bool PartitionedStore::IsQuarantined(size_t p) const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  return p < quarantined_.size() && quarantined_[p]->load(std::memory_order_acquire);
+}
+
+size_t PartitionedStore::QuarantinedCount() const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  size_t count = 0;
+  for (const auto& flag : quarantined_) {
+    count += flag->load(std::memory_order_acquire) ? 1 : 0;
+  }
+  return count;
+}
+
+Status PartitionedStore::ScrubAll() {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  Status first;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    std::lock_guard<std::mutex> lock(*locks_[p]);
+    if (Status g = QuarantineGuard(p); !g.ok()) {
+      if (first.ok()) {
+        first = g;
+      }
+      continue;
+    }
+    const Store::ScrubReport report = partitions_[p]->Scrub();
+    NoteOutcome(p, report.status);
+    if (!report.status.ok() && first.ok()) {
+      first = report.status;
+    }
+  }
+  return first;
+}
+
+Status PartitionedStore::SnapshotAll(const sgx::SealingService& sealer,
+                                     sgx::MonotonicCounterService& counters,
+                                     const std::string& directory) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  // Manifest pins the partition count: recovery against a store with a
+  // different layout would silently drop or duplicate keys.
+  FILE* manifest = std::fopen((directory + "/manifest").c_str(), "w");
+  if (manifest == nullptr) {
+    return Status(Code::kIoError, "cannot write snapshot manifest in " + directory);
+  }
+  std::fprintf(manifest, "partitions %zu\n", partitions_.size());
+  std::fflush(manifest);
+  fsync(fileno(manifest));
+  std::fclose(manifest);
+
+  Status first;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    std::lock_guard<std::mutex> lock(*locks_[p]);
+    if (quarantined_[p]->load(std::memory_order_acquire)) {
+      // Never persist state that failed integrity: the previous generation
+      // in this partition's directory is the last trustworthy one.
+      if (first.ok()) {
+        first = Status(Code::kIntegrityFailure,
+                       "partition " + std::to_string(p) + " quarantined; snapshot skipped");
+      }
+      continue;
+    }
+    const std::string subdir = directory + "/p" + std::to_string(p);
+    std::filesystem::create_directories(subdir, ec);
+    Snapshotter snap(*partitions_[p], sealer, counters, {subdir, /*optimized=*/false});
+    if (Status s = snap.SnapshotNow(); !s.ok() && first.ok()) {
+      first = s;
+    }
+  }
+  return first;
+}
+
+Status PartitionedStore::RecoverPartition(size_t p, const sgx::SealingService& sealer,
+                                          sgx::MonotonicCounterService& counters,
+                                          const std::string& directory,
+                                          const OpLogOptions* oplog) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (p >= partitions_.size()) {
+    return Status(Code::kInvalidArgument, "no such partition");
+  }
+  FILE* manifest = std::fopen((directory + "/manifest").c_str(), "r");
+  if (manifest == nullptr) {
+    return Status(Code::kNotFound, "no snapshot manifest in " + directory);
+  }
+  size_t recorded = 0;
+  const bool parsed = std::fscanf(manifest, "partitions %zu", &recorded) == 1;
+  std::fclose(manifest);
+  if (!parsed || recorded != partitions_.size()) {
+    return Status(Code::kInvalidArgument, "snapshot manifest partition count mismatch");
+  }
+
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  const PersistOptions persist{directory + "/p" + std::to_string(p), /*optimized=*/false};
+  Result<std::unique_ptr<Store>> restored = Snapshotter::Recover(
+      enclave_, PartitionOptions(partitions_.size()), sealer, counters, persist);
+  if (!restored.ok()) {
+    return restored.status();
+  }
+  if (oplog != nullptr) {
+    PartitionFilterStore scoped(*restored.value(), [this, p](std::string_view key) {
+      return PartitionOfLocked(key) == p;
+    });
+    if (Status s = OperationLog::Replay(sealer, counters, *oplog, scoped); !s.ok()) {
+      return s;
+    }
+  }
+  partitions_[p] = std::move(restored.value());
+  quarantined_[p]->store(false, std::memory_order_release);
+  return Status::Ok();
+}
+
 Status PartitionedStore::Repartition(size_t new_partitions) {
   new_partitions = std::max<size_t>(new_partitions, 1);
   std::unique_lock<std::shared_mutex> structure(structure_mutex_);
   if (new_partitions == partitions_.size()) {
     return Status::Ok();
+  }
+  for (const auto& flag : quarantined_) {
+    if (flag->load(std::memory_order_acquire)) {
+      return Status(Code::kIntegrityFailure,
+                    "cannot repartition with a quarantined partition; recover it first");
+    }
   }
   // Build the new layout, then stream every live entry across. Each entry
   // is decrypted (and integrity-verified) by its old partition and re-sealed
@@ -73,8 +246,10 @@ Status PartitionedStore::Repartition(size_t new_partitions) {
   }
   partitions_ = std::move(rebuilt);
   locks_.clear();
+  quarantined_.clear();
   for (size_t i = 0; i < partitions_.size(); ++i) {
     locks_.push_back(std::make_unique<std::mutex>());
+    quarantined_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
   return Status::Ok();
 }
@@ -83,35 +258,60 @@ Status PartitionedStore::Set(std::string_view key, std::string_view value) {
   std::shared_lock<std::shared_mutex> structure(structure_mutex_);
   const size_t p = PartitionOfLocked(key);
   std::lock_guard<std::mutex> lock(*locks_[p]);
-  return partitions_[p]->Set(key, value);
+  if (Status g = QuarantineGuard(p); !g.ok()) {
+    return g;
+  }
+  const Status s = partitions_[p]->Set(key, value);
+  NoteOutcome(p, s);
+  return s;
 }
 
 Result<std::string> PartitionedStore::Get(std::string_view key) {
   std::shared_lock<std::shared_mutex> structure(structure_mutex_);
   const size_t p = PartitionOfLocked(key);
   std::lock_guard<std::mutex> lock(*locks_[p]);
-  return partitions_[p]->Get(key);
+  if (Status g = QuarantineGuard(p); !g.ok()) {
+    return g;
+  }
+  Result<std::string> r = partitions_[p]->Get(key);
+  NoteOutcome(p, r.ok() ? Status::Ok() : r.status());
+  return r;
 }
 
 Status PartitionedStore::Delete(std::string_view key) {
   std::shared_lock<std::shared_mutex> structure(structure_mutex_);
   const size_t p = PartitionOfLocked(key);
   std::lock_guard<std::mutex> lock(*locks_[p]);
-  return partitions_[p]->Delete(key);
+  if (Status g = QuarantineGuard(p); !g.ok()) {
+    return g;
+  }
+  const Status s = partitions_[p]->Delete(key);
+  NoteOutcome(p, s);
+  return s;
 }
 
 Status PartitionedStore::Append(std::string_view key, std::string_view suffix) {
   std::shared_lock<std::shared_mutex> structure(structure_mutex_);
   const size_t p = PartitionOfLocked(key);
   std::lock_guard<std::mutex> lock(*locks_[p]);
-  return partitions_[p]->Append(key, suffix);
+  if (Status g = QuarantineGuard(p); !g.ok()) {
+    return g;
+  }
+  const Status s = partitions_[p]->Append(key, suffix);
+  NoteOutcome(p, s);
+  return s;
 }
 
 Result<int64_t> PartitionedStore::Increment(std::string_view key, int64_t delta) {
   std::shared_lock<std::shared_mutex> structure(structure_mutex_);
   const size_t p = PartitionOfLocked(key);
   std::lock_guard<std::mutex> lock(*locks_[p]);
-  return partitions_[p]->Increment(key, delta);
+  if (Status g = QuarantineGuard(p); !g.ok()) {
+    return g;
+  }
+  Result<int64_t> r = partitions_[p]->Increment(key, delta);
+  NoteOutcome(p, r.ok() ? Status::Ok() : r.status());
+  return r;
 }
 
 size_t PartitionedStore::Size() const {

@@ -15,9 +15,17 @@
 // Repartition() implements the dynamic parallelism adjustment the paper
 // leaves as future work (current SGX cannot change enclave thread counts at
 // runtime; the simulation has no such restriction).
+//
+// Quarantine (robustness extension): a facade operation that detects
+// tampering (kIntegrityFailure / kRollbackDetected) quarantines its
+// partition — further operations on that partition fail fast while every
+// other partition keeps serving. SnapshotAll()/RecoverPartition() rebuild a
+// quarantined partition from its latest snapshot generation plus the
+// committed operation-log suffix, restoring full service without a restart.
 #ifndef SHIELDSTORE_SRC_SHIELDSTORE_PARTITIONED_H_
 #define SHIELDSTORE_SRC_SHIELDSTORE_PARTITIONED_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -25,6 +33,8 @@
 
 #include "src/crypto/siphash.h"
 #include "src/kv/interface.h"
+#include "src/shieldstore/oplog.h"
+#include "src/shieldstore/persist.h"
 #include "src/shieldstore/store.h"
 
 namespace shield::shieldstore {
@@ -47,6 +57,35 @@ class PartitionedStore : public kv::KeyValueStore {
   // unchanged) if any entry fails integrity verification.
   Status Repartition(size_t new_partitions);
 
+  // --- Quarantine and per-partition recovery ---
+
+  // True once an operation on partition `p` has detected tampering. A
+  // quarantined partition fails every facade call with kIntegrityFailure
+  // until RecoverPartition() rebuilds it; other partitions are unaffected.
+  bool IsQuarantined(size_t p) const;
+  size_t QuarantinedCount() const;
+
+  // Full audit: runs Store::Scrub() on every partition and quarantines the
+  // ones that fail. Returns the first violation found (Ok if all clean).
+  Status ScrubAll();
+
+  // Snapshots every partition into `directory`/p<i>/ (blocking writes, under
+  // the partition lock) and records the partition count in a manifest so a
+  // later RecoverPartition cannot mix geometries. Quarantined partitions are
+  // skipped — their in-memory state is untrusted.
+  Status SnapshotAll(const sgx::SealingService& sealer,
+                     sgx::MonotonicCounterService& counters, const std::string& directory);
+
+  // Rebuilds partition `p` from its latest snapshot generation under
+  // `directory`, then — when `oplog` is given — replays the committed
+  // operation-log suffix filtered to the keys this partition owns. On
+  // success the rebuilt store replaces the partition and the quarantine
+  // flag clears; on failure the partition is untouched (and still
+  // quarantined if it was).
+  Status RecoverPartition(size_t p, const sgx::SealingService& sealer,
+                          sgx::MonotonicCounterService& counters, const std::string& directory,
+                          const OpLogOptions* oplog = nullptr);
+
   // Locked facade.
   Status Set(std::string_view key, std::string_view value) override;
   Result<std::string> Get(std::string_view key) override;
@@ -58,8 +97,12 @@ class PartitionedStore : public kv::KeyValueStore {
   kv::StoreStats stats() const override;
 
  private:
+  Options PartitionOptions(size_t count) const;
   std::vector<std::unique_ptr<Store>> BuildPartitions(size_t count) const;
   size_t PartitionOfLocked(std::string_view key) const;
+  // Quarantines partition `p` when `s` carries an integrity-class code.
+  void NoteOutcome(size_t p, const Status& s);
+  Status QuarantineGuard(size_t p) const;
 
   sgx::Enclave& enclave_;
   Options base_options_;  // the TOTAL geometry, before per-partition split
@@ -69,6 +112,7 @@ class PartitionedStore : public kv::KeyValueStore {
   mutable std::shared_mutex structure_mutex_;
   std::vector<std::unique_ptr<Store>> partitions_;
   mutable std::vector<std::unique_ptr<std::mutex>> locks_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> quarantined_;
 };
 
 }  // namespace shield::shieldstore

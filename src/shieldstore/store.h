@@ -30,6 +30,10 @@
 #include "src/shieldstore/cache.h"
 #include "src/shieldstore/options.h"
 
+namespace shield::faultinject {
+class TamperAgent;  // white-box adversary (src/faultinject); friend of Store
+}  // namespace shield::faultinject
+
 namespace shield::shieldstore {
 
 // Entry flag bits.
@@ -112,6 +116,18 @@ class Store : public kv::KeyValueStore {
   // and compares with the trusted copies. O(store size).
   Status VerifyFullIntegrity() const;
 
+  // Full-table audit: walks every chain (hostile-pointer and cycle checks),
+  // recomputes every entry MAC, cross-checks the MAC-bucket copies, then
+  // verifies all bucket-set hashes against the trusted array. Strictly
+  // stronger than VerifyFullIntegrity: it also localizes per-entry damage
+  // that only shows up as a set-level mismatch there. O(store size).
+  struct ScrubReport {
+    Status status;               // first violation found, or OK
+    size_t entries_verified = 0;
+    size_t sets_verified = 0;
+  };
+  ScrubReport Scrub() const;
+
   // Decrypts and visits every live entry (enclave work; entry MACs are
   // verified as entries are opened). Used by dynamic repartitioning.
   Status ForEachDecrypted(
@@ -119,6 +135,7 @@ class Store : public kv::KeyValueStore {
 
  private:
   friend class StoreTestPeer;
+  friend class faultinject::TamperAgent;
 
   // Per-bucket MAC list node (§5.2), in untrusted memory.
   struct MacBucket {

@@ -3,6 +3,12 @@
 // modes (ECALL and HotCalls).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <thread>
 
 #include "src/net/client.h"
@@ -254,6 +260,128 @@ TEST_F(NetEndToEndTest, UnencryptedModeWorksWhenBothSidesAgree) {
   ASSERT_TRUE(client.Connect(server_->port()).ok());
   EXPECT_TRUE(client.Set("k", "v").ok());
   EXPECT_EQ(client.Get("k").value(), "v");
+}
+
+// ------------------------------------------------------------- robustness
+
+TEST_F(NetEndToEndTest, DeadServerFailsFastWithBoundedRetry) {
+  // No server. Connect must exhaust its bounded retries and return a typed
+  // kIoError promptly instead of hanging or throwing.
+  ClientOptions options;
+  options.connect_attempts = 2;
+  options.connect_backoff_ms = 10;
+  options.connect_timeout_ms = 500;
+  Client client(authority_, enclave_.measurement(), true, options);
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = client.Connect(1);  // reserved port: connection refused
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kIoError);
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST_F(NetEndToEndTest, HungServerYieldsRecvTimeout) {
+  // A listener that accepts TCP connections (kernel backlog) but never
+  // speaks the protocol: the handshake read must hit SO_RCVTIMEO.
+  const int listener = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t addr_len = sizeof(addr);
+  getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  ASSERT_EQ(listen(listener, 4), 0);
+
+  ClientOptions options;
+  options.connect_attempts = 1;
+  options.recv_timeout_ms = 200;
+  Client client(authority_, enclave_.measurement(), true, options);
+  const Status s = client.Connect(ntohs(addr.sin_port));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kIoError);
+  close(listener);
+}
+
+TEST_F(NetEndToEndTest, MalformedRecordGetsProtocolErrorWithoutCollateral) {
+  StartServer({});
+  Client good(authority_, enclave_.measurement());
+  ASSERT_TRUE(good.Connect(server_->port()).ok());
+  ASSERT_TRUE(good.Set("k", "v").ok());
+
+  // Attacker session: valid handshake, then a corrupted (unauthentic)
+  // record. The server must answer with a sealed kProtocolError and close
+  // only this connection.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  Result<Bytes> key_material = ClientHandshake(fd, authority_, enclave_.measurement());
+  ASSERT_TRUE(key_material.ok()) << key_material.status().ToString();
+  SessionCrypto session(*key_material, /*is_client=*/true, /*encrypt=*/true);
+  Bytes record = session.Seal(EncodeRequest({OpCode::kGet, "k", "", 0}));
+  record[record.size() / 2] ^= 0x01;
+  ASSERT_TRUE(SendFrame(fd, record).ok());
+  Result<Bytes> reply = RecvFrame(fd);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  Result<Bytes> plaintext = session.Open(*reply);
+  ASSERT_TRUE(plaintext.ok()) << plaintext.status().ToString();
+  Result<Response> response = DecodeResponse(*plaintext);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, Code::kProtocolError);
+  // ... then the connection is dropped.
+  EXPECT_FALSE(RecvFrame(fd).ok());
+  close(fd);
+
+  // The established session and fresh connections are unaffected.
+  EXPECT_EQ(good.Get("k").value(), "v");
+  Client fresh(authority_, enclave_.measurement());
+  ASSERT_TRUE(fresh.Connect(server_->port()).ok());
+  EXPECT_EQ(fresh.Get("k").value(), "v");
+}
+
+// Delays writes so a request is reliably in flight when Stop() arrives.
+class SlowStore : public kv::KeyValueStore {
+ public:
+  explicit SlowStore(kv::KeyValueStore& inner) : inner_(inner) {}
+  Status Set(std::string_view key, std::string_view value) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return inner_.Set(key, value);
+  }
+  Result<std::string> Get(std::string_view key) override { return inner_.Get(key); }
+  Status Delete(std::string_view key) override { return inner_.Delete(key); }
+  size_t Size() const override { return inner_.Size(); }
+  std::string Name() const override { return inner_.Name(); }
+
+ private:
+  kv::KeyValueStore& inner_;
+};
+
+TEST_F(NetEndToEndTest, StopDrainsInFlightRequests) {
+  SlowStore slow(store_);
+  Server server(enclave_, slow, authority_, {});
+  ASSERT_TRUE(server.Start().ok());
+  Client client(authority_, enclave_.measurement());
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  Request request;
+  request.op = OpCode::kSet;
+  request.key = "drained";
+  request.value = "yes";
+  ASSERT_TRUE(client.SendRequest(request).ok());
+  // Let the server pick the request up, then stop mid-flight: the response
+  // must still arrive (Stop shuts down the read side only).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::thread stopper([&server] { server.Stop(); });
+  Result<Response> response = client.ReceiveResponse();
+  stopper.join();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, Code::kOk);
+  EXPECT_EQ(store_.Get("drained").value(), "yes");
 }
 
 }  // namespace

@@ -468,12 +468,15 @@ TEST_F(PersistTest, TamperedDataFileDetected) {
   }
   Snapshotter snap(store, sealer, counters, {dir_, false});
   ASSERT_TRUE(snap.SnapshotNow().ok());
-  // Flip one ciphertext byte near the end of the data file.
+  // Flip one ciphertext byte in the middle of the data file, leaving the
+  // trailing footer intact: an attacker-edited file, not a torn write.
   FILE* f = std::fopen(snap.DataPath().c_str(), "rb+");
   ASSERT_NE(f, nullptr);
-  std::fseek(f, -1, SEEK_END);
+  std::fseek(f, 0, SEEK_END);
+  const long mid = std::ftell(f) / 2;
+  std::fseek(f, mid, SEEK_SET);
   int c = std::fgetc(f);
-  std::fseek(f, -1, SEEK_END);
+  std::fseek(f, mid, SEEK_SET);
   std::fputc(c ^ 1, f);
   std::fclose(f);
   Result<std::unique_ptr<Store>> recovered =
