@@ -1,0 +1,73 @@
+// Background-scrub overhead: Figure-18-style networked load (pipelined
+// connections, RD95_Z) against a ShieldOpt partitioned store, with the
+// server's maintenance thread off vs running the paced ScrubTick at the
+// default budget. The self-healing design targets < 10% throughput cost for
+// continuous background auditing; this bench measures it.
+#include "bench/netload.h"
+#include "bench/systems.h"
+#include "src/net/server.h"
+#include "src/shieldstore/partitioned.h"
+
+namespace shield::bench {
+namespace {
+
+double Measure(sgx::Enclave& enclave, shieldstore::PartitionedStore& store,
+               const sgx::AttestationAuthority& authority, size_t threads, bool scrub,
+               int scrub_interval_ms, const workload::WorkloadConfig& config,
+               const workload::DataSet& ds, size_t num_keys) {
+  net::ServerOptions server_options;
+  server_options.use_hotcalls = true;
+  server_options.enclave_workers = threads;
+  if (scrub) {
+    server_options.maintenance = [&store] { (void)store.ScrubTick(); };
+    server_options.maintenance_interval_ms = scrub_interval_ms;
+  }
+  net::Server server(enclave, store, authority, server_options);
+  if (!server.Start().ok()) {
+    return 0;
+  }
+  NetLoadOptions load;
+  load.connections = 8;
+  load.pipeline_depth = 16;
+  load.seconds = 0.6;
+  const double kops = RunNetworkLoad(server.port(), authority, enclave.measurement(), config,
+                                     ds, num_keys, load);
+  server.Stop();
+  return kops;
+}
+
+void Run() {
+  const sgx::AttestationAuthority authority(AsBytes("bench-ias"));
+  const size_t num_keys = Scaled(300'000);
+  const size_t threads = 4;
+  const workload::WorkloadConfig config = workload::RD95_Z();
+  const workload::DataSet ds = workload::MediumDataSet();
+
+  Table table("Background scrub overhead: ShieldOpt+HotCalls, 4 threads, RD95_Z, medium");
+  table.Header({"scrub", "interval", "budget/tick", "Kop/s", "overhead"});
+
+  sgx::Enclave enclave(BenchEnclave());
+  shieldstore::Options options = ShieldOptOptions(num_keys);
+  shieldstore::PartitionedStore store(enclave, options, threads);
+  Preload(store, num_keys, ds);
+
+  const double off = Measure(enclave, store, authority, threads, false, 0, config, ds, num_keys);
+  table.Row({"off", "-", "-", Fmt(off), "-"});
+  for (int interval_ms : {50, 20, 5}) {
+    const double on =
+        Measure(enclave, store, authority, threads, true, interval_ms, config, ds, num_keys);
+    table.Row({"on", std::to_string(interval_ms) + " ms",
+               std::to_string(options.scrub_budget_buckets), Fmt(on),
+               Fmt((off - on) / std::max(off, 1e-9) * 100, "%.1f%%")});
+  }
+  std::printf("# target: default budget (%zu buckets/tick) costs < 10%% throughput.\n",
+              options.scrub_budget_buckets);
+}
+
+}  // namespace
+}  // namespace shield::bench
+
+int main() {
+  shield::bench::Run();
+  return 0;
+}

@@ -16,4 +16,9 @@ cmake -B build-asan -S . -DSHIELD_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
+echo "== concurrency battery under TSan =="
+cmake -B build-tsan -S . -DSHIELD_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target concurrency_test selfheal_test
+ctest --test-dir build-tsan --output-on-failure -R 'ConcurrencyTest|SelfHealNetTest'
+
 echo "All checks passed."

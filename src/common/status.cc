@@ -26,6 +26,8 @@ std::string_view CodeName(Code code) {
       return "PROTOCOL_ERROR";
     case Code::kInternal:
       return "INTERNAL";
+    case Code::kPartitionRecovering:
+      return "PARTITION_RECOVERING";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,7 @@ enum class Code {
   kIoError,           // file or socket failure
   kProtocolError,     // malformed or unauthenticated network message
   kInternal,
+  kPartitionRecovering,  // key's partition is quarantined and healing; retry
 };
 
 // Human-readable name of a status code ("OK", "NOT_FOUND", ...).

@@ -1,5 +1,6 @@
 #include "src/faultinject/tamper.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -298,6 +299,11 @@ Status TamperAgent::Tamper(shieldstore::Store& store, TamperMode mode) {
   return Status(Code::kInvalidArgument, "unknown tamper mode");
 }
 
+Status TamperAgent::TamperPartition(shieldstore::PartitionedStore& store, size_t p,
+                                    TamperMode mode) {
+  return store.WithPartitionLocked(p, [&](shieldstore::Store& s) { return Tamper(s, mode); });
+}
+
 Status TamperAgent::CaptureSnapshotFiles(const std::string& directory) {
   file_stash_.clear();
   stash_missing_.clear();
@@ -376,6 +382,48 @@ Status TamperAgent::FlipFileByte(const std::string& path, size_t offset) {
     return Status(Code::kIoError, "cannot write " + path);
   }
   return Status::Ok();
+}
+
+void RaceTamperer::Start() {
+  stop_.store(false);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void RaceTamperer::Stop() {
+  stop_.store(true);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void RaceTamperer::Loop() {
+  // kEntryReplay needs a CaptureEntry whose target survives until the
+  // replay — impossible to guarantee with writers racing — so the race
+  // palette is every mode but that one.
+  static constexpr TamperMode kRaceModes[] = {
+      TamperMode::kBitFlipCiphertext, TamperMode::kMacForge,
+      TamperMode::kEntrySplice,       TamperMode::kChainTruncate,
+      TamperMode::kChainCycle,        TamperMode::kKeyHintCorrupt,
+      TamperMode::kMacBucketTamper,
+  };
+  while (!stop_.load()) {
+    const size_t p = rng_.NextBelow(store_.num_partitions());
+    const TamperMode mode =
+        kRaceModes[rng_.NextBelow(sizeof(kRaceModes) / sizeof(kRaceModes[0]))];
+    attacks_launched_.fetch_add(1);
+    // kPartitionRecovering (already quarantined) and kInvalidArgument (no
+    // suitable target right now) are expected outcomes, not errors.
+    if (agent_.TamperPartition(store_, p, mode).ok()) {
+      attacks_landed_.fetch_add(1);
+    }
+    if (options_.max_attacks > 0 &&
+        attacks_launched_.load() >= static_cast<uint64_t>(options_.max_attacks)) {
+      return;
+    }
+    if (options_.interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.interval_ms));
+    }
+  }
 }
 
 }  // namespace shield::faultinject

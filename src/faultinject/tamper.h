@@ -15,13 +15,16 @@
 #ifndef SHIELDSTORE_SRC_FAULTINJECT_TAMPER_H_
 #define SHIELDSTORE_SRC_FAULTINJECT_TAMPER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/shieldstore/partitioned.h"
 #include "src/shieldstore/store.h"
 
 namespace shield::faultinject {
@@ -72,6 +75,18 @@ class TamperAgent {
   // tests can aim their probe reads at the attacked key.
   const std::string& last_target_key() const { return last_target_key_; }
 
+  // Concurrent-mutation race mode: attacks partition `p` of a live
+  // PartitionedStore while other threads drive it. The mutation runs under
+  // the partition's facade lock (WithPartitionLocked), modelling an
+  // adversary who strikes between two enclave operations — the strongest
+  // attack the paper's integrity argument must survive, and the only sound
+  // formulation for an in-process test (an unsynchronized write would be a
+  // data race against the victim, UB for the test itself, and is physically
+  // possible but adds no new detectable states: every enclave operation
+  // revalidates from scratch). kPartitionRecovering when the partition is
+  // already quarantined.
+  Status TamperPartition(shieldstore::PartitionedStore& store, size_t p, TamperMode mode);
+
   // --- host-side file attacks (snapshots, oplog) ---------------------------
   // Stash / restore the snapshot generation files in `directory`
   // (shieldstore.{meta,data} and their .prev twins) — the rollback attack.
@@ -108,6 +123,45 @@ class TamperAgent {
   // Snapshot-file stash: path -> contents (missing files recorded absent).
   std::vector<std::pair<std::string, Bytes>> file_stash_;
   std::vector<std::string> stash_missing_;
+};
+
+// Background adversary for concurrency tests: a thread that repeatedly
+// attacks random partitions of a live PartitionedStore while writer threads
+// hammer it. Modes that need pre-captured state (kEntryReplay) are excluded
+// — the race window between capture and replay is owned by the victim
+// threads, so the capture would be stale by construction.
+class RaceTamperer {
+ public:
+  struct Options {
+    uint64_t seed = 0x5eed5eedULL;
+    int interval_ms = 5;     // pause between attacks
+    int max_attacks = 0;     // 0 = unlimited until Stop()
+  };
+
+  RaceTamperer(shieldstore::PartitionedStore& store, const Options& options)
+      : store_(store), options_(options), agent_(options.seed), rng_(options.seed ^ 0x9e3779b97f4a7c15ULL) {}
+  ~RaceTamperer() { Stop(); }
+
+  RaceTamperer(const RaceTamperer&) = delete;
+  RaceTamperer& operator=(const RaceTamperer&) = delete;
+
+  void Start();
+  void Stop();
+
+  uint64_t attacks_launched() const { return attacks_launched_.load(); }
+  uint64_t attacks_landed() const { return attacks_landed_.load(); }
+
+ private:
+  void Loop();
+
+  shieldstore::PartitionedStore& store_;
+  Options options_;
+  TamperAgent agent_;
+  Xoshiro256 rng_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> attacks_launched_{0};
+  std::atomic<uint64_t> attacks_landed_{0};  // mutation applied (status ok)
 };
 
 }  // namespace shield::faultinject

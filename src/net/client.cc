@@ -146,12 +146,28 @@ Result<Response> Client::Execute(const Request& request) {
   return ReceiveResponse();
 }
 
+Result<Response> Client::ExecuteRetrying(const Request& request) {
+  Result<Response> response = Execute(request);
+  for (int retry = 0; retry < options_.recovering_retries; ++retry) {
+    if (!response.ok() || response->status != Code::kPartitionRecovering) {
+      break;
+    }
+    // The partition is healing; the server rejected the operation before
+    // applying anything, so a blind retry cannot double-apply.
+    if (options_.recovering_backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.recovering_backoff_ms));
+    }
+    response = Execute(request);
+  }
+  return response;
+}
+
 Status Client::Set(std::string_view key, std::string_view value) {
   Request request;
   request.op = OpCode::kSet;
   request.key = key;
   request.value = value;
-  Result<Response> response = Execute(request);
+  Result<Response> response = ExecuteRetrying(request);
   if (!response.ok()) {
     return response.status();
   }
@@ -162,7 +178,7 @@ Result<std::string> Client::Get(std::string_view key) {
   Request request;
   request.op = OpCode::kGet;
   request.key = key;
-  Result<Response> response = Execute(request);
+  Result<Response> response = ExecuteRetrying(request);
   if (!response.ok()) {
     return response.status();
   }
@@ -176,7 +192,7 @@ Status Client::Delete(std::string_view key) {
   Request request;
   request.op = OpCode::kDelete;
   request.key = key;
-  Result<Response> response = Execute(request);
+  Result<Response> response = ExecuteRetrying(request);
   if (!response.ok()) {
     return response.status();
   }
@@ -188,7 +204,7 @@ Status Client::Append(std::string_view key, std::string_view suffix) {
   request.op = OpCode::kAppend;
   request.key = key;
   request.value = suffix;
-  Result<Response> response = Execute(request);
+  Result<Response> response = ExecuteRetrying(request);
   if (!response.ok()) {
     return response.status();
   }
@@ -200,7 +216,7 @@ Result<int64_t> Client::Increment(std::string_view key, int64_t delta) {
   request.op = OpCode::kIncrement;
   request.key = key;
   request.delta = delta;
-  Result<Response> response = Execute(request);
+  Result<Response> response = ExecuteRetrying(request);
   if (!response.ok()) {
     return response.status();
   }

@@ -20,6 +20,13 @@ struct ClientOptions {
   int connect_timeout_ms = 2000;
   int send_timeout_ms = 5000;  // SO_SNDTIMEO
   int recv_timeout_ms = 5000;  // SO_RCVTIMEO; covers handshake + responses
+
+  // A kPartitionRecovering response means the key's partition is being
+  // healed server-side and the operation was NOT applied — always safe to
+  // retry, even Increment. The convenience wrappers retry up to this many
+  // times with fixed backoff before surfacing the code to the caller.
+  int recovering_retries = 0;
+  int recovering_backoff_ms = 20;
 };
 
 class Client {
@@ -58,6 +65,8 @@ class Client {
  private:
   // One connection attempt: socket + timed connect + socket timeouts.
   Status ConnectSocket(uint16_t port);
+  // Execute + retry-on-recovering loop (used by the convenience wrappers).
+  Result<Response> ExecuteRetrying(const Request& request);
 
   const sgx::AttestationAuthority& authority_;
   sgx::Measurement expected_;

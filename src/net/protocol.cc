@@ -92,6 +92,12 @@ Result<Request> DecodeRequest(ByteSpan payload) {
   if (!TakeString(rest, request.key) || !TakeString(rest, request.value) || !rest.empty()) {
     return Status(Code::kProtocolError, "malformed request body");
   }
+  if (request.key.size() > kMaxKeyBytes) {
+    return Status(Code::kProtocolError, "key too long");
+  }
+  if (request.value.size() > kMaxValueBytes) {
+    return Status(Code::kProtocolError, "value too long");
+  }
   return request;
 }
 
@@ -108,6 +114,9 @@ Result<Response> DecodeResponse(ByteSpan payload) {
     return Status(Code::kProtocolError, "response too short");
   }
   Response response;
+  if (payload[0] > static_cast<uint8_t>(Code::kPartitionRecovering)) {
+    return Status(Code::kProtocolError, "unknown status code");
+  }
   response.status = static_cast<Code>(payload[0]);
   ByteSpan rest = payload.subspan(1);
   if (!TakeString(rest, response.value) || !rest.empty()) {

@@ -4,6 +4,7 @@
 #ifndef SHIELDSTORE_SRC_NET_PROTOCOL_H_
 #define SHIELDSTORE_SRC_NET_PROTOCOL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -11,6 +12,12 @@
 #include "src/common/status.h"
 
 namespace shield::net {
+
+// Decode-time bounds (fuzz hardening): a forged length field must yield a
+// typed kProtocolError, never an attacker-sized allocation or a trusted
+// out-of-range enum value.
+inline constexpr size_t kMaxKeyBytes = 64u << 10;
+inline constexpr size_t kMaxValueBytes = 16u << 20;
 
 enum class OpCode : uint8_t {
   kGet = 1,

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -51,13 +52,40 @@ Status Server::Start() {
       enclave_workers_.emplace_back([this] { EnclaveWorkerLoop(); });
     }
   }
+  if (options_.maintenance) {
+    maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
+}
+
+void Server::MaintenanceLoop() {
+  // Paced driver for the self-healing tick (or any other periodic chore):
+  // runs beside the serving threads and exits promptly on Stop().
+  const auto interval =
+      std::chrono::milliseconds(std::max(options_.maintenance_interval_ms, 1));
+  std::unique_lock<std::mutex> lock(maintenance_mutex_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    lock.unlock();
+    options_.maintenance();
+    maintenance_ticks_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    maintenance_cv_.wait_for(lock, interval, [this] {
+      return stopping_.load(std::memory_order_acquire);
+    });
+  }
 }
 
 void Server::Stop() {
   if (stopping_.exchange(true)) {
     return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mutex_);
+    maintenance_cv_.notify_all();
+  }
+  if (maintenance_thread_.joinable()) {
+    maintenance_thread_.join();
   }
   if (listen_fd_ >= 0) {
     shutdown(listen_fd_, SHUT_RDWR);

@@ -10,6 +10,8 @@
 #define SHIELDSTORE_SRC_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -28,6 +30,15 @@ struct ServerOptions {
   bool use_hotcalls = false;
   size_t enclave_workers = 2;  // HotCalls responder threads
   bool encrypt = true;         // session record protection (±net crypto, §6.4)
+
+  // Background maintenance, run on a dedicated thread for the server's
+  // lifetime: called every maintenance_interval_ms while serving. The
+  // self-healing deployment points this at SelfHealer::Tick so the paced
+  // scrub and partition recovery ride alongside live traffic — the listener
+  // never stops, healthy partitions keep serving, and keys in a quarantined
+  // partition answer with the typed kPartitionRecovering until healed.
+  std::function<void()> maintenance;
+  int maintenance_interval_ms = 20;
 };
 
 class Server {
@@ -46,6 +57,9 @@ class Server {
 
   uint16_t port() const { return port_; }
   uint64_t requests_served() const { return requests_.load(std::memory_order_relaxed); }
+  uint64_t maintenance_ticks() const {
+    return maintenance_ticks_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct HotCallTask {
@@ -58,6 +72,7 @@ class Server {
   void AcceptLoop();
   void ServeConnection(int fd);
   void EnclaveWorkerLoop();
+  void MaintenanceLoop();
   // Enclave-side request processing: open the record, run the operation,
   // seal the response. Used by both entry mechanisms.
   Bytes ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status);
@@ -78,6 +93,11 @@ class Server {
 
   std::unique_ptr<sgx::HotCallChannel> hotcalls_;
   std::vector<std::thread> enclave_workers_;
+
+  std::thread maintenance_thread_;
+  std::mutex maintenance_mutex_;
+  std::condition_variable maintenance_cv_;  // wakes the thread on Stop()
+  std::atomic<uint64_t> maintenance_ticks_{0};
 
   std::atomic<uint64_t> requests_{0};
 };

@@ -65,7 +65,15 @@ Status ScanLog(const std::string& path, const sgx::SealingService& sealer,
   }
   char magic[4];
   uint8_t id_bytes[4];
-  if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kLogMagic, 4) != 0 ||
+  const size_t magic_read = std::fread(magic, 1, 4, f);
+  if (magic_read == 0 && std::feof(f)) {
+    // Empty file: a process killed before its first group commit leaves the
+    // buffered header unwritten. Commits fsync the whole file, so an empty
+    // log proves no record was ever durable — safe to start fresh.
+    std::fclose(f);
+    return Status(Code::kNotFound, "empty log at " + path);
+  }
+  if (magic_read != 4 || std::memcmp(magic, kLogMagic, 4) != 0 ||
       std::fread(id_bytes, 1, 4, f) != 4) {
     std::fclose(f);
     return Status(Code::kIntegrityFailure, "log header corrupted");
@@ -160,6 +168,11 @@ Status OperationLog::Open() {
   StoreLe32(header + 4, static_cast<uint32_t>(counter_id_));
   if (std::fwrite(header, 1, 8, file_) != 8) {
     return Status(Code::kIoError, "cannot write log header");
+  }
+  // Make the header durable immediately: after any crash the log is either
+  // empty (fresh start) or begins with a valid header — never a torn one.
+  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
+    return Status(Code::kIoError, "cannot flush log header");
   }
   return Status::Ok();
 }

@@ -40,6 +40,12 @@ struct Options {
   // Integrity machinery on/off (off is only for ablation benches).
   bool integrity = true;
 
+  // Background-scrub pacing: buckets audited per ScrubTick call
+  // (PartitionedStore), so a full-table audit amortizes over live traffic
+  // instead of stalling it. The self-healing server spends one budget per
+  // maintenance tick.
+  size_t scrub_budget_buckets = 256;
+
   // Master secret; empty => drawn from the enclave's DRBG.
   Bytes master_key;
 };

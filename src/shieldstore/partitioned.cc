@@ -96,7 +96,10 @@ void PartitionedStore::NoteOutcome(size_t p, const Status& s) {
 
 Status PartitionedStore::QuarantineGuard(size_t p) const {
   if (quarantined_[p]->load(std::memory_order_acquire)) {
-    return Status(Code::kIntegrityFailure,
+    // Typed fast-fail: the partition is quarantined and (in a self-healing
+    // deployment) being rebuilt; the operation was not applied and is safe
+    // to retry once recovery re-admits the partition.
+    return Status(Code::kPartitionRecovering,
                   "partition " + std::to_string(p) + " is quarantined pending recovery");
   }
   return Status::Ok();
@@ -134,6 +137,61 @@ Status PartitionedStore::ScrubAll() {
     }
   }
   return first;
+}
+
+Status PartitionedStore::ScrubTick(size_t bucket_budget) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (bucket_budget == 0) {
+    bucket_budget = base_options_.scrub_budget_buckets;
+  }
+  bucket_budget = std::max<size_t>(bucket_budget, 1);
+  Status first;
+  size_t remaining = bucket_budget;
+  // Resume at the partition the previous tick stopped in; a tick whose
+  // budget outlives one partition's remaining buckets rolls over into the
+  // next, so every bucket in the store is audited once per scrub cycle no
+  // matter how budget and geometry divide.
+  for (size_t visited = 0; visited < partitions_.size() && remaining > 0; ++visited) {
+    const size_t p = scrub_partition_.load(std::memory_order_relaxed) % partitions_.size();
+    std::lock_guard<std::mutex> lock(*locks_[p]);
+    if (quarantined_[p]->load(std::memory_order_acquire)) {
+      // Untrusted state pending recovery: nothing to audit here.
+      scrub_partition_.store(p + 1, std::memory_order_relaxed);
+      continue;
+    }
+    const Store::ScrubReport report = partitions_[p]->ScrubStep(remaining);
+    NoteOutcome(p, report.status);
+    remaining -= std::min(report.buckets_verified, remaining);
+    if (!report.status.ok()) {
+      if (first.ok()) {
+        first = report.status;
+      }
+      scrub_partition_.store(p + 1, std::memory_order_relaxed);
+      continue;  // partition is quarantined now; spend the rest elsewhere
+    }
+    if (report.cycle_complete) {
+      if (p + 1 == partitions_.size()) {
+        scrub_cycles_.fetch_add(1, std::memory_order_relaxed);
+      }
+      scrub_partition_.store(p + 1, std::memory_order_relaxed);
+    }
+  }
+  return first;
+}
+
+Status PartitionedStore::WithPartitionLocked(size_t p,
+                                             const std::function<Status(Store&)>& fn) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (p >= partitions_.size()) {
+    return Status(Code::kInvalidArgument, "no such partition");
+  }
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  if (Status g = QuarantineGuard(p); !g.ok()) {
+    return g;
+  }
+  const Status s = fn(*partitions_[p]);
+  NoteOutcome(p, s);
+  return s;
 }
 
 Status PartitionedStore::SnapshotAll(const sgx::SealingService& sealer,

@@ -26,6 +26,7 @@
 #define SHIELDSTORE_SRC_SHIELDSTORE_PARTITIONED_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -59,15 +60,36 @@ class PartitionedStore : public kv::KeyValueStore {
 
   // --- Quarantine and per-partition recovery ---
 
-  // True once an operation on partition `p` has detected tampering. A
-  // quarantined partition fails every facade call with kIntegrityFailure
-  // until RecoverPartition() rebuilds it; other partitions are unaffected.
+  // True once an operation on partition `p` has detected tampering. The
+  // detecting operation surfaces its integrity-class code; every later
+  // facade call on a quarantined partition fails fast with the typed
+  // kPartitionRecovering until RecoverPartition() rebuilds it; other
+  // partitions are unaffected.
   bool IsQuarantined(size_t p) const;
   size_t QuarantinedCount() const;
 
   // Full audit: runs Store::Scrub() on every partition and quarantines the
   // ones that fail. Returns the first violation found (Ok if all clean).
   Status ScrubAll();
+
+  // Paced audit: spends `bucket_budget` buckets (0 = options'
+  // scrub_budget_buckets) of incremental scrubbing, resuming where the
+  // previous tick stopped and round-robining across partitions as their
+  // passes complete. Partitions that fail are quarantined. Designed to be
+  // driven from one background maintenance thread; returns the first
+  // violation found this tick (Ok otherwise, including when every healthy
+  // partition was skipped because all are quarantined).
+  Status ScrubTick(size_t bucket_budget = 0);
+  // Completed full-store scrub passes (every partition wrapped once).
+  uint64_t scrub_cycles() const { return scrub_cycles_.load(std::memory_order_relaxed); }
+
+  // Runs `fn` on partition `p`'s store while holding that partition's
+  // facade lock — maintenance/adversary access that stays atomic with
+  // respect to concurrent facade operations (a TamperAgent racing live
+  // writers uses this so in-process tests stay data-race-free; the modelled
+  // adversary strikes between two enclave operations). `fn`'s status feeds
+  // the quarantine logic like any facade outcome.
+  Status WithPartitionLocked(size_t p, const std::function<Status(Store&)>& fn);
 
   // Snapshots every partition into `directory`/p<i>/ (blocking writes, under
   // the partition lock) and records the partition count in a manifest so a
@@ -113,6 +135,10 @@ class PartitionedStore : public kv::KeyValueStore {
   std::vector<std::unique_ptr<Store>> partitions_;
   mutable std::vector<std::unique_ptr<std::mutex>> locks_;
   std::vector<std::unique_ptr<std::atomic<bool>>> quarantined_;
+  // ScrubTick round-robin state (atomic so a second caller is merely
+  // wasteful, not racy).
+  std::atomic<size_t> scrub_partition_{0};
+  std::atomic<uint64_t> scrub_cycles_{0};
 };
 
 }  // namespace shield::shieldstore

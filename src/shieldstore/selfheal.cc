@@ -1,0 +1,140 @@
+#include "src/shieldstore/selfheal.h"
+
+#include "src/common/logging.h"
+
+namespace shield::shieldstore {
+
+WriteAheadStore::WriteAheadStore(PartitionedStore& inner, const sgx::SealingService& sealer,
+                                 sgx::MonotonicCounterService& counters,
+                                 const OpLogOptions& options)
+    : inner_(inner), log_(sealer, counters, options), options_(options) {}
+
+Status WriteAheadStore::Open() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_.Open();
+}
+
+Status WriteAheadStore::Set(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status s = inner_.Set(key, value); !s.ok()) {
+    return s;
+  }
+  return log_.LogSet(key, value);
+}
+
+Result<std::string> WriteAheadStore::Get(std::string_view key) {
+  return inner_.Get(key);  // reads mutate nothing: no lock, no log record
+}
+
+Status WriteAheadStore::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status s = inner_.Delete(key); !s.ok()) {
+    return s;  // kNotFound changed no state, so nothing to log either
+  }
+  return log_.LogDelete(key);
+}
+
+Status WriteAheadStore::Append(std::string_view key, std::string_view suffix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status s = inner_.Append(key, suffix); !s.ok()) {
+    return s;
+  }
+  // Log the resulting state, not the computation: replay must be
+  // deterministic against a partition restored from any snapshot.
+  Result<std::string> now = inner_.Get(key);
+  if (!now.ok()) {
+    return now.status();
+  }
+  return log_.LogSet(key, *now);
+}
+
+Result<int64_t> WriteAheadStore::Increment(std::string_view key, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Result<int64_t> value = inner_.Increment(key, delta);
+  if (!value.ok()) {
+    return value;
+  }
+  if (Status s = log_.LogSet(key, std::to_string(value.value())); !s.ok()) {
+    return s;
+  }
+  return value;
+}
+
+Status WriteAheadStore::WithCommittedLog(const std::function<Status()>& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status s = log_.Commit(); !s.ok()) {
+    return s;
+  }
+  return fn();
+}
+
+uint64_t WriteAheadStore::records_logged() const {
+  return log_.records_logged();
+}
+
+SelfHealer::SelfHealer(WriteAheadStore& wal, const sgx::SealingService& sealer,
+                       sgx::MonotonicCounterService& counters, SelfHealOptions options)
+    : wal_(wal), sealer_(sealer), counters_(counters), options_(std::move(options)),
+      attempts_(wal_.inner().num_partitions(), 0) {}
+
+Status SelfHealer::Start() {
+  return wal_.inner().SnapshotAll(sealer_, counters_, options_.directory);
+}
+
+Status SelfHealer::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_;
+}
+
+Status SelfHealer::RecoverOne(size_t p) {
+  // Commit, then replay inside the log lock: the replay's rollback check
+  // compares the log's final commit against the live counter, so no commit
+  // may land in between. Mutations to healthy partitions queue on the lock
+  // for the few milliseconds the replay takes; reads are unaffected.
+  return wal_.WithCommittedLog([&] {
+    return wal_.inner().RecoverPartition(p, sealer_, counters_, options_.directory,
+                                         &wal_.log_options());
+  });
+}
+
+void SelfHealer::Tick() {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  PartitionedStore& store = wal_.inner();
+  for (size_t p = 0; p < store.num_partitions(); ++p) {
+    if (!store.IsQuarantined(p)) {
+      if (p < attempts_.size()) {
+        attempts_[p] = 0;
+      }
+      continue;
+    }
+    if (p < attempts_.size() && attempts_[p] >= options_.max_recovery_attempts) {
+      continue;  // gave up on this partition; operator intervention needed
+    }
+    const Status s = RecoverOne(p);
+    if (s.ok()) {
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+      if (p < attempts_.size()) {
+        attempts_[p] = 0;
+      }
+      SHIELD_LOG(Info) << "partition " << p << " recovered and re-admitted";
+    } else {
+      failed_recoveries_.fetch_add(1, std::memory_order_relaxed);
+      if (p < attempts_.size()) {
+        ++attempts_[p];
+      }
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      last_error_ = s;
+    }
+    return;  // one recovery attempt per tick keeps the pacing predictable
+  }
+  if (options_.scrub) {
+    const Status s = store.ScrubTick(options_.scrub_budget_buckets);
+    if (!s.ok()) {
+      violations_detected_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      last_error_ = s;
+    }
+  }
+}
+
+}  // namespace shield::shieldstore

@@ -1,0 +1,146 @@
+// Online partition self-healing.
+//
+// PR 1 built the offline recovery machinery: partitions quarantine on an
+// integrity violation and RecoverPartition() rebuilds one from its snapshot
+// generation plus the committed oplog suffix. This module turns that into a
+// serving-path feature:
+//
+//  * WriteAheadStore decorates a PartitionedStore so every acknowledged
+//    mutation is also in the operation log BEFORE the caller sees success —
+//    the invariant that makes "recovery loses no acknowledged write" true.
+//    One lock serializes (apply + log append) so the log's record order is
+//    the store's apply order; reads bypass it entirely.
+//  * SelfHealer owns the recovery policy: Tick(), driven by a background
+//    maintenance thread (net::ServerOptions::maintenance), either rebuilds
+//    one quarantined partition — baseline snapshot + committed log replay,
+//    filtered to the keys the partition owns — or advances the paced
+//    background scrub by one bucket budget. The listener, every healthy
+//    partition, and every live session keep serving throughout; operations
+//    aimed at the quarantined partition fail fast with the typed
+//    kPartitionRecovering until it is re-admitted.
+//
+// Recovery window: the healer commits the log (flush + counter bump), then
+// replays it while holding the log lock. Mutations block for those few
+// milliseconds (they would otherwise commit past the replay's rollback
+// check); reads never block. Writes acknowledged before the window are in
+// the committed prefix by construction, so the rebuilt partition serves
+// them; writes concurrent with the window land after it on the healthy
+// in-memory state.
+#ifndef SHIELDSTORE_SRC_SHIELDSTORE_SELFHEAL_H_
+#define SHIELDSTORE_SRC_SHIELDSTORE_SELFHEAL_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/shieldstore/oplog.h"
+#include "src/shieldstore/partitioned.h"
+
+namespace shield::shieldstore {
+
+// Write-ahead facade: apply to the partitioned store, then log, then return
+// — an operation is acknowledged only once it is in the log. Mutations are
+// serialized by one lock (the log is a single append-only file; matching its
+// order to apply order is what makes replay deterministic); Get routes
+// straight to the inner store. Repartition() on the inner store is not
+// supported while a WriteAheadStore wraps it.
+class WriteAheadStore : public kv::KeyValueStore {
+ public:
+  WriteAheadStore(PartitionedStore& inner, const sgx::SealingService& sealer,
+                  sgx::MonotonicCounterService& counters, const OpLogOptions& options);
+
+  // Opens (or reopens) the log. Must succeed before serving mutations.
+  Status Open();
+
+  Status Set(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  Status Append(std::string_view key, std::string_view suffix) override;
+  Result<int64_t> Increment(std::string_view key, int64_t delta) override;
+  size_t Size() const override { return inner_.Size(); }
+  std::string Name() const override { return "ShieldStore/write-ahead"; }
+  kv::StoreStats stats() const override { return inner_.stats(); }
+
+  // Group-commits everything logged so far, then runs `fn` while still
+  // holding the mutation lock — no mutation can slip between the commit and
+  // `fn`. This is the recovery window: `fn` replays the log knowing its
+  // committed tail matches the live counter.
+  Status WithCommittedLog(const std::function<Status()>& fn);
+
+  PartitionedStore& inner() { return inner_; }
+  const OpLogOptions& log_options() const { return options_; }
+  uint64_t records_logged() const;
+
+ private:
+  PartitionedStore& inner_;
+  OperationLog log_;
+  OpLogOptions options_;
+  std::mutex mutex_;  // serializes apply + log append (and the recovery window)
+};
+
+struct SelfHealOptions {
+  // Snapshot directory (SnapshotAll layout: manifest + p<i>/ per partition).
+  // Start() writes the baseline generation here; recoveries read it.
+  std::string directory;
+  // Buckets audited per Tick (0 = the store Options' scrub_budget_buckets).
+  size_t scrub_budget_buckets = 0;
+  // Run the paced background scrub on idle ticks.
+  bool scrub = true;
+  // Stop retrying a partition after this many consecutive failed recovery
+  // attempts (it stays quarantined; operators see failed_recoveries()).
+  int max_recovery_attempts = 8;
+};
+
+// Self-healing state machine per partition:
+//
+//   healthy --(violation detected by an op, the scrub, or ScrubAll)-->
+//   quarantined --(Tick picks it up)--> recovering --(snapshot + committed
+//   log replay succeeds)--> healthy
+//
+// Tick() is cheap when there is nothing to do; drive it from the network
+// server's maintenance thread (or any single background thread).
+class SelfHealer {
+ public:
+  SelfHealer(WriteAheadStore& wal, const sgx::SealingService& sealer,
+             sgx::MonotonicCounterService& counters, SelfHealOptions options);
+
+  // Writes the baseline snapshot of every (healthy) partition. Call once,
+  // before traffic; recovery = this baseline + the log from then on.
+  Status Start();
+
+  // One maintenance step: recover at most one quarantined partition, else
+  // spend one scrub budget. Single-threaded driver assumed.
+  void Tick();
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  uint64_t recoveries() const { return recoveries_.load(std::memory_order_relaxed); }
+  uint64_t failed_recoveries() const {
+    return failed_recoveries_.load(std::memory_order_relaxed);
+  }
+  uint64_t violations_detected() const {
+    return violations_detected_.load(std::memory_order_relaxed);
+  }
+  Status last_error() const;
+
+ private:
+  Status RecoverOne(size_t p);
+
+  WriteAheadStore& wal_;
+  const sgx::SealingService& sealer_;
+  sgx::MonotonicCounterService& counters_;
+  SelfHealOptions options_;
+
+  std::vector<int> attempts_;  // consecutive failed recoveries per partition
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> recoveries_{0};
+  std::atomic<uint64_t> failed_recoveries_{0};
+  std::atomic<uint64_t> violations_detected_{0};
+  mutable std::mutex error_mutex_;
+  Status last_error_;
+};
+
+}  // namespace shield::shieldstore
+
+#endif  // SHIELDSTORE_SRC_SHIELDSTORE_SELFHEAL_H_

@@ -639,56 +639,58 @@ Status Store::VerifyFullIntegrity() const {
   return Status::Ok();
 }
 
-Store::ScrubReport Store::Scrub() const {
-  ScrubReport report;
+Status Store::ScrubBucketChain(size_t b, size_t* entries_verified) const {
   const size_t max_steps = entry_count_ + 8;  // cycle guard for corrupted chains
   const bool check_copies = options_.mac_bucketing && options_.integrity;
+  const Bucket& bucket = buckets_[b];
+  const MacBucket* copy_node = bucket.macs;
+  size_t copy_slot = 0;
+  size_t steps = 0;
+  const kv::EntryHeader* entry = bucket.head;
+  while (entry != nullptr) {
+    if (Status s = CheckUntrustedPointer(entry); !s.ok()) {
+      return s;
+    }
+    if (++steps > max_steps) {
+      return Status(Code::kIntegrityFailure, "hash chain cycle detected");
+    }
+    TouchKeys();
+    const crypto::Mac mac = kv::ComputeEntryMac(*keys_, *entry);
+    if (!ConstantTimeEqual(ByteSpan(mac.data(), 16), ByteSpan(entry->mac, 16))) {
+      return Status(Code::kIntegrityFailure,
+                    "entry MAC mismatch in bucket " + std::to_string(b));
+    }
+    if (check_copies) {
+      if (copy_node == nullptr || enclave_.ContainsAddress(copy_node) ||
+          copy_slot >= copy_node->count ||
+          std::memcmp(entry->mac, copy_node->macs[copy_slot], 16) != 0) {
+        return Status(Code::kIntegrityFailure,
+                      "entry MAC diverges from MAC bucket " + std::to_string(b));
+      }
+      if (++copy_slot == MacBucket::kCapacity) {
+        copy_node = copy_node->next;
+        copy_slot = 0;
+      }
+    }
+    ++*entries_verified;
+    entry = entry->next;
+  }
+  if (check_copies) {
+    const bool leftovers =
+        copy_node != nullptr && (copy_slot < copy_node->count || copy_node->next != nullptr);
+    if (leftovers) {
+      return Status(Code::kIntegrityFailure,
+                    "MAC bucket longer than hash chain " + std::to_string(b));
+    }
+  }
+  return Status::Ok();
+}
+
+Store::ScrubReport Store::Scrub() const {
+  ScrubReport report;
   for (size_t b = 0; b < options_.num_buckets && report.status.ok(); ++b) {
-    const Bucket& bucket = buckets_[b];
-    const MacBucket* copy_node = bucket.macs;
-    size_t copy_slot = 0;
-    size_t steps = 0;
-    const kv::EntryHeader* entry = bucket.head;
-    while (entry != nullptr) {
-      if (Status s = CheckUntrustedPointer(entry); !s.ok()) {
-        report.status = s;
-        break;
-      }
-      if (++steps > max_steps) {
-        report.status = Status(Code::kIntegrityFailure, "hash chain cycle detected");
-        break;
-      }
-      TouchKeys();
-      const crypto::Mac mac = kv::ComputeEntryMac(*keys_, *entry);
-      if (!ConstantTimeEqual(ByteSpan(mac.data(), 16), ByteSpan(entry->mac, 16))) {
-        report.status = Status(Code::kIntegrityFailure,
-                               "entry MAC mismatch in bucket " + std::to_string(b));
-        break;
-      }
-      if (check_copies) {
-        if (copy_node == nullptr || enclave_.ContainsAddress(copy_node) ||
-            copy_slot >= copy_node->count ||
-            std::memcmp(entry->mac, copy_node->macs[copy_slot], 16) != 0) {
-          report.status = Status(Code::kIntegrityFailure,
-                                 "entry MAC diverges from MAC bucket " + std::to_string(b));
-          break;
-        }
-        if (++copy_slot == MacBucket::kCapacity) {
-          copy_node = copy_node->next;
-          copy_slot = 0;
-        }
-      }
-      ++report.entries_verified;
-      entry = entry->next;
-    }
-    if (check_copies && report.status.ok()) {
-      const bool leftovers =
-          copy_node != nullptr && (copy_slot < copy_node->count || copy_node->next != nullptr);
-      if (leftovers) {
-        report.status = Status(Code::kIntegrityFailure,
-                               "MAC bucket longer than hash chain " + std::to_string(b));
-      }
-    }
+    report.status = ScrubBucketChain(b, &report.entries_verified);
+    ++report.buckets_verified;
   }
   // Chain and copies agree entry by entry; now bind both to the trusted
   // in-enclave hashes so a wholesale consistent forgery still fails.
@@ -700,6 +702,27 @@ Store::ScrubReport Store::Scrub() const {
     const ScrubReport temp = temp_table_->Scrub();
     report.status = temp.status;
     report.entries_verified += temp.entries_verified;
+  }
+  return report;
+}
+
+Store::ScrubReport Store::ScrubStep(size_t max_buckets) {
+  ScrubReport report;
+  max_buckets = std::max<size_t>(max_buckets, 1);
+  while (report.buckets_verified < max_buckets && report.status.ok()) {
+    report.status = ScrubBucketChain(scrub_cursor_, &report.entries_verified);
+    ++report.buckets_verified;
+    if (++scrub_cursor_ >= options_.num_buckets) {
+      // Pass complete: bind the audited chains to the trusted in-enclave
+      // hashes, exactly like the tail of a full Scrub().
+      scrub_cursor_ = 0;
+      report.cycle_complete = true;
+      if (report.status.ok()) {
+        report.status = VerifyFullIntegrity();
+        report.sets_verified = num_mac_hashes_;
+      }
+      break;
+    }
   }
   return report;
 }

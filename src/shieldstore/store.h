@@ -125,8 +125,19 @@ class Store : public kv::KeyValueStore {
     Status status;               // first violation found, or OK
     size_t entries_verified = 0;
     size_t sets_verified = 0;
+    size_t buckets_verified = 0;
+    bool cycle_complete = false;  // ScrubStep wrapped past the last bucket
   };
   ScrubReport Scrub() const;
+
+  // Incremental scrub with a persistent cursor: audits up to `max_buckets`
+  // bucket chains starting where the previous call stopped. When the cursor
+  // wraps past the last bucket the pass ends (cycle_complete), and the
+  // bucket-set hashes are verified against the trusted array to close the
+  // cycle. Each per-bucket check is self-contained, so mutations between
+  // calls are safe; a snapshot epoch's temporary table is only audited by
+  // the full Scrub(). Same thread-safety contract as mutations.
+  ScrubReport ScrubStep(size_t max_buckets);
 
   // Decrypts and visits every live entry (enclave work; entry MACs are
   // verified as entries are opened). Used by dynamic repartitioning.
@@ -176,6 +187,10 @@ class Store : public kv::KeyValueStore {
   Result<SearchResult> FindEntry(size_t bucket, std::string_view key, uint8_t hint,
                                  bool full_walk);
 
+  // One bucket's share of a scrub: chain walk with hostile-pointer and cycle
+  // checks, per-entry MAC recomputation, and MAC-bucket cross-checks.
+  Status ScrubBucketChain(size_t b, size_t* entries_verified) const;
+
   crypto::Mac ComputeBucketSetMac(size_t set) const;
   Status VerifyBucketSet(size_t set);
   void StoreBucketSetMac(size_t set);
@@ -208,6 +223,7 @@ class Store : public kv::KeyValueStore {
   std::unique_ptr<Store> temp_table_;  // live during a snapshot epoch
 
   size_t entry_count_ = 0;
+  size_t scrub_cursor_ = 0;  // next bucket ScrubStep audits
   kv::StoreStats stats_;
 };
 

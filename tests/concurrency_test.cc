@@ -1,0 +1,256 @@
+// Concurrency battery: writer threads, reader threads, a background healer,
+// and a background adversary all hammer one self-healing store at once. Run
+// under SHIELD_SANITIZE=thread (scripts/check.sh does) — the point of these
+// tests is as much "no data race" as "no lost acknowledged write".
+//
+// Correctness model per key (each key owned by exactly one writer thread):
+// after the store drains and heals, the key's value must be its last
+// acknowledged value or one attempted after that ack (an in-flight write may
+// or may not have landed); it must never be an older acked value (lost
+// write) or garbage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/faultinject/tamper.h"
+#include "src/shieldstore/partitioned.h"
+#include "src/shieldstore/selfheal.h"
+
+namespace shield {
+namespace {
+
+using faultinject::RaceTamperer;
+using shieldstore::Options;
+using shieldstore::OpLogOptions;
+using shieldstore::PartitionedStore;
+using shieldstore::SelfHealer;
+using shieldstore::SelfHealOptions;
+using shieldstore::WriteAheadStore;
+
+sgx::EnclaveConfig TestEnclaveConfig() {
+  sgx::EnclaveConfig c;
+  c.name = "concurrency-test";
+  c.epc.epc_bytes = 8u << 20;
+  c.epc.crossing_cycles = 0;
+  c.epc.kernel_fault_cycles = 0;
+  c.epc.resident_access_cycles = 0;
+  c.epc.page_crypto = false;
+  c.heap_reserve_bytes = 256u << 20;
+  c.rng_seed = ToBytes("concurrency-test");
+  return c;
+}
+
+Options SmallOptions() {
+  Options o;
+  o.num_buckets = 512;
+  o.heap_chunk_bytes = 1 << 20;
+  o.scrub_budget_buckets = 64;
+  return o;
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  ConcurrencyTest() : enclave_(TestEnclaveConfig()) {
+    dir_ = ::testing::TempDir() + "/concurrency_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+    counter_opts_.backing_file = dir_ + "/counters.bin";
+    counter_opts_.increment_cost_cycles = 0;
+  }
+  ~ConcurrencyTest() override { std::filesystem::remove_all(dir_); }
+
+  sgx::Enclave enclave_;
+  std::string dir_;
+  sgx::MonotonicCounterService::Options counter_opts_;
+};
+
+// Per-key write tracking, owned by a single writer thread (no locking).
+struct KeyHistory {
+  bool ever_acked = false;
+  std::string acked;                // last acknowledged value
+  std::set<std::string> attempted;  // values attempted since that ack
+};
+
+TEST_F(ConcurrencyTest, SelfHealingStoreSurvivesConcurrentTamper) {
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kKeysPerWriter = 16;
+  constexpr int kRounds = 60;
+
+  sgx::SealingService sealer(AsBytes("fuse"), enclave_.measurement());
+  sgx::MonotonicCounterService counters(counter_opts_);
+  PartitionedStore ps(enclave_, SmallOptions(), 4);
+
+  OpLogOptions log_opts;
+  log_opts.path = dir_ + "/wal.log";
+  WriteAheadStore wal(ps, sealer, counters, log_opts);
+  ASSERT_TRUE(wal.Open().ok());
+
+  SelfHealOptions heal_opts;
+  heal_opts.directory = dir_ + "/snapshots";
+  SelfHealer healer(wal, sealer, counters, heal_opts);
+  ASSERT_TRUE(healer.Start().ok());
+
+  // Background healer (the role the network server's maintenance thread
+  // plays in production).
+  std::atomic<bool> stop_healer{false};
+  std::thread healer_thread([&] {
+    while (!stop_healer.load()) {
+      healer.Tick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Background adversary.
+  RaceTamperer::Options tamper_opts;
+  tamper_opts.seed = 0xdead5eed;
+  tamper_opts.interval_ms = 3;
+  RaceTamperer tamperer(ps, tamper_opts);
+  tamperer.Start();
+
+  // Readers: random probes across every writer's key space. Any outcome is
+  // legal except a crash or a torn value; they exist to race the read path
+  // against writers, the healer, and the adversary.
+  std::atomic<bool> stop_readers{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256 rng(0xbeef + r);
+      while (!stop_readers.load()) {
+        const std::string key = "w" + std::to_string(rng.NextBelow(kWriters)) + "-k" +
+                                std::to_string(rng.NextBelow(kKeysPerWriter));
+        (void)wal.Get(key);
+      }
+    });
+  }
+
+  // Writers: each owns a disjoint key range and tracks ack history.
+  std::vector<std::vector<KeyHistory>> histories(kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    histories[w].resize(kKeysPerWriter);
+    writers.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int k = 0; k < kKeysPerWriter; ++k) {
+          const std::string key = "w" + std::to_string(w) + "-k" + std::to_string(k);
+          const std::string value =
+              "v" + std::to_string(round) + "-" + std::to_string(w * 1000 + k);
+          KeyHistory& h = histories[w][k];
+          h.attempted.insert(value);
+          if (wal.Set(key, value).ok()) {
+            h.ever_acked = true;
+            h.acked = value;
+            h.attempted.clear();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop_readers.store(true);
+  for (auto& t : readers) {
+    t.join();
+  }
+
+  // Stop the adversary, then drain: keep ticking until every partition is
+  // healthy AND a full scrub passes (a final tamper may still be latent).
+  tamperer.Stop();
+  stop_healer.store(true);
+  healer_thread.join();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (true) {
+    if (ps.QuarantinedCount() == 0 && ps.ScrubAll().ok()) {
+      break;
+    }
+    healer.Tick();
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "store did not heal: " << healer.last_error().ToString()
+        << " (failed recoveries: " << healer.failed_recoveries() << ")";
+  }
+
+  EXPECT_GT(tamperer.attacks_launched(), 0u);
+
+  // Zero acknowledged-write loss: every key reads back its last acked value,
+  // or one attempted after that ack (in-flight at a quarantine boundary).
+  for (int w = 0; w < kWriters; ++w) {
+    for (int k = 0; k < kKeysPerWriter; ++k) {
+      const std::string key = "w" + std::to_string(w) + "-k" + std::to_string(k);
+      const KeyHistory& h = histories[w][k];
+      Result<std::string> got = wal.Get(key);
+      if (!h.ever_acked) {
+        continue;  // nothing was promised for this key
+      }
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+      EXPECT_TRUE(got.value() == h.acked || h.attempted.count(got.value()) > 0)
+          << key << " holds '" << got.value() << "', last acked '" << h.acked << "'";
+    }
+  }
+}
+
+TEST_F(ConcurrencyTest, WriteAheadStoreMixedOpsRaceCleanly) {
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 200;
+
+  sgx::SealingService sealer(AsBytes("fuse"), enclave_.measurement());
+  sgx::MonotonicCounterService counters(counter_opts_);
+  PartitionedStore ps(enclave_, SmallOptions(), 4);
+
+  OpLogOptions log_opts;
+  log_opts.path = dir_ + "/wal.log";
+  WriteAheadStore wal(ps, sealer, counters, log_opts);
+  ASSERT_TRUE(wal.Open().ok());
+
+  // Increment/Append require an existing key.
+  ASSERT_TRUE(wal.Set("shared-counter", "0").ok());
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(wal.Set("log-t" + std::to_string(t), "").ok());
+  }
+
+  // No adversary here: with every op serialized through the log, shared
+  // counters and mixed ops must be exactly consistent.
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        if (!wal.Increment("shared-counter", 1).ok()) {
+          ++failures;
+        }
+        const std::string key = "t" + std::to_string(t) + "-i" + std::to_string(i % 8);
+        if (!wal.Set(key, std::to_string(i)).ok()) {
+          ++failures;
+        }
+        if (i % 16 == 0 && !wal.Append("log-t" + std::to_string(t), ".").ok()) {
+          ++failures;
+        }
+        (void)wal.Get(key);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  Result<std::string> counter = wal.Get("shared-counter");
+  ASSERT_TRUE(counter.ok());
+  EXPECT_EQ(counter.value(), std::to_string(kThreads * kIncrements));
+  for (int t = 0; t < kThreads; ++t) {
+    Result<std::string> log = wal.Get("log-t" + std::to_string(t));
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ(log.value().size(), static_cast<size_t>((kIncrements + 15) / 16));
+  }
+  EXPECT_TRUE(ps.ScrubAll().ok());
+}
+
+}  // namespace
+}  // namespace shield

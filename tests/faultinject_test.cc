@@ -206,13 +206,15 @@ TEST_F(FaultInjectTest, QuarantinedPartitionRecoversWhileOthersServe) {
     Result<std::string> got = ps.Get(key);
     if (ps.PartitionOf(key) == 0) {
       ASSERT_FALSE(got.ok()) << key;
-      EXPECT_EQ(got.status().code(), Code::kIntegrityFailure);  // fast fail
+      // Fast fail with the typed retryable code (the detecting op above got
+      // the truthful kIntegrityFailure; later callers see "healing").
+      EXPECT_EQ(got.status().code(), Code::kPartitionRecovering);
     } else {
       ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
       EXPECT_EQ(got.value(), value);
     }
   }
-  EXPECT_EQ(ps.ScrubAll().code(), Code::kIntegrityFailure);
+  EXPECT_EQ(ps.ScrubAll().code(), Code::kPartitionRecovering);
 
   // Rebuild partition 0 from snapshot + committed oplog suffix.
   ASSERT_TRUE(

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <thread>
 
+#include "src/common/rng.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/shieldstore/partitioned.h"
@@ -70,6 +71,66 @@ TEST(ProtocolTest, MalformedInputsRejected) {
   Bytes valid = EncodeRequest({OpCode::kGet, "k", "", 0});
   valid.pop_back();
   EXPECT_FALSE(DecodeRequest(valid).ok());
+}
+
+TEST(ProtocolTest, OversizedFieldsRejectedTyped) {
+  Request big_key;
+  big_key.op = OpCode::kSet;
+  big_key.key.assign(kMaxKeyBytes + 1, 'k');
+  EXPECT_EQ(DecodeRequest(EncodeRequest(big_key)).status().code(), Code::kProtocolError);
+
+  Request big_value;
+  big_value.op = OpCode::kSet;
+  big_value.key = "k";
+  big_value.value.assign(kMaxValueBytes + 1, 'v');
+  EXPECT_EQ(DecodeRequest(EncodeRequest(big_value)).status().code(), Code::kProtocolError);
+
+  // A forged length field claiming 1 GiB with nothing behind it must fail
+  // typed — and cannot trick the decoder into a 1 GiB allocation, since
+  // TakeString bounds-checks against the bytes actually present.
+  Bytes forged = EncodeRequest({OpCode::kGet, "k", "", 0});
+  StoreLe32(forged.data() + 9, 1u << 30);
+  EXPECT_EQ(DecodeRequest(forged).status().code(), Code::kProtocolError);
+}
+
+TEST(ProtocolTest, DecodeRequestFuzzNeverCrashes) {
+  // Deterministic mutation fuzz: every mutant either round-trips or fails
+  // with the typed protocol error — no crash, no other code, no throw.
+  Xoshiro256 rng(0x00f0221dULL);
+  const Bytes seed = EncodeRequest({OpCode::kSet, "fuzz-key", std::string(100, 'v'), 123});
+  for (int i = 0; i < 5000; ++i) {
+    Bytes mutated = seed;
+    const size_t flips = 1 + rng.NextBelow(8);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    }
+    if (rng.NextBelow(4) == 0) {
+      mutated.resize(rng.NextBelow(mutated.size() + 1));  // truncate / keep
+    }
+    Result<Request> decoded = DecodeRequest(mutated);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), Code::kProtocolError) << "mutant " << i;
+    }
+  }
+}
+
+TEST(ProtocolTest, DecodeResponseFuzzNeverCrashes) {
+  // Out-of-range status byte: must not be cast into the trusted enum.
+  Bytes bad_status = EncodeResponse({Code::kOk, "v"});
+  bad_status[0] = 200;
+  EXPECT_EQ(DecodeResponse(bad_status).status().code(), Code::kProtocolError);
+
+  Xoshiro256 rng(0xdec0deULL);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes blob(rng.NextBelow(64));
+    for (auto& b : blob) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    Result<Response> decoded = DecodeResponse(blob);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), Code::kProtocolError) << "blob " << i;
+    }
+  }
 }
 
 // --------------------------------------------------------- session crypto
@@ -342,6 +403,122 @@ TEST_F(NetEndToEndTest, MalformedRecordGetsProtocolErrorWithoutCollateral) {
   Client fresh(authority_, enclave_.measurement());
   ASSERT_TRUE(fresh.Connect(server_->port()).ok());
   EXPECT_EQ(fresh.Get("k").value(), "v");
+}
+
+namespace {
+
+// Raw TCP dial for attack connections (no handshake, no crypto).
+int DialLoopback(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  timeval tv{};
+  tv.tv_sec = 2;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+}  // namespace
+
+TEST_F(NetEndToEndTest, FrameFuzzBatteryLeavesServerServing) {
+  StartServer({});
+  Client anchor(authority_, enclave_.measurement());
+  ASSERT_TRUE(anchor.Connect(server_->port()).ok());
+  ASSERT_TRUE(anchor.Set("anchor", "steady").ok());
+
+  // After every attack the pre-existing session AND a fresh connection must
+  // still work: one hostile peer never costs another client anything.
+  auto still_serving = [&](const char* attack) {
+    Result<std::string> got = anchor.Get("anchor");
+    ASSERT_TRUE(got.ok()) << attack << " broke the anchor session: "
+                          << got.status().ToString();
+    EXPECT_EQ(got.value(), "steady") << attack;
+    Client fresh(authority_, enclave_.measurement());
+    ASSERT_TRUE(fresh.Connect(server_->port()).ok()) << attack;
+    EXPECT_EQ(fresh.Get("anchor").value(), "steady") << attack;
+  };
+
+  // Attack 1: garbage handshake frames (random bytes where the attestation
+  // hello belongs).
+  {
+    Xoshiro256 rng(0x9a4ba9e);
+    for (int round = 0; round < 4; ++round) {
+      const int fd = DialLoopback(server_->port());
+      ASSERT_GE(fd, 0);
+      Bytes garbage(1 + rng.NextBelow(256));
+      for (auto& b : garbage) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      (void)SendFrame(fd, garbage);
+      (void)RecvFrame(fd);  // whatever the server does, it must not hang
+      close(fd);
+    }
+  }
+  still_serving("garbage handshake");
+
+  // Attack 2: truncated frame — promise 100 bytes, deliver 9, hang up.
+  {
+    const int fd = DialLoopback(server_->port());
+    ASSERT_GE(fd, 0);
+    uint8_t len[4];
+    StoreLe32(len, 100);
+    send(fd, len, 4, MSG_NOSIGNAL);
+    send(fd, "truncated", 9, MSG_NOSIGNAL);
+    close(fd);
+  }
+  still_serving("truncated frame");
+
+  // Attack 3: oversized length prefix (a 4 GiB claim). The server must
+  // reject it without attempting the allocation and drop the connection.
+  {
+    const int fd = DialLoopback(server_->port());
+    ASSERT_GE(fd, 0);
+    const uint8_t len[4] = {0xff, 0xff, 0xff, 0xff};
+    send(fd, len, 4, MSG_NOSIGNAL);
+    uint8_t byte;
+    (void)!recv(fd, &byte, 1, 0);  // EOF (or timeout) — never a response
+    close(fd);
+  }
+  still_serving("oversized length prefix");
+
+  // Attack 4: valid handshake, then sealed records with deterministic random
+  // bit flips. AEAD makes every flip unauthentic: sealed kProtocolError,
+  // connection dropped, nothing else.
+  {
+    Xoshiro256 rng(0xb17f11b);
+    for (int round = 0; round < 8; ++round) {
+      const int fd = DialLoopback(server_->port());
+      ASSERT_GE(fd, 0);
+      Result<Bytes> key_material = ClientHandshake(fd, authority_, enclave_.measurement());
+      ASSERT_TRUE(key_material.ok()) << key_material.status().ToString();
+      SessionCrypto session(*key_material, /*is_client=*/true, /*encrypt=*/true);
+      Bytes record = session.Seal(EncodeRequest({OpCode::kSet, "fuzz", "x", 0}));
+      record[rng.NextBelow(record.size())] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+      ASSERT_TRUE(SendFrame(fd, record).ok());
+      Result<Bytes> reply = RecvFrame(fd);
+      if (reply.ok()) {
+        Result<Bytes> plaintext = session.Open(*reply);
+        ASSERT_TRUE(plaintext.ok()) << plaintext.status().ToString();
+        Result<Response> response = DecodeResponse(*plaintext);
+        ASSERT_TRUE(response.ok());
+        EXPECT_EQ(response->status, Code::kProtocolError);
+      }
+      close(fd);
+    }
+  }
+  still_serving("bit-flipped sealed records");
+
+  // The store never absorbed a fuzzed write.
+  EXPECT_EQ(anchor.Get("fuzz").status().code(), Code::kNotFound);
 }
 
 // Delays writes so a request is reliably in flight when Stop() arrives.

@@ -6,18 +6,27 @@
 //   shieldstore_server --port 4555 --partitions 4 --buckets 1048576 \
 //       --hotcalls --authority-seed my-deployment
 //
-// (Snapshot persistence is a single-owner-thread protocol — see
-// examples/persistent_store.cpp; this daemon serves volatile data.)
+// With --heal-dir the daemon becomes self-healing: every acknowledged
+// mutation is write-ahead logged, a baseline snapshot is written at startup,
+// a paced background scrub audits the table, and a partition that fails an
+// integrity check is quarantined and rebuilt online (snapshot + committed
+// log) while the rest of the store keeps serving. Without it the daemon
+// serves volatile data, optionally still scrubbed in the background.
 //
 // The enclave measurement is printed at startup; clients pass it to
 // shieldstore_cli (out-of-band trust anchor, like a release checksum).
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 
 #include "src/net/server.h"
+#include "src/shieldstore/oplog.h"
 #include "src/shieldstore/partitioned.h"
+#include "src/shieldstore/selfheal.h"
 
 namespace {
 
@@ -36,6 +45,9 @@ struct Flags {
   bool plaintext = false;
   std::string authority_seed = "dev-authority";
   std::string enclave_name = "shieldstore-server-v1";
+  std::string heal_dir;         // empty = volatile (no WAL, no recovery)
+  int scrub_interval_ms = 50;   // maintenance cadence; 0 disables the scrub
+  size_t scrub_budget = 0;      // buckets per tick; 0 = Options default
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -58,10 +70,17 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->authority_seed = next();
     } else if (arg == "--name") {
       flags->enclave_name = next();
+    } else if (arg == "--heal-dir") {
+      flags->heal_dir = next();
+    } else if (arg == "--scrub-interval-ms") {
+      flags->scrub_interval_ms = std::atoi(next());
+    } else if (arg == "--scrub-budget") {
+      flags->scrub_budget = static_cast<size_t>(std::atoll(next()));
     } else {
       std::fprintf(stderr,
                    "usage: shieldstore_server [--port N] [--partitions N] [--buckets N]\n"
-                   "    [--epc-mb N] [--hotcalls] [--plaintext] [--authority-seed S] [--name S]\n");
+                   "    [--epc-mb N] [--hotcalls] [--plaintext] [--authority-seed S] [--name S]\n"
+                   "    [--heal-dir DIR] [--scrub-interval-ms N] [--scrub-budget N]\n");
       return false;
     }
   }
@@ -87,14 +106,71 @@ int main(int argc, char** argv) {
 
   shieldstore::Options options;
   options.num_buckets = flags.buckets;
+  if (flags.scrub_budget > 0) {
+    options.scrub_budget_buckets = flags.scrub_budget;
+  }
   shieldstore::PartitionedStore store(enclave, options, flags.partitions);
+
+  // Self-healing stack (only when --heal-dir names a durable directory).
+  std::unique_ptr<sgx::SealingService> sealer;
+  std::unique_ptr<sgx::MonotonicCounterService> counters;
+  std::unique_ptr<shieldstore::WriteAheadStore> wal;
+  std::unique_ptr<shieldstore::SelfHealer> healer;
+  if (!flags.heal_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(flags.heal_dir, ec);
+    sealer = std::make_unique<sgx::SealingService>(AsBytes(flags.authority_seed),
+                                                   enclave.measurement());
+    sgx::MonotonicCounterService::Options counter_opts;
+    counter_opts.backing_file = flags.heal_dir + "/counters.bin";
+    counters = std::make_unique<sgx::MonotonicCounterService>(counter_opts);
+    shieldstore::OpLogOptions log_opts;
+    log_opts.path = flags.heal_dir + "/wal.log";
+    wal = std::make_unique<shieldstore::WriteAheadStore>(store, *sealer, *counters, log_opts);
+    if (Status s = wal->Open(); !s.ok()) {
+      std::fprintf(stderr, "oplog open failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // Restore the committed prefix of a pre-existing log into the (empty)
+    // store before Start() snapshots it as the baseline generation. Replayed
+    // ops go straight to the inner store so they are not re-logged.
+    if (Status s = shieldstore::OperationLog::Replay(*sealer, *counters, log_opts, store);
+        !s.ok()) {
+      std::fprintf(stderr, "oplog replay failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (store.Size() > 0) {
+      std::printf("self-healing: restored %zu keys from %s\n", store.Size(),
+                  log_opts.path.c_str());
+    }
+    shieldstore::SelfHealOptions heal_opts;
+    heal_opts.directory = flags.heal_dir + "/snapshots";
+    heal_opts.scrub = flags.scrub_interval_ms > 0;
+    healer = std::make_unique<shieldstore::SelfHealer>(*wal, *sealer, *counters, heal_opts);
+    if (Status s = healer->Start(); !s.ok()) {
+      std::fprintf(stderr, "baseline snapshot failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
 
   net::ServerOptions server_options;
   server_options.port = flags.port;
   server_options.use_hotcalls = flags.hotcalls;
   server_options.enclave_workers = flags.partitions;
   server_options.encrypt = !flags.plaintext;
-  net::Server server(enclave, store, authority, server_options);
+  if (healer != nullptr) {
+    server_options.maintenance = [&healer] { healer->Tick(); };
+    server_options.maintenance_interval_ms = std::max(flags.scrub_interval_ms, 1);
+  } else if (flags.scrub_interval_ms > 0) {
+    // Volatile mode: still audit in the background. A violation quarantines
+    // the partition (typed errors for its keys) — without a WAL there is
+    // nothing to heal from, so it stays quarantined.
+    server_options.maintenance = [&store] { (void)store.ScrubTick(); };
+    server_options.maintenance_interval_ms = flags.scrub_interval_ms;
+  }
+  net::Server server(enclave, wal != nullptr ? static_cast<kv::KeyValueStore&>(*wal)
+                                             : static_cast<kv::KeyValueStore&>(store),
+                     authority, server_options);
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
     return 1;
@@ -104,6 +180,12 @@ int main(int argc, char** argv) {
               flags.plaintext ? "PLAINTEXT sessions" : "encrypted sessions");
   std::printf("enclave measurement (give to clients): %s\n",
               HexEncode(ByteSpan(enclave.measurement().data(), 32)).c_str());
+  if (healer != nullptr) {
+    std::printf("self-healing: on (dir %s, scrub every %d ms)\n", flags.heal_dir.c_str(),
+                flags.scrub_interval_ms);
+  } else if (flags.scrub_interval_ms > 0) {
+    std::printf("self-healing: off (background scrub every %d ms)\n", flags.scrub_interval_ms);
+  }
   std::fflush(stdout);
 
   // Serve until signalled.
@@ -113,5 +195,10 @@ int main(int argc, char** argv) {
   std::printf("shutting down (%llu requests served)\n",
               static_cast<unsigned long long>(server.requests_served()));
   server.Stop();
+  if (healer != nullptr) {
+    std::printf("self-healing: %llu recoveries, %llu violations detected\n",
+                static_cast<unsigned long long>(healer->recoveries()),
+                static_cast<unsigned long long>(healer->violations_detected()));
+  }
   return 0;
 }
