@@ -21,4 +21,9 @@ cmake -B build-tsan -S . -DSHIELD_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target concurrency_test selfheal_test
 ctest --test-dir build-tsan --output-on-failure -R 'ConcurrencyTest|SelfHealNetTest'
 
+echo "== WAL scaling bench (smoke) =="
+# Exit code enforces the acceptance gate: sharded >= 3x single-log at 8
+# simulated writers, equal durability discipline.
+./build/bench/bench_wal_scaling --smoke --out build/BENCH_wal.json
+
 echo "All checks passed."

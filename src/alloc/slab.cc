@@ -4,8 +4,9 @@
 
 namespace shield::alloc {
 
-SlabAllocator::SlabAllocator(ChunkSource source, const Options& options)
-    : source_(std::move(source)), options_(options) {
+SlabAllocator::SlabAllocator(ChunkSource source, const Options& options,
+                             ChunkRelease release)
+    : source_(std::move(source)), options_(options), release_(std::move(release)) {
   assert(options_.growth_factor > 1.0);
   size_t size = options_.min_item_bytes;
   while (size <= options_.max_item_bytes) {
@@ -19,6 +20,14 @@ SlabAllocator::SlabAllocator(ChunkSource source, const Options& options)
     size = next;
   }
   free_lists_.assign(class_sizes_.size(), nullptr);
+}
+
+SlabAllocator::~SlabAllocator() {
+  if (release_) {
+    for (const Chunk& page : pages_) {
+      release_(page);
+    }
+  }
 }
 
 size_t SlabAllocator::ClassFor(size_t bytes) const {
@@ -45,6 +54,7 @@ void* SlabAllocator::Allocate(size_t bytes) {
     }
     stats_.slab_pages++;
     stats_.bytes_reserved += chunk.bytes;
+    pages_.push_back(chunk);
     uint8_t* p = static_cast<uint8_t*>(chunk.base);
     uint8_t* end = p + chunk.bytes;
     while (static_cast<size_t>(end - p) >= item) {

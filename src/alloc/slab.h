@@ -35,7 +35,13 @@ class SlabAllocator {
     size_t slab_page_bytes = 1 << 20;
   };
 
-  SlabAllocator(ChunkSource source, const Options& options);
+  // `release`, when set, is called once per slab page at destruction.
+  // Arena-backed sources (enclave memory) leave it empty: their pages die
+  // with the arena, as memcached's do with the process.
+  using ChunkRelease = std::function<void(const Chunk&)>;
+  SlabAllocator(ChunkSource source, const Options& options,
+                ChunkRelease release = nullptr);
+  ~SlabAllocator();
 
   // Returns storage for an item of `bytes`, or nullptr when no slab class
   // fits or memory is exhausted. Items carry no header: callers must pass
@@ -57,10 +63,12 @@ class SlabAllocator {
 
   const ChunkSource source_;
   const Options options_;
+  const ChunkRelease release_;
   std::vector<size_t> class_sizes_;
 
   mutable std::mutex mutex_;
   std::vector<FreeNode*> free_lists_;
+  std::vector<Chunk> pages_;
   SlabStats stats_;
 };
 

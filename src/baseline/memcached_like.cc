@@ -47,8 +47,10 @@ MemcachedLikeStore::MemcachedLikeStore(sgx::Enclave* enclave, const MemcachedOpt
     : enclave_(enclave), options_(options), buckets_(options.num_buckets, nullptr) {
   assert(!options_.graphene || enclave_ != nullptr);
   alloc::ChunkSource source;
+  alloc::SlabAllocator::ChunkRelease release;
   if (options_.graphene) {
-    // Under the libOS everything, slabs included, is enclave memory.
+    // Under the libOS everything, slabs included, is enclave memory; pages
+    // die with the enclave arena, so there is nothing to release.
     source = [this](size_t min_bytes) -> alloc::Chunk {
       void* mem = enclave_->Allocate(min_bytes);
       return mem != nullptr ? alloc::Chunk{mem, min_bytes} : alloc::Chunk{};
@@ -58,11 +60,13 @@ MemcachedLikeStore::MemcachedLikeStore(sgx::Enclave* enclave, const MemcachedOpt
       void* mem = std::malloc(min_bytes);
       return mem != nullptr ? alloc::Chunk{mem, min_bytes} : alloc::Chunk{};
     };
+    release = [](const alloc::Chunk& page) { std::free(page.base); };
   }
   alloc::SlabAllocator::Options slab_options;
   slab_options.min_item_bytes = 64;
   slab_options.max_item_bytes = 1 << 20;
-  slabs_ = std::make_unique<alloc::SlabAllocator>(std::move(source), slab_options);
+  slabs_ = std::make_unique<alloc::SlabAllocator>(std::move(source), slab_options,
+                                                  std::move(release));
   if (options_.start_maintainer) {
     maintainer_ = std::thread([this] { MaintainerLoop(); });
   }
@@ -73,8 +77,9 @@ MemcachedLikeStore::~MemcachedLikeStore() {
   if (maintainer_.joinable()) {
     maintainer_.join();
   }
-  // Items return to the slab allocator; slab pages die with the process /
-  // the enclave arena (memcached never returns slab pages either).
+  // Items return to the slab allocator; malloc-backed slab pages are
+  // released by its destructor, enclave-arena pages die with the enclave
+  // (memcached never returns slab pages mid-run either).
 }
 
 void MemcachedLikeStore::TouchRange(const void* ptr, size_t len, bool write) const {

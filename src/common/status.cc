@@ -28,6 +28,8 @@ std::string_view CodeName(Code code) {
       return "INTERNAL";
     case Code::kPartitionRecovering:
       return "PARTITION_RECOVERING";
+    case Code::kUnsupportedUnderWal:
+      return "UNSUPPORTED_UNDER_WAL";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,7 @@ enum class Code {
   kProtocolError,     // malformed or unauthenticated network message
   kInternal,
   kPartitionRecovering,  // key's partition is quarantined and healing; retry
+  kUnsupportedUnderWal,  // needs the WriteAheadStore facade (e.g. Repartition)
 };
 
 // Human-readable name of a status code ("OK", "NOT_FOUND", ...).

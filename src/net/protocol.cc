@@ -114,7 +114,7 @@ Result<Response> DecodeResponse(ByteSpan payload) {
     return Status(Code::kProtocolError, "response too short");
   }
   Response response;
-  if (payload[0] > static_cast<uint8_t>(Code::kPartitionRecovering)) {
+  if (payload[0] > static_cast<uint8_t>(Code::kUnsupportedUnderWal)) {
     return Status(Code::kProtocolError, "unknown status code");
   }
   response.status = static_cast<Code>(payload[0]);

@@ -129,7 +129,9 @@ OperationLog::OperationLog(const sgx::SealingService& sealer,
 
 OperationLog::~OperationLog() {
   if (file_ != nullptr) {
-    (void)Commit();
+    if (uncommitted_ > 0) {
+      (void)Commit();
+    }
     std::fclose(file_);
   }
 }
@@ -149,6 +151,9 @@ Status OperationLog::Open() {
     if (file_ == nullptr) {
       return Status(Code::kIoError, "cannot append to log");
     }
+    std::fseek(file_, 0, SEEK_END);
+    const long size = std::ftell(file_);
+    log_bytes_.store(size > 0 ? static_cast<uint64_t>(size) : 0, std::memory_order_relaxed);
     return Status::Ok();
   }
   if (scanned.code() != Code::kNotFound) {
@@ -174,6 +179,7 @@ Status OperationLog::Open() {
   if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
     return Status(Code::kIoError, "cannot flush log header");
   }
+  log_bytes_.store(8, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -191,43 +197,66 @@ Status OperationLog::AppendRecord(uint8_t op, std::string_view key, std::string_
   }
   std::memcpy(chain_mac_.data(), sealed.data() + sealed.size() - 16, 16);
   ++sequence_;
+  log_bytes_.fetch_add(4 + sealed.size(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status OperationLog::AppendSet(std::string_view key, std::string_view value) {
+  if (Status s = AppendRecord(kOpSet, key, value); !s.ok()) {
+    return s;
+  }
+  records_logged_.fetch_add(1, std::memory_order_relaxed);
+  ++uncommitted_;
+  return Status::Ok();
+}
+
+Status OperationLog::AppendDelete(std::string_view key) {
+  if (Status s = AppendRecord(kOpDelete, key, ""); !s.ok()) {
+    return s;
+  }
+  records_logged_.fetch_add(1, std::memory_order_relaxed);
+  ++uncommitted_;
   return Status::Ok();
 }
 
 Status OperationLog::LogSet(std::string_view key, std::string_view value) {
-  if (Status s = AppendRecord(kOpSet, key, value); !s.ok()) {
+  if (Status s = AppendSet(key, value); !s.ok()) {
     return s;
   }
-  ++records_logged_;
-  if (++uncommitted_ >= options_.group_commit_ops) {
+  if (uncommitted_ >= options_.group_commit_ops) {
     return Commit();
   }
   return Status::Ok();
 }
 
 Status OperationLog::LogDelete(std::string_view key) {
-  if (Status s = AppendRecord(kOpDelete, key, ""); !s.ok()) {
+  if (Status s = AppendDelete(key); !s.ok()) {
     return s;
   }
-  ++records_logged_;
-  if (++uncommitted_ >= options_.group_commit_ops) {
+  if (uncommitted_ >= options_.group_commit_ops) {
     return Commit();
   }
   return Status::Ok();
 }
 
-Status OperationLog::Commit() {
+Status OperationLog::CommitPrepare() {
   if (file_ == nullptr) {
     return Status(Code::kInvalidArgument, "log not open");
   }
-  // One counter bump per group — the amortization that makes fine-grained
-  // logging viable (§7).
-  Result<uint64_t> value = counters_.Increment(static_cast<uint32_t>(counter_id_));
-  if (!value.ok()) {
-    return value.status();
+  // The commit record carries live+1; the counter is bumped only after the
+  // record is durable (CommitSync). A crash between the two leaves the log
+  // one ahead of the counter — Replay treats that like the snapshot
+  // machinery's pending generation and rolls the counter forward. (Bumping
+  // first, as earlier revisions did, made that crash window unrecoverable:
+  // the lost commit record left the live counter ahead of every commit in
+  // the log, indistinguishable from a rollback attack.)
+  Result<uint64_t> live = counters_.Read(static_cast<uint32_t>(counter_id_));
+  if (!live.ok()) {
+    return live.status();
   }
+  pending_commit_value_ = live.value() + 1;
   uint8_t v[8];
-  StoreLe64(v, value.value());
+  StoreLe64(v, pending_commit_value_);
   if (Status s = AppendRecord(kOpCommit, "", std::string_view(reinterpret_cast<char*>(v), 8));
       !s.ok()) {
     return s;
@@ -235,14 +264,39 @@ Status OperationLog::Commit() {
   if (std::fflush(file_) != 0) {
     return Status(Code::kIoError, "log flush failed");
   }
+  uncommitted_ = 0;
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status OperationLog::CommitSync() {
+  if (file_ == nullptr) {
+    return Status(Code::kInvalidArgument, "log not open");
+  }
   // A commit that only reached the page cache is not a commit: fsync so the
   // group is durable before the caller acks anything to a client.
   if (fsync(fileno(file_)) != 0) {
     return Status(Code::kIoError, "log fsync failed");
   }
-  uncommitted_ = 0;
-  ++commits_;
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  // One counter bump per group — the amortization that makes fine-grained
+  // logging viable (§7). Only now does the group become the one true
+  // committed state.
+  Result<uint64_t> bumped = counters_.Increment(static_cast<uint32_t>(counter_id_));
+  if (!bumped.ok()) {
+    return bumped.status();
+  }
+  if (bumped.value() != pending_commit_value_) {
+    return Status(Code::kInternal, "log counter advanced outside a commit");
+  }
   return Status::Ok();
+}
+
+Status OperationLog::Commit() {
+  if (Status s = CommitPrepare(); !s.ok()) {
+    return s;
+  }
+  return CommitSync();
 }
 
 Status OperationLog::Reset() {
@@ -267,6 +321,7 @@ Status OperationLog::Reset() {
   if (std::fwrite(header, 1, 8, file_) != 8) {
     return Status(Code::kIoError, "cannot write log header");
   }
+  log_bytes_.store(8, std::memory_order_relaxed);
   // Bind the fresh epoch immediately so a replay of the *previous* log epoch
   // fails the counter check.
   return Commit();
@@ -318,12 +373,23 @@ Status OperationLog::Replay(const sgx::SealingService& sealer,
     return Status(Code::kRollbackDetected, "log counter missing");
   }
   const uint64_t expected = saw_commit ? last_commit_value : 0;
-  if (live.value() != expected) {
-    return Status(Code::kRollbackDetected,
-                  "log commit value " + std::to_string(expected) + " != live counter " +
-                      std::to_string(live.value()));
+  if (live.value() == expected) {
+    return Status::Ok();
   }
-  return Status::Ok();
+  if (saw_commit && live.value() + 1 == expected) {
+    // The final commit record is durable but its counter bump was lost to a
+    // crash between fsync and increment: complete the commit (roll forward),
+    // exactly like Snapshotter::Recover's promotable pending pair. A stale
+    // log cannot take this path — its commits are all at or below the live
+    // counter — and a forged one cannot seal a valid record at all.
+    Result<uint64_t> bumped = counters.Increment(static_cast<uint32_t>(counter_id));
+    if (bumped.ok() && bumped.value() == expected) {
+      return Status::Ok();
+    }
+  }
+  return Status(Code::kRollbackDetected,
+                "log commit value " + std::to_string(expected) + " != live counter " +
+                    std::to_string(live.value()));
 }
 
 }  // namespace shield::shieldstore

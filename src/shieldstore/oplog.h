@@ -14,11 +14,25 @@
 //  * recovery = snapshot + replay of the committed log suffix; a replayed
 //    stale log (or one from a different epoch) fails the counter check.
 //
+// One OperationLog is one append-only file. The sharded WriteAheadStore
+// (selfheal.h) runs one log per partition group; this class stays
+// single-file and externally synchronized (callers hold their shard lock).
+//
+// Two commit disciplines, selected by the caller:
+//  * LogSet/LogDelete auto-commit every `group_commit_ops` records — the
+//    original cadence, where an ack means "logged", not "fsync'd";
+//  * AppendSet/AppendDelete never commit; the caller batches explicitly via
+//    CommitPrepare() (counter bump + commit record + flush to the OS, under
+//    the caller's lock) followed by CommitSync() (the fsync, safe to run
+//    after dropping the lock so concurrent appends land in the next group).
+//    This is the group-commit batcher's leader/follower split.
+//
 // This module is an EXTENSION beyond the paper's implementation; the
 // evaluation figures never enable it.
 #ifndef SHIELDSTORE_SRC_SHIELDSTORE_OPLOG_H_
 #define SHIELDSTORE_SRC_SHIELDSTORE_OPLOG_H_
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 
@@ -29,8 +43,26 @@
 namespace shield::shieldstore {
 
 struct OpLogOptions {
-  std::string path;            // log file
+  std::string path;              // log file (shard i of a sharded WAL appends ".p<i>")
   size_t group_commit_ops = 64;  // counter bump + fsync cadence
+
+  // --- knobs interpreted by the sharded WriteAheadStore (selfheal.h) ---
+
+  // Log shards. 0 = one shard per partition (the scalable default: writers
+  // to different partitions never contend); 1 reproduces the PR 2 single
+  // global log; k < partitions maps partition p to shard p % k.
+  size_t num_shards = 0;
+  // Group-commit window in microseconds. 0 = the legacy auto-commit
+  // discipline (ack ⇒ logged; fsync every group_commit_ops records). > 0 =
+  // durable acks: a mutation returns only once its record is fsync'd, and a
+  // commit leader batches every record that arrives within the window (or
+  // until group_commit_ops accumulate, whichever first) into one
+  // counter-bump + fsync.
+  uint32_t group_commit_window_us = 0;
+  // SIMULATED MULTICORE (see bench/harness.h): queueing-delay multiplier
+  // charged for the time a shard's lock is held, modelling n workers
+  // saturating one shard. 1 = off (real deployments).
+  size_t virtual_contention = 1;
 };
 
 class OperationLog {
@@ -52,19 +84,39 @@ class OperationLog {
   Status LogSet(std::string_view key, std::string_view value);
   Status LogDelete(std::string_view key);
 
-  // Forces a group commit (counter bump + flush).
+  // Batched-commit discipline: append without any commit side effect. The
+  // caller owns the commit cadence (see the leader/follower split above).
+  Status AppendSet(std::string_view key, std::string_view value);
+  Status AppendDelete(std::string_view key);
+
+  // Forces a group commit (counter bump + flush + fsync).
   Status Commit();
+  // The two halves of Commit(), split so a group-commit leader can run the
+  // fsync outside its shard lock: Prepare bumps the counter, appends the
+  // commit record and flushes it to the OS (must run under the caller's
+  // lock); Sync fsyncs the file descriptor (touches no chain state, so
+  // concurrent AppendRecord/fflush through the same FILE* must still be
+  // excluded by the caller — only Sync itself is lock-free-safe).
+  Status CommitPrepare();
+  Status CommitSync();
 
   // Truncates the log (after a successful snapshot subsumes it).
   Status Reset();
 
-  uint64_t records_logged() const { return records_logged_; }
-  uint64_t commits() const { return commits_; }
+  uint64_t records_logged() const { return records_logged_.load(std::memory_order_relaxed); }
+  uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
+  // Bytes appended to the log file (header + frames), tracked so the
+  // compactor can bound log growth without stat() calls.
+  uint64_t log_bytes() const { return log_bytes_.load(std::memory_order_relaxed); }
+  // Records appended since the last commit.
+  uint64_t pending() const { return uncommitted_; }
 
   // Replays the committed prefix of the log into `store`, newest state
   // winning. Fails with kIntegrityFailure on any tampering / reordering /
   // mid-chain truncation, and kRollbackDetected when the final commit's
-  // counter value does not match the live counter.
+  // counter value does not match the live counter. A missing or empty log
+  // is kNotFound (callers treat it as "nothing to replay").
   static Status Replay(const sgx::SealingService& sealer,
                        sgx::MonotonicCounterService& counters, const OpLogOptions& options,
                        kv::KeyValueStore& store);
@@ -80,8 +132,12 @@ class OperationLog {
   crypto::Mac chain_mac_{};  // MAC of the previous record (zero at start)
   uint64_t sequence_ = 0;
   uint64_t uncommitted_ = 0;
-  uint64_t records_logged_ = 0;
-  uint64_t commits_ = 0;
+  uint64_t pending_commit_value_ = 0;  // value CommitPrepare wrote, pre-bump
+  // Stats are atomics so WalStats reads never take the shard lock.
+  std::atomic<uint64_t> records_logged_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> log_bytes_{0};
 };
 
 }  // namespace shield::shieldstore

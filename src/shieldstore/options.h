@@ -43,7 +43,8 @@ struct Options {
   // Background-scrub pacing: buckets audited per ScrubTick call
   // (PartitionedStore), so a full-table audit amortizes over live traffic
   // instead of stalling it. The self-healing server spends one budget per
-  // maintenance tick.
+  // maintenance tick; the same tick also drives WAL shard compaction
+  // (SelfHealer::Tick compacts at most one oversized shard log per tick).
   size_t scrub_budget_buckets = 256;
 
   // Master secret; empty => drawn from the enclave's DRBG.

@@ -194,10 +194,48 @@ Status PartitionedStore::WithPartitionLocked(size_t p,
   return s;
 }
 
-Status PartitionedStore::SnapshotAll(const sgx::SealingService& sealer,
-                                     sgx::MonotonicCounterService& counters,
-                                     const std::string& directory) {
-  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+Status PartitionedStore::SnapshotPartitionLocked(size_t p, const sgx::SealingService& sealer,
+                                                 sgx::MonotonicCounterService& counters,
+                                                 const std::string& directory,
+                                                 Snapshotter::CrashPoint crash) {
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  if (quarantined_[p]->load(std::memory_order_acquire)) {
+    // Never persist state that failed integrity: the previous generation
+    // in this partition's directory is the last trustworthy one.
+    return Status(Code::kIntegrityFailure,
+                  "partition " + std::to_string(p) + " quarantined; snapshot skipped");
+  }
+  // Audit before persisting, under the SAME lock hold: a silent tamper that
+  // has not yet hit a detecting operation would otherwise be sealed into
+  // the new generation as trusted state, poisoning every later recovery.
+  // On a violation the partition quarantines instead, and the healer
+  // rebuilds it from the previous generation plus the log suffix.
+  const Store::ScrubReport audit = partitions_[p]->Scrub();
+  NoteOutcome(p, audit.status);
+  if (!audit.status.ok()) {
+    return audit.status;
+  }
+  const std::string subdir = directory + "/p" + std::to_string(p);
+  std::error_code ec;
+  std::filesystem::create_directories(subdir, ec);
+  Snapshotter snap(*partitions_[p], sealer, counters, {subdir, /*optimized=*/false});
+  if (crash != Snapshotter::CrashPoint::kNone) {
+    snap.InjectCrash(crash);
+  }
+  return snap.SnapshotNow();
+}
+
+Status PartitionedStore::EnsureManifestLocked(const std::string& directory) const {
+  FILE* existing = std::fopen((directory + "/manifest").c_str(), "r");
+  if (existing != nullptr) {
+    size_t recorded = 0;
+    const bool parsed = std::fscanf(existing, "partitions %zu", &recorded) == 1;
+    std::fclose(existing);
+    if (!parsed || recorded != partitions_.size()) {
+      return Status(Code::kInvalidArgument, "snapshot manifest partition count mismatch");
+    }
+    return Status::Ok();
+  }
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   // Manifest pins the partition count: recovery against a store with a
@@ -210,27 +248,88 @@ Status PartitionedStore::SnapshotAll(const sgx::SealingService& sealer,
   std::fflush(manifest);
   fsync(fileno(manifest));
   std::fclose(manifest);
+  return Status::Ok();
+}
+
+Status PartitionedStore::SnapshotAll(const sgx::SealingService& sealer,
+                                     sgx::MonotonicCounterService& counters,
+                                     const std::string& directory) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  // Rewrite the manifest unconditionally: a full snapshot is the geometry
+  // authority (Repartition may have changed the partition count).
+  FILE* manifest = std::fopen((directory + "/manifest").c_str(), "w");
+  if (manifest == nullptr) {
+    return Status(Code::kIoError, "cannot write snapshot manifest in " + directory);
+  }
+  std::fprintf(manifest, "partitions %zu\n", partitions_.size());
+  std::fflush(manifest);
+  fsync(fileno(manifest));
+  std::fclose(manifest);
 
   Status first;
   for (size_t p = 0; p < partitions_.size(); ++p) {
-    std::lock_guard<std::mutex> lock(*locks_[p]);
-    if (quarantined_[p]->load(std::memory_order_acquire)) {
-      // Never persist state that failed integrity: the previous generation
-      // in this partition's directory is the last trustworthy one.
-      if (first.ok()) {
-        first = Status(Code::kIntegrityFailure,
-                       "partition " + std::to_string(p) + " quarantined; snapshot skipped");
-      }
-      continue;
-    }
-    const std::string subdir = directory + "/p" + std::to_string(p);
-    std::filesystem::create_directories(subdir, ec);
-    Snapshotter snap(*partitions_[p], sealer, counters, {subdir, /*optimized=*/false});
-    if (Status s = snap.SnapshotNow(); !s.ok() && first.ok()) {
+    if (Status s = SnapshotPartitionLocked(p, sealer, counters, directory,
+                                           Snapshotter::CrashPoint::kNone);
+        !s.ok() && first.ok()) {
       first = s;
     }
   }
   return first;
+}
+
+Status PartitionedStore::SnapshotPartition(size_t p, const sgx::SealingService& sealer,
+                                           sgx::MonotonicCounterService& counters,
+                                           const std::string& directory,
+                                           Snapshotter::CrashPoint crash) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (p >= partitions_.size()) {
+    return Status(Code::kInvalidArgument, "no such partition");
+  }
+  if (Status s = EnsureManifestLocked(directory); !s.ok()) {
+    return s;
+  }
+  return SnapshotPartitionLocked(p, sealer, counters, directory, crash);
+}
+
+Status PartitionedStore::RestoreSnapshots(const sgx::SealingService& sealer,
+                                          sgx::MonotonicCounterService& counters,
+                                          const std::string& directory) {
+  FILE* manifest = std::fopen((directory + "/manifest").c_str(), "r");
+  if (manifest == nullptr) {
+    return Status::Ok();  // nothing was ever snapshotted here
+  }
+  size_t recorded = 0;
+  const bool parsed = std::fscanf(manifest, "partitions %zu", &recorded) == 1;
+  std::fclose(manifest);
+  if (!parsed || recorded == 0) {
+    return Status(Code::kIntegrityFailure, "snapshot manifest unreadable in " + directory);
+  }
+  // Recover each on-disk partition in the geometry it was snapshotted under,
+  // then re-apply its entries through the facade: this run's route key (and
+  // possibly partition count) differ, so every key is re-routed and
+  // re-encrypted under its new partition's keys.
+  const Options snapshotted = PartitionOptions(recorded);
+  for (size_t i = 0; i < recorded; ++i) {
+    const PersistOptions persist{directory + "/p" + std::to_string(i), /*optimized=*/false};
+    Result<std::unique_ptr<Store>> restored =
+        Snapshotter::Recover(enclave_, snapshotted, sealer, counters, persist);
+    if (!restored.ok()) {
+      if (restored.status().code() == Code::kNotFound) {
+        // No generation ever committed for this partition (crash before its
+        // first snapshot): its operation log holds its full history.
+        continue;
+      }
+      return restored.status();
+    }
+    const Status applied = restored.value()->ForEachDecrypted(
+        [&](std::string_view key, std::string_view value) { return Set(key, value); });
+    if (!applied.ok()) {
+      return applied;
+    }
+  }
+  return Status::Ok();
 }
 
 Status PartitionedStore::RecoverPartition(size_t p, const sgx::SealingService& sealer,
@@ -273,6 +372,14 @@ Status PartitionedStore::RecoverPartition(size_t p, const sgx::SealingService& s
 }
 
 Status PartitionedStore::Repartition(size_t new_partitions) {
+  if (layout_pinned_.load(std::memory_order_acquire)) {
+    return Status(Code::kUnsupportedUnderWal,
+                  "store is wrapped by a write-ahead log; repartition through the facade");
+  }
+  return RepartitionInternal(new_partitions);
+}
+
+Status PartitionedStore::RepartitionInternal(size_t new_partitions) {
   new_partitions = std::max<size_t>(new_partitions, 1);
   std::unique_lock<std::shared_mutex> structure(structure_mutex_);
   if (new_partitions == partitions_.size()) {

@@ -55,7 +55,10 @@ class PartitionedStore : public kv::KeyValueStore {
   // Dynamic parallelism adjustment — §5.3's future work: rebuilds the store
   // with `new_partitions` partitions, re-encrypting every entry under the
   // new partitions' keys. Facade calls block for the duration. Fails (store
-  // unchanged) if any entry fails integrity verification.
+  // unchanged) if any entry fails integrity verification, and with the
+  // typed kUnsupportedUnderWal while a WriteAheadStore wraps this store —
+  // re-routing keys without re-splitting the shard logs would corrupt
+  // recovery, so repartitioning must go through the facade.
   Status Repartition(size_t new_partitions);
 
   // --- Quarantine and per-partition recovery ---
@@ -98,6 +101,24 @@ class PartitionedStore : public kv::KeyValueStore {
   Status SnapshotAll(const sgx::SealingService& sealer,
                      sgx::MonotonicCounterService& counters, const std::string& directory);
 
+  // Snapshots ONE partition into `directory`/p<i>/ as a fresh generation
+  // (under the partition lock; writes to other partitions proceed) — the
+  // log compactor's folding step. Writes the manifest if `directory` has
+  // none yet; refuses on a manifest geometry mismatch or a quarantined
+  // partition. `crash` forwards to Snapshotter::InjectCrash (tests).
+  Status SnapshotPartition(size_t p, const sgx::SealingService& sealer,
+                           sgx::MonotonicCounterService& counters, const std::string& directory,
+                           Snapshotter::CrashPoint crash = Snapshotter::CrashPoint::kNone);
+
+  // Boot-time restore: recovers every partition snapshot generation under
+  // `directory` (in the geometry its manifest records, which need not match
+  // ours — the route key is drawn fresh per process) and re-applies each
+  // entry through the facade, re-routing and re-encrypting it. No manifest
+  // means nothing to restore (Ok); a partition directory whose snapshot
+  // never committed is skipped (its operation log holds its full history).
+  Status RestoreSnapshots(const sgx::SealingService& sealer,
+                          sgx::MonotonicCounterService& counters, const std::string& directory);
+
   // Rebuilds partition `p` from its latest snapshot generation under
   // `directory`, then — when `oplog` is given — replays the committed
   // operation-log suffix filtered to the keys this partition owns. On
@@ -119,9 +140,23 @@ class PartitionedStore : public kv::KeyValueStore {
   kv::StoreStats stats() const override;
 
  private:
+  friend class WriteAheadStore;  // repartitions via RepartitionInternal
+
   Options PartitionOptions(size_t count) const;
   std::vector<std::unique_ptr<Store>> BuildPartitions(size_t count) const;
   size_t PartitionOfLocked(std::string_view key) const;
+  // Repartition minus the layout-pin check (the WAL facade drains and
+  // re-splits its logs around this call).
+  Status RepartitionInternal(size_t new_partitions);
+  // While pinned (a WriteAheadStore wraps this store), direct Repartition
+  // returns kUnsupportedUnderWal.
+  void PinLayout(bool pinned) { layout_pinned_.store(pinned, std::memory_order_release); }
+  // Snapshot one partition; caller holds structure_mutex_ (shared).
+  Status SnapshotPartitionLocked(size_t p, const sgx::SealingService& sealer,
+                                 sgx::MonotonicCounterService& counters,
+                                 const std::string& directory, Snapshotter::CrashPoint crash);
+  // Writes the manifest, or verifies it if present (see SnapshotPartition).
+  Status EnsureManifestLocked(const std::string& directory) const;
   // Quarantines partition `p` when `s` carries an integrity-class code.
   void NoteOutcome(size_t p, const Status& s);
   Status QuarantineGuard(size_t p) const;
@@ -139,6 +174,7 @@ class PartitionedStore : public kv::KeyValueStore {
   // wasteful, not racy).
   std::atomic<size_t> scrub_partition_{0};
   std::atomic<uint64_t> scrub_cycles_{0};
+  std::atomic<bool> layout_pinned_{false};
 };
 
 }  // namespace shield::shieldstore

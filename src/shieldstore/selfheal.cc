@@ -1,25 +1,175 @@
 #include "src/shieldstore/selfheal.h"
 
+#include <algorithm>
+#include <filesystem>
+
+#include "src/common/cycles.h"
 #include "src/common/logging.h"
 
 namespace shield::shieldstore {
+namespace {
+
+// Charges the queueing delay of (n-1) simulated contenders for the time a
+// shard's lock was held (see OpLogOptions::virtual_contention and
+// bench/harness.h "SIMULATED MULTICORE"). Must be constructed AFTER
+// acquiring the lock: only lock-held service time queues n-fold.
+class ContentionScope {
+ public:
+  explicit ContentionScope(size_t contenders)
+      : contenders_(contenders), start_(contenders > 1 ? ReadCycleCounter() : 0) {}
+  ~ContentionScope() {
+    if (contenders_ > 1) {
+      SpinCycles((ReadCycleCounter() - start_) * (contenders_ - 1));
+    }
+  }
+
+ private:
+  size_t contenders_;
+  uint64_t start_;
+};
+
+}  // namespace
 
 WriteAheadStore::WriteAheadStore(PartitionedStore& inner, const sgx::SealingService& sealer,
                                  sgx::MonotonicCounterService& counters,
                                  const OpLogOptions& options)
-    : inner_(inner), log_(sealer, counters, options), options_(options) {}
+    : inner_(inner), sealer_(sealer), counters_(counters), options_(options) {
+  BuildShards();
+  // Direct Repartition() would re-route keys without re-splitting the shard
+  // logs, silently corrupting recovery; force callers through our facade.
+  inner_.PinLayout(true);
+}
+
+WriteAheadStore::~WriteAheadStore() {
+  inner_.PinLayout(false);
+}
+
+void WriteAheadStore::BuildShards() {
+  const size_t parts = std::max<size_t>(inner_.num_partitions(), 1);
+  size_t n = options_.num_shards == 0 ? parts : std::min(options_.num_shards, parts);
+  n = std::max<size_t>(n, 1);
+  shards_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    OpLogOptions per_shard = options_;
+    per_shard.path = options_.path + ".p" + std::to_string(i);
+    shards_.push_back(std::make_unique<Shard>(std::move(per_shard)));
+  }
+}
 
 Status WriteAheadStore::Open() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return log_.Open();
+  std::unique_lock<std::shared_mutex> structure(structure_mutex_);
+  for (auto& shard_ptr : shards_) {
+    Shard& s = *shard_ptr;
+    // A crashed Repartition() may have left a dump twin behind.
+    std::remove((s.options.path + ".tmp").c_str());
+    s.log = std::make_unique<OperationLog>(sealer_, counters_, s.options);
+    if (Status st = s.log->Open(); !st.ok()) {
+      return st;
+    }
+    s.appended = s.durable = 0;
+    s.committing = false;
+    s.failed = Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadStore::AppendLocked(Shard& s, bool is_delete, std::string_view key,
+                                     std::string_view value, uint64_t* my_seq) {
+  if (s.log == nullptr) {
+    return Status(Code::kInvalidArgument, "log not open");
+  }
+  if (options_.group_commit_window_us == 0) {
+    // Legacy cadence: ack ⇒ logged; the log fsyncs itself every
+    // group_commit_ops records.
+    return is_delete ? s.log->LogDelete(key) : s.log->LogSet(key, value);
+  }
+  if (s.appended == s.durable && !s.committing) {
+    s.batch_start = std::chrono::steady_clock::now();
+  }
+  if (Status st = is_delete ? s.log->AppendDelete(key) : s.log->AppendSet(key, value);
+      !st.ok()) {
+    return st;
+  }
+  *my_seq = ++s.appended;
+  if (s.committing && s.appended - s.durable >= options_.group_commit_ops) {
+    s.cv.notify_all();  // batch is full: the leader may close it early
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& lock,
+                                     uint64_t my_seq) {
+  if (options_.group_commit_window_us == 0) {
+    return Status::Ok();
+  }
+  const auto window = std::chrono::microseconds(options_.group_commit_window_us);
+  for (;;) {
+    if (!s.failed.ok()) {
+      return s.failed;
+    }
+    if (s.durable >= my_seq) {
+      return Status::Ok();
+    }
+    if (s.committing) {
+      // Follower: a leader owns the in-flight batch (ours or the next one).
+      s.cv.wait(lock);
+      continue;
+    }
+    // Leader: wait out the commit window (or a full batch), then make the
+    // group durable. The fsync runs with the shard lock RELEASED so
+    // concurrent writers append into the next batch meanwhile.
+    s.committing = true;
+    const auto deadline = s.batch_start + window;
+    s.cv.wait_until(lock, deadline, [&] {
+      return s.appended - s.durable >= options_.group_commit_ops || !s.failed.ok();
+    });
+    const uint64_t upto = s.appended;
+    Status st = s.failed;
+    if (st.ok()) {
+      st = s.log->CommitPrepare();
+    }
+    if (st.ok()) {
+      lock.unlock();
+      st = s.log->CommitSync();
+      lock.lock();
+    }
+    s.committing = false;
+    if (st.ok()) {
+      s.durable = std::max(s.durable, upto);
+      if (s.appended > s.durable) {
+        // Records that arrived during the fsync open the next window now.
+        s.batch_start = std::chrono::steady_clock::now();
+      }
+    } else {
+      // A failed commit leaves durability unknowable for every record at or
+      // beyond this batch: latch the shard so nothing further is acked.
+      s.failed = st;
+    }
+    s.cv.notify_all();
+    if (!st.ok()) {
+      return st;
+    }
+  }
 }
 
 Status WriteAheadStore::Set(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (Status s = inner_.Set(key, value); !s.ok()) {
-    return s;
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  Shard& s = shard(ShardOfLocked(inner_.PartitionOf(key)));
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (!s.failed.ok()) {
+    return s.failed;
   }
-  return log_.LogSet(key, value);
+  uint64_t my_seq = 0;
+  {
+    ContentionScope contention(options_.virtual_contention);
+    if (Status st = inner_.Set(key, value); !st.ok()) {
+      return st;
+    }
+    if (Status st = AppendLocked(s, /*is_delete=*/false, key, value, &my_seq); !st.ok()) {
+      return st;
+    }
+  }
+  return AwaitDurable(s, lock, my_seq);
 }
 
 Result<std::string> WriteAheadStore::Get(std::string_view key) {
@@ -27,49 +177,368 @@ Result<std::string> WriteAheadStore::Get(std::string_view key) {
 }
 
 Status WriteAheadStore::Delete(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (Status s = inner_.Delete(key); !s.ok()) {
-    return s;  // kNotFound changed no state, so nothing to log either
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  Shard& s = shard(ShardOfLocked(inner_.PartitionOf(key)));
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (!s.failed.ok()) {
+    return s.failed;
   }
-  return log_.LogDelete(key);
+  uint64_t my_seq = 0;
+  {
+    ContentionScope contention(options_.virtual_contention);
+    if (Status st = inner_.Delete(key); !st.ok()) {
+      return st;  // kNotFound changed no state, so nothing to log either
+    }
+    if (Status st = AppendLocked(s, /*is_delete=*/true, key, "", &my_seq); !st.ok()) {
+      return st;
+    }
+  }
+  return AwaitDurable(s, lock, my_seq);
 }
 
 Status WriteAheadStore::Append(std::string_view key, std::string_view suffix) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (Status s = inner_.Append(key, suffix); !s.ok()) {
-    return s;
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  Shard& s = shard(ShardOfLocked(inner_.PartitionOf(key)));
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (!s.failed.ok()) {
+    return s.failed;
   }
-  // Log the resulting state, not the computation: replay must be
-  // deterministic against a partition restored from any snapshot.
-  Result<std::string> now = inner_.Get(key);
-  if (!now.ok()) {
-    return now.status();
+  uint64_t my_seq = 0;
+  {
+    ContentionScope contention(options_.virtual_contention);
+    if (Status st = inner_.Append(key, suffix); !st.ok()) {
+      return st;
+    }
+    // Log the resulting state, not the computation: replay must be
+    // deterministic against a partition restored from any snapshot.
+    Result<std::string> now = inner_.Get(key);
+    if (!now.ok()) {
+      return now.status();
+    }
+    if (Status st = AppendLocked(s, /*is_delete=*/false, key, *now, &my_seq); !st.ok()) {
+      return st;
+    }
   }
-  return log_.LogSet(key, *now);
+  return AwaitDurable(s, lock, my_seq);
 }
 
 Result<int64_t> WriteAheadStore::Increment(std::string_view key, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Result<int64_t> value = inner_.Increment(key, delta);
-  if (!value.ok()) {
-    return value;
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  Shard& s = shard(ShardOfLocked(inner_.PartitionOf(key)));
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (!s.failed.ok()) {
+    return s.failed;
   }
-  if (Status s = log_.LogSet(key, std::to_string(value.value())); !s.ok()) {
-    return s;
+  uint64_t my_seq = 0;
+  Result<int64_t> value = Status(Code::kInternal, "unreachable");
+  {
+    ContentionScope contention(options_.virtual_contention);
+    value = inner_.Increment(key, delta);
+    if (!value.ok()) {
+      return value;
+    }
+    if (Status st =
+            AppendLocked(s, /*is_delete=*/false, key, std::to_string(value.value()), &my_seq);
+        !st.ok()) {
+      return st;
+    }
+  }
+  if (Status st = AwaitDurable(s, lock, my_seq); !st.ok()) {
+    return st;
   }
   return value;
 }
 
-Status WriteAheadStore::WithCommittedLog(const std::function<Status()>& fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (Status s = log_.Commit(); !s.ok()) {
-    return s;
+Status WriteAheadStore::CommitShardLocked(Shard& s, std::unique_lock<std::mutex>& lock) {
+  if (s.log == nullptr) {
+    return Status(Code::kInvalidArgument, "log not open");
+  }
+  s.cv.wait(lock, [&] { return !s.committing; });
+  if (!s.failed.ok()) {
+    return s.failed;
+  }
+  if (Status st = s.log->Commit(); !st.ok()) {
+    s.failed = st;
+    s.cv.notify_all();
+    return st;
+  }
+  s.durable = s.appended;
+  s.cv.notify_all();
+  return Status::Ok();
+}
+
+Status WriteAheadStore::WithCommittedShard(size_t shard_index,
+                                           const std::function<Status()>& fn) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (shard_index >= shards_.size()) {
+    return Status(Code::kInvalidArgument, "no such shard");
+  }
+  Shard& s = shard(shard_index);
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (Status st = CommitShardLocked(s, lock); !st.ok()) {
+    return st;
   }
   return fn();
 }
 
-uint64_t WriteAheadStore::records_logged() const {
-  return log_.records_logged();
+Status WriteAheadStore::WithCommittedLog(const std::function<Status()>& fn) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  // Lock every shard in index order (the one ordering everywhere, so no
+  // deadlock) and commit each; `fn` then sees the whole store drained.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard_ptr : shards_) {
+    locks.emplace_back(shard_ptr->mutex);
+    if (Status st = CommitShardLocked(*shard_ptr, locks.back()); !st.ok()) {
+      return st;
+    }
+  }
+  return fn();
+}
+
+Status WriteAheadStore::CompactShard(size_t shard_index, const std::string& directory,
+                                     CompactionCrash crash) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (shard_index >= shards_.size()) {
+    return Status(Code::kInvalidArgument, "no such shard");
+  }
+  Shard& s = shard(shard_index);
+  std::unique_lock<std::mutex> lock(s.mutex);
+  const size_t parts = inner_.num_partitions();
+  for (size_t p = shard_index; p < parts; p += shards_.size()) {
+    if (inner_.IsQuarantined(p)) {
+      // The in-memory state is untrusted and the log suffix is exactly what
+      // recovery will replay: leave both alone until the partition heals.
+      return Status(Code::kPartitionRecovering,
+                    "partition " + std::to_string(p) + " quarantined; compaction deferred");
+    }
+  }
+  // 1. Commit: the log and the in-memory state now agree exactly.
+  if (Status st = CommitShardLocked(s, lock); !st.ok()) {
+    return st;
+  }
+  // 2. Fold each served partition into a fresh snapshot generation. Crash
+  // anywhere here: the log is untouched, so old-or-new generation + full
+  // log replay converge to the same state.
+  Snapshotter::CrashPoint snap_crash = Snapshotter::CrashPoint::kNone;
+  if (crash == CompactionCrash::kSnapshotTempWrite) {
+    snap_crash = Snapshotter::CrashPoint::kAfterTempWrite;
+  } else if (crash == CompactionCrash::kSnapshotRename) {
+    snap_crash = Snapshotter::CrashPoint::kAfterRename;
+  }
+  for (size_t p = shard_index; p < parts; p += shards_.size()) {
+    if (Status st = inner_.SnapshotPartition(p, sealer_, counters_, directory, snap_crash);
+        !st.ok()) {
+      return st;
+    }
+    snap_crash = Snapshotter::CrashPoint::kNone;  // injection is one-shot
+  }
+  if (crash == CompactionCrash::kBeforeTruncate) {
+    return Status(Code::kIoError, "injected crash before log truncate");
+  }
+  // 3. Truncate: the new generation subsumes everything the log held.
+  if (Status st = s.log->Reset(); !st.ok()) {
+    s.failed = st;  // log state unknown: stop acking against this shard
+    s.cv.notify_all();
+    return st;
+  }
+  s.appended = s.durable = 0;
+  s.cv.notify_all();
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status WriteAheadStore::ResetAllLogs() {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  for (auto& shard_ptr : shards_) {
+    Shard& s = *shard_ptr;
+    std::unique_lock<std::mutex> lock(s.mutex);
+    if (Status st = CommitShardLocked(s, lock); !st.ok()) {
+      return st;
+    }
+    if (Status st = s.log->Reset(); !st.ok()) {
+      s.failed = st;
+      s.cv.notify_all();
+      return st;
+    }
+    s.appended = s.durable = 0;
+  }
+  // Stale shard files beyond the current count (a previous, wider geometry)
+  // and the legacy unsharded log are subsumed by the caller's snapshot.
+  for (size_t i = shards_.size();; ++i) {
+    const std::string stale = options_.path + ".p" + std::to_string(i);
+    if (std::remove(stale.c_str()) != 0) {
+      break;
+    }
+  }
+  std::remove(options_.path.c_str());
+  return Status::Ok();
+}
+
+std::vector<OpLogOptions> WriteAheadStore::ShardLogsOnDisk() const {
+  std::vector<OpLogOptions> found;
+  // Legacy single-file log first (a pre-sharding deployment being upgraded);
+  // order does not affect convergence — see RestoreFromDisk — but oldest
+  // first reads naturally.
+  if (std::filesystem::exists(options_.path)) {
+    OpLogOptions legacy = options_;
+    found.push_back(std::move(legacy));
+  }
+  for (size_t i = 0;; ++i) {
+    OpLogOptions per_shard = options_;
+    per_shard.path = options_.path + ".p" + std::to_string(i);
+    if (!std::filesystem::exists(per_shard.path)) {
+      break;
+    }
+    found.push_back(std::move(per_shard));
+  }
+  return found;
+}
+
+Status WriteAheadStore::RestoreFromDisk(const std::string& snapshot_directory) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  // Phase 1: every partition snapshot under the manifest's geometry, applied
+  // through the facade (this boot's route key differs from the snapshots').
+  if (Status st = inner_.RestoreSnapshots(sealer_, counters_, snapshot_directory); !st.ok()) {
+    return st;
+  }
+  // Phase 2: the committed suffix of every log on disk, straight to the
+  // inner store (not re-logged). Each partition's snapshot precedes its log
+  // records because phase 1 ran first; logs never cross partitions, so any
+  // inter-log order converges. kNotFound = empty/fresh log, nothing to do.
+  for (const OpLogOptions& log : ShardLogsOnDisk()) {
+    Status st = OperationLog::Replay(sealer_, counters_, log, inner_);
+    if (!st.ok() && st.code() != Code::kNotFound) {
+      return Status(st.code(), "replaying " + log.path + ": " + st.message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadStore::Repartition(size_t new_partitions,
+                                    const std::function<Status()>& rebaseline) {
+  new_partitions = std::max<size_t>(new_partitions, 1);
+  std::unique_lock<std::shared_mutex> structure(structure_mutex_);
+  // Exclusive structure lock: no mutation is in flight, no leader is mid-
+  // commit. Commit every shard so the logs end exactly at the live state.
+  for (auto& shard_ptr : shards_) {
+    Shard& s = *shard_ptr;
+    std::unique_lock<std::mutex> lock(s.mutex);
+    if (Status st = CommitShardLocked(s, lock); !st.ok()) {
+      return st;
+    }
+  }
+  if (Status st = inner_.RepartitionInternal(new_partitions); !st.ok()) {
+    return st;  // store unchanged; old logs still authoritative
+  }
+  shards_.clear();  // closes the old shard logs (each commits on destruction)
+  BuildShards();
+
+  if (rebaseline != nullptr) {
+    // Healer path: snapshot the new geometry, then fresh log epochs — the
+    // exact Start() invariant, re-established. Crash windows converge: the
+    // old logs' final values equal the snapshotted state.
+    if (Status st = rebaseline(); !st.ok()) {
+      return st;
+    }
+    for (auto& shard_ptr : shards_) {
+      Shard& s = *shard_ptr;
+      std::remove(s.options.path.c_str());
+      s.log = std::make_unique<OperationLog>(sealer_, counters_, s.options);
+      if (Status st = s.log->Open(); !st.ok()) {
+        return st;
+      }
+      if (Status st = s.log->Reset(); !st.ok()) {  // bind a fresh epoch
+        return st;
+      }
+    }
+  } else {
+    // Standalone path (no snapshots): dump the full state into new shard
+    // logs at .tmp twins, commit them, then rename over the real paths.
+    // Crash anywhere: every key's final value is in whichever mix of old
+    // and new logs survives, so replay converges.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = *shards_[i];
+      OpLogOptions dump_opts = s.options;
+      dump_opts.path += ".tmp";
+      std::remove(dump_opts.path.c_str());
+      auto dump = std::make_unique<OperationLog>(sealer_, counters_, dump_opts);
+      if (Status st = dump->Open(); !st.ok()) {
+        return st;
+      }
+      for (size_t p = i; p < new_partitions; p += shards_.size()) {
+        const Status st = inner_.WithPartitionLocked(p, [&](Store& partition) {
+          return partition.ForEachDecrypted(
+              [&](std::string_view key, std::string_view value) {
+                return dump->LogSet(key, value);
+              });
+        });
+        if (!st.ok()) {
+          return st;
+        }
+      }
+      if (Status st = dump->Commit(); !st.ok()) {
+        return st;
+      }
+      dump.reset();  // close before rename
+      if (std::rename(dump_opts.path.c_str(), s.options.path.c_str()) != 0) {
+        return Status(Code::kIoError, "cannot install repartitioned log " + s.options.path);
+      }
+      s.log = std::make_unique<OperationLog>(sealer_, counters_, s.options);
+      if (Status st = s.log->Open(); !st.ok()) {
+        return st;
+      }
+    }
+  }
+  // Stale shard files beyond the new count and any legacy log are subsumed.
+  for (size_t i = shards_.size();; ++i) {
+    const std::string stale = options_.path + ".p" + std::to_string(i);
+    if (std::remove(stale.c_str()) != 0) {
+      break;
+    }
+  }
+  std::remove(options_.path.c_str());
+  return Status::Ok();
+}
+
+size_t WriteAheadStore::num_shards() const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  return shards_.size();
+}
+
+size_t WriteAheadStore::ShardOfPartition(size_t p) const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  return p % shards_.size();
+}
+
+uint64_t WriteAheadStore::ShardLogBytes(size_t shard_index) const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (shard_index >= shards_.size() || shards_[shard_index]->log == nullptr) {
+    return 0;
+  }
+  return shards_[shard_index]->log->log_bytes();
+}
+
+const OpLogOptions& WriteAheadStore::shard_log_options(size_t shard_index) const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  return shards_[shard_index]->options;
+}
+
+WalStats WriteAheadStore::Stats() const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  WalStats total;
+  total.shards = shards_.size();
+  total.compactions = compactions_.load(std::memory_order_relaxed);
+  for (const auto& shard_ptr : shards_) {
+    if (shard_ptr->log == nullptr) {
+      continue;
+    }
+    total.records_logged += shard_ptr->log->records_logged();
+    total.commits += shard_ptr->log->commits();
+    total.fsyncs += shard_ptr->log->fsyncs();
+    total.log_bytes += shard_ptr->log->log_bytes();
+  }
+  return total;
 }
 
 SelfHealer::SelfHealer(WriteAheadStore& wal, const sgx::SealingService& sealer,
@@ -77,8 +546,27 @@ SelfHealer::SelfHealer(WriteAheadStore& wal, const sgx::SealingService& sealer,
     : wal_(wal), sealer_(sealer), counters_(counters), options_(std::move(options)),
       attempts_(wal_.inner().num_partitions(), 0) {}
 
+Status SelfHealer::Restore() {
+  return wal_.RestoreFromDisk(options_.directory);
+}
+
 Status SelfHealer::Start() {
-  return wal_.inner().SnapshotAll(sealer_, counters_, options_.directory);
+  if (Status st = wal_.inner().SnapshotAll(sealer_, counters_, options_.directory); !st.ok()) {
+    return st;
+  }
+  // The baseline generation subsumes everything the logs held (including a
+  // legacy unsharded log from before this code): start every shard fresh.
+  return wal_.ResetAllLogs();
+}
+
+Status SelfHealer::Repartition(size_t new_partitions) {
+  const Status st = wal_.Repartition(new_partitions, [&] {
+    return wal_.inner().SnapshotAll(sealer_, counters_, options_.directory);
+  });
+  if (st.ok()) {
+    attempts_.assign(wal_.inner().num_partitions(), 0);
+  }
+  return st;
 }
 
 Status SelfHealer::last_error() const {
@@ -87,14 +575,40 @@ Status SelfHealer::last_error() const {
 }
 
 Status SelfHealer::RecoverOne(size_t p) {
-  // Commit, then replay inside the log lock: the replay's rollback check
-  // compares the log's final commit against the live counter, so no commit
-  // may land in between. Mutations to healthy partitions queue on the lock
-  // for the few milliseconds the replay takes; reads are unaffected.
-  return wal_.WithCommittedLog([&] {
+  // Commit, then replay inside the SHARD's lock: the replay's rollback check
+  // compares the shard log's final commit against the live counter, so no
+  // commit on this shard may land in between. Mutations to this shard's
+  // partitions queue for the few milliseconds the replay takes; every other
+  // shard — and all reads — keep serving.
+  const size_t shard = wal_.ShardOfPartition(p);
+  return wal_.WithCommittedShard(shard, [&] {
     return wal_.inner().RecoverPartition(p, sealer_, counters_, options_.directory,
-                                         &wal_.log_options());
+                                         &wal_.shard_log_options(shard));
   });
+}
+
+bool SelfHealer::CompactOne() {
+  if (options_.compact_log_bytes == 0) {
+    return false;
+  }
+  const size_t shards = wal_.num_shards();
+  for (size_t i = 0; i < shards; ++i) {
+    const size_t s = (compact_cursor_.load(std::memory_order_relaxed) + i) % shards;
+    if (wal_.ShardLogBytes(s) <= options_.compact_log_bytes) {
+      continue;
+    }
+    compact_cursor_.store(s + 1, std::memory_order_relaxed);
+    const Status st = wal_.CompactShard(s, options_.directory);
+    if (st.ok()) {
+      compactions_.fetch_add(1, std::memory_order_relaxed);
+    } else if (st.code() != Code::kPartitionRecovering) {
+      // Deferred-behind-recovery is expected; anything else is operator news.
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      last_error_ = st;
+    }
+    return true;  // one unit of maintenance work per tick
+  }
+  return false;
 }
 
 void SelfHealer::Tick() {
@@ -126,6 +640,9 @@ void SelfHealer::Tick() {
       last_error_ = s;
     }
     return;  // one recovery attempt per tick keeps the pacing predictable
+  }
+  if (CompactOne()) {
+    return;
   }
   if (options_.scrub) {
     const Status s = store.ScrubTick(options_.scrub_budget_buckets);

@@ -1,37 +1,52 @@
-// Online partition self-healing.
+// Online partition self-healing, on a sharded write-ahead log.
 //
 // PR 1 built the offline recovery machinery: partitions quarantine on an
 // integrity violation and RecoverPartition() rebuilds one from its snapshot
-// generation plus the committed oplog suffix. This module turns that into a
-// serving-path feature:
+// generation plus the committed oplog suffix. PR 2 made that a serving-path
+// feature behind a single global log — and one global mutex, which collapsed
+// the write parallelism the paper's partitioned design (§5.3, Fig. 13)
+// exists to deliver. This revision shards the log:
 //
-//  * WriteAheadStore decorates a PartitionedStore so every acknowledged
-//    mutation is also in the operation log BEFORE the caller sees success —
-//    the invariant that makes "recovery loses no acknowledged write" true.
-//    One lock serializes (apply + log append) so the log's record order is
-//    the store's apply order; reads bypass it entirely.
-//  * SelfHealer owns the recovery policy: Tick(), driven by a background
-//    maintenance thread (net::ServerOptions::maintenance), either rebuilds
-//    one quarantined partition — baseline snapshot + committed log replay,
-//    filtered to the keys the partition owns — or advances the paced
-//    background scrub by one bucket budget. The listener, every healthy
-//    partition, and every live session keep serving throughout; operations
-//    aimed at the quarantined partition fail fast with the typed
-//    kPartitionRecovering until it is re-admitted.
+//  * WriteAheadStore runs one operation-log shard per partition (or per
+//    partition group, OpLogOptions::num_shards), each with its own mutex,
+//    record chain, monotonic counter, and fsync cadence. A mutation locks
+//    only its key's shard, applies to the inner store, and appends to that
+//    shard's log BEFORE the caller sees success — acked ⇒ logged per shard,
+//    and writers to different partitions never contend. Reads bypass the
+//    facade entirely.
+//  * Group-commit batcher (OpLogOptions::group_commit_window_us > 0):
+//    mutations become durable acks. The first writer to find its shard's
+//    batch open becomes the commit leader; it waits for the window to close
+//    (or group_commit_ops records to accumulate, whichever first), writes
+//    the commit record under the shard lock, then fsyncs with the lock
+//    RELEASED so concurrent writers keep appending into the next batch.
+//    Followers just wait for a leader to make their record durable. One
+//    fsync + one counter bump thus amortize over every writer in the window.
+//  * Bounded-log compaction: when a shard's log outgrows a threshold, the
+//    maintenance thread (SelfHealer::Tick) folds the shard's partitions into
+//    fresh baseline snapshots — crash-safe via the existing SHA-256-footer +
+//    atomic-rename + counter roll-forward path — then truncates the shard
+//    log to a fresh epoch. Recovery time and disk growth stay bounded no
+//    matter how long the daemon runs. A crash anywhere in that sequence
+//    recovers: the snapshot either never committed (old generation + full
+//    log still replay) or committed (new generation + not-yet-truncated log
+//    replay to the same state, since the log's final values are what was
+//    snapshotted).
 //
-// Recovery window: the healer commits the log (flush + counter bump), then
-// replays it while holding the log lock. Mutations block for those few
-// milliseconds (they would otherwise commit past the replay's rollback
-// check); reads never block. Writes acknowledged before the window are in
-// the committed prefix by construction, so the rebuilt partition serves
-// them; writes concurrent with the window land after it on the healthy
-// in-memory state.
+// Recovery window: the healer commits one SHARD's log, then replays it while
+// holding that shard's lock (WithCommittedShard). Mutations to that shard's
+// partitions block for those few milliseconds; every other shard — and all
+// reads — keep serving at full speed.
 #ifndef SHIELDSTORE_SRC_SHIELDSTORE_SELFHEAL_H_
 #define SHIELDSTORE_SRC_SHIELDSTORE_SELFHEAL_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -40,18 +55,33 @@
 
 namespace shield::shieldstore {
 
-// Write-ahead facade: apply to the partitioned store, then log, then return
-// — an operation is acknowledged only once it is in the log. Mutations are
-// serialized by one lock (the log is a single append-only file; matching its
-// order to apply order is what makes replay deterministic); Get routes
-// straight to the inner store. Repartition() on the inner store is not
-// supported while a WriteAheadStore wraps it.
+// Aggregated WAL observability (see ISSUE: the batching win must be visible
+// without a profiler). All counters are monotonic since Open().
+struct WalStats {
+  uint64_t records_logged = 0;
+  uint64_t commits = 0;
+  uint64_t fsyncs = 0;
+  uint64_t compactions = 0;
+  uint64_t log_bytes = 0;  // current total across shards, not monotonic
+  size_t shards = 0;
+};
+
+// Write-ahead facade: apply to the partitioned store, then log to the key's
+// shard, then return — an operation is acknowledged only once it is in that
+// shard's log (and, with a group-commit window, fsync'd). Per-shard locks
+// serialize (apply + append) so each log's record order is its partitions'
+// apply order, which is what makes per-partition replay deterministic.
+// Get routes straight to the inner store. Repartition() must go through
+// this facade (or SelfHealer) — the inner store pins its layout while
+// wrapped and returns the typed kUnsupportedUnderWal if called directly.
 class WriteAheadStore : public kv::KeyValueStore {
  public:
   WriteAheadStore(PartitionedStore& inner, const sgx::SealingService& sealer,
                   sgx::MonotonicCounterService& counters, const OpLogOptions& options);
+  ~WriteAheadStore() override;
 
-  // Opens (or reopens) the log. Must succeed before serving mutations.
+  // Opens (or reopens) every shard log. Must succeed before serving
+  // mutations. Shard i lives at options.path + ".p<i>".
   Status Open();
 
   Status Set(std::string_view key, std::string_view value) override;
@@ -63,21 +93,110 @@ class WriteAheadStore : public kv::KeyValueStore {
   std::string Name() const override { return "ShieldStore/write-ahead"; }
   kv::StoreStats stats() const override { return inner_.stats(); }
 
-  // Group-commits everything logged so far, then runs `fn` while still
-  // holding the mutation lock — no mutation can slip between the commit and
-  // `fn`. This is the recovery window: `fn` replays the log knowing its
-  // committed tail matches the live counter.
+  // Group-commits shard `shard` and runs `fn` while still holding its lock —
+  // no mutation on that shard's partitions can slip between the commit and
+  // `fn`. This is the recovery window: `fn` replays the shard log knowing
+  // its committed tail matches the live counter. Other shards keep serving.
+  Status WithCommittedShard(size_t shard, const std::function<Status()>& fn);
+  // Same, over every shard at once (drains the whole store; used by
+  // Repartition and tests).
   Status WithCommittedLog(const std::function<Status()>& fn);
 
+  // --- compaction ---
+
+  // Crash-point injection for the compaction sequence (tests). The snapshot
+  // points map onto Snapshotter::CrashPoint; kBeforeTruncate dies after the
+  // snapshots commit but before the log is reset.
+  enum class CompactionCrash {
+    kNone,
+    kSnapshotTempWrite,  // Snapshotter::CrashPoint::kAfterTempWrite
+    kSnapshotRename,     // Snapshotter::CrashPoint::kAfterRename
+    kBeforeTruncate,
+  };
+
+  // Folds the committed state of every partition served by `shard` into a
+  // fresh snapshot generation under `directory` (the SnapshotAll layout),
+  // then truncates the shard log to a fresh epoch. Runs under the shard
+  // lock: mutations to those partitions wait, everything else proceeds.
+  // Refuses (kPartitionRecovering) while a served partition is quarantined —
+  // its in-memory state is untrusted and the log suffix is its recovery
+  // input.
+  Status CompactShard(size_t shard, const std::string& directory,
+                      CompactionCrash crash = CompactionCrash::kNone);
+
+  // Commits and truncates every shard log to a fresh epoch, deleting any
+  // stale shard files beyond the current count and any legacy single-file
+  // log at options.path. Call right after a baseline SnapshotAll: the
+  // snapshots subsume everything the logs held.
+  Status ResetAllLogs();
+
+  // Route-agnostic restore of a previous run's durable state into the
+  // (empty) inner store: every partition snapshot generation under
+  // `snapshot_directory` (the SnapshotAll layout of ANY geometry — the
+  // route key is drawn fresh each boot, so keys are re-routed through the
+  // facade), then the committed suffix of every shard log found on disk,
+  // including a legacy unsharded log at options.path. Call after Open() and
+  // before serving; follow with SelfHealer::Start() (or ResetAllLogs()) so
+  // the restored state becomes the new baseline.
+  Status RestoreFromDisk(const std::string& snapshot_directory);
+
+  // Drains and commits every shard, rebuilds the inner store with
+  // `new_partitions`, re-splits the logs to the new geometry, and installs
+  // fresh shard epochs. `rebaseline` (optional) runs between the rebuild
+  // and the log reset — SelfHealer passes SnapshotAll so recovery inputs
+  // match the new geometry; without it the full state is dumped into the
+  // new shard logs (crash-safe: the old logs are replaced only after the
+  // new ones are committed on disk).
+  Status Repartition(size_t new_partitions,
+                     const std::function<Status()>& rebaseline = nullptr);
+
   PartitionedStore& inner() { return inner_; }
-  const OpLogOptions& log_options() const { return options_; }
-  uint64_t records_logged() const;
+  size_t num_shards() const;
+  size_t ShardOfPartition(size_t p) const;
+  uint64_t ShardLogBytes(size_t shard) const;
+  const OpLogOptions& shard_log_options(size_t shard) const;
+  WalStats Stats() const;
+  uint64_t records_logged() const { return Stats().records_logged; }
 
  private:
+  struct Shard {
+    explicit Shard(OpLogOptions opts) : options(std::move(opts)) {}
+    OpLogOptions options;  // options.path is this shard's file
+    std::unique_ptr<OperationLog> log;
+    std::mutex mutex;  // serializes apply + append for this shard's partitions
+    std::condition_variable cv;  // group-commit leader/follower handoff
+    uint64_t appended = 0;       // records appended (durable-window mode)
+    uint64_t durable = 0;        // records known fsync'd
+    bool committing = false;     // a leader is inside CommitPrepare/Sync
+    std::chrono::steady_clock::time_point batch_start{};
+    Status failed;  // latched fatal commit error: durability can no longer
+                    // be promised, so every later mutation fails fast
+  };
+
+  void BuildShards();
+  Shard& shard(size_t s) { return *shards_[s]; }
+  size_t ShardOfLocked(size_t partition) const {
+    return partition % shards_.size();
+  }
+  // Appends one record under `lock` (legacy mode commits inline per the
+  // group cadence); durable-window mode assigns the record a sequence.
+  Status AppendLocked(Shard& s, bool is_delete, std::string_view key,
+                      std::string_view value, uint64_t* my_seq);
+  // Durable-window mode: blocks until `my_seq` is fsync'd, becoming the
+  // commit leader if the batch has none. No-op in legacy mode.
+  Status AwaitDurable(Shard& s, std::unique_lock<std::mutex>& lock, uint64_t my_seq);
+  Status CommitShardLocked(Shard& s, std::unique_lock<std::mutex>& lock);
+  std::vector<OpLogOptions> ShardLogsOnDisk() const;
+
   PartitionedStore& inner_;
-  OperationLog log_;
+  const sgx::SealingService& sealer_;
+  sgx::MonotonicCounterService& counters_;
   OpLogOptions options_;
-  std::mutex mutex_;  // serializes apply + log append (and the recovery window)
+  // Guards the shard vector itself (shared for ops, exclusive for
+  // Repartition), mirroring the inner store's structure lock.
+  mutable std::shared_mutex structure_mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> compactions_{0};
 };
 
 struct SelfHealOptions {
@@ -91,28 +210,43 @@ struct SelfHealOptions {
   // Stop retrying a partition after this many consecutive failed recovery
   // attempts (it stays quarantined; operators see failed_recoveries()).
   int max_recovery_attempts = 8;
+  // Compact a shard's log once it exceeds this many bytes (0 = never).
+  // Ticks check one shard per call, round-robin, after recovery work.
+  size_t compact_log_bytes = 0;
 };
 
 // Self-healing state machine per partition:
 //
 //   healthy --(violation detected by an op, the scrub, or ScrubAll)-->
 //   quarantined --(Tick picks it up)--> recovering --(snapshot + committed
-//   log replay succeeds)--> healthy
+//   shard-log replay succeeds)--> healthy
 //
 // Tick() is cheap when there is nothing to do; drive it from the network
-// server's maintenance thread (or any single background thread).
+// server's maintenance thread (or any single background thread). Each tick
+// does at most one unit of work, in priority order: recover one quarantined
+// partition, else compact one oversized shard log, else advance the scrub.
 class SelfHealer {
  public:
   SelfHealer(WriteAheadStore& wal, const sgx::SealingService& sealer,
              sgx::MonotonicCounterService& counters, SelfHealOptions options);
 
-  // Writes the baseline snapshot of every (healthy) partition. Call once,
-  // before traffic; recovery = this baseline + the log from then on.
+  // Restores the previous run's durable state (snapshots + committed shard
+  // logs) into the inner store. Call before Start(), on an empty store.
+  Status Restore();
+
+  // Writes the baseline snapshot of every (healthy) partition and truncates
+  // the shard logs it subsumes. Call once, before traffic; recovery = this
+  // baseline + each shard's log from then on.
   Status Start();
 
   // One maintenance step: recover at most one quarantined partition, else
-  // spend one scrub budget. Single-threaded driver assumed.
+  // compact at most one oversized shard log, else spend one scrub budget.
+  // Single-threaded driver assumed.
   void Tick();
+
+  // Drains the WAL, rebuilds the inner store with `new_partitions`,
+  // rebaselines the snapshots to the new geometry, and resets the logs.
+  Status Repartition(size_t new_partitions);
 
   uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
   uint64_t recoveries() const { return recoveries_.load(std::memory_order_relaxed); }
@@ -122,10 +256,13 @@ class SelfHealer {
   uint64_t violations_detected() const {
     return violations_detected_.load(std::memory_order_relaxed);
   }
+  uint64_t compactions() const { return compactions_.load(std::memory_order_relaxed); }
   Status last_error() const;
 
  private:
   Status RecoverOne(size_t p);
+  // Compacts the next oversized shard (round-robin); false if none was due.
+  bool CompactOne();
 
   WriteAheadStore& wal_;
   const sgx::SealingService& sealer_;
@@ -137,6 +274,8 @@ class SelfHealer {
   std::atomic<uint64_t> recoveries_{0};
   std::atomic<uint64_t> failed_recoveries_{0};
   std::atomic<uint64_t> violations_detected_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<size_t> compact_cursor_{0};
   mutable std::mutex error_mutex_;
   Status last_error_;
 };

@@ -3,6 +3,7 @@
 // answer), partitions quarantine independently and recover from snapshot +
 // oplog, and crash-safe persistence survives every injected crash point.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <map>
@@ -49,7 +50,7 @@ Options SmallOptions() {
 class FaultInjectTest : public ::testing::Test {
  protected:
   FaultInjectTest() : enclave_(TestEnclaveConfig()) {
-    dir_ = ::testing::TempDir() + "/faultinject_" +
+    dir_ = ::testing::TempDir() + "/faultinject_" + std::to_string(::getpid()) + "_" +
            std::to_string(reinterpret_cast<uintptr_t>(this));
     std::filesystem::create_directories(dir_);
     counter_opts_.backing_file = dir_ + "/counters.bin";

@@ -1,6 +1,7 @@
 // Operation-log extension tests (§7's fine-grained persistence design):
 // group commit, chained-MAC integrity, torn tails, replay, rollback.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -12,7 +13,8 @@ namespace {
 class OpLogTest : public ::testing::Test {
  protected:
   OpLogTest() : enclave_(Config()), sealer_(AsBytes("fuse"), enclave_.measurement()) {
-    dir_ = ::testing::TempDir() + "/oplog_" + std::to_string(reinterpret_cast<uintptr_t>(this));
+    dir_ = ::testing::TempDir() + "/oplog_" + std::to_string(::getpid()) + "_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
     std::filesystem::create_directories(dir_);
     counter_opts_.backing_file = dir_ + "/counters.bin";
     counter_opts_.increment_cost_cycles = 0;

@@ -4,6 +4,7 @@
 // kPartitionRecovering for the quarantined one, heals it from snapshot +
 // oplog on its maintenance thread, and loses not one acknowledged write.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -64,7 +65,7 @@ class SelfHealNetTest : public ::testing::Test {
         authority_(AsBytes("ias-root")),
         store_(enclave_, StoreOptions(), 4),
         sealer_(AsBytes("fuse"), enclave_.measurement()) {
-    dir_ = ::testing::TempDir() + "/selfheal_" +
+    dir_ = ::testing::TempDir() + "/selfheal_" + std::to_string(::getpid()) + "_" +
            std::to_string(reinterpret_cast<uintptr_t>(this));
     std::filesystem::create_directories(dir_);
     sgx::MonotonicCounterService::Options counter_opts;

@@ -2,6 +2,7 @@
 // (tamper, replay, unlink, hint attacks), snapshot persistence + rollback
 // protection, snapshot epochs, and the partitioned store.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <map>
@@ -361,7 +362,7 @@ TEST_F(ShieldStoreTest, UpdateChangesCiphertextEvenForSameValue) {
 class PersistTest : public ShieldStoreTest {
  protected:
   PersistTest() {
-    dir_ = ::testing::TempDir() + "/shieldstore_persist_" +
+    dir_ = ::testing::TempDir() + "/shieldstore_persist_" + std::to_string(::getpid()) + "_" +
            std::to_string(reinterpret_cast<uintptr_t>(this));
     std::filesystem::create_directories(dir_);
     counter_opts_.backing_file = dir_ + "/counters.bin";

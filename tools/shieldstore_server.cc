@@ -48,6 +48,11 @@ struct Flags {
   std::string heal_dir;         // empty = volatile (no WAL, no recovery)
   int scrub_interval_ms = 50;   // maintenance cadence; 0 disables the scrub
   size_t scrub_budget = 0;      // buckets per tick; 0 = Options default
+  size_t wal_shards = 0;        // log shards; 0 = one per partition
+  uint32_t wal_window_us = 200;  // group-commit window; 0 = legacy auto-commit
+  size_t wal_group_ops = 64;    // records per group commit
+  size_t wal_compact_bytes = 64 << 20;  // compact a shard log past this; 0 = never
+  int stats_interval_s = 30;    // WAL stats report cadence; 0 disables
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -76,11 +81,23 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->scrub_interval_ms = std::atoi(next());
     } else if (arg == "--scrub-budget") {
       flags->scrub_budget = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--wal-shards") {
+      flags->wal_shards = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--wal-window-us") {
+      flags->wal_window_us = static_cast<uint32_t>(std::atoll(next()));
+    } else if (arg == "--wal-group-ops") {
+      flags->wal_group_ops = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--wal-compact-bytes") {
+      flags->wal_compact_bytes = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--stats-interval-s") {
+      flags->stats_interval_s = std::atoi(next());
     } else {
       std::fprintf(stderr,
                    "usage: shieldstore_server [--port N] [--partitions N] [--buckets N]\n"
                    "    [--epc-mb N] [--hotcalls] [--plaintext] [--authority-seed S] [--name S]\n"
-                   "    [--heal-dir DIR] [--scrub-interval-ms N] [--scrub-budget N]\n");
+                   "    [--heal-dir DIR] [--scrub-interval-ms N] [--scrub-budget N]\n"
+                   "    [--wal-shards N] [--wal-window-us N] [--wal-group-ops N]\n"
+                   "    [--wal-compact-bytes N] [--stats-interval-s N]\n");
       return false;
     }
   }
@@ -126,27 +143,31 @@ int main(int argc, char** argv) {
     counters = std::make_unique<sgx::MonotonicCounterService>(counter_opts);
     shieldstore::OpLogOptions log_opts;
     log_opts.path = flags.heal_dir + "/wal.log";
+    log_opts.num_shards = flags.wal_shards;
+    log_opts.group_commit_window_us = flags.wal_window_us;
+    log_opts.group_commit_ops = std::max<size_t>(flags.wal_group_ops, 1);
     wal = std::make_unique<shieldstore::WriteAheadStore>(store, *sealer, *counters, log_opts);
     if (Status s = wal->Open(); !s.ok()) {
       std::fprintf(stderr, "oplog open failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    // Restore the committed prefix of a pre-existing log into the (empty)
-    // store before Start() snapshots it as the baseline generation. Replayed
-    // ops go straight to the inner store so they are not re-logged.
-    if (Status s = shieldstore::OperationLog::Replay(*sealer, *counters, log_opts, store);
-        !s.ok()) {
-      std::fprintf(stderr, "oplog replay failed: %s\n", s.ToString().c_str());
+    shieldstore::SelfHealOptions heal_opts;
+    heal_opts.directory = flags.heal_dir + "/snapshots";
+    heal_opts.scrub = flags.scrub_interval_ms > 0;
+    heal_opts.compact_log_bytes = flags.wal_compact_bytes;
+    healer = std::make_unique<shieldstore::SelfHealer>(*wal, *sealer, *counters, heal_opts);
+    // Restore the previous run's durable state (baseline snapshots + the
+    // committed suffix of every shard log) into the empty store before
+    // Start() rebaselines it. Replayed ops go straight to the inner store so
+    // they are not re-logged.
+    if (Status s = healer->Restore(); !s.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", s.ToString().c_str());
       return 1;
     }
     if (store.Size() > 0) {
       std::printf("self-healing: restored %zu keys from %s\n", store.Size(),
-                  log_opts.path.c_str());
+                  flags.heal_dir.c_str());
     }
-    shieldstore::SelfHealOptions heal_opts;
-    heal_opts.directory = flags.heal_dir + "/snapshots";
-    heal_opts.scrub = flags.scrub_interval_ms > 0;
-    healer = std::make_unique<shieldstore::SelfHealer>(*wal, *sealer, *counters, heal_opts);
     if (Status s = healer->Start(); !s.ok()) {
       std::fprintf(stderr, "baseline snapshot failed: %s\n", s.ToString().c_str());
       return 1;
@@ -159,8 +180,28 @@ int main(int argc, char** argv) {
   server_options.enclave_workers = flags.partitions;
   server_options.encrypt = !flags.plaintext;
   if (healer != nullptr) {
-    server_options.maintenance = [&healer] { healer->Tick(); };
-    server_options.maintenance_interval_ms = std::max(flags.scrub_interval_ms, 1);
+    const int interval_ms = std::max(flags.scrub_interval_ms, 1);
+    const uint64_t stats_every =
+        flags.stats_interval_s > 0
+            ? std::max<uint64_t>(uint64_t{1000} * flags.stats_interval_s / interval_ms, 1)
+            : 0;
+    auto ticks = std::make_shared<uint64_t>(0);
+    server_options.maintenance = [&healer, &wal, stats_every, ticks] {
+      healer->Tick();
+      if (stats_every > 0 && ++*ticks % stats_every == 0) {
+        const shieldstore::WalStats ws = wal->Stats();
+        std::printf(
+            "wal: %llu records, %llu commits, %llu fsyncs, %llu compactions, "
+            "%llu log bytes over %zu shards\n",
+            static_cast<unsigned long long>(ws.records_logged),
+            static_cast<unsigned long long>(ws.commits),
+            static_cast<unsigned long long>(ws.fsyncs),
+            static_cast<unsigned long long>(ws.compactions),
+            static_cast<unsigned long long>(ws.log_bytes), ws.shards);
+        std::fflush(stdout);
+      }
+    };
+    server_options.maintenance_interval_ms = interval_ms;
   } else if (flags.scrub_interval_ms > 0) {
     // Volatile mode: still audit in the background. A violation quarantines
     // the partition (typed errors for its keys) — without a WAL there is
@@ -183,6 +224,9 @@ int main(int argc, char** argv) {
   if (healer != nullptr) {
     std::printf("self-healing: on (dir %s, scrub every %d ms)\n", flags.heal_dir.c_str(),
                 flags.scrub_interval_ms);
+    std::printf("wal: %zu shards, %u us group-commit window, %zu ops/group, compact at %zu bytes\n",
+                wal->num_shards(), flags.wal_window_us, flags.wal_group_ops,
+                flags.wal_compact_bytes);
   } else if (flags.scrub_interval_ms > 0) {
     std::printf("self-healing: off (background scrub every %d ms)\n", flags.scrub_interval_ms);
   }
@@ -199,6 +243,15 @@ int main(int argc, char** argv) {
     std::printf("self-healing: %llu recoveries, %llu violations detected\n",
                 static_cast<unsigned long long>(healer->recoveries()),
                 static_cast<unsigned long long>(healer->violations_detected()));
+    const shieldstore::WalStats ws = wal->Stats();
+    std::printf(
+        "wal: %llu records, %llu commits, %llu fsyncs, %llu compactions, "
+        "%llu log bytes over %zu shards\n",
+        static_cast<unsigned long long>(ws.records_logged),
+        static_cast<unsigned long long>(ws.commits),
+        static_cast<unsigned long long>(ws.fsyncs),
+        static_cast<unsigned long long>(ws.compactions),
+        static_cast<unsigned long long>(ws.log_bytes), ws.shards);
   }
   return 0;
 }
