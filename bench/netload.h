@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "bench/harness.h"
+#include "src/common/rng.h"
 #include "src/net/client.h"
 
 namespace shield::bench {
@@ -83,6 +84,71 @@ inline double RunNetworkLoad(uint16_t port, const sgx::AttestationAuthority& aut
       while (in_flight > 0 && client.ReceiveResponse().ok()) {
         --in_flight;
         ++ops;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(options.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) {
+    t.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return static_cast<double>(total_ops.load()) / elapsed / 1000.0;
+}
+
+// Batched load: like RunNetworkLoad but each connection packs `depth`
+// write-heavy ops into one kBatch frame per round trip (depth 1 sends plain
+// single-op frames — the unbatched baseline). Ops are counted per sub-op on
+// batch-response receipt, so Kop/s across depths compares the same work.
+inline double RunBatchedNetworkLoad(uint16_t port, const sgx::AttestationAuthority& authority,
+                                    const sgx::Measurement& measurement,
+                                    const workload::DataSet& ds, size_t num_keys,
+                                    size_t depth, const NetLoadOptions& options) {
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < options.connections; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client client(authority, measurement, options.encrypt);
+      if (!client.Connect(port).ok()) {
+        return;
+      }
+      Xoshiro256 rng(7000 + c);
+      uint64_t version = 1;
+      uint64_t ops = 0;
+      auto make_request = [&]() -> net::Request {
+        net::Request request;
+        const uint64_t key_index = rng.NextBelow(num_keys);
+        request.key = workload::KeyAt(key_index, ds.key_bytes);
+        if (rng.NextBelow(10) < 9) {  // write-heavy: 90% sets
+          request.op = net::OpCode::kSet;
+          request.value = workload::ValueFor(key_index, version++, ds.value_bytes);
+        } else {
+          request.op = net::OpCode::kGet;
+        }
+        return request;
+      };
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (depth <= 1) {
+          if (!client.Execute(make_request()).ok()) {
+            break;
+          }
+          ++ops;
+        } else {
+          std::vector<net::Request> batch;
+          batch.reserve(depth);
+          for (size_t i = 0; i < depth; ++i) {
+            batch.push_back(make_request());
+          }
+          const Result<std::vector<net::Response>> results = client.ExecuteBatch(batch);
+          if (!results.ok()) {
+            break;
+          }
+          ops += results->size();
+        }
       }
       total_ops.fetch_add(ops, std::memory_order_relaxed);
     });

@@ -26,4 +26,9 @@ echo "== WAL scaling bench (smoke) =="
 # simulated writers, equal durability discipline.
 ./build/bench/bench_wal_scaling --smoke --out build/BENCH_wal.json
 
+echo "== batch throughput bench (smoke) =="
+# Exit code enforces the acceptance gate: kBatch depth 16 >= 2x depth 1
+# against a durable-ack (group-commit window) server.
+./build/bench/bench_batch_throughput --smoke --out build/BENCH_batch.json
+
 echo "All checks passed."

@@ -33,6 +33,57 @@ Result<int64_t> KeyValueStore::Increment(std::string_view key, int64_t delta) {
   return value;
 }
 
+BatchOpResult ExecuteSingleOp(KeyValueStore& store, const BatchOp& op) {
+  BatchOpResult result;
+  switch (op.type) {
+    case BatchOpType::kGet: {
+      Result<std::string> value = store.Get(op.key);
+      result.status = value.ok() ? Status::Ok() : value.status();
+      if (value.ok()) {
+        result.value = std::move(value.value());
+      }
+      break;
+    }
+    case BatchOpType::kSet:
+      result.status = store.Set(op.key, op.value);
+      break;
+    case BatchOpType::kDelete:
+      result.status = store.Delete(op.key);
+      break;
+    case BatchOpType::kAppend: {
+      result.status = store.Append(op.key, op.value);
+      if (result.status.ok()) {
+        // Resulting state, for write-ahead wrappers that must log it.
+        Result<std::string> now = store.Get(op.key);
+        if (!now.ok()) {
+          result.status = now.status();
+        } else {
+          result.value = std::move(now.value());
+        }
+      }
+      break;
+    }
+    case BatchOpType::kIncrement: {
+      Result<int64_t> value = store.Increment(op.key, op.delta);
+      result.status = value.ok() ? Status::Ok() : value.status();
+      if (value.ok()) {
+        result.value = std::to_string(value.value());
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<BatchOpResult> KeyValueStore::ExecuteBatch(const std::vector<BatchOp>& ops) {
+  std::vector<BatchOpResult> results;
+  results.reserve(ops.size());
+  for (const BatchOp& op : ops) {
+    results.push_back(ExecuteSingleOp(*this, op));
+  }
+  return results;
+}
+
 Result<bool> KeyValueStore::Exists(std::string_view key) {
   Result<std::string> current = Get(key);
   if (current.ok()) {

@@ -8,10 +8,35 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/status.h"
 
 namespace shield::kv {
+
+// One sub-operation of a batch (see KeyValueStore::ExecuteBatch).
+enum class BatchOpType : uint8_t {
+  kGet,
+  kSet,
+  kDelete,
+  kAppend,
+  kIncrement,
+};
+
+struct BatchOp {
+  BatchOpType type = BatchOpType::kGet;
+  std::string key;
+  std::string value;  // set payload / append suffix
+  int64_t delta = 0;  // increment amount
+};
+
+struct BatchOpResult {
+  Status status;
+  // kGet: the value. kIncrement: the new value in decimal. kAppend: the
+  // resulting value (a write-ahead wrapper logs resulting state, not the
+  // computation). Empty otherwise.
+  std::string value;
+};
 
 struct StoreStats {
   uint64_t gets = 0;
@@ -47,6 +72,16 @@ class KeyValueStore {
 
   virtual Result<bool> Exists(std::string_view key);
 
+  // Executes `ops` and returns one result per op, positionally. Contract:
+  //  * per-op statuses — there is NO cross-op atomicity; op i failing does
+  //    not undo op j;
+  //  * ops on the same key are applied in batch order (engines may reorder
+  //    across keys/partitions, which commutes);
+  //  * the final store state equals executing the ops one at a time.
+  // The default runs the ops sequentially; engines override to amortize
+  // per-op fixed costs (locks, MAC-hash recomputation, log commits).
+  virtual std::vector<BatchOpResult> ExecuteBatch(const std::vector<BatchOp>& ops);
+
   // Number of live keys.
   virtual size_t Size() const = 0;
 
@@ -54,6 +89,12 @@ class KeyValueStore {
 
   virtual StoreStats stats() const { return {}; }
 };
+
+// Runs one batch sub-op against `store` through its virtual interface —
+// the shared building block for every ExecuteBatch implementation (the
+// default loop here, and the partition-grouped override). Captures the
+// resulting value for kAppend/kIncrement per the BatchOpResult contract.
+BatchOpResult ExecuteSingleOp(KeyValueStore& store, const BatchOp& op);
 
 }  // namespace shield::kv
 

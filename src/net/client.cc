@@ -146,6 +146,80 @@ Result<Response> Client::Execute(const Request& request) {
   return ReceiveResponse();
 }
 
+Result<std::vector<Response>> Client::ExecuteBatch(const std::vector<Request>& ops) {
+  if (!connected()) {
+    return Status(Code::kIoError, "not connected");
+  }
+  if (ops.empty()) {
+    return Status(Code::kProtocolError, "empty batch");
+  }
+  if (ops.size() > kMaxBatchOps) {
+    return Status(Code::kProtocolError, "batch has too many sub-ops");
+  }
+  if (Status s = SendFrame(fd_, session_->Seal(EncodeBatchRequest(ops))); !s.ok()) {
+    return s;
+  }
+  Result<Bytes> record = RecvFrame(fd_);
+  if (!record.ok()) {
+    return record.status();
+  }
+  Result<Bytes> plaintext = session_->Open(*record);
+  if (!plaintext.ok()) {
+    return plaintext.status();
+  }
+  if (!IsBatchResponse(*plaintext)) {
+    // The server rejected the whole frame (e.g. a decode failure inside the
+    // enclave) and answered with a single typed response instead.
+    Result<Response> single = DecodeResponse(*plaintext);
+    if (!single.ok()) {
+      return single.status();
+    }
+    return Status(single->status, "server rejected batch");
+  }
+  Result<std::vector<Response>> responses = DecodeBatchResponse(*plaintext);
+  if (!responses.ok()) {
+    return responses.status();
+  }
+  if (responses->size() != ops.size()) {
+    return Status(Code::kProtocolError, "batch response count mismatch");
+  }
+  return responses;
+}
+
+Result<std::vector<Response>> Client::MGet(const std::vector<std::string>& keys) {
+  std::vector<Request> ops;
+  ops.reserve(keys.size());
+  for (const std::string& key : keys) {
+    Request request;
+    request.op = OpCode::kGet;
+    request.key = key;
+    ops.push_back(std::move(request));
+  }
+  return ExecuteBatch(ops);
+}
+
+Status Client::MSet(const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<Request> ops;
+  ops.reserve(pairs.size());
+  for (const auto& [key, value] : pairs) {
+    Request request;
+    request.op = OpCode::kSet;
+    request.key = key;
+    request.value = value;
+    ops.push_back(std::move(request));
+  }
+  Result<std::vector<Response>> responses = ExecuteBatch(ops);
+  if (!responses.ok()) {
+    return responses.status();
+  }
+  for (const Response& r : *responses) {
+    if (r.status != Code::kOk) {
+      return Status(r.status);
+    }
+  }
+  return Status::Ok();
+}
+
 Result<Response> Client::ExecuteRetrying(const Request& request) {
   Result<Response> response = Execute(request);
   for (int retry = 0; retry < options_.recovering_retries; ++retry) {

@@ -6,6 +6,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/net/channel.h"
 #include "src/net/protocol.h"
@@ -49,6 +51,18 @@ class Client {
 
   // Synchronous request/response.
   Result<Response> Execute(const Request& request);
+
+  // Batched request/response: all `ops` travel in ONE kBatch frame, are
+  // sealed/opened once, and cross the enclave boundary once. Returns one
+  // Response per op, in request order. A batch-level failure (I/O, session,
+  // or the server rejecting the whole frame as malformed) is the Result's
+  // status; per-op failures live in each Response::status. No cross-op
+  // atomicity — a failed op does not undo earlier ops in the batch.
+  Result<std::vector<Response>> ExecuteBatch(const std::vector<Request>& ops);
+
+  // Multi-key conveniences over ExecuteBatch.
+  Result<std::vector<Response>> MGet(const std::vector<std::string>& keys);
+  Status MSet(const std::vector<std::pair<std::string, std::string>>& pairs);
 
   // Pipelined interface: up to `depth` Sends may be outstanding before the
   // matching Receives (responses arrive in order).

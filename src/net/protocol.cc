@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -63,33 +64,29 @@ Status ReadAll(int fd, uint8_t* data, size_t len) {
   return Status::Ok();
 }
 
-}  // namespace
-
-Bytes EncodeRequest(const Request& request) {
-  Bytes out;
-  out.reserve(1 + 8 + 8 + request.key.size() + request.value.size());
+void AppendRequest(Bytes& out, const Request& request) {
   out.push_back(static_cast<uint8_t>(request.op));
   uint8_t delta[8];
   StoreLe64(delta, static_cast<uint64_t>(request.delta));
   out.insert(out.end(), delta, delta + 8);
   PutString(out, request.key);
   PutString(out, request.value);
-  return out;
 }
 
-Result<Request> DecodeRequest(ByteSpan payload) {
-  if (payload.size() < 9) {
+// Consumes one self-delimiting sub-request from the front of `in`. kBatch
+// is never a valid sub-op (no nesting).
+Status TakeRequest(ByteSpan& in, Request& request) {
+  if (in.size() < 9) {
     return Status(Code::kProtocolError, "request too short");
   }
-  Request request;
-  const uint8_t op = payload[0];
+  const uint8_t op = in[0];
   if (op < 1 || op > 6) {
     return Status(Code::kProtocolError, "unknown opcode");
   }
   request.op = static_cast<OpCode>(op);
-  request.delta = static_cast<int64_t>(LoadLe64(payload.data() + 1));
-  ByteSpan rest = payload.subspan(9);
-  if (!TakeString(rest, request.key) || !TakeString(rest, request.value) || !rest.empty()) {
+  request.delta = static_cast<int64_t>(LoadLe64(in.data() + 1));
+  in = in.subspan(9);
+  if (!TakeString(in, request.key) || !TakeString(in, request.value)) {
     return Status(Code::kProtocolError, "malformed request body");
   }
   if (request.key.size() > kMaxKeyBytes) {
@@ -97,6 +94,26 @@ Result<Request> DecodeRequest(ByteSpan payload) {
   }
   if (request.value.size() > kMaxValueBytes) {
     return Status(Code::kProtocolError, "value too long");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes EncodeRequest(const Request& request) {
+  Bytes out;
+  out.reserve(1 + 8 + 8 + request.key.size() + request.value.size());
+  AppendRequest(out, request);
+  return out;
+}
+
+Result<Request> DecodeRequest(ByteSpan payload) {
+  Request request;
+  if (Status s = TakeRequest(payload, request); !s.ok()) {
+    return s;
+  }
+  if (!payload.empty()) {
+    return Status(Code::kProtocolError, "malformed request body");
   }
   return request;
 }
@@ -123,6 +140,105 @@ Result<Response> DecodeResponse(ByteSpan payload) {
     return Status(Code::kProtocolError, "malformed response body");
   }
   return response;
+}
+
+Bytes EncodeBatchRequest(const std::vector<Request>& ops) {
+  Bytes out;
+  size_t total = 1 + 4;
+  for (const Request& op : ops) {
+    total += 1 + 8 + 4 + op.key.size() + 4 + op.value.size();
+  }
+  out.reserve(total);
+  out.push_back(static_cast<uint8_t>(OpCode::kBatch));
+  uint8_t count[4];
+  StoreLe32(count, static_cast<uint32_t>(ops.size()));
+  out.insert(out.end(), count, count + 4);
+  for (const Request& op : ops) {
+    AppendRequest(out, op);
+  }
+  return out;
+}
+
+Result<std::vector<Request>> DecodeBatchRequest(ByteSpan payload) {
+  if (payload.size() < 5 || payload[0] != static_cast<uint8_t>(OpCode::kBatch)) {
+    return Status(Code::kProtocolError, "not a batch request");
+  }
+  if (payload.size() > 5 + kMaxBatchBytes) {
+    return Status(Code::kProtocolError, "batch payload too large");
+  }
+  const uint32_t count = LoadLe32(payload.data() + 1);
+  if (count == 0) {
+    return Status(Code::kProtocolError, "empty batch");
+  }
+  if (count > kMaxBatchOps) {
+    return Status(Code::kProtocolError, "batch has too many sub-ops");
+  }
+  ByteSpan rest = payload.subspan(5);
+  std::vector<Request> ops;
+  // A forged count cannot force an allocation beyond what the actual bytes
+  // on the wire could possibly hold (each sub-request is >= 17 bytes).
+  ops.reserve(std::min<size_t>(count, rest.size() / 17 + 1));
+  for (uint32_t i = 0; i < count; ++i) {
+    Request op;
+    if (Status s = TakeRequest(rest, op); !s.ok()) {
+      return s;
+    }
+    ops.push_back(std::move(op));
+  }
+  if (!rest.empty()) {
+    return Status(Code::kProtocolError, "trailing bytes after batch");
+  }
+  return ops;
+}
+
+Bytes EncodeBatchResponse(const std::vector<Response>& responses) {
+  Bytes out;
+  size_t total = 1 + 4;
+  for (const Response& r : responses) {
+    total += 1 + 4 + r.value.size();
+  }
+  out.reserve(total);
+  out.push_back(kBatchResponseMarker);
+  uint8_t count[4];
+  StoreLe32(count, static_cast<uint32_t>(responses.size()));
+  out.insert(out.end(), count, count + 4);
+  for (const Response& r : responses) {
+    out.push_back(static_cast<uint8_t>(r.status));
+    PutString(out, r.value);
+  }
+  return out;
+}
+
+Result<std::vector<Response>> DecodeBatchResponse(ByteSpan payload) {
+  if (payload.size() < 5 || payload[0] != kBatchResponseMarker) {
+    return Status(Code::kProtocolError, "not a batch response");
+  }
+  const uint32_t count = LoadLe32(payload.data() + 1);
+  if (count == 0 || count > kMaxBatchOps) {
+    return Status(Code::kProtocolError, "bad batch response count");
+  }
+  ByteSpan rest = payload.subspan(5);
+  std::vector<Response> responses;
+  responses.reserve(std::min<size_t>(count, rest.size() / 5 + 1));
+  for (uint32_t i = 0; i < count; ++i) {
+    if (rest.empty()) {
+      return Status(Code::kProtocolError, "truncated batch response");
+    }
+    Response r;
+    if (rest[0] > static_cast<uint8_t>(Code::kUnsupportedUnderWal)) {
+      return Status(Code::kProtocolError, "unknown status code");
+    }
+    r.status = static_cast<Code>(rest[0]);
+    rest = rest.subspan(1);
+    if (!TakeString(rest, r.value)) {
+      return Status(Code::kProtocolError, "malformed batch response body");
+    }
+    responses.push_back(std::move(r));
+  }
+  if (!rest.empty()) {
+    return Status(Code::kProtocolError, "trailing bytes after batch response");
+  }
+  return responses;
 }
 
 Status SendFrame(int fd, ByteSpan payload) {

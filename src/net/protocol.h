@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
@@ -18,6 +19,10 @@ namespace shield::net {
 // out-of-range enum value.
 inline constexpr size_t kMaxKeyBytes = 64u << 10;
 inline constexpr size_t kMaxValueBytes = 16u << 20;
+// Batch frame bounds: sub-op count and aggregate payload caps, checked
+// before any per-op allocation.
+inline constexpr size_t kMaxBatchOps = 1024;
+inline constexpr size_t kMaxBatchBytes = 32u << 20;
 
 enum class OpCode : uint8_t {
   kGet = 1,
@@ -26,6 +31,9 @@ enum class OpCode : uint8_t {
   kAppend = 4,
   kIncrement = 5,
   kPing = 6,
+  // N self-delimiting sub-requests in one frame; one session Seal/Open and
+  // one enclave submission amortize over all of them. Never nested.
+  kBatch = 7,
 };
 
 struct Request {
@@ -44,6 +52,29 @@ Bytes EncodeRequest(const Request& request);
 Result<Request> DecodeRequest(ByteSpan payload);
 Bytes EncodeResponse(const Response& response);
 Result<Response> DecodeResponse(ByteSpan payload);
+
+// --- batched frames (kBatch) ---
+//
+// Request: [u8 kBatch][u32 count][count x sub-request], each sub-request in
+// the single-request encoding (self-delimiting; kBatch itself is rejected
+// inside a batch). Response: [u8 kBatchResponseMarker][u32 count]
+// [count x (u8 status, str value)]. The marker byte is outside the valid
+// single-response status range, so a receiver can always tell a batch reply
+// from a single typed error (e.g. the server's sealed kProtocolError for an
+// unauthentic record).
+inline constexpr uint8_t kBatchResponseMarker = 0xBA;
+
+inline bool IsBatchRequest(ByteSpan payload) {
+  return !payload.empty() && payload[0] == static_cast<uint8_t>(OpCode::kBatch);
+}
+inline bool IsBatchResponse(ByteSpan payload) {
+  return !payload.empty() && payload[0] == kBatchResponseMarker;
+}
+
+Bytes EncodeBatchRequest(const std::vector<Request>& ops);
+Result<std::vector<Request>> DecodeBatchRequest(ByteSpan payload);
+Bytes EncodeBatchResponse(const std::vector<Response>& responses);
+Result<std::vector<Response>> DecodeBatchResponse(ByteSpan payload);
 
 // Blocking length-prefixed framing over a socket. A frame is
 // [u32 little-endian length][payload]. Recv returns kIoError on EOF.

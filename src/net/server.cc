@@ -90,11 +90,13 @@ void Server::Stop() {
   if (listen_fd_ >= 0) {
     shutdown(listen_fd_, SHUT_RDWR);
     close(listen_fd_);
-    listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  // Cleared only after the accept thread is joined: it reads listen_fd_
+  // right up until its final stopping_ check.
+  listen_fd_ = -1;
   {
     // Unblock connection threads parked in recv() on live clients, then
     // join. SHUT_RD only: a thread mid-request keeps its write side so the
@@ -171,8 +173,74 @@ Response Server::Dispatch(const Request& request) {
       response.status = Code::kOk;
       response.value = "pong";
       break;
+    case OpCode::kBatch:
+      // Batches are decoded and dispatched by DispatchBatch; a kBatch that
+      // reaches here is a sub-op smuggled past decode validation.
+      response.status = Code::kProtocolError;
+      break;
   }
   return response;
+}
+
+std::vector<Response> Server::DispatchBatch(const std::vector<Request>& ops) {
+  std::vector<Response> responses(ops.size());
+  // Pings answer inline; everything else funnels into ONE store ExecuteBatch
+  // call, where the engine amortizes locks / MAC recomputes / log commits.
+  std::vector<kv::BatchOp> batch;
+  std::vector<size_t> index;
+  batch.reserve(ops.size());
+  index.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Request& r = ops[i];
+    kv::BatchOp op;
+    switch (r.op) {
+      case OpCode::kGet:
+        op.type = kv::BatchOpType::kGet;
+        break;
+      case OpCode::kSet:
+        op.type = kv::BatchOpType::kSet;
+        break;
+      case OpCode::kDelete:
+        op.type = kv::BatchOpType::kDelete;
+        break;
+      case OpCode::kAppend:
+        op.type = kv::BatchOpType::kAppend;
+        break;
+      case OpCode::kIncrement:
+        op.type = kv::BatchOpType::kIncrement;
+        break;
+      case OpCode::kPing:
+      case OpCode::kBatch:  // decode rejects nested batches
+        responses[i].status = r.op == OpCode::kPing ? Code::kOk : Code::kProtocolError;
+        if (r.op == OpCode::kPing) {
+          responses[i].value = "pong";
+        }
+        continue;
+    }
+    op.key = r.key;
+    op.value = r.value;
+    op.delta = r.delta;
+    index.push_back(i);
+    batch.push_back(std::move(op));
+  }
+  if (!batch.empty()) {
+    std::vector<kv::BatchOpResult> results = store_.ExecuteBatch(batch);
+    for (size_t j = 0; j < results.size() && j < index.size(); ++j) {
+      Response& out = responses[index[j]];
+      out.status = results[j].status.code();
+      // Singleton response semantics: only gets and increments carry values.
+      const OpCode oc = ops[index[j]].op;
+      if (results[j].status.ok() && (oc == OpCode::kGet || oc == OpCode::kIncrement)) {
+        out.value = std::move(results[j].value);
+      }
+    }
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_ops_.fetch_add(ops.size(), std::memory_order_relaxed);
+  // Each sub-op beyond the first would otherwise have been its own frame,
+  // session Seal/Open, and enclave submission.
+  crossings_saved_.fetch_add(ops.size() - 1, std::memory_order_relaxed);
+  return responses;
 }
 
 Bytes Server::ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status) {
@@ -185,6 +253,19 @@ Bytes Server::ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* 
     Response response;
     response.status = Code::kProtocolError;
     return session.Seal(EncodeResponse(response));
+  }
+  if (IsBatchRequest(*plaintext)) {
+    // One Open above and one Seal below cover every sub-op in the frame —
+    // the whole point of the batch opcode. A malformed batch answers with a
+    // SINGLE typed error (the client's decoder falls back on the marker).
+    *status = Status::Ok();
+    Result<std::vector<Request>> batch = DecodeBatchRequest(*plaintext);
+    if (!batch.ok()) {
+      Response response;
+      response.status = Code::kProtocolError;
+      return session.Seal(EncodeResponse(response));
+    }
+    return session.Seal(EncodeBatchResponse(DispatchBatch(*batch)));
   }
   Result<Request> request = DecodeRequest(*plaintext);
   Response response;
@@ -200,15 +281,24 @@ Bytes Server::ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* 
 void Server::EnclaveWorkerLoop() {
   // A HotCalls responder: a thread that entered the enclave once and now
   // serves shared-memory requests without ever crossing the boundary.
+  // Backoff discipline: spin (yield) through short gaps so a loaded server
+  // keeps its exit-less latency, but once kIdleSpinPolls come up empty,
+  // sleep hotcall_idle_sleep_us per poll so an IDLE server stops pegging
+  // cores. Any served request resets the spin budget.
+  constexpr uint64_t kIdleSpinPolls = 1024;
+  uint64_t idle_polls = 0;
   while (!hotcalls_->stopped()) {
-    if (!hotcalls_->Poll([this](uint16_t, void* data) {
+    if (hotcalls_->Poll([this](uint16_t, void* data) {
           HotCallTask* task = static_cast<HotCallTask*>(data);
           task->response_record =
               ProcessInEnclave(*task->session, *task->request_record, &task->status);
         })) {
-      // Nothing pending. A dedicated core would keep spinning; on shared
-      // cores yield so requesters can run.
+      idle_polls = 0;
+    } else if (++idle_polls < kIdleSpinPolls || options_.hotcall_idle_sleep_us <= 0) {
       std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.hotcall_idle_sleep_us));
     }
   }
   // Drain after stop so no caller is left waiting.

@@ -31,6 +31,12 @@ struct ServerOptions {
   size_t enclave_workers = 2;  // HotCalls responder threads
   bool encrypt = true;         // session record protection (±net crypto, §6.4)
 
+  // HotCalls responder idle backoff: after a bounded spin of empty polls,
+  // an idle responder sleeps this long between polls instead of pegging a
+  // core with yield() forever. 0 = legacy pure-spin (dedicated cores).
+  // First-request latency after an idle period is bounded by this value.
+  int hotcall_idle_sleep_us = 50;
+
   // Background maintenance, run on a dedicated thread for the server's
   // lifetime: called every maintenance_interval_ms while serving. The
   // self-healing deployment points this at SelfHealer::Tick so the paced
@@ -61,6 +67,15 @@ class Server {
     return maintenance_ticks_.load(std::memory_order_relaxed);
   }
 
+  // Batching observability: frames carrying kBatch, the sub-ops they held,
+  // and the enclave submissions they saved (sub-ops minus one per batch —
+  // each would otherwise have been its own Seal/Open + crossing).
+  uint64_t batches_served() const { return batches_.load(std::memory_order_relaxed); }
+  uint64_t batch_ops_served() const { return batch_ops_.load(std::memory_order_relaxed); }
+  uint64_t crossings_saved() const {
+    return crossings_saved_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct HotCallTask {
     SessionCrypto* session;
@@ -77,6 +92,7 @@ class Server {
   // seal the response. Used by both entry mechanisms.
   Bytes ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status);
   Response Dispatch(const Request& request);
+  std::vector<Response> DispatchBatch(const std::vector<Request>& ops);
 
   sgx::Enclave& enclave_;
   kv::KeyValueStore& store_;
@@ -100,6 +116,9 @@ class Server {
   std::atomic<uint64_t> maintenance_ticks_{0};
 
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_ops_{0};
+  std::atomic<uint64_t> crossings_saved_{0};
 };
 
 }  // namespace shield::net

@@ -479,6 +479,43 @@ Result<int64_t> PartitionedStore::Increment(std::string_view key, int64_t delta)
   return r;
 }
 
+std::vector<kv::BatchOpResult> PartitionedStore::ExecuteBatch(
+    const std::vector<kv::BatchOp>& ops) {
+  std::vector<kv::BatchOpResult> results(ops.size());
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  // Group op indices by partition, preserving original order within each
+  // group. Cross-partition ops commute (a key maps to one partition), so
+  // ascending-partition execution yields the sequential final state.
+  std::vector<std::vector<size_t>> groups(partitions_.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    groups[PartitionOfLocked(ops[i].key)].push_back(i);
+  }
+  for (size_t p = 0; p < groups.size(); ++p) {
+    if (groups[p].empty()) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(*locks_[p]);
+    Store& store = *partitions_[p];
+    store.BeginMacBatch();
+    for (const size_t i : groups[p]) {
+      // Guard per op, not per group: a sub-op that detects tampering
+      // quarantines the partition and the REST of its group fails fast,
+      // exactly as sequential calls through the facade would.
+      if (Status g = QuarantineGuard(p); !g.ok()) {
+        results[i].status = g;
+        continue;
+      }
+      results[i] = kv::ExecuteSingleOp(store, ops[i]);
+      NoteOutcome(p, results[i].status);
+    }
+    // Recompute each dirty bucket-set hash once for the whole group. Runs
+    // even after a mid-group failure: the dirty sets belong to the ops that
+    // DID succeed, whose hashes must not be left stale.
+    store.EndMacBatch();
+  }
+  return results;
+}
+
 size_t PartitionedStore::Size() const {
   std::shared_lock<std::shared_mutex> structure(structure_mutex_);
   size_t total = 0;

@@ -135,6 +135,17 @@ class PartitionedStore : public kv::KeyValueStore {
   Status Delete(std::string_view key) override;
   Status Append(std::string_view key, std::string_view suffix) override;
   Result<int64_t> Increment(std::string_view key, int64_t delta) override;
+  // Partition-grouped batch execution: sub-ops are grouped by partition and
+  // each touched partition is locked ONCE, its group running inside the
+  // partition store's MAC batch scope (each touched bucket-set hash is
+  // verified on first touch and recomputed once at the end). Groups run in
+  // ascending partition order with the original relative order within a
+  // partition — a key maps to exactly one partition, so per-key order (and
+  // thus the final state and every per-op result) matches sequential
+  // execution. Per-op statuses; no cross-op atomicity. A sub-op that
+  // quarantines its partition fails the rest of that partition's group with
+  // the typed kPartitionRecovering, exactly like sequential calls would.
+  std::vector<kv::BatchOpResult> ExecuteBatch(const std::vector<kv::BatchOp>& ops) override;
   size_t Size() const override;
   std::string Name() const override { return "ShieldStore/partitioned"; }
   kv::StoreStats stats() const override;

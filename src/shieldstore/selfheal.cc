@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <thread>
 
 #include "src/common/cycles.h"
 #include "src/common/logging.h"
@@ -249,6 +250,108 @@ Result<int64_t> WriteAheadStore::Increment(std::string_view key, int64_t delta) 
   return value;
 }
 
+std::vector<kv::BatchOpResult> WriteAheadStore::ExecuteBatch(
+    const std::vector<kv::BatchOp>& ops) {
+  std::vector<kv::BatchOpResult> results(ops.size());
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  // Group op indices by shard, preserving original order within a group —
+  // a key maps to one partition, a partition to one shard, so per-key order
+  // survives the grouping and the replay invariant (each log's record order
+  // is its partitions' apply order) holds per partition within the group.
+  std::vector<std::vector<size_t>> groups(shards_.size());
+  std::vector<size_t> mutations(shards_.size(), 0);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const size_t sh = ShardOfLocked(inner_.PartitionOf(ops[i].key));
+    groups[sh].push_back(i);
+    if (ops[i].type != kv::BatchOpType::kGet) {
+      ++mutations[sh];
+    }
+  }
+  std::vector<kv::BatchOp> sub_ops;
+  std::vector<kv::BatchOpResult> sub_results;
+  for (size_t sh = 0; sh < groups.size(); ++sh) {
+    if (groups[sh].empty()) {
+      continue;
+    }
+    sub_ops.clear();
+    for (const size_t i : groups[sh]) {
+      sub_ops.push_back(ops[i]);
+    }
+    if (mutations[sh] == 0) {
+      // Read-only group: nothing to log, so no shard lock — reads bypass
+      // the WAL exactly as singleton Get does.
+      sub_results = inner_.ExecuteBatch(sub_ops);
+      for (size_t j = 0; j < groups[sh].size(); ++j) {
+        results[groups[sh][j]] = std::move(sub_results[j]);
+      }
+      continue;
+    }
+    Shard& s = shard(sh);
+    std::unique_lock<std::mutex> lock(s.mutex);
+    if (!s.failed.ok()) {
+      // Durability can no longer be promised on this shard: fail its
+      // mutations fast, but still serve its reads through the inner store.
+      for (const size_t i : groups[sh]) {
+        if (ops[i].type == kv::BatchOpType::kGet) {
+          results[i] = kv::ExecuteSingleOp(inner_, ops[i]);
+        } else {
+          results[i].status = s.failed;
+        }
+      }
+      continue;
+    }
+    uint64_t last_seq = 0;
+    bool awaiting = false;
+    {
+      ContentionScope contention(options_.virtual_contention);
+      sub_results = inner_.ExecuteBatch(sub_ops);
+      // Append a record for every mutation that applied, in apply order,
+      // under the SAME lock hold — acked ⇒ logged, batch-wide.
+      Status append_failed;
+      for (size_t j = 0; j < groups[sh].size(); ++j) {
+        const size_t i = groups[sh][j];
+        results[i] = std::move(sub_results[j]);
+        const kv::BatchOp& op = ops[i];
+        if (op.type == kv::BatchOpType::kGet || !results[i].status.ok()) {
+          continue;  // nothing applied (or a read): nothing to log
+        }
+        if (!append_failed.ok()) {
+          // An earlier record failed to append; this op DID apply but its
+          // durability is unknowable, so it must not be acked.
+          results[i].status = append_failed;
+          continue;
+        }
+        // Log resulting state, not the computation (replay determinism).
+        const bool is_delete = op.type == kv::BatchOpType::kDelete;
+        const std::string_view logged =
+            op.type == kv::BatchOpType::kSet ? std::string_view(op.value)
+            : is_delete                      ? std::string_view()
+                                             : std::string_view(results[i].value);
+        uint64_t seq = 0;
+        if (Status st = AppendLocked(s, is_delete, op.key, logged, &seq); !st.ok()) {
+          append_failed = st;
+          results[i].status = st;
+          continue;
+        }
+        last_seq = seq;
+        awaiting = true;
+      }
+    }
+    if (awaiting && options_.group_commit_window_us != 0) {
+      // One durability wait for the whole group: the last record's sequence
+      // covers every earlier one (durable advances monotonically).
+      if (Status st = AwaitDurable(s, lock, last_seq); !st.ok()) {
+        for (const size_t i : groups[sh]) {
+          if (ops[i].type != kv::BatchOpType::kGet && results[i].status.ok()) {
+            results[i].status = st;
+          }
+        }
+      }
+    }
+  }
+  return results;
+}
+
 Status WriteAheadStore::CommitShardLocked(Shard& s, std::unique_lock<std::mutex>& lock) {
   if (s.log == nullptr) {
     return Status(Code::kInvalidArgument, "log not open");
@@ -406,13 +509,66 @@ Status WriteAheadStore::RestoreFromDisk(const std::string& snapshot_directory) {
   // inner store (not re-logged). Each partition's snapshot precedes its log
   // records because phase 1 ran first; logs never cross partitions, so any
   // inter-log order converges. kNotFound = empty/fresh log, nothing to do.
-  for (const OpLogOptions& log : ShardLogsOnDisk()) {
+  const std::vector<OpLogOptions> logs = ShardLogsOnDisk();
+  const auto replay_one = [&](const OpLogOptions& log) {
     Status st = OperationLog::Replay(sealer_, counters_, log, inner_);
     if (!st.ok() && st.code() != Code::kNotFound) {
       return Status(st.code(), "replaying " + log.path + ": " + st.message());
     }
+    return Status::Ok();
+  };
+  size_t first_shard = 0;
+  if (!logs.empty() && logs[0].path == options_.path) {
+    // Legacy single-file log: predates the shard split, so it can hold any
+    // key — replay it alone and first so shard records stay newest.
+    if (Status st = replay_one(logs[0]); !st.ok()) {
+      return st;
+    }
+    first_shard = 1;
   }
-  return Status::Ok();
+  // Shard logs of one epoch hold disjoint key sets, and cross-epoch
+  // leftovers converge (each log's last record per key is that key's final
+  // state) — so they can replay concurrently: the facade's partition locks
+  // serialize same-key application, and differently-keyed records commute.
+  const size_t pending = logs.size() - first_shard;
+  size_t threads =
+      options_.replay_threads == 0
+          ? std::min<size_t>(std::max<size_t>(std::thread::hardware_concurrency(), 1), 8)
+          : options_.replay_threads;
+  threads = std::min(std::max<size_t>(threads, 1), pending);
+  if (threads <= 1) {
+    for (size_t i = first_shard; i < logs.size(); ++i) {
+      if (Status st = replay_one(logs[i]); !st.ok()) {
+        return st;
+      }
+    }
+    return Status::Ok();
+  }
+  std::atomic<size_t> next{first_shard};
+  std::mutex error_mutex;
+  Status first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= logs.size()) {
+          return;
+        }
+        if (Status st = replay_one(logs[i]); !st.ok()) {
+          std::lock_guard<std::mutex> guard(error_mutex);
+          if (first_error.ok()) {
+            first_error = st;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return first_error;
 }
 
 Status WriteAheadStore::Repartition(size_t new_partitions,

@@ -89,6 +89,15 @@ class WriteAheadStore : public kv::KeyValueStore {
   Status Delete(std::string_view key) override;
   Status Append(std::string_view key, std::string_view suffix) override;
   Result<int64_t> Increment(std::string_view key, int64_t delta) override;
+  // Batched mutations under ONE group-commit handle per touched shard: the
+  // shard's sub-ops apply (partition-grouped, via the inner ExecuteBatch)
+  // and append to the shard log under a single lock hold, then a single
+  // AwaitDurable on the last record's sequence covers the whole group — a
+  // batched ack is exactly as durable as N singleton acks, for one fsync
+  // wait. Gets ride in their key's shard group so per-key read-after-write
+  // order within the batch is preserved; a batch with no mutations skips
+  // the shard locks entirely.
+  std::vector<kv::BatchOpResult> ExecuteBatch(const std::vector<kv::BatchOp>& ops) override;
   size_t Size() const override { return inner_.Size(); }
   std::string Name() const override { return "ShieldStore/write-ahead"; }
   kv::StoreStats stats() const override { return inner_.stats(); }

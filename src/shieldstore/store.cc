@@ -246,6 +246,61 @@ void Store::StoreBucketSetMac(size_t set) {
   MarkSetInitialized(set);
 }
 
+void Store::BeginMacBatch() {
+  if (!options_.integrity) {
+    return;
+  }
+  if (mac_batch_state_.size() != num_mac_hashes_) {
+    mac_batch_state_.assign(num_mac_hashes_, 0);
+  }
+  mac_batch_touched_.clear();
+  mac_batch_active_ = true;
+}
+
+void Store::EndMacBatch() {
+  if (!mac_batch_active_) {
+    return;
+  }
+  mac_batch_active_ = false;
+  for (const uint32_t set : mac_batch_touched_) {
+    if (mac_batch_state_[set] == 2) {
+      StoreBucketSetMac(set);
+    }
+    mac_batch_state_[set] = 0;
+  }
+  mac_batch_touched_.clear();
+}
+
+Status Store::VerifyBucketSetForOp(size_t set) {
+  if (!mac_batch_active_ || !options_.integrity) {
+    return VerifyBucketSet(set);
+  }
+  if (mac_batch_state_[set] != 0) {
+    // Verified on first touch. If it has been mutated since, the stored hash
+    // is stale by design (recompute deferred), so re-verifying would false-
+    // fail; the interim mutations are our own, and FindEntry still
+    // cross-checks entry MACs against the MAC-bucket copies per access.
+    return Status::Ok();
+  }
+  if (Status s = VerifyBucketSet(set); !s.ok()) {
+    return s;
+  }
+  mac_batch_state_[set] = 1;
+  mac_batch_touched_.push_back(static_cast<uint32_t>(set));
+  return Status::Ok();
+}
+
+void Store::NoteBucketSetMutated(size_t set) {
+  if (!mac_batch_active_ || !options_.integrity) {
+    StoreBucketSetMac(set);
+    return;
+  }
+  if (mac_batch_state_[set] == 0) {
+    mac_batch_touched_.push_back(static_cast<uint32_t>(set));
+  }
+  mac_batch_state_[set] = 2;
+}
+
 // ------------------------------------------------------------- MAC buckets
 
 void Store::RebuildMacBucket(size_t bucket_index) {
@@ -455,6 +510,15 @@ Status Store::Delete(std::string_view key) {
   return DeleteInternal(key);
 }
 
+std::vector<kv::BatchOpResult> Store::ExecuteBatch(const std::vector<kv::BatchOp>& ops) {
+  // During a snapshot epoch writes land in the temp table (its own hashes,
+  // recomputed per op); the scope on the main table is then a harmless no-op.
+  BeginMacBatch();
+  std::vector<kv::BatchOpResult> results = kv::KeyValueStore::ExecuteBatch(ops);
+  EndMacBatch();
+  return results;
+}
+
 Result<std::string> Store::GetInternal(std::string_view key, uint8_t* flags_out) {
   stats_.gets++;
   TouchKeys();
@@ -478,7 +542,7 @@ Result<std::string> Store::GetInternal(std::string_view key, uint8_t* flags_out)
   // Freshness/completeness check (§4.3): recompute the bucket-set MAC hash
   // and compare against the trusted in-enclave copy. Performed for misses
   // too — a mismatch there means entries were unlinked by an attacker.
-  if (Status s = VerifyBucketSet(SetOf(bucket)); !s.ok()) {
+  if (Status s = VerifyBucketSetForOp(SetOf(bucket)); !s.ok()) {
     return s;
   }
   if (found->entry == nullptr) {
@@ -511,7 +575,7 @@ Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t 
     return found.status();
   }
   // Verify before update: never fold tampered state into a fresh MAC hash.
-  if (Status s = VerifyBucketSet(set); !s.ok()) {
+  if (Status s = VerifyBucketSetForOp(set); !s.ok()) {
     return s;
   }
 
@@ -557,7 +621,7 @@ Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t 
     RebuildMacBucket(bucket);
   }
 
-  StoreBucketSetMac(set);
+  NoteBucketSetMutated(set);
   if (cache_ != nullptr) {
     if (flags == 0) {
       cache_->Put(hash, key, value);
@@ -580,7 +644,7 @@ Status Store::DeleteInternal(std::string_view key) {
   if (!found.ok()) {
     return found.status();
   }
-  if (Status s = VerifyBucketSet(set); !s.ok()) {
+  if (Status s = VerifyBucketSetForOp(set); !s.ok()) {
     return s;
   }
   if (found->entry == nullptr) {
@@ -594,7 +658,7 @@ Status Store::DeleteInternal(std::string_view key) {
   heap_->Free(found->entry);
   --entry_count_;
   RebuildMacBucket(bucket);
-  StoreBucketSetMac(set);
+  NoteBucketSetMutated(set);
   if (cache_ != nullptr) {
     cache_->Invalidate(hash, key);
   }

@@ -78,6 +78,12 @@ class Store : public kv::KeyValueStore {
   Status Set(std::string_view key, std::string_view value) override;
   Result<std::string> Get(std::string_view key) override;
   Status Delete(std::string_view key) override;
+  // Runs the ops inside a MAC batch scope: each touched bucket set is
+  // verified once on first touch, and its trusted hash is recomputed and
+  // stored once at the end — instead of once per op. The final hashes are
+  // identical to sequential execution because StoreBucketSetMac derives
+  // them from the (same) final untrusted state.
+  std::vector<kv::BatchOpResult> ExecuteBatch(const std::vector<kv::BatchOp>& ops) override;
   size_t Size() const override;
   std::string Name() const override { return "ShieldStore"; }
   kv::StoreStats stats() const override;
@@ -147,6 +153,7 @@ class Store : public kv::KeyValueStore {
  private:
   friend class StoreTestPeer;
   friend class faultinject::TamperAgent;
+  friend class PartitionedStore;  // drives the MAC batch scope in ExecuteBatch
 
   // Per-bucket MAC list node (§5.2), in untrusted memory.
   struct MacBucket {
@@ -197,6 +204,18 @@ class Store : public kv::KeyValueStore {
   bool SetInitialized(size_t set) const;
   void MarkSetInitialized(size_t set);
 
+  // MAC batch scope (ExecuteBatch). Inside a scope, VerifyBucketSetForOp
+  // verifies a set only on its first touch (after a deferred mutation the
+  // stored hash is intentionally stale, so re-verifying would false-fail;
+  // every interim mutation is our own and entry MACs are still cross-checked
+  // per access by FindEntry), and NoteBucketSetMutated marks the set dirty
+  // instead of recomputing its hash. EndMacBatch stores each dirty set's
+  // hash exactly once. Outside a scope both forward to the per-op paths.
+  void BeginMacBatch();
+  void EndMacBatch();
+  Status VerifyBucketSetForOp(size_t set);
+  void NoteBucketSetMutated(size_t set);
+
   void RebuildMacBucket(size_t bucket);
   void UpdateMacBucketSlot(size_t bucket, size_t position, const uint8_t mac[16]);
 
@@ -225,6 +244,12 @@ class Store : public kv::KeyValueStore {
   size_t entry_count_ = 0;
   size_t scrub_cursor_ = 0;  // next bucket ScrubStep audits
   kv::StoreStats stats_;
+
+  // MAC batch scope: per-set 0 = untouched this batch, 1 = verified,
+  // 2 = dirty (hash recompute deferred to EndMacBatch).
+  bool mac_batch_active_ = false;
+  std::vector<uint8_t> mac_batch_state_;
+  std::vector<uint32_t> mac_batch_touched_;
 };
 
 }  // namespace shield::shieldstore

@@ -308,6 +308,112 @@ TEST_F(ConcurrencyTest, ShardedDurableWindowWritersRaceCleanly) {
   EXPECT_TRUE(ps.ScrubAll().ok());
 }
 
+TEST_F(ConcurrencyTest, BatchedWritersRaceScrubHealerAndAdversary) {
+  // Batched pipeline under fire: writer threads issue multi-op batches
+  // (partition-grouped execution, deferred MAC recomputation, one group-
+  // commit handle per shard) while a scrubbing healer and a tamperer run.
+  // Run under TSan. Model: a batch sub-op acked ok obeys the same zero-
+  // acked-loss contract as a singleton write.
+  constexpr int kWriters = 4;
+  constexpr int kKeysPerWriter = 12;
+  constexpr int kRounds = 30;
+
+  sgx::SealingService sealer(AsBytes("fuse"), enclave_.measurement());
+  sgx::MonotonicCounterService counters(counter_opts_);
+  PartitionedStore ps(enclave_, SmallOptions(), 4);
+
+  OpLogOptions log_opts;
+  log_opts.path = dir_ + "/wal.log";
+  log_opts.group_commit_window_us = 100;
+  log_opts.group_commit_ops = 8;
+  WriteAheadStore wal(ps, sealer, counters, log_opts);
+  ASSERT_TRUE(wal.Open().ok());
+
+  SelfHealOptions heal_opts;
+  heal_opts.directory = dir_ + "/snapshots";
+  SelfHealer healer(wal, sealer, counters, heal_opts);
+  ASSERT_TRUE(healer.Start().ok());
+
+  std::atomic<bool> stop_healer{false};
+  std::thread healer_thread([&] {
+    while (!stop_healer.load()) {
+      healer.Tick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  RaceTamperer::Options tamper_opts;
+  tamper_opts.seed = 0xba7c4ace;
+  tamper_opts.interval_ms = 4;
+  RaceTamperer tamperer(ps, tamper_opts);
+  tamperer.Start();
+
+  std::vector<std::vector<KeyHistory>> histories(kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    histories[w].resize(kKeysPerWriter);
+    writers.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        // One batch per round covering every owned key plus interleaved
+        // reads — sub-ops land on all four partitions.
+        std::vector<kv::BatchOp> ops;
+        for (int k = 0; k < kKeysPerWriter; ++k) {
+          const std::string key = "bw" + std::to_string(w) + "-k" + std::to_string(k);
+          ops.push_back({kv::BatchOpType::kSet, key,
+                         "v" + std::to_string(round) + "-" + std::to_string(w), 0});
+          if (k % 3 == 0) {
+            ops.push_back({kv::BatchOpType::kGet, key, "", 0});
+          }
+        }
+        const std::vector<kv::BatchOpResult> results = wal.ExecuteBatch(ops);
+        for (size_t i = 0; i < ops.size(); ++i) {
+          if (ops[i].type != kv::BatchOpType::kSet) {
+            continue;
+          }
+          const int k = std::stoi(ops[i].key.substr(ops[i].key.find("-k") + 2));
+          KeyHistory& h = histories[w][k];
+          h.attempted.insert(ops[i].value);
+          if (results[i].status.ok()) {
+            h.ever_acked = true;
+            h.acked = ops[i].value;
+            h.attempted.clear();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  tamperer.Stop();
+  stop_healer.store(true);
+  healer_thread.join();
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (true) {
+    if (ps.QuarantinedCount() == 0 && ps.ScrubAll().ok()) {
+      break;
+    }
+    healer.Tick();
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "store did not heal: " << healer.last_error().ToString();
+  }
+
+  for (int w = 0; w < kWriters; ++w) {
+    for (int k = 0; k < kKeysPerWriter; ++k) {
+      const std::string key = "bw" + std::to_string(w) + "-k" + std::to_string(k);
+      const KeyHistory& h = histories[w][k];
+      if (!h.ever_acked) {
+        continue;
+      }
+      Result<std::string> got = wal.Get(key);
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+      EXPECT_TRUE(got.value() == h.acked || h.attempted.count(got.value()) > 0)
+          << key << " holds '" << got.value() << "', last acked '" << h.acked << "'";
+    }
+  }
+}
+
 TEST_F(ConcurrencyTest, CompactionRacesWritersHealerAndAdversary) {
   // The compactor (maintenance thread) folds shard logs into snapshots
   // while writers append to those same shards, and an adversary forces

@@ -132,16 +132,36 @@ TEST(WalCrashTest, Kill9MidLoadLosesNoAckedWriteAndLogsStayBounded) {
 
   // Durable-ack load: 1200 writes cycling 256 keys pushes ~10x the
   // compaction threshold through every shard while the maintenance thread
-  // compacts behind it. Every ok() Set is an fsync'd promise.
+  // compacts behind it. Every third round goes out as one kBatch frame —
+  // a batched ack is the same fsync'd promise as a singleton ack, recorded
+  // per sub-op. Every ok() status is such a promise.
   std::map<std::string, std::string> acked;
   {
     net::Client client(authority, server.measurement);
     ASSERT_TRUE(client.Connect(port).ok());
-    for (int i = 0; i < 1200; ++i) {
-      const std::string key = "k" + std::to_string(i % 256);
-      const std::string value = "v" + std::to_string(i) + std::string(200, 'x');
-      if (client.Set(key, value).ok()) {
-        acked[key] = value;
+    for (int i = 0; i < 1200;) {
+      if (i % 3 == 0 && i + 8 <= 1200) {
+        std::vector<net::Request> ops;
+        for (int j = 0; j < 8; ++j) {
+          ops.push_back({net::OpCode::kSet, "k" + std::to_string((i + j) % 256),
+                         "v" + std::to_string(i + j) + std::string(200, 'x'), 0});
+        }
+        const Result<std::vector<net::Response>> results = client.ExecuteBatch(ops);
+        if (results.ok()) {
+          for (size_t j = 0; j < ops.size(); ++j) {
+            if ((*results)[j].status == Code::kOk) {
+              acked[ops[j].key] = ops[j].value;
+            }
+          }
+        }
+        i += 8;
+      } else {
+        const std::string key = "k" + std::to_string(i % 256);
+        const std::string value = "v" + std::to_string(i) + std::string(200, 'x');
+        if (client.Set(key, value).ok()) {
+          acked[key] = value;
+        }
+        ++i;
       }
     }
     ASSERT_GE(acked.size(), 256u) << "load never got going";

@@ -443,6 +443,69 @@ TEST_F(WalShardingTest, LegacySingleLogMigratesIntoShardedLayout) {
   EXPECT_EQ(RestartAndDump(4, LogOptions()), acked);
 }
 
+TEST_F(WalShardingTest, ParallelReplayMatchesSequentialReplay) {
+  // Populate via the sharded WAL, quiesce, then restore twice from the same
+  // directory: once sequentially and once on the replay thread pool. Both
+  // must reconstruct exactly the acked map — shard logs hold disjoint keys,
+  // so their replay order cannot matter.
+  PartitionedStore store(enclave_, SmallOptions(), 4);
+  WriteAheadStore wal(store, *sealer_, *counters_, LogOptions());
+  ASSERT_TRUE(wal.Open().ok());
+  std::map<std::string, std::string> acked;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "par-" + std::to_string(i % 64);
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(wal.Set(key, value).ok());
+    acked[key] = value;
+  }
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = "par-" + std::to_string(i);
+    ASSERT_TRUE(wal.Delete(key).ok());
+    acked.erase(key);
+  }
+  ASSERT_TRUE(wal.WithCommittedLog([] { return Status::Ok(); }).ok());
+
+  OpLogOptions sequential = LogOptions();
+  sequential.replay_threads = 1;
+  OpLogOptions parallel = LogOptions();
+  parallel.replay_threads = 4;
+  EXPECT_EQ(RestartAndDump(4, sequential), acked);
+  EXPECT_EQ(RestartAndDump(4, parallel), acked);
+}
+
+TEST_F(WalShardingTest, ParallelReplayStillReplaysLegacyLogFirst) {
+  // A legacy single-file log predates the shard split and may share keys
+  // with every shard, so it must replay alone before the pool starts: shard
+  // records were written after it and must win.
+  OpLogOptions legacy = LogOptions();
+  {
+    OperationLog log(*sealer_, *counters_, legacy);
+    ASSERT_TRUE(log.Open().ok());
+    for (int i = 0; i < 24; ++i) {
+      ASSERT_TRUE(log.LogSet("mixed-" + std::to_string(i), "legacy").ok());
+    }
+    ASSERT_TRUE(log.Commit().ok());
+  }
+  std::map<std::string, std::string> acked;
+  {
+    PartitionedStore store(enclave_, SmallOptions(), 4);
+    WriteAheadStore wal(store, *sealer_, *counters_, LogOptions());
+    ASSERT_TRUE(wal.Open().ok());
+    ASSERT_TRUE(wal.RestoreFromDisk(SnapshotDir()).ok());
+    for (int i = 0; i < 24; ++i) {
+      const std::string key = "mixed-" + std::to_string(i);
+      acked[key] = i % 2 == 0 ? "sharded" : "legacy";
+      if (i % 2 == 0) {
+        ASSERT_TRUE(wal.Set(key, "sharded").ok());
+      }
+    }
+    ASSERT_TRUE(wal.WithCommittedLog([] { return Status::Ok(); }).ok());
+  }
+  OpLogOptions parallel = LogOptions();
+  parallel.replay_threads = 4;
+  EXPECT_EQ(RestartAndDump(4, parallel), acked);
+}
+
 TEST_F(WalShardingTest, RestoreIsRouteAndGeometryAgnostic) {
   // Snapshot under 4 partitions, restore into a 2-partition store whose
   // route key differs: every key must re-route, re-encrypt, and read back.

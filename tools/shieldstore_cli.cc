@@ -21,7 +21,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: shieldstore_cli --port N --measurement HEX64 [--authority-seed S]\n"
                "       [--plaintext] COMMAND ARGS...\n"
-               "commands: get K | set K V | del K | append K SUFFIX | incr K DELTA | ping\n");
+               "commands: get K | set K V | del K | append K SUFFIX | incr K DELTA | ping\n"
+               "          mset K V [K V ...] | mget K [K ...]   (one kBatch frame)\n");
 }
 
 }  // namespace
@@ -105,6 +106,39 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%lld\n", static_cast<long long>(*value));
+  } else if (command == "mset" && arg_at(2) != nullptr && (argc - i - 1) % 2 == 0) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int j = i + 1; j + 1 < argc; j += 2) {
+      pairs.emplace_back(argv[j], argv[j + 1]);
+    }
+    const Status s = client.MSet(pairs);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("OK (%zu keys, one frame)\n", pairs.size());
+  } else if (command == "mget" && arg_at(1) != nullptr) {
+    std::vector<std::string> keys;
+    for (int j = i + 1; j < argc; ++j) {
+      keys.emplace_back(argv[j]);
+    }
+    Result<std::vector<net::Response>> responses = client.MGet(keys);
+    if (!responses.ok()) {
+      std::fprintf(stderr, "%s\n", responses.status().ToString().c_str());
+      return 1;
+    }
+    int rc = 0;
+    for (size_t j = 0; j < responses->size(); ++j) {
+      const net::Response& r = (*responses)[j];
+      if (r.status == Code::kOk) {
+        std::printf("%s=%s\n", keys[j].c_str(), r.value.c_str());
+      } else {
+        std::printf("%s: %s\n", keys[j].c_str(),
+                    Status(r.status, "").ToString().c_str());
+        rc = 1;
+      }
+    }
+    return rc;
   } else if (command == "ping") {
     net::Request request;
     request.op = net::OpCode::kPing;

@@ -53,6 +53,8 @@ struct Flags {
   size_t wal_group_ops = 64;    // records per group commit
   size_t wal_compact_bytes = 64 << 20;  // compact a shard log past this; 0 = never
   int stats_interval_s = 30;    // WAL stats report cadence; 0 disables
+  int hotcall_idle_us = 50;     // idle responder sleep; 0 = legacy pure-spin
+  size_t replay_threads = 0;    // parallel shard-log replay; 0 = auto, 1 = sequential
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -91,13 +93,18 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->wal_compact_bytes = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--stats-interval-s") {
       flags->stats_interval_s = std::atoi(next());
+    } else if (arg == "--hotcall-idle-us") {
+      flags->hotcall_idle_us = std::atoi(next());
+    } else if (arg == "--replay-threads") {
+      flags->replay_threads = static_cast<size_t>(std::atoll(next()));
     } else {
       std::fprintf(stderr,
                    "usage: shieldstore_server [--port N] [--partitions N] [--buckets N]\n"
                    "    [--epc-mb N] [--hotcalls] [--plaintext] [--authority-seed S] [--name S]\n"
                    "    [--heal-dir DIR] [--scrub-interval-ms N] [--scrub-budget N]\n"
                    "    [--wal-shards N] [--wal-window-us N] [--wal-group-ops N]\n"
-                   "    [--wal-compact-bytes N] [--stats-interval-s N]\n");
+                   "    [--wal-compact-bytes N] [--stats-interval-s N]\n"
+                   "    [--hotcall-idle-us N] [--replay-threads N]\n");
       return false;
     }
   }
@@ -146,6 +153,7 @@ int main(int argc, char** argv) {
     log_opts.num_shards = flags.wal_shards;
     log_opts.group_commit_window_us = flags.wal_window_us;
     log_opts.group_commit_ops = std::max<size_t>(flags.wal_group_ops, 1);
+    log_opts.replay_threads = flags.replay_threads;
     wal = std::make_unique<shieldstore::WriteAheadStore>(store, *sealer, *counters, log_opts);
     if (Status s = wal->Open(); !s.ok()) {
       std::fprintf(stderr, "oplog open failed: %s\n", s.ToString().c_str());
@@ -174,11 +182,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Set after the Server is constructed; the maintenance lambda (created
+  // first) reads it to fold batch stats into the periodic report.
+  net::Server* server_ref = nullptr;
   net::ServerOptions server_options;
   server_options.port = flags.port;
   server_options.use_hotcalls = flags.hotcalls;
   server_options.enclave_workers = flags.partitions;
   server_options.encrypt = !flags.plaintext;
+  server_options.hotcall_idle_sleep_us = flags.hotcall_idle_us;
   if (healer != nullptr) {
     const int interval_ms = std::max(flags.scrub_interval_ms, 1);
     const uint64_t stats_every =
@@ -186,7 +198,7 @@ int main(int argc, char** argv) {
             ? std::max<uint64_t>(uint64_t{1000} * flags.stats_interval_s / interval_ms, 1)
             : 0;
     auto ticks = std::make_shared<uint64_t>(0);
-    server_options.maintenance = [&healer, &wal, stats_every, ticks] {
+    server_options.maintenance = [&healer, &wal, &server_ref, stats_every, ticks] {
       healer->Tick();
       if (stats_every > 0 && ++*ticks % stats_every == 0) {
         const shieldstore::WalStats ws = wal->Stats();
@@ -198,6 +210,16 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(ws.fsyncs),
             static_cast<unsigned long long>(ws.compactions),
             static_cast<unsigned long long>(ws.log_bytes), ws.shards);
+        if (const net::Server* srv = server_ref) {
+          const uint64_t b = srv->batches_served();
+          const uint64_t bo = srv->batch_ops_served();
+          std::printf("batch: %llu batches, %llu sub-ops (mean %.1f/batch), "
+                      "%llu crossings saved\n",
+                      static_cast<unsigned long long>(b),
+                      static_cast<unsigned long long>(bo),
+                      b > 0 ? static_cast<double>(bo) / static_cast<double>(b) : 0.0,
+                      static_cast<unsigned long long>(srv->crossings_saved()));
+        }
         std::fflush(stdout);
       }
     };
@@ -212,6 +234,7 @@ int main(int argc, char** argv) {
   net::Server server(enclave, wal != nullptr ? static_cast<kv::KeyValueStore&>(*wal)
                                              : static_cast<kv::KeyValueStore&>(store),
                      authority, server_options);
+  server_ref = &server;
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
     return 1;
@@ -239,6 +262,15 @@ int main(int argc, char** argv) {
   std::printf("shutting down (%llu requests served)\n",
               static_cast<unsigned long long>(server.requests_served()));
   server.Stop();
+  // Batching observability alongside the WAL stats: how much boundary work
+  // the multi-op frames amortized away.
+  const uint64_t batches = server.batches_served();
+  const uint64_t batch_ops = server.batch_ops_served();
+  std::printf("batch: %llu batches, %llu sub-ops (mean %.1f/batch), %llu crossings saved\n",
+              static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(batch_ops),
+              batches > 0 ? static_cast<double>(batch_ops) / static_cast<double>(batches) : 0.0,
+              static_cast<unsigned long long>(server.crossings_saved()));
   if (healer != nullptr) {
     std::printf("self-healing: %llu recoveries, %llu violations detected\n",
                 static_cast<unsigned long long>(healer->recoveries()),
