@@ -1,8 +1,128 @@
 #include "bench/harness.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+
+// glibc: the basename of argv[0], without needing main() plumbing.
+extern "C" char* program_invocation_short_name;
 
 namespace shield::bench {
+
+namespace internal {
+namespace {
+
+struct JsonTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct JsonReport {
+  std::mutex mutex;
+  std::vector<JsonTable> tables;
+};
+
+JsonReport& Report() {
+  static JsonReport* report = new JsonReport();  // leaked: used from atexit
+  return *report;
+}
+
+void JsonEscape(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out.append(buf);
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+// Cells are preformatted strings; emit the ones that are entirely numeric as
+// JSON numbers so downstream tooling can plot without re-parsing.
+void JsonCell(std::string& out, const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (errno == 0 && end == cell.c_str() + cell.size() && std::isfinite(v)) {
+      out.append(cell);
+      return;
+    }
+  }
+  JsonEscape(out, cell);
+}
+
+void WriteJsonReport() {
+  JsonReport& report = Report();
+  std::lock_guard<std::mutex> lock(report.mutex);
+  if (report.tables.empty()) {
+    return;
+  }
+  std::string name = program_invocation_short_name != nullptr
+                         ? program_invocation_short_name
+                         : "unknown";
+  if (name.rfind("bench_", 0) == 0) {
+    name = name.substr(6);
+  }
+  const char* dir = std::getenv("SHIELD_BENCH_JSON_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "") +
+                           "BENCH_" + name + ".json";
+  std::string out = "{\n  \"benchmark\": ";
+  JsonEscape(out, name);
+  out += ",\n  \"config\": {\"scale\": " + Fmt(Scale(), "%.3f") + "},\n  \"tables\": [\n";
+  for (size_t t = 0; t < report.tables.size(); ++t) {
+    const JsonTable& table = report.tables[t];
+    out += "    {\"title\": ";
+    JsonEscape(out, table.title);
+    out += ", \"columns\": [";
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      JsonEscape(out, table.columns[i]);
+    }
+    out += "], \"rows\": [\n";
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      out += "      [";
+      for (size_t i = 0; i < table.rows[r].size(); ++i) {
+        if (i > 0) out += ", ";
+        JsonCell(out, table.rows[r][i]);
+      }
+      out += r + 1 < table.rows.size() ? "],\n" : "]\n";
+    }
+    out += t + 1 < report.tables.size() ? "    ]},\n" : "    ]}\n";
+  }
+  out += "  ]\n}\n";
+  if (FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("bench json: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "bench json: cannot write %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+void AppendJsonTable(const std::string& title, const std::vector<std::string>& columns,
+                     const std::vector<std::vector<std::string>>& rows) {
+  JsonReport& report = Report();
+  std::lock_guard<std::mutex> lock(report.mutex);
+  if (report.tables.empty()) {
+    std::atexit(WriteJsonReport);
+  }
+  report.tables.push_back(JsonTable{title, columns, rows});
+}
+
+}  // namespace internal
 
 bool Preload(kv::KeyValueStore& store, size_t num_keys, const workload::DataSet& ds) {
   for (size_t i = 0; i < num_keys; ++i) {
@@ -48,12 +168,15 @@ RunResult RunWorkload(kv::KeyValueStore& store, const workload::WorkloadConfig& 
   workload::WorkloadGenerator gen(config, num_keys, seed);
   uint64_t version = 1;
   RunResult result;
+  obs::Histogram latency;  // local: per-op nanoseconds, no registry traffic
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                                     std::chrono::duration<double>(seconds));
   for (;;) {
     for (int batch = 0; batch < 64; ++batch) {
+      const uint64_t t0 = obs::TimerStart();
       ExecuteOp(store, gen.Next(), ds, &version);
+      latency.RecordCycles(obs::TimerStart() - t0);
       ++result.ops;
     }
     if (std::chrono::steady_clock::now() >= deadline) {
@@ -62,6 +185,7 @@ RunResult RunWorkload(kv::KeyValueStore& store, const workload::WorkloadConfig& 
   }
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.latency = latency.Data();
   return result;
 }
 

@@ -20,10 +20,20 @@
 #include <vector>
 
 #include "src/kv/interface.h"
+#include "src/obs/metrics.h"
 #include "src/sgx/enclave.h"
 #include "src/workload/generator.h"
 
 namespace shield::bench {
+
+namespace internal {
+// Accumulates every completed Table into the process-wide machine-readable
+// report, written at exit as BENCH_<name>.json (<name> = the binary's name
+// minus its "bench_" prefix; directory from SHIELD_BENCH_JSON_DIR, default
+// cwd). Cells that parse as numbers are emitted as JSON numbers.
+void AppendJsonTable(const std::string& title, const std::vector<std::string>& columns,
+                     const std::vector<std::vector<std::string>>& rows);
+}  // namespace internal
 
 inline double Scale() {
   static const double scale = [] {
@@ -59,6 +69,14 @@ inline sgx::EnclaveConfig BenchEnclave(size_t epc_bytes = kBenchEpcBytes,
 class Table {
  public:
   explicit Table(std::string title) : title_(std::move(title)) {}
+  ~Table() {
+    if (!rows_.empty()) {
+      internal::AppendJsonTable(title_, columns_, rows_);
+    }
+  }
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
 
   void Header(const std::vector<std::string>& columns) {
     columns_ = columns;
@@ -79,11 +97,13 @@ class Table {
     }
     std::printf("\n");
     std::fflush(stdout);
+    rows_.push_back(cells);
   }
 
  private:
   std::string title_;
   std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
 };
 
 inline std::string Fmt(double v, const char* fmt = "%.1f") {
@@ -97,7 +117,11 @@ inline std::string Fmt(double v, const char* fmt = "%.1f") {
 struct RunResult {
   uint64_t ops = 0;
   double seconds = 0;
+  // Per-op latency distribution in nanoseconds (log2-bucketed; empty when
+  // the obs layer is compiled to no-ops and the cycle counter reads 0).
+  obs::HistogramData latency;
   double Kops() const { return seconds > 0 ? static_cast<double>(ops) / seconds / 1000.0 : 0; }
+  double LatencyUs(double q) const { return latency.Quantile(q) / 1e3; }
 };
 
 // Preloads keys [0, num_keys) with version-0 values. Returns false if the

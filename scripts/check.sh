@@ -5,6 +5,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
+# Keep the bench harness's machine-readable BENCH_<name>.json out of the
+# source tree.
+export SHIELD_BENCH_JSON_DIR=build
 
 echo "== tier-1: plain build + ctest =="
 cmake -B build -S . >/dev/null
@@ -30,5 +33,54 @@ echo "== batch throughput bench (smoke) =="
 # Exit code enforces the acceptance gate: kBatch depth 16 >= 2x depth 1
 # against a durable-ack (group-commit window) server.
 ./build/bench/bench_batch_throughput --smoke --out build/BENCH_batch.json
+
+echo "== stats pipeline: live server -> kStats -> invariant check =="
+# End-to-end: real daemon (WAL + self-heal mode), real CLI workload over
+# encrypted sessions, then `stats --check` validates the cross-metric
+# invariants and the Prometheus rendering carries the WAL/stage metrics.
+STATS_DIR="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$STATS_DIR"' EXIT
+./build/tools/shieldstore_server --port 0 --partitions 2 --heal-dir "$STATS_DIR/heal" \
+  --stats-interval-s 1 > "$STATS_DIR/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+  grep -q 'listening on' "$STATS_DIR/server.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$STATS_DIR/server.log")"
+MEAS="$(sed -n 's/.*measurement (give to clients): \([0-9a-f]*\).*/\1/p' "$STATS_DIR/server.log")"
+CLI="./build/tools/shieldstore_cli --port $PORT --measurement $MEAS"
+for i in $(seq 1 20); do $CLI set "key$i" "value$i" > /dev/null; done
+for i in $(seq 1 20); do $CLI get "key$i" > /dev/null; done
+$CLI get missing > /dev/null 2>&1 || true
+$CLI mset b1 v1 b2 v2 b3 v3 > /dev/null
+$CLI mget b1 b2 b3 > /dev/null
+$CLI set ctr 1 > /dev/null
+$CLI incr ctr 5 > /dev/null
+$CLI stats --check > "$STATS_DIR/stats.txt"
+grep -q 'stats check OK' "$STATS_DIR/stats.txt"
+$CLI stats --prometheus > "$STATS_DIR/prom.txt"
+for metric in shield_net_ops_get shield_net_latency_get_count shield_stage_search_decrypt_count \
+              shield_sgx_epc_touches shield_wal_records shield_wal_group_commits \
+              shield_store_partitions; do
+  grep -q "^$metric" "$STATS_DIR/prom.txt" || { echo "missing $metric"; exit 1; }
+done
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+echo "stats pipeline OK"
+
+echo "== metrics overhead gate (< 3% vs no-op build) =="
+# Same bench compiled twice: metrics recording always-on (default) vs
+# compiled to no-ops (-DSHIELD_METRICS=OFF). Recording must keep >= 97% of
+# the no-op throughput.
+cmake -B build-noobs -S . -DSHIELD_METRICS=OFF >/dev/null
+cmake --build build-noobs -j "$JOBS" --target bench_metrics_overhead
+ON_KOPS="$(./build/bench/bench_metrics_overhead --smoke | awk '/^RESULT kops/ {print $3}')"
+OFF_KOPS="$(SHIELD_BENCH_JSON_DIR=build-noobs ./build-noobs/bench/bench_metrics_overhead --smoke | awk '/^RESULT kops/ {print $3}')"
+echo "metrics on: $ON_KOPS Kop/s, metrics off: $OFF_KOPS Kop/s"
+awk -v on="$ON_KOPS" -v off="$OFF_KOPS" 'BEGIN {
+  ratio = off > 0 ? on / off : 0;
+  printf "overhead ratio: %.3f (gate: >= 0.97)\n", ratio;
+  exit ratio >= 0.97 ? 0 : 1;
+}'
 
 echo "All checks passed."

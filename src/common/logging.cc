@@ -1,13 +1,34 @@
 #include "src/common/logging.h"
 
+#include <sys/syscall.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace shield {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
+// Initial level comes from SHIELD_LOG_LEVEL (debug|info|warning|error or
+// 0..3); unset or unrecognized falls back to kWarning (quiet benches).
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("SHIELD_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0 || std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0) return LogLevel::kError;
+  return LogLevel::kWarning;
+}
+
+std::atomic<LogLevel> g_level{LevelFromEnv()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,6 +49,11 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+long CurrentTid() {
+  static thread_local long tid = static_cast<long>(syscall(SYS_gettid));
+  return tid;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -41,7 +67,15 @@ LogLevel GetLogLevel() {
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_buf;
+  localtime_r(&ts.tv_sec, &tm_buf);
+  char when[40];
+  const size_t n = std::strftime(when, sizeof(when), "%m-%d %H:%M:%S", &tm_buf);
+  std::snprintf(when + n, sizeof(when) - n, ".%06ld", ts.tv_nsec / 1000);
+  stream_ << "[" << LevelName(level) << " " << when << " tid=" << CurrentTid() << " "
+          << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -186,6 +186,19 @@ Result<std::vector<Response>> Client::ExecuteBatch(const std::vector<Request>& o
   return responses;
 }
 
+Result<obs::MetricsSnapshot> Client::Stats() {
+  Request request;
+  request.op = OpCode::kStats;
+  Result<Response> response = Execute(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->status != Code::kOk) {
+    return Status(response->status, "stats request rejected");
+  }
+  return obs::DecodeStatsSnapshot(AsBytes(response->value));
+}
+
 Result<std::vector<Response>> Client::MGet(const std::vector<std::string>& keys) {
   std::vector<Request> ops;
   ops.reserve(keys.size());

@@ -11,6 +11,7 @@
 
 #include "src/net/channel.h"
 #include "src/net/protocol.h"
+#include "src/obs/snapshot.h"
 
 namespace shield::net {
 
@@ -63,6 +64,11 @@ class Client {
   // Multi-key conveniences over ExecuteBatch.
   Result<std::vector<Response>> MGet(const std::vector<std::string>& keys);
   Status MSet(const std::vector<std::pair<std::string, std::string>>& pairs);
+
+  // Fetches the server's live metrics snapshot over the kStats verb: per-verb
+  // op counts, latency/stage histograms, EPC + crossing counters, WAL and
+  // self-heal state. A malformed snapshot frame decodes to kProtocolError.
+  Result<obs::MetricsSnapshot> Stats();
 
   // Pipelined interface: up to `depth` Sends may be outstanding before the
   // matching Receives (responses arrive in order).

@@ -74,14 +74,19 @@ void AppendRequest(Bytes& out, const Request& request) {
 }
 
 // Consumes one self-delimiting sub-request from the front of `in`. kBatch
-// is never a valid sub-op (no nesting).
-Status TakeRequest(ByteSpan& in, Request& request) {
+// is never a valid sub-op (no nesting), and kStats is a singleton-frame
+// verb (a snapshot embedded in a batch reply would dwarf the other sub-op
+// responses, so it is rejected at decode time).
+Status TakeRequest(ByteSpan& in, Request& request, bool in_batch) {
   if (in.size() < 9) {
     return Status(Code::kProtocolError, "request too short");
   }
   const uint8_t op = in[0];
-  if (op < 1 || op > 6) {
+  if (op < 1 || op > 8 || op == static_cast<uint8_t>(OpCode::kBatch)) {
     return Status(Code::kProtocolError, "unknown opcode");
+  }
+  if (in_batch && op == static_cast<uint8_t>(OpCode::kStats)) {
+    return Status(Code::kProtocolError, "stats not allowed in a batch");
   }
   request.op = static_cast<OpCode>(op);
   request.delta = static_cast<int64_t>(LoadLe64(in.data() + 1));
@@ -109,7 +114,7 @@ Bytes EncodeRequest(const Request& request) {
 
 Result<Request> DecodeRequest(ByteSpan payload) {
   Request request;
-  if (Status s = TakeRequest(payload, request); !s.ok()) {
+  if (Status s = TakeRequest(payload, request, /*in_batch=*/false); !s.ok()) {
     return s;
   }
   if (!payload.empty()) {
@@ -180,7 +185,7 @@ Result<std::vector<Request>> DecodeBatchRequest(ByteSpan payload) {
   ops.reserve(std::min<size_t>(count, rest.size() / 17 + 1));
   for (uint32_t i = 0; i < count; ++i) {
     Request op;
-    if (Status s = TakeRequest(rest, op); !s.ok()) {
+    if (Status s = TakeRequest(rest, op, /*in_batch=*/true); !s.ok()) {
       return s;
     }
     ops.push_back(std::move(op));

@@ -34,6 +34,10 @@ enum class OpCode : uint8_t {
   // N self-delimiting sub-requests in one frame; one session Seal/Open and
   // one enclave submission amortize over all of them. Never nested.
   kBatch = 7,
+  // Observability: the response value carries a versioned metrics snapshot
+  // frame (src/obs/snapshot.h). Singleton frames only — rejected inside a
+  // kBatch at decode time.
+  kStats = 8,
 };
 
 struct Request {

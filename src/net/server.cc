@@ -13,9 +13,31 @@
 
 namespace shield::net {
 
+namespace {
+
+// Indexed by raw opcode; slot 0 is the "unknown" sentinel.
+constexpr const char* kVerbNames[] = {nullptr,  "get",  "set",   "delete", "append",
+                                      "increment", "ping", "batch", "stats"};
+
+}  // namespace
+
 Server::Server(sgx::Enclave& enclave, kv::KeyValueStore& store,
                const sgx::AttestationAuthority& authority, const ServerOptions& options)
-    : enclave_(enclave), store_(store), authority_(authority), options_(options) {}
+    : enclave_(enclave), store_(store), authority_(authority), options_(options) {
+  metrics_ = options_.metrics != nullptr ? options_.metrics : &obs::Registry::Global();
+  for (size_t op = 1; op < kVerbSlots; ++op) {
+    const std::string verb = kVerbNames[op];
+    op_counters_[op] = &metrics_->GetCounter("net.ops." + verb);
+    op_latency_[op] = &metrics_->GetHistogram("net.latency." + verb);
+    // kBatch/kStats are never valid sub-ops, so no batch counters for them.
+    if (op <= static_cast<size_t>(OpCode::kPing)) {
+      batch_verb_counters_[op] = &metrics_->GetCounter("net.batch_ops." + verb);
+    }
+  }
+  inflight_ = &metrics_->GetGauge("net.inflight");
+  auth_failures_ = &metrics_->GetCounter("net.auth_failures");
+  protocol_errors_ = &metrics_->GetCounter("net.protocol_errors");
+}
 
 Server::~Server() {
   Stop();
@@ -143,6 +165,9 @@ void Server::AcceptLoop() {
 
 Response Server::Dispatch(const Request& request) {
   Response response;
+  if (obs::Counter* c = op_counters_[static_cast<uint8_t>(request.op)]; c != nullptr) {
+    c->Inc();
+  }
   switch (request.op) {
     case OpCode::kGet: {
       Result<std::string> value = store_.Get(request.key);
@@ -173,6 +198,14 @@ Response Server::Dispatch(const Request& request) {
       response.status = Code::kOk;
       response.value = "pong";
       break;
+    case OpCode::kStats: {
+      // Snapshot-on-read: folding the registry and bridging component stats
+      // happens only when a client asks, never on the op hot path.
+      const Bytes frame = obs::EncodeStatsSnapshot(BuildStatsSnapshot());
+      response.status = Code::kOk;
+      response.value.assign(reinterpret_cast<const char*>(frame.data()), frame.size());
+      break;
+    }
     case OpCode::kBatch:
       // Batches are decoded and dispatched by DispatchBatch; a kBatch that
       // reaches here is a sub-op smuggled past decode validation.
@@ -192,6 +225,9 @@ std::vector<Response> Server::DispatchBatch(const std::vector<Request>& ops) {
   index.reserve(ops.size());
   for (size_t i = 0; i < ops.size(); ++i) {
     const Request& r = ops[i];
+    if (obs::Counter* c = batch_verb_counters_[static_cast<uint8_t>(r.op)]; c != nullptr) {
+      c->Inc();
+    }
     kv::BatchOp op;
     switch (r.op) {
       case OpCode::kGet:
@@ -211,6 +247,7 @@ std::vector<Response> Server::DispatchBatch(const std::vector<Request>& ops) {
         break;
       case OpCode::kPing:
       case OpCode::kBatch:  // decode rejects nested batches
+      case OpCode::kStats:  // decode rejects stats inside a batch
         responses[i].status = r.op == OpCode::kPing ? Code::kOk : Code::kProtocolError;
         if (r.op == OpCode::kPing) {
           responses[i].value = "pong";
@@ -243,39 +280,60 @@ std::vector<Response> Server::DispatchBatch(const std::vector<Request>& ops) {
   return responses;
 }
 
-Bytes Server::ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status) {
-  Result<Bytes> plaintext = session.Open(record);
+Bytes Server::ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status,
+                               uint8_t* verb) {
+  *verb = 0;  // unknown until decoded; e2e latency is attributed per verb
+  auto seal = [&](const Bytes& payload) {
+    obs::ScopedStage stage(metrics_, obs::Stage::kSessionSeal);
+    return session.Seal(payload);
+  };
+  Result<Bytes> plaintext = [&] {
+    obs::ScopedStage stage(metrics_, obs::Stage::kSessionOpen);
+    return session.Open(record);
+  }();
   if (!plaintext.ok()) {
     // Unauthentic or malformed record. Nothing in it can be trusted, so do
     // not dispatch — but do tell the client why it is being dropped, with a
     // sealed typed error rather than a silent hangup.
     *status = plaintext.status();
+    auth_failures_->Inc();
     Response response;
     response.status = Code::kProtocolError;
-    return session.Seal(EncodeResponse(response));
+    return seal(EncodeResponse(response));
   }
   if (IsBatchRequest(*plaintext)) {
     // One Open above and one Seal below cover every sub-op in the frame —
     // the whole point of the batch opcode. A malformed batch answers with a
     // SINGLE typed error (the client's decoder falls back on the marker).
     *status = Status::Ok();
-    Result<std::vector<Request>> batch = DecodeBatchRequest(*plaintext);
+    Result<std::vector<Request>> batch = [&] {
+      obs::ScopedStage stage(metrics_, obs::Stage::kDecode);
+      return DecodeBatchRequest(*plaintext);
+    }();
     if (!batch.ok()) {
+      protocol_errors_->Inc();
       Response response;
       response.status = Code::kProtocolError;
-      return session.Seal(EncodeResponse(response));
+      return seal(EncodeResponse(response));
     }
-    return session.Seal(EncodeBatchResponse(DispatchBatch(*batch)));
+    *verb = static_cast<uint8_t>(OpCode::kBatch);
+    op_counters_[*verb]->Inc();
+    return seal(EncodeBatchResponse(DispatchBatch(*batch)));
   }
-  Result<Request> request = DecodeRequest(*plaintext);
+  Result<Request> request = [&] {
+    obs::ScopedStage stage(metrics_, obs::Stage::kDecode);
+    return DecodeRequest(*plaintext);
+  }();
   Response response;
   if (!request.ok()) {
+    protocol_errors_->Inc();
     response.status = Code::kProtocolError;
   } else {
+    *verb = static_cast<uint8_t>(request->op);
     response = Dispatch(*request);
   }
   *status = Status::Ok();
-  return session.Seal(EncodeResponse(response));
+  return seal(EncodeResponse(response));
 }
 
 void Server::EnclaveWorkerLoop() {
@@ -290,8 +348,8 @@ void Server::EnclaveWorkerLoop() {
   while (!hotcalls_->stopped()) {
     if (hotcalls_->Poll([this](uint16_t, void* data) {
           HotCallTask* task = static_cast<HotCallTask*>(data);
-          task->response_record =
-              ProcessInEnclave(*task->session, *task->request_record, &task->status);
+          task->response_record = ProcessInEnclave(*task->session, *task->request_record,
+                                                   &task->status, &task->verb);
         })) {
       idle_polls = 0;
     } else if (++idle_polls < kIdleSpinPolls || options_.hotcall_idle_sleep_us <= 0) {
@@ -305,7 +363,7 @@ void Server::EnclaveWorkerLoop() {
   while (hotcalls_->Poll([this](uint16_t, void* data) {
     HotCallTask* task = static_cast<HotCallTask*>(data);
     task->response_record =
-        ProcessInEnclave(*task->session, *task->request_record, &task->status);
+        ProcessInEnclave(*task->session, *task->request_record, &task->status, &task->verb);
   })) {
   }
 }
@@ -326,22 +384,35 @@ void Server::ServeConnection(int fd) {
     if (!record.ok()) {
       break;  // client went away
     }
+    const uint64_t t_start = obs::TimerStart();
+    inflight_->Add(1);
     Bytes response_record;
     Status status;
+    uint8_t verb = 0;
     if (options_.use_hotcalls) {
       HotCallTask task;
       task.session = &session;
       task.request_record = &record.value();
-      if (!hotcalls_->Call(0, &task)) {
+      bool submitted;
+      {
+        // Boundary round-trip: post in shared memory -> responder done flag.
+        obs::ScopedStage stage(metrics_, obs::Stage::kEnclaveSubmit);
+        submitted = hotcalls_->Call(0, &task);
+      }
+      if (!submitted) {
+        inflight_->Add(-1);
         break;  // server stopping
       }
       status = task.status;
+      verb = task.verb;
       response_record = std::move(task.response_record);
     } else {
       // Classic path: one ECALL (two crossings) per request.
+      obs::ScopedStage stage(metrics_, obs::Stage::kEnclaveSubmit);
       response_record = enclave_.boundary().Ecall(
-          [&] { return ProcessInEnclave(session, record.value(), &status); });
+          [&] { return ProcessInEnclave(session, record.value(), &status, &verb); });
     }
+    inflight_->Add(-1);
     if (!status.ok()) {
       // Unauthentic record: answer with the typed protocol error (best
       // effort), then drop only THIS connection. The accept loop and every
@@ -355,8 +426,48 @@ void Server::ServeConnection(int fd) {
     if (!SendFrame(fd, response_record).ok()) {
       break;
     }
+    if (verb != 0 && verb < kVerbSlots) {
+      // End-to-end server-side latency: frame received -> response sent.
+      op_latency_[verb]->RecordCycles(obs::TimerStart() - t_start);
+    }
   }
   close(fd);
+}
+
+obs::MetricsSnapshot Server::BuildStatsSnapshot() {
+  obs::MetricsSnapshot snap = metrics_->Snapshot();
+  // Frame-level totals kept in plain server atomics (pre-registry API).
+  snap.SetCounter("net.requests", requests_.load(std::memory_order_relaxed));
+  snap.SetCounter("net.batches", batches_.load(std::memory_order_relaxed));
+  snap.SetCounter("net.batch_ops", batch_ops_.load(std::memory_order_relaxed));
+  snap.SetCounter("net.crossings_saved", crossings_saved_.load(std::memory_order_relaxed));
+  snap.SetCounter("net.maintenance_ticks", maintenance_ticks_.load(std::memory_order_relaxed));
+  // Store-level stats through the kv interface (atomic per-field folds).
+  const kv::StoreStats ss = store_.stats();
+  snap.SetCounter("store.gets", ss.gets);
+  snap.SetCounter("store.sets", ss.sets);
+  snap.SetCounter("store.deletes", ss.deletes);
+  snap.SetCounter("store.appends", ss.appends);
+  snap.SetCounter("store.hits", ss.hits);
+  snap.SetCounter("store.misses", ss.misses);
+  snap.SetCounter("store.decryptions", ss.decryptions);
+  snap.SetCounter("store.mac_verifications", ss.mac_verifications);
+  snap.SetCounter("store.cache_hits", ss.cache_hits);
+  // Enclave-boundary and EPC paging counters (§6: crossing + paging costs).
+  const sgx::EpcStats epc = enclave_.epc().stats();
+  snap.SetCounter("sgx.epc.touches", epc.touches);
+  snap.SetCounter("sgx.epc.faults", epc.faults);
+  snap.SetCounter("sgx.epc.evictions", epc.evictions);
+  snap.SetGauge("sgx.epc.resident_pages", static_cast<int64_t>(epc.resident_pages));
+  snap.SetCounter("sgx.ecalls", enclave_.boundary().ecall_count());
+  snap.SetCounter("sgx.ocalls", enclave_.boundary().ocall_count());
+  if (hotcalls_ != nullptr) {
+    snap.SetCounter("sgx.hotcalls", hotcalls_->calls_served());
+  }
+  if (options_.stats_augment) {
+    options_.stats_augment(snap);
+  }
+  return snap;
 }
 
 }  // namespace shield::net

@@ -19,6 +19,8 @@
 #include "src/kv/interface.h"
 #include "src/net/channel.h"
 #include "src/net/protocol.h"
+#include "src/obs/metrics.h"
+#include "src/obs/snapshot.h"
 #include "src/sgx/attestation.h"
 #include "src/sgx/enclave.h"
 #include "src/sgx/hotcalls.h"
@@ -36,6 +38,18 @@ struct ServerOptions {
   // core with yield() forever. 0 = legacy pure-spin (dedicated cores).
   // First-request latency after an idle period is bounded by this value.
   int hotcall_idle_sleep_us = 50;
+
+  // Metrics registry for per-verb counters, end-to-end latency histograms,
+  // the in-flight gauge, and the enclave-boundary stage tracer. nullptr
+  // uses the process-wide obs::Registry::Global(); tests inject a fresh
+  // registry for exact-count assertions.
+  obs::Registry* metrics = nullptr;
+
+  // Optional extension hook for BuildStatsSnapshot: the deployment adds
+  // component stats the net layer cannot see (WAL shards, self-healer,
+  // per-partition quarantine) before the snapshot is encoded for kStats or
+  // rendered for the daemon's --stats line.
+  std::function<void(obs::MetricsSnapshot&)> stats_augment;
 
   // Background maintenance, run on a dedicated thread for the server's
   // lifetime: called every maintenance_interval_ms while serving. The
@@ -76,12 +90,20 @@ class Server {
     return crossings_saved_.load(std::memory_order_relaxed);
   }
 
+  // One tear-free fold of everything observable from this server: the
+  // registry (per-verb counters, latency + stage histograms), the store's
+  // kv::StoreStats, EPC paging and crossing counters from the enclave, and
+  // whatever the deployment's stats_augment hook adds. This is the payload
+  // of the kStats protocol verb and the daemon's --stats line.
+  obs::MetricsSnapshot BuildStatsSnapshot();
+
  private:
   struct HotCallTask {
     SessionCrypto* session;
     const Bytes* request_record;
     Bytes response_record;
     Status status;
+    uint8_t verb = 0;  // decoded opcode, 0 until known (for e2e latency)
   };
 
   void AcceptLoop();
@@ -90,7 +112,7 @@ class Server {
   void MaintenanceLoop();
   // Enclave-side request processing: open the record, run the operation,
   // seal the response. Used by both entry mechanisms.
-  Bytes ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status);
+  Bytes ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status, uint8_t* verb);
   Response Dispatch(const Request& request);
   std::vector<Response> DispatchBatch(const std::vector<Request>& ops);
 
@@ -119,6 +141,17 @@ class Server {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batch_ops_{0};
   std::atomic<uint64_t> crossings_saved_{0};
+
+  // Metric handles, cached at construction (registry lookups take a mutex).
+  // Verb-indexed arrays use the raw opcode (1..8); slot 0 stays null.
+  static constexpr size_t kVerbSlots = 9;
+  obs::Registry* metrics_ = nullptr;
+  obs::Counter* op_counters_[kVerbSlots] = {};        // net.ops.<verb>
+  obs::Counter* batch_verb_counters_[kVerbSlots] = {};  // net.batch_ops.<verb>
+  obs::Histogram* op_latency_[kVerbSlots] = {};       // net.latency.<verb>, e2e ns
+  obs::Gauge* inflight_ = nullptr;                    // net.inflight
+  obs::Counter* auth_failures_ = nullptr;             // net.auth_failures
+  obs::Counter* protocol_errors_ = nullptr;           // net.protocol_errors
 };
 
 }  // namespace shield::net

@@ -1,0 +1,339 @@
+#include "src/obs/snapshot.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <ctime>
+
+namespace shield::obs {
+
+namespace {
+
+// Decode cursor helpers; every read is bounds-checked against the span.
+bool TakeU8(ByteSpan& in, uint8_t* out) {
+  if (in.size() < 1) return false;
+  *out = in[0];
+  in = in.subspan(1);
+  return true;
+}
+
+bool TakeU32(ByteSpan& in, uint32_t* out) {
+  if (in.size() < 4) return false;
+  *out = LoadLe32(in.data());
+  in = in.subspan(4);
+  return true;
+}
+
+bool TakeU64(ByteSpan& in, uint64_t* out) {
+  if (in.size() < 8) return false;
+  *out = LoadLe64(in.data());
+  in = in.subspan(8);
+  return true;
+}
+
+void PutU8(Bytes& out, uint8_t v) { out.push_back(v); }
+
+void PutU32(Bytes& out, uint32_t v) {
+  uint8_t buf[4];
+  StoreLe32(buf, v);
+  out.insert(out.end(), buf, buf + 4);
+}
+
+void PutU64(Bytes& out, uint64_t v) {
+  uint8_t buf[8];
+  StoreLe64(buf, v);
+  out.insert(out.end(), buf, buf + 8);
+}
+
+Status Malformed(const char* what) { return Status(Code::kProtocolError, what); }
+
+std::string PrometheusName(std::string_view prefix, std::string_view name) {
+  std::string out(prefix);
+  out.push_back('_');
+  for (char c : name) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    out.push_back(word ? c : '_');
+  }
+  return out;
+}
+
+void AppendLine(std::string& out, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+void AppendLine(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out.append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+}  // namespace
+
+uint64_t WallClockNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+const Metric* MetricsSnapshot::Find(std::string_view name) const {
+  auto it = std::lower_bound(metrics.begin(), metrics.end(), name,
+                             [](const Metric& m, std::string_view key) { return m.name < key; });
+  if (it == metrics.end() || it->name != name) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name, uint64_t fallback) const {
+  const Metric* m = Find(name);
+  return m != nullptr && m->type == MetricType::kCounter ? m->counter : fallback;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name, int64_t fallback) const {
+  const Metric* m = Find(name);
+  return m != nullptr && m->type == MetricType::kGauge ? m->gauge : fallback;
+}
+
+const HistogramData* MetricsSnapshot::Histogram(std::string_view name) const {
+  const Metric* m = Find(name);
+  return m != nullptr && m->type == MetricType::kHistogram ? &m->histogram : nullptr;
+}
+
+Metric& MetricsSnapshot::Upsert(std::string_view name, MetricType type) {
+  auto it = std::lower_bound(metrics.begin(), metrics.end(), name,
+                             [](const Metric& m, std::string_view key) { return m.name < key; });
+  if (it == metrics.end() || it->name != name) {
+    Metric m;
+    m.name = std::string(name);
+    it = metrics.insert(it, std::move(m));
+  }
+  it->type = type;
+  return *it;
+}
+
+void MetricsSnapshot::SetCounter(std::string_view name, uint64_t value) {
+  Upsert(name, MetricType::kCounter).counter = value;
+}
+
+void MetricsSnapshot::SetGauge(std::string_view name, int64_t value) {
+  Upsert(name, MetricType::kGauge).gauge = value;
+}
+
+void MetricsSnapshot::SetHistogram(std::string_view name, HistogramData data) {
+  Upsert(name, MetricType::kHistogram).histogram = std::move(data);
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.unix_nanos = WallClockNanos();
+  Visit(
+      [&snap](const std::string& name, const Counter& c) { snap.SetCounter(name, c.Value()); },
+      [&snap](const std::string& name, const Gauge& g) { snap.SetGauge(name, g.Value()); },
+      [&snap](const std::string& name, const Histogram& h) { snap.SetHistogram(name, h.Data()); });
+  return snap;
+}
+
+MetricsSnapshot Delta(const MetricsSnapshot& earlier, const MetricsSnapshot& later) {
+  MetricsSnapshot out = later;
+  out.unix_nanos = later.unix_nanos >= earlier.unix_nanos ? later.unix_nanos - earlier.unix_nanos : 0;
+  for (Metric& m : out.metrics) {
+    const Metric* base = earlier.Find(m.name);
+    if (base == nullptr || base->type != m.type) {
+      continue;
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+        m.counter = m.counter >= base->counter ? m.counter - base->counter : 0;
+        break;
+      case MetricType::kGauge:
+        break;  // gauges are levels, not rates
+      case MetricType::kHistogram:
+        m.histogram.Subtract(base->histogram);
+        break;
+    }
+  }
+  return out;
+}
+
+Bytes EncodeStatsSnapshot(const MetricsSnapshot& snapshot) {
+  Bytes out;
+  out.reserve(64 + snapshot.metrics.size() * 48);
+  PutU32(out, kStatsMagic);
+  PutU32(out, snapshot.version);
+  PutU64(out, snapshot.unix_nanos);
+  PutU32(out, static_cast<uint32_t>(snapshot.metrics.size()));
+  for (const Metric& m : snapshot.metrics) {
+    PutU32(out, static_cast<uint32_t>(m.name.size()));
+    out.insert(out.end(), m.name.begin(), m.name.end());
+    PutU8(out, static_cast<uint8_t>(m.type));
+    switch (m.type) {
+      case MetricType::kCounter:
+        PutU64(out, m.counter);
+        break;
+      case MetricType::kGauge:
+        PutU64(out, static_cast<uint64_t>(m.gauge));
+        break;
+      case MetricType::kHistogram: {
+        PutU64(out, m.histogram.count);
+        PutU64(out, m.histogram.sum);
+        PutU64(out, m.histogram.max);
+        PutU32(out, static_cast<uint32_t>(m.histogram.buckets.size()));
+        for (const auto& [index, n] : m.histogram.buckets) {
+          PutU32(out, index);
+          PutU64(out, n);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<MetricsSnapshot> DecodeStatsSnapshot(ByteSpan payload) {
+  MetricsSnapshot snap;
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  uint64_t nanos = 0;
+  if (!TakeU32(payload, &magic) || magic != kStatsMagic) {
+    return Malformed("stats snapshot: bad magic");
+  }
+  if (!TakeU32(payload, &snap.version) || snap.version != kStatsVersion) {
+    return Malformed("stats snapshot: unsupported version");
+  }
+  if (!TakeU64(payload, &nanos)) {
+    return Malformed("stats snapshot: truncated header");
+  }
+  snap.unix_nanos = nanos;
+  if (!TakeU32(payload, &count) || count > kMaxSnapshotMetrics) {
+    return Malformed("stats snapshot: metric count out of range");
+  }
+  snap.metrics.reserve(count);
+  std::string previous_name;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!TakeU32(payload, &name_len) || name_len == 0 || name_len > kMaxMetricNameBytes) {
+      return Malformed("stats snapshot: metric name length out of range");
+    }
+    if (payload.size() < name_len) {
+      return Malformed("stats snapshot: truncated metric name");
+    }
+    Metric m;
+    m.name.assign(reinterpret_cast<const char*>(payload.data()), name_len);
+    payload = payload.subspan(name_len);
+    if (i > 0 && !(previous_name < m.name)) {
+      return Malformed("stats snapshot: metric names not strictly ascending");
+    }
+    previous_name = m.name;
+    uint8_t type = 0;
+    if (!TakeU8(payload, &type) || type > static_cast<uint8_t>(MetricType::kHistogram)) {
+      return Malformed("stats snapshot: unknown metric type");
+    }
+    m.type = static_cast<MetricType>(type);
+    switch (m.type) {
+      case MetricType::kCounter:
+        if (!TakeU64(payload, &m.counter)) {
+          return Malformed("stats snapshot: truncated counter");
+        }
+        break;
+      case MetricType::kGauge: {
+        uint64_t raw = 0;
+        if (!TakeU64(payload, &raw)) {
+          return Malformed("stats snapshot: truncated gauge");
+        }
+        m.gauge = static_cast<int64_t>(raw);
+        break;
+      }
+      case MetricType::kHistogram: {
+        uint32_t nbuckets = 0;
+        if (!TakeU64(payload, &m.histogram.count) || !TakeU64(payload, &m.histogram.sum) ||
+            !TakeU64(payload, &m.histogram.max)) {
+          return Malformed("stats snapshot: truncated histogram header");
+        }
+        if (!TakeU32(payload, &nbuckets) || nbuckets > Histogram::kNumBuckets) {
+          return Malformed("stats snapshot: histogram bucket count out of range");
+        }
+        uint64_t total = 0;
+        int last_index = -1;
+        m.histogram.buckets.reserve(nbuckets);
+        for (uint32_t b = 0; b < nbuckets; ++b) {
+          uint32_t index = 0;
+          uint64_t n = 0;
+          if (!TakeU32(payload, &index) || !TakeU64(payload, &n)) {
+            return Malformed("stats snapshot: truncated histogram bucket");
+          }
+          if (index >= Histogram::kNumBuckets || static_cast<int>(index) <= last_index || n == 0) {
+            return Malformed("stats snapshot: invalid histogram bucket");
+          }
+          last_index = static_cast<int>(index);
+          total += n;
+          m.histogram.buckets.emplace_back(static_cast<uint16_t>(index), n);
+        }
+        if (total != m.histogram.count) {
+          return Malformed("stats snapshot: histogram count mismatch");
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  if (!payload.empty()) {
+    return Malformed("stats snapshot: trailing bytes");
+  }
+  return snap;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot, std::string_view prefix) {
+  std::string out;
+  out.reserve(snapshot.metrics.size() * 64);
+  for (const Metric& m : snapshot.metrics) {
+    const std::string name = PrometheusName(prefix, m.name);
+    switch (m.type) {
+      case MetricType::kCounter:
+        AppendLine(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(), name.c_str(), m.counter);
+        break;
+      case MetricType::kGauge:
+        AppendLine(out, "# TYPE %s gauge\n%s %" PRId64 "\n", name.c_str(), name.c_str(), m.gauge);
+        break;
+      case MetricType::kHistogram: {
+        AppendLine(out, "# TYPE %s summary\n", name.c_str());
+        for (const double q : {0.5, 0.95, 0.99}) {
+          AppendLine(out, "%s{quantile=\"%.2g\"} %.0f\n", name.c_str(), q, m.histogram.Quantile(q));
+        }
+        AppendLine(out, "%s_max %" PRIu64 "\n", name.c_str(), m.histogram.max);
+        AppendLine(out, "%s_sum %" PRIu64 "\n", name.c_str(), m.histogram.sum);
+        AppendLine(out, "%s_count %" PRIu64 "\n", name.c_str(), m.histogram.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderTable(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.metrics.size() * 80);
+  AppendLine(out, "%-40s %14s  %s\n", "metric", "value", "detail");
+  for (const Metric& m : snapshot.metrics) {
+    switch (m.type) {
+      case MetricType::kCounter:
+        AppendLine(out, "%-40s %14" PRIu64 "\n", m.name.c_str(), m.counter);
+        break;
+      case MetricType::kGauge:
+        AppendLine(out, "%-40s %14" PRId64 "  gauge\n", m.name.c_str(), m.gauge);
+        break;
+      case MetricType::kHistogram:
+        AppendLine(out, "%-40s %14" PRIu64 "  p50=%.0f p95=%.0f p99=%.0f max=%" PRIu64 " mean=%.0f\n",
+                   m.name.c_str(), m.histogram.count, m.histogram.Quantile(0.5),
+                   m.histogram.Quantile(0.95), m.histogram.Quantile(0.99), m.histogram.max,
+                   m.histogram.Mean());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace shield::obs

@@ -1,0 +1,86 @@
+// Tear-free metric snapshots: a point-in-time fold of a Registry (or of
+// bridged component stats), a Delta() for rate logging, a versioned wire
+// codec for the kStats protocol verb, and text renderings (Prometheus-style
+// exposition + a human table).
+#ifndef SHIELDSTORE_SRC_OBS_SNAPSHOT_H_
+#define SHIELDSTORE_SRC_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+
+namespace shield::obs {
+
+// Wire framing for EncodeStatsSnapshot/DecodeStatsSnapshot.
+inline constexpr uint32_t kStatsMagic = 0x31545353;  // "SST1" little-endian
+inline constexpr uint32_t kStatsVersion = 1;
+inline constexpr size_t kMaxSnapshotMetrics = 4096;
+inline constexpr size_t kMaxMetricNameBytes = 256;
+
+enum class MetricType : uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+struct Metric {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  uint64_t counter = 0;    // kCounter
+  int64_t gauge = 0;       // kGauge
+  HistogramData histogram;  // kHistogram
+};
+
+// A point-in-time view of every metric, sorted by name. Values are folded
+// with relaxed loads, so each individual metric is tear-free; the snapshot
+// as a whole is causally consistent enough for rate math and invariants
+// checked over a quiesced store.
+struct MetricsSnapshot {
+  uint32_t version = kStatsVersion;
+  uint64_t unix_nanos = 0;  // wall-clock capture time
+  std::vector<Metric> metrics;
+
+  const Metric* Find(std::string_view name) const;
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+  uint64_t CounterValue(std::string_view name, uint64_t fallback = 0) const;
+  int64_t GaugeValue(std::string_view name, int64_t fallback = 0) const;
+  const HistogramData* Histogram(std::string_view name) const;
+
+  // Insert-or-assign keeping name order; used by component stat bridges.
+  void SetCounter(std::string_view name, uint64_t value);
+  void SetGauge(std::string_view name, int64_t value);
+  void SetHistogram(std::string_view name, HistogramData data);
+
+ private:
+  Metric& Upsert(std::string_view name, MetricType type);
+};
+
+// Counter/histogram difference `later - earlier` (saturating at zero);
+// gauges keep their `later` value. Metrics missing from `earlier` pass
+// through unchanged. unix_nanos is the covered interval in nanoseconds.
+MetricsSnapshot Delta(const MetricsSnapshot& earlier, const MetricsSnapshot& later);
+
+// Versioned binary codec. Decode is fully bounds-checked and returns a
+// typed kProtocolError on any malformed input.
+Bytes EncodeStatsSnapshot(const MetricsSnapshot& snapshot);
+Result<MetricsSnapshot> DecodeStatsSnapshot(ByteSpan payload);
+
+// Prometheus-style exposition text: one "<prefix>_<name>" line per counter
+// and gauge, and quantile/count/sum lines per histogram. Metric-name dots
+// become underscores.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot, std::string_view prefix = "shield");
+
+// Aligned human-readable table used by the CLI stats command.
+std::string RenderTable(const MetricsSnapshot& snapshot);
+
+// Current wall clock in nanoseconds since the epoch (snapshot timestamps).
+uint64_t WallClockNanos();
+
+}  // namespace shield::obs
+
+#endif  // SHIELDSTORE_SRC_OBS_SNAPSHOT_H_

@@ -68,6 +68,11 @@ struct OpLogOptions {
   // split and may share keys with every shard). 0 = auto (bounded by the
   // hardware); 1 = sequential.
   size_t replay_threads = 0;
+
+  // Observability: registry receiving the WAL-append / commit-wait stage
+  // histograms and the group-commit batch-size distribution (interpreted by
+  // WriteAheadStore). nullptr uses obs::Registry::Global().
+  obs::Registry* metrics = nullptr;
 };
 
 class OperationLog {

@@ -9,6 +9,10 @@
 
 #include "src/common/bytes.h"
 
+namespace shield::obs {
+class Registry;
+}
+
 namespace shield::shieldstore {
 
 struct Options {
@@ -49,6 +53,11 @@ struct Options {
 
   // Master secret; empty => drawn from the enclave's DRBG.
   Bytes master_key;
+
+  // Observability: registry receiving the store's stage latency histograms
+  // (MAC verify, bucket search/decrypt, MAC-batch close). nullptr uses the
+  // process-wide obs::Registry::Global(); tests inject their own.
+  obs::Registry* metrics = nullptr;
 };
 
 }  // namespace shield::shieldstore

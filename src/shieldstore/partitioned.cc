@@ -1,5 +1,7 @@
 #include "src/shieldstore/partitioned.h"
 
+#include "src/obs/snapshot.h"
+
 #include <unistd.h>
 
 #include <cstdio>
@@ -117,6 +119,23 @@ size_t PartitionedStore::QuarantinedCount() const {
     count += flag->load(std::memory_order_acquire) ? 1 : 0;
   }
   return count;
+}
+
+void PartitionedStore::BridgeStats(obs::MetricsSnapshot& snap) const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  snap.SetGauge("store.partitions", static_cast<int64_t>(partitions_.size()));
+  snap.SetCounter("store.scrub_cycles", scrub_cycles_.load(std::memory_order_relaxed));
+  int64_t quarantined = 0;
+  for (size_t p = 0; p < quarantined_.size(); ++p) {
+    const bool q = quarantined_[p]->load(std::memory_order_acquire);
+    quarantined += q ? 1 : 0;
+    if (q) {
+      // One gauge per quarantined partition: operators see WHICH partition
+      // is recovering, not just how many. Healthy partitions emit nothing.
+      snap.SetGauge("store.partition." + std::to_string(p) + ".quarantined", 1);
+    }
+  }
+  snap.SetGauge("store.quarantined", quarantined);
 }
 
 Status PartitionedStore::ScrubAll() {

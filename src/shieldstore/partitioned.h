@@ -86,6 +86,11 @@ class PartitionedStore : public kv::KeyValueStore {
   // Completed full-store scrub passes (every partition wrapped once).
   uint64_t scrub_cycles() const { return scrub_cycles_.load(std::memory_order_relaxed); }
 
+  // Folds partition-level health (partition count, quarantined set, scrub
+  // progress) into a metrics snapshot (store.* namespace) — wired into the
+  // server's kStats frame via ServerOptions::stats_augment.
+  void BridgeStats(obs::MetricsSnapshot& snap) const;
+
   // Runs `fn` on partition `p`'s store while holding that partition's
   // facade lock — maintenance/adversary access that stays atomic with
   // respect to concurrent facade operations (a TamperAgent racing live

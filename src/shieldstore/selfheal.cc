@@ -6,6 +6,7 @@
 
 #include "src/common/cycles.h"
 #include "src/common/logging.h"
+#include "src/obs/snapshot.h"
 
 namespace shield::shieldstore {
 namespace {
@@ -35,6 +36,10 @@ WriteAheadStore::WriteAheadStore(PartitionedStore& inner, const sgx::SealingServ
                                  sgx::MonotonicCounterService& counters,
                                  const OpLogOptions& options)
     : inner_(inner), sealer_(sealer), counters_(counters), options_(options) {
+  metrics_ = options_.metrics != nullptr ? options_.metrics : &obs::Registry::Global();
+  commit_batch_hist_ = &metrics_->GetHistogram("wal.commit_batch_ops");
+  group_commits_ = &metrics_->GetCounter("wal.group_commits");
+  compacted_bytes_ = &metrics_->GetCounter("wal.compacted_bytes");
   BuildShards();
   // Direct Repartition() would re-route keys without re-splitting the shard
   // logs, silently corrupting recovery; force callers through our facade.
@@ -79,6 +84,7 @@ Status WriteAheadStore::AppendLocked(Shard& s, bool is_delete, std::string_view 
   if (s.log == nullptr) {
     return Status(Code::kInvalidArgument, "log not open");
   }
+  obs::ScopedStage stage(metrics_, obs::Stage::kWalAppend);
   if (options_.group_commit_window_us == 0) {
     // Legacy cadence: ack ⇒ logged; the log fsyncs itself every
     // group_commit_ops records.
@@ -103,6 +109,7 @@ Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& loc
   if (options_.group_commit_window_us == 0) {
     return Status::Ok();
   }
+  obs::ScopedStage stage(metrics_, obs::Stage::kCommitWait);
   const auto window = std::chrono::microseconds(options_.group_commit_window_us);
   for (;;) {
     if (!s.failed.ok()) {
@@ -136,6 +143,11 @@ Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& loc
     }
     s.committing = false;
     if (st.ok()) {
+      // The leader just made (upto - durable) records durable in one
+      // counter bump + fsync: the amortization the batch-size histogram
+      // exists to show.
+      group_commits_->Inc();
+      commit_batch_hist_->Record(upto - s.durable);
       s.durable = std::max(s.durable, upto);
       if (s.appended > s.durable) {
         // Records that arrived during the fsync open the next window now.
@@ -440,6 +452,7 @@ Status WriteAheadStore::CompactShard(size_t shard_index, const std::string& dire
     return Status(Code::kIoError, "injected crash before log truncate");
   }
   // 3. Truncate: the new generation subsumes everything the log held.
+  compacted_bytes_->Inc(s.log->log_bytes());
   if (Status st = s.log->Reset(); !st.ok()) {
     s.failed = st;  // log state unknown: stop acking against this shard
     s.cv.notify_all();
@@ -697,6 +710,16 @@ WalStats WriteAheadStore::Stats() const {
   return total;
 }
 
+void WriteAheadStore::BridgeStats(obs::MetricsSnapshot& snap) const {
+  const WalStats ws = Stats();
+  snap.SetCounter("wal.records", ws.records_logged);
+  snap.SetCounter("wal.commits", ws.commits);
+  snap.SetCounter("wal.fsyncs", ws.fsyncs);
+  snap.SetCounter("wal.compactions", ws.compactions);
+  snap.SetGauge("wal.log_bytes", static_cast<int64_t>(ws.log_bytes));
+  snap.SetGauge("wal.shards", static_cast<int64_t>(ws.shards));
+}
+
 SelfHealer::SelfHealer(WriteAheadStore& wal, const sgx::SealingService& sealer,
                        sgx::MonotonicCounterService& counters, SelfHealOptions options)
     : wal_(wal), sealer_(sealer), counters_(counters), options_(std::move(options)),
@@ -808,6 +831,14 @@ void SelfHealer::Tick() {
       last_error_ = s;
     }
   }
+}
+
+void SelfHealer::BridgeStats(obs::MetricsSnapshot& snap) const {
+  snap.SetCounter("heal.ticks", ticks());
+  snap.SetCounter("heal.recoveries", recoveries());
+  snap.SetCounter("heal.failed_recoveries", failed_recoveries());
+  snap.SetCounter("heal.violations_detected", violations_detected());
+  snap.SetCounter("heal.compactions", compactions());
 }
 
 }  // namespace shield::shieldstore

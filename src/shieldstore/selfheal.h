@@ -167,6 +167,11 @@ class WriteAheadStore : public kv::KeyValueStore {
   WalStats Stats() const;
   uint64_t records_logged() const { return Stats().records_logged; }
 
+  // Folds WalStats plus the group-commit batch-size histogram into a metrics
+  // snapshot (wal.* namespace) — wired into the server's kStats frame via
+  // ServerOptions::stats_augment.
+  void BridgeStats(obs::MetricsSnapshot& snap) const;
+
  private:
   struct Shard {
     explicit Shard(OpLogOptions opts) : options(std::move(opts)) {}
@@ -206,6 +211,12 @@ class WriteAheadStore : public kv::KeyValueStore {
   mutable std::shared_mutex structure_mutex_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> compactions_{0};
+
+  // Metric handles cached at construction (see OpLogOptions::metrics).
+  obs::Registry* metrics_ = nullptr;
+  obs::Histogram* commit_batch_hist_ = nullptr;  // wal.commit_batch_ops (records/commit)
+  obs::Counter* group_commits_ = nullptr;        // wal.group_commits
+  obs::Counter* compacted_bytes_ = nullptr;      // wal.compacted_bytes
 };
 
 struct SelfHealOptions {
@@ -267,6 +278,9 @@ class SelfHealer {
   }
   uint64_t compactions() const { return compactions_.load(std::memory_order_relaxed); }
   Status last_error() const;
+
+  // Folds healer state into a metrics snapshot (heal.* namespace).
+  void BridgeStats(obs::MetricsSnapshot& snap) const;
 
  private:
   Status RecoverOne(size_t p);

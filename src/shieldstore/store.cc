@@ -93,6 +93,7 @@ uint64_t UntrustedHeap::ocall_count() const {
 Store::Store(sgx::Enclave& enclave, const Options& options)
     : enclave_(enclave), options_(options) {
   assert(options_.num_buckets > 0);
+  metrics_ = options_.metrics != nullptr ? options_.metrics : &obs::Registry::Global();
   num_mac_hashes_ = options_.num_mac_hashes == 0
                         ? options_.num_buckets
                         : std::min(options_.num_mac_hashes, options_.num_buckets);
@@ -214,7 +215,8 @@ Status Store::VerifyBucketSet(size_t set) {
   if (!options_.integrity) {
     return Status::Ok();
   }
-  stats_.mac_verifications++;
+  obs::ScopedStage stage(metrics_, obs::Stage::kMacVerify);
+  stats_.mac_verifications.fetch_add(1, std::memory_order_relaxed);
   const crypto::Mac computed = ComputeBucketSetMac(set);
   if (SetInitialized(set)) {
     enclave_.Touch(&mac_hashes_[set], 16);
@@ -261,6 +263,9 @@ void Store::EndMacBatch() {
   if (!mac_batch_active_) {
     return;
   }
+  // Stage-traced: closing the scope pays the deferred one-recompute-per-
+  // touched-set cost that the batch amortized.
+  obs::ScopedStage stage(metrics_, obs::Stage::kMacBatch);
   mac_batch_active_ = false;
   for (const uint32_t set : mac_batch_touched_) {
     if (mac_batch_state_[set] == 2) {
@@ -368,6 +373,7 @@ void Store::UpdateMacBucketSlot(size_t bucket_index, size_t position, const uint
 
 Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key, uint8_t hint,
                                              bool full_walk) {
+  obs::ScopedStage stage(metrics_, obs::Stage::kSearchDecrypt);
   const size_t max_steps = entry_count_ + 8;  // cycle guard for corrupted chains
   const bool check_copies = options_.mac_bucketing && options_.integrity;
   SearchResult result;
@@ -403,7 +409,7 @@ Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key
       }
     }
     if (result.entry == nullptr && (!options_.key_hint || entry->key_hint == hint)) {
-      stats_.decryptions++;
+      stats_.decryptions.fetch_add(1, std::memory_order_relaxed);
       TouchKeys();
       if (kv::EntryKeyEquals(*keys_, *entry, key)) {
         result.entry = entry;
@@ -443,7 +449,7 @@ Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key
       return Status(Code::kIntegrityFailure, "hash chain cycle detected");
     }
     if (entry->key_hint != hint) {  // hint matches were decrypted in step one
-      stats_.decryptions++;
+      stats_.decryptions.fetch_add(1, std::memory_order_relaxed);
       TouchKeys();
       if (kv::EntryKeyEquals(*keys_, *entry, key)) {
         result.entry = entry;
@@ -520,14 +526,14 @@ std::vector<kv::BatchOpResult> Store::ExecuteBatch(const std::vector<kv::BatchOp
 }
 
 Result<std::string> Store::GetInternal(std::string_view key, uint8_t* flags_out) {
-  stats_.gets++;
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   TouchKeys();
   const uint64_t hash = kv::BucketHash(*keys_, key);
 
   if (cache_ != nullptr) {
     if (std::optional<std::string> hit = cache_->Get(hash, key)) {
-      stats_.cache_hits++;
-      stats_.hits++;
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
       *flags_out = 0;
       return std::move(*hit);
     }
@@ -546,7 +552,7 @@ Result<std::string> Store::GetInternal(std::string_view key, uint8_t* flags_out)
     return s;
   }
   if (found->entry == nullptr) {
-    stats_.misses++;
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
     return Status(Code::kNotFound, "no such key");
   }
   TouchKeys();
@@ -554,7 +560,7 @@ Result<std::string> Store::GetInternal(std::string_view key, uint8_t* flags_out)
   if (!value.ok()) {
     return value.status();
   }
-  stats_.hits++;
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
   *flags_out = found->entry->flags;
   if (cache_ != nullptr) {
     cache_->Put(hash, key, value.value());
@@ -563,7 +569,7 @@ Result<std::string> Store::GetInternal(std::string_view key, uint8_t* flags_out)
 }
 
 Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t flags) {
-  stats_.sets++;
+  stats_.sets.fetch_add(1, std::memory_order_relaxed);
   TouchKeys();
   const uint64_t hash = kv::BucketHash(*keys_, key);
   const size_t bucket = BucketIndex(hash);
@@ -633,7 +639,7 @@ Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t 
 }
 
 Status Store::DeleteInternal(std::string_view key) {
-  stats_.deletes++;
+  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
   TouchKeys();
   const uint64_t hash = kv::BucketHash(*keys_, key);
   const size_t bucket = BucketIndex(hash);
@@ -674,7 +680,16 @@ size_t Store::Size() const {
 }
 
 kv::StoreStats Store::stats() const {
-  kv::StoreStats s = stats_;
+  kv::StoreStats s;
+  s.gets = stats_.gets.load(std::memory_order_relaxed);
+  s.sets = stats_.sets.load(std::memory_order_relaxed);
+  s.deletes = stats_.deletes.load(std::memory_order_relaxed);
+  s.appends = stats_.appends.load(std::memory_order_relaxed);
+  s.hits = stats_.hits.load(std::memory_order_relaxed);
+  s.misses = stats_.misses.load(std::memory_order_relaxed);
+  s.decryptions = stats_.decryptions.load(std::memory_order_relaxed);
+  s.mac_verifications = stats_.mac_verifications.load(std::memory_order_relaxed);
+  s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
   if (cache_ != nullptr) {
     s.cache_hits = cache_->hits();
   }

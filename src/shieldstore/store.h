@@ -26,6 +26,7 @@
 #include "src/alloc/free_list.h"
 #include "src/kv/entry.h"
 #include "src/kv/interface.h"
+#include "src/obs/metrics.h"
 #include "src/sgx/enclave.h"
 #include "src/shieldstore/cache.h"
 #include "src/shieldstore/options.h"
@@ -243,7 +244,23 @@ class Store : public kv::KeyValueStore {
 
   size_t entry_count_ = 0;
   size_t scrub_cursor_ = 0;  // next bucket ScrubStep audits
-  kv::StoreStats stats_;
+
+  // Relaxed atomics so stats() is tear-free even while a snapshot-epoch
+  // background reader or PartitionedStore::BridgeStats races the owner
+  // thread's increments (TSan-clean; see obs_test / concurrency_test).
+  struct AtomicStoreStats {
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> sets{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> appends{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> decryptions{0};
+    std::atomic<uint64_t> mac_verifications{0};
+    std::atomic<uint64_t> cache_hits{0};
+  };
+  AtomicStoreStats stats_;
+  obs::Registry* metrics_ = nullptr;
 
   // MAC batch scope: per-set 0 = untouched this batch, 1 = verified,
   // 2 = dirty (hash recompute deferred to EndMacBatch).

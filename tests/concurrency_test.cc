@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/faultinject/tamper.h"
+#include "src/obs/snapshot.h"
 #include "src/shieldstore/partitioned.h"
 #include "src/shieldstore/selfheal.h"
 
@@ -521,6 +522,55 @@ TEST_F(ConcurrencyTest, CompactionRacesWritersHealerAndAdversary) {
           << key << " holds '" << got.value() << "'";
     }
   }
+}
+
+// Metrics recorders race snapshot readers (run under TSan by check.sh):
+// sharded relaxed-atomic recording must be data-race-free against concurrent
+// Registry::Snapshot folds, and exact once the recorders join.
+TEST_F(ConcurrencyTest, MetricsRecordersRaceSnapshots) {
+  obs::Registry registry;
+  obs::Counter& ops = registry.GetCounter("race.ops");
+  obs::Gauge& level = registry.GetGauge("race.level");
+  obs::Histogram& lat = registry.GetHistogram("race.latency");
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 10'000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        ops.Inc();
+        level.Add(1);
+        lat.Record(static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i));
+        obs::ScopedStage stage(&registry, obs::Stage::kDecode);
+        level.Add(-1);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snap = registry.Snapshot();
+      const obs::HistogramData* h = snap.Histogram("race.latency");
+      ASSERT_NE(h, nullptr);
+      uint64_t total = 0;
+      for (const auto& [index, n] : h->buckets) {
+        total += n;
+      }
+      EXPECT_EQ(total, h->count);
+      // Wire-encode mid-race too: the codec must only ever see valid folds.
+      EXPECT_TRUE(obs::DecodeStatsSnapshot(obs::EncodeStatsSnapshot(snap)).ok());
+    }
+  });
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(ops.Value(), uint64_t{kWriters} * kOpsPerWriter);
+  EXPECT_EQ(level.Value(), 0);
+  EXPECT_EQ(lat.Data().count, uint64_t{kWriters} * kOpsPerWriter);
+  EXPECT_EQ(registry.StageHistogram(obs::Stage::kDecode).Data().count,
+            uint64_t{kWriters} * kOpsPerWriter);
 }
 
 }  // namespace

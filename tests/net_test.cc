@@ -561,5 +561,211 @@ TEST_F(NetEndToEndTest, StopDrainsInFlightRequests) {
   EXPECT_EQ(store_.Get("drained").value(), "yes");
 }
 
+// ------------------------------------------------------------- kStats verb
+
+// Everything a stats test needs with a PRIVATE registry, so counters start
+// at zero and nothing from other tests (which share obs::Registry::Global())
+// bleeds in.
+class StatsStack {
+ public:
+  explicit StatsStack(sgx::Enclave& enclave, const sgx::AttestationAuthority& authority,
+                      ServerOptions options = {}) {
+    shieldstore::Options store_options;
+    store_options.num_buckets = 1024;
+    store_options.heap_chunk_bytes = 1u << 20;
+    store_options.metrics = &registry;
+    store = std::make_unique<shieldstore::PartitionedStore>(enclave, store_options, 2);
+    options.metrics = &registry;
+    options.stats_augment = [this](obs::MetricsSnapshot& snap) { store->BridgeStats(snap); };
+    server = std::make_unique<Server>(enclave, *store, authority, options);
+  }
+
+  obs::Registry registry;
+  std::unique_ptr<shieldstore::PartitionedStore> store;
+  std::unique_ptr<Server> server;
+};
+
+TEST_F(NetEndToEndTest, StatsSnapshotOverTheWire) {
+  StatsStack stack(enclave_, authority_);
+  ASSERT_TRUE(stack.server->Start().ok());
+  Client client(authority_, enclave_.measurement());
+  ASSERT_TRUE(client.Connect(stack.server->port()).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client.Set("k" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(client.Get("k" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(client.Get("absent").status().code(), Code::kNotFound);
+  ASSERT_TRUE(client.MSet({{"b1", "x"}, {"b2", "y"}}).ok());
+
+  Result<obs::MetricsSnapshot> snap = client.Stats();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->version, obs::kStatsVersion);
+  EXPECT_GT(snap->unix_nanos, 0u);
+
+  // Per-verb op counters, exact (private registry).
+  EXPECT_EQ(snap->CounterValue("net.ops.set"), 10u);
+  EXPECT_EQ(snap->CounterValue("net.ops.get"), 8u);
+  EXPECT_EQ(snap->CounterValue("net.ops.batch"), 1u);
+  EXPECT_EQ(snap->CounterValue("net.ops.stats"), 1u);
+  EXPECT_EQ(snap->CounterValue("net.batch_ops.set"), 2u);
+
+  // End-to-end latency histograms with one sample per op.
+  const obs::HistogramData* get_lat = snap->Histogram("net.latency.get");
+  ASSERT_NE(get_lat, nullptr);
+  EXPECT_EQ(get_lat->count, 8u);
+  EXPECT_GT(get_lat->Quantile(0.5), 0.0);
+  EXPECT_GE(get_lat->Quantile(0.99), get_lat->Quantile(0.5));
+
+  // Stage tracing fired inside the enclave path.
+  for (const char* stage : {"stage.session_open", "stage.decode", "stage.enclave_submit",
+                            "stage.search_decrypt", "stage.mac_verify", "stage.session_seal"}) {
+    const obs::HistogramData* h = snap->Histogram(stage);
+    ASSERT_NE(h, nullptr) << stage;
+    EXPECT_GT(h->count, 0u) << stage;
+  }
+
+  // Store-level counters bridged from the engine: every Get is a hit or a
+  // miss, never neither.
+  EXPECT_EQ(snap->CounterValue("store.gets"),
+            snap->CounterValue("store.hits") + snap->CounterValue("store.misses"));
+  EXPECT_GE(snap->CounterValue("store.misses"), 1u);
+  EXPECT_GT(snap->CounterValue("store.mac_verifications"), 0u);
+
+  // SGX simulator counters cross the bridge too.
+  EXPECT_GT(snap->CounterValue("sgx.ecalls"), 0u);
+  EXPECT_GT(snap->CounterValue("sgx.epc.touches"), 0u);
+  EXPECT_GT(snap->GaugeValue("sgx.epc.resident_pages"), 0);
+
+  // Partition health from the stats_augment hook.
+  EXPECT_EQ(snap->GaugeValue("store.partitions"), 2);
+  EXPECT_EQ(snap->GaugeValue("store.quarantined"), 0);
+
+  // Rates: a second snapshot after more traffic shows exactly the new work.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Get("k1").ok());
+  }
+  Result<obs::MetricsSnapshot> snap2 = client.Stats();
+  ASSERT_TRUE(snap2.ok());
+  const obs::MetricsSnapshot d = obs::Delta(*snap, *snap2);
+  EXPECT_EQ(d.CounterValue("net.ops.get"), 5u);
+  EXPECT_EQ(d.CounterValue("net.ops.set"), 0u);
+  const obs::HistogramData* d_lat = d.Histogram("net.latency.get");
+  ASSERT_NE(d_lat, nullptr);
+  EXPECT_EQ(d_lat->count, 5u);
+}
+
+TEST_F(NetEndToEndTest, StatsWorksOverHotCalls) {
+  ServerOptions options;
+  options.use_hotcalls = true;
+  options.enclave_workers = 2;
+  StatsStack stack(enclave_, authority_, options);
+  ASSERT_TRUE(stack.server->Start().ok());
+  Client client(authority_, enclave_.measurement());
+  ASSERT_TRUE(client.Connect(stack.server->port()).ok());
+  ASSERT_TRUE(client.Set("hk", "hv").ok());
+  ASSERT_TRUE(client.Get("hk").ok());
+  Result<obs::MetricsSnapshot> snap = client.Stats();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->CounterValue("net.ops.set"), 1u);
+  EXPECT_EQ(snap->CounterValue("net.ops.get"), 1u);
+  EXPECT_GT(snap->CounterValue("sgx.hotcalls"), 0u);
+  EXPECT_GT(snap->Histogram("stage.enclave_submit")->count, 0u);
+}
+
+TEST_F(NetEndToEndTest, StatsInsideBatchRejectedTyped) {
+  StatsStack stack(enclave_, authority_);
+  ASSERT_TRUE(stack.server->Start().ok());
+  Client client(authority_, enclave_.measurement());
+  ASSERT_TRUE(client.Connect(stack.server->port()).ok());
+
+  // kStats is a singleton-only verb: a batch smuggling one must be rejected
+  // whole with the typed protocol error (the client surfaces the server's
+  // single-response rejection), and the connection keeps serving.
+  std::vector<Request> batch(2);
+  batch[0].op = OpCode::kSet;
+  batch[0].key = "ok-key";
+  batch[0].value = "v";
+  batch[1].op = OpCode::kStats;
+  Result<std::vector<Response>> result = client.ExecuteBatch(batch);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Code::kProtocolError);
+  EXPECT_TRUE(client.Set("still-alive", "yes").ok());
+  EXPECT_EQ(client.Get("still-alive").value(), "yes");
+  EXPECT_EQ(stack.registry.GetCounter("net.protocol_errors").Value(), 1u);
+}
+
+TEST_F(NetEndToEndTest, StatsConsistencyUnderConcurrentLoad) {
+  StatsStack stack(enclave_, authority_);
+  ASSERT_TRUE(stack.server->Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 60;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(authority_, enclave_.measurement());
+      if (!client.Connect(stack.server->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        const std::string key = "c" + std::to_string(c) + "-" + std::to_string(i % 10);
+        bool ok = true;
+        switch (i % 3) {
+          case 0:
+            ok = client.Set(key, "v" + std::to_string(i)).ok();
+            break;
+          case 1: {
+            const Status s = client.Get(key).status();
+            ok = s.ok() || s.code() == Code::kNotFound;
+            break;
+          }
+          case 2:
+            ok = client
+                     .MSet({{key + "-a", "x"}, {key + "-b", "y"}})
+                     .ok();
+            break;
+        }
+        if (!ok) {
+          failures.fetch_add(1);
+        }
+        // Interleave stats reads with the load: snapshots must stay
+        // well-formed (decodable, bucket sums consistent) mid-traffic.
+        if (i % 20 == 19) {
+          Result<obs::MetricsSnapshot> mid = client.Stats();
+          if (!mid.ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced: the cross-metric invariants must hold exactly.
+  Client client(authority_, enclave_.measurement());
+  ASSERT_TRUE(client.Connect(stack.server->port()).ok());
+  Result<obs::MetricsSnapshot> snap = client.Stats();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->CounterValue("store.gets"),
+            snap->CounterValue("store.hits") + snap->CounterValue("store.misses"));
+  uint64_t batch_verb_sum = 0;
+  for (const char* verb : {"get", "set", "delete", "append", "increment", "ping"}) {
+    batch_verb_sum += snap->CounterValue(std::string("net.batch_ops.") + verb);
+  }
+  EXPECT_EQ(batch_verb_sum, snap->CounterValue("net.batch_ops"));
+  EXPECT_EQ(snap->CounterValue("net.ops.batch"), uint64_t{kClients} * (kOpsPerClient / 3));
+  // Every sub-op was a set: 2 per batch frame.
+  EXPECT_EQ(snap->CounterValue("net.batch_ops.set"),
+            2 * uint64_t{kClients} * (kOpsPerClient / 3));
+}
+
 }  // namespace
 }  // namespace shield::net

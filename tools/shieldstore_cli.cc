@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/net/client.h"
+#include "src/obs/snapshot.h"
 
 namespace {
 
@@ -22,7 +23,54 @@ void Usage() {
                "usage: shieldstore_cli --port N --measurement HEX64 [--authority-seed S]\n"
                "       [--plaintext] COMMAND ARGS...\n"
                "commands: get K | set K V | del K | append K SUFFIX | incr K DELTA | ping\n"
-               "          mset K V [K V ...] | mget K [K ...]   (one kBatch frame)\n");
+               "          mset K V [K V ...] | mget K [K ...]   (one kBatch frame)\n"
+               "          stats [--prometheus] [--check]        (kStats snapshot dump)\n");
+}
+
+// Cross-metric invariants a live server's snapshot must satisfy. Returns the
+// number of violations (each printed to stderr). Used by check.sh to verify
+// the stats pipeline end-to-end, not just that the frame decodes.
+int CheckInvariants(const shield::obs::MetricsSnapshot& snap) {
+  int violations = 0;
+  auto fail = [&violations](const char* what) {
+    std::fprintf(stderr, "stats check FAILED: %s\n", what);
+    ++violations;
+  };
+  const uint64_t gets = snap.CounterValue("store.gets");
+  const uint64_t hits = snap.CounterValue("store.hits");
+  const uint64_t misses = snap.CounterValue("store.misses");
+  if (gets != hits + misses) {
+    std::fprintf(stderr, "  store.gets=%llu hits=%llu misses=%llu\n",
+                 static_cast<unsigned long long>(gets), static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(misses));
+    fail("store.gets != store.hits + store.misses");
+  }
+  uint64_t batch_sum = 0;
+  for (const char* verb : {"get", "set", "delete", "append", "increment", "ping"}) {
+    batch_sum += snap.CounterValue(std::string("net.batch_ops.") + verb);
+  }
+  if (batch_sum != snap.CounterValue("net.batch_ops")) {
+    fail("net.batch_ops != sum of per-verb batch counters");
+  }
+  if (!snap.Has("stage.decode") || !snap.Has("stage.search_decrypt")) {
+    fail("stage trace histograms missing from snapshot");
+  }
+  if (!snap.Has("sgx.epc.touches") || (!snap.Has("sgx.ecalls") && !snap.Has("sgx.hotcalls"))) {
+    fail("sgx EPC / crossing counters missing from snapshot");
+  }
+  // WAL metrics only exist when the server runs with --heal-dir.
+  if (snap.Has("wal.records")) {
+    for (const char* name : {"wal.commits", "wal.fsyncs", "wal.group_commits"}) {
+      if (!snap.Has(name)) {
+        std::fprintf(stderr, "  missing %s\n", name);
+        fail("WAL metric set incomplete");
+      }
+    }
+    if (snap.GaugeValue("wal.shards") <= 0) {
+      fail("wal.shards gauge not positive");
+    }
+  }
+  return violations;
 }
 
 }  // namespace
@@ -139,6 +187,35 @@ int main(int argc, char** argv) {
       }
     }
     return rc;
+  } else if (command == "stats") {
+    bool prometheus = false;
+    bool check = false;
+    for (int j = i + 1; j < argc; ++j) {
+      const std::string opt = argv[j];
+      if (opt == "--prometheus") {
+        prometheus = true;
+      } else if (opt == "--check") {
+        check = true;
+      } else {
+        Usage();
+        return 2;
+      }
+    }
+    Result<obs::MetricsSnapshot> snap = client.Stats();
+    if (!snap.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n", snap.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(prometheus ? obs::RenderPrometheus(*snap).c_str()
+                          : obs::RenderTable(*snap).c_str(),
+               stdout);
+    if (check) {
+      const int violations = CheckInvariants(*snap);
+      if (violations > 0) {
+        return 1;
+      }
+      std::printf("stats check OK (%zu metrics)\n", snap->metrics.size());
+    }
   } else if (command == "ping") {
     net::Request request;
     request.op = net::OpCode::kPing;

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "src/net/server.h"
+#include "src/obs/snapshot.h"
 #include "src/shieldstore/oplog.h"
 #include "src/shieldstore/partitioned.h"
 #include "src/shieldstore/selfheal.h"
@@ -52,7 +53,8 @@ struct Flags {
   uint32_t wal_window_us = 200;  // group-commit window; 0 = legacy auto-commit
   size_t wal_group_ops = 64;    // records per group commit
   size_t wal_compact_bytes = 64 << 20;  // compact a shard log past this; 0 = never
-  int stats_interval_s = 30;    // WAL stats report cadence; 0 disables
+  int stats_interval_s = 30;    // metrics report cadence; 0 disables
+  bool stats_prometheus = false;  // full Prometheus-style dump each report
   int hotcall_idle_us = 50;     // idle responder sleep; 0 = legacy pure-spin
   size_t replay_threads = 0;    // parallel shard-log replay; 0 = auto, 1 = sequential
 };
@@ -93,6 +95,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->wal_compact_bytes = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--stats-interval-s") {
       flags->stats_interval_s = std::atoi(next());
+    } else if (arg == "--stats-prometheus") {
+      flags->stats_prometheus = true;
     } else if (arg == "--hotcall-idle-us") {
       flags->hotcall_idle_us = std::atoi(next());
     } else if (arg == "--replay-threads") {
@@ -103,7 +107,7 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
                    "    [--epc-mb N] [--hotcalls] [--plaintext] [--authority-seed S] [--name S]\n"
                    "    [--heal-dir DIR] [--scrub-interval-ms N] [--scrub-budget N]\n"
                    "    [--wal-shards N] [--wal-window-us N] [--wal-group-ops N]\n"
-                   "    [--wal-compact-bytes N] [--stats-interval-s N]\n"
+                   "    [--wal-compact-bytes N] [--stats-interval-s N] [--stats-prometheus]\n"
                    "    [--hotcall-idle-us N] [--replay-threads N]\n");
       return false;
     }
@@ -191,50 +195,102 @@ int main(int argc, char** argv) {
   server_options.enclave_workers = flags.partitions;
   server_options.encrypt = !flags.plaintext;
   server_options.hotcall_idle_sleep_us = flags.hotcall_idle_us;
+  // Fold component-level stats (partition health, WAL, self-heal) into every
+  // kStats snapshot the server builds. The net layer knows nothing about the
+  // shieldstore stack; this hook is the bridge.
+  server_options.stats_augment = [&store, &wal, &healer](obs::MetricsSnapshot& snap) {
+    store.BridgeStats(snap);
+    if (wal != nullptr) {
+      wal->BridgeStats(snap);
+    }
+    if (healer != nullptr) {
+      healer->BridgeStats(snap);
+    }
+  };
+  // Periodic metrics report: rates over the last interval from obs::Delta,
+  // plus cumulative WAL/batch context. Works in both heal and volatile mode.
+  auto last_snap = std::make_shared<obs::MetricsSnapshot>();
+  auto report_stats = [&server_ref, last_snap, prometheus = flags.stats_prometheus] {
+    net::Server* srv = server_ref;
+    if (srv == nullptr) {
+      return;
+    }
+    obs::MetricsSnapshot now = srv->BuildStatsSnapshot();
+    const obs::MetricsSnapshot d = obs::Delta(*last_snap, now);
+    const double secs =
+        last_snap->unix_nanos > 0 && d.unix_nanos > 0 ? static_cast<double>(d.unix_nanos) / 1e9 : 0.0;
+    const uint64_t req = d.CounterValue("net.requests");
+    std::printf("stats: %llu req (%.1f/s) | get %llu set %llu batch %llu (%llu sub-ops) | inflight %lld",
+                static_cast<unsigned long long>(req), secs > 0 ? static_cast<double>(req) / secs : 0.0,
+                static_cast<unsigned long long>(d.CounterValue("net.ops.get")),
+                static_cast<unsigned long long>(d.CounterValue("net.ops.set")),
+                static_cast<unsigned long long>(d.CounterValue("net.ops.batch")),
+                static_cast<unsigned long long>(d.CounterValue("net.batch_ops")),
+                static_cast<long long>(now.GaugeValue("net.inflight")));
+    if (const obs::HistogramData* h = d.Histogram("net.latency.get"); h != nullptr && h->count > 0) {
+      std::printf(" | get p50/p95/p99 %.0f/%.0f/%.0f us", h->Quantile(0.50) / 1e3,
+                  h->Quantile(0.95) / 1e3, h->Quantile(0.99) / 1e3);
+    }
+    std::printf("\n");
+    if (now.Has("wal.records")) {
+      std::printf("wal: %llu records, %llu commits, %llu fsyncs, %llu compactions, "
+                  "%llu log bytes over %lld shards\n",
+                  static_cast<unsigned long long>(now.CounterValue("wal.records")),
+                  static_cast<unsigned long long>(now.CounterValue("wal.commits")),
+                  static_cast<unsigned long long>(now.CounterValue("wal.fsyncs")),
+                  static_cast<unsigned long long>(now.CounterValue("wal.compactions")),
+                  static_cast<unsigned long long>(now.GaugeValue("wal.log_bytes")),
+                  static_cast<long long>(now.GaugeValue("wal.shards")));
+    }
+    if (prometheus) {
+      std::fputs(obs::RenderPrometheus(now).c_str(), stdout);
+    }
+    std::fflush(stdout);
+    *last_snap = std::move(now);
+  };
+  const bool want_stats = flags.stats_interval_s > 0;
   if (healer != nullptr) {
     const int interval_ms = std::max(flags.scrub_interval_ms, 1);
     const uint64_t stats_every =
-        flags.stats_interval_s > 0
+        want_stats
             ? std::max<uint64_t>(uint64_t{1000} * flags.stats_interval_s / interval_ms, 1)
             : 0;
     auto ticks = std::make_shared<uint64_t>(0);
-    server_options.maintenance = [&healer, &wal, &server_ref, stats_every, ticks] {
+    server_options.maintenance = [&healer, stats_every, ticks, report_stats] {
       healer->Tick();
       if (stats_every > 0 && ++*ticks % stats_every == 0) {
-        const shieldstore::WalStats ws = wal->Stats();
-        std::printf(
-            "wal: %llu records, %llu commits, %llu fsyncs, %llu compactions, "
-            "%llu log bytes over %zu shards\n",
-            static_cast<unsigned long long>(ws.records_logged),
-            static_cast<unsigned long long>(ws.commits),
-            static_cast<unsigned long long>(ws.fsyncs),
-            static_cast<unsigned long long>(ws.compactions),
-            static_cast<unsigned long long>(ws.log_bytes), ws.shards);
-        if (const net::Server* srv = server_ref) {
-          const uint64_t b = srv->batches_served();
-          const uint64_t bo = srv->batch_ops_served();
-          std::printf("batch: %llu batches, %llu sub-ops (mean %.1f/batch), "
-                      "%llu crossings saved\n",
-                      static_cast<unsigned long long>(b),
-                      static_cast<unsigned long long>(bo),
-                      b > 0 ? static_cast<double>(bo) / static_cast<double>(b) : 0.0,
-                      static_cast<unsigned long long>(srv->crossings_saved()));
-        }
-        std::fflush(stdout);
+        report_stats();
       }
     };
     server_options.maintenance_interval_ms = interval_ms;
-  } else if (flags.scrub_interval_ms > 0) {
+  } else if (flags.scrub_interval_ms > 0 || want_stats) {
     // Volatile mode: still audit in the background. A violation quarantines
     // the partition (typed errors for its keys) — without a WAL there is
-    // nothing to heal from, so it stays quarantined.
-    server_options.maintenance = [&store] { (void)store.ScrubTick(); };
-    server_options.maintenance_interval_ms = flags.scrub_interval_ms;
+    // nothing to heal from, so it stays quarantined. The maintenance thread
+    // doubles as the stats reporter (and runs for stats alone if the scrub
+    // is disabled).
+    const bool scrub = flags.scrub_interval_ms > 0;
+    const int interval_ms = scrub ? flags.scrub_interval_ms : 1000;
+    const uint64_t stats_every =
+        want_stats
+            ? std::max<uint64_t>(uint64_t{1000} * flags.stats_interval_s / interval_ms, 1)
+            : 0;
+    auto ticks = std::make_shared<uint64_t>(0);
+    server_options.maintenance = [&store, scrub, stats_every, ticks, report_stats] {
+      if (scrub) {
+        (void)store.ScrubTick();
+      }
+      if (stats_every > 0 && ++*ticks % stats_every == 0) {
+        report_stats();
+      }
+    };
+    server_options.maintenance_interval_ms = interval_ms;
   }
   net::Server server(enclave, wal != nullptr ? static_cast<kv::KeyValueStore&>(*wal)
                                              : static_cast<kv::KeyValueStore&>(store),
                      authority, server_options);
   server_ref = &server;
+  *last_snap = server.BuildStatsSnapshot();  // rate baseline for the first report
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
     return 1;
