@@ -30,6 +30,8 @@ std::string_view CodeName(Code code) {
       return "PARTITION_RECOVERING";
     case Code::kUnsupportedUnderWal:
       return "UNSUPPORTED_UNDER_WAL";
+    case Code::kFailingOver:
+      return "FAILING_OVER";
   }
   return "UNKNOWN";
 }

@@ -28,7 +28,12 @@ enum class Code {
   kInternal,
   kPartitionRecovering,  // key's partition is quarantined and healing; retry
   kUnsupportedUnderWal,  // needs the WriteAheadStore facade (e.g. Repartition)
+  kFailingOver,          // node is mid-failover; the operation was not applied
 };
+
+// Highest Code value that may appear in a wire status byte. Decoders reject
+// anything above this instead of casting it into the trusted enum.
+inline constexpr uint8_t kMaxWireStatus = static_cast<uint8_t>(Code::kFailingOver);
 
 // Human-readable name of a status code ("OK", "NOT_FOUND", ...).
 std::string_view CodeName(Code code);

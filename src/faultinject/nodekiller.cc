@@ -1,0 +1,108 @@
+#include "src/faultinject/nodekiller.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace shield::faultinject {
+namespace {
+
+Status Signal(pid_t pid, int signo, const char* what) {
+  if (pid <= 0) {
+    // kill(0, ...) / kill(-1, ...) signal whole process groups — a test bug
+    // must never take the build machine down with it.
+    return Status(Code::kInvalidArgument, "refusing to signal pid <= 0");
+  }
+  if (::kill(pid, signo) != 0) {
+    if (errno == ESRCH) {
+      return Status(Code::kNotFound, "no such process");
+    }
+    return Status(Code::kIoError, std::string(what) + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status NodeKiller::Kill(pid_t pid) {
+  return Signal(pid, SIGKILL, "SIGKILL");
+}
+
+Status NodeKiller::Freeze(pid_t pid) {
+  return Signal(pid, SIGSTOP, "SIGSTOP");
+}
+
+Status NodeKiller::Thaw(pid_t pid) {
+  return Signal(pid, SIGCONT, "SIGCONT");
+}
+
+bool NodeKiller::Alive(pid_t pid) {
+  return pid > 0 && ::kill(pid, 0) == 0;
+}
+
+Blackhole::~Blackhole() {
+  Stop();
+}
+
+Status Blackhole::Start(uint16_t port) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status(Code::kIoError, "socket() failed");
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 16) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(Code::kIoError, "bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Blackhole::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // Stop() closed the listener
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Keep the connection open and silent: the peer's reads must time out.
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(fd);
+  }
+}
+
+void Blackhole::Stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  stopping_.store(true);
+  shutdown(listen_fd_, SHUT_RDWR);
+  close(listen_fd_);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  listen_fd_ = -1;
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (const int fd : conns_) {
+    close(fd);
+  }
+  conns_.clear();
+}
+
+}  // namespace shield::faultinject

@@ -1,0 +1,81 @@
+// Process-level fault injection for multi-node failover tests.
+//
+// TamperAgent (tamper.h) plays the §3.3 memory adversary; NodeKiller plays
+// the OPERATIONAL adversary the failover design (src/router) defends
+// against: whole-node crashes, freezes, and network partitions. It only
+// drives OS primitives against processes the test itself spawned — the same
+// white-box stance as the rest of faultinject.
+//
+//   Kill      SIGKILL — the canonical fail-stop crash. No destructors, no
+//             flush: exactly what the WAL's group commit and the shipper's
+//             ship-before-ack ordering must survive with zero acked loss.
+//   Freeze    SIGSTOP — a zombie node: the TCP stack still accepts (the
+//             kernel completes handshakes into the listen backlog) but
+//             nothing answers. Distinguishes timeout-based failure detection
+//             from connection-refused detection.
+//   Thaw      SIGCONT — the frozen node resumes, possibly after having been
+//             failed over: the stale-primary path (its shipper must detach
+//             when the promoted follower refuses its stream).
+//
+// Blackhole is the socket-level counterpart for in-process tests: a listener
+// that accepts and never answers, standing in for a hung or partitioned peer
+// without needing a process to freeze.
+#ifndef SHIELDSTORE_SRC_FAULTINJECT_NODEKILLER_H_
+#define SHIELDSTORE_SRC_FAULTINJECT_NODEKILLER_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace shield::faultinject {
+
+class NodeKiller {
+ public:
+  // All three fail with kInvalidArgument for pid <= 0 (never signal process
+  // groups or init by accident) and kNotFound if the process is gone.
+  static Status Kill(pid_t pid);    // SIGKILL: fail-stop crash
+  static Status Freeze(pid_t pid);  // SIGSTOP: hung node, sockets still open
+  static Status Thaw(pid_t pid);    // SIGCONT: resume a frozen node
+
+  // True while `pid` exists (including as an unreaped zombie).
+  static bool Alive(pid_t pid);
+};
+
+// Accepts TCP connections on a loopback port and never writes a byte back:
+// every client handshake against it must end in a timeout, not a hang. The
+// router's probe/failover paths are tested against this.
+class Blackhole {
+ public:
+  Blackhole() = default;
+  ~Blackhole();
+
+  Blackhole(const Blackhole&) = delete;
+  Blackhole& operator=(const Blackhole&) = delete;
+
+  Status Start(uint16_t port = 0);  // 0 = ephemeral; read back with port()
+  void Stop();
+  uint16_t port() const { return port_; }
+  // Connections accepted so far (a probe that never reached accept() timed
+  // out in connect, which is a different failure class).
+  size_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> accepted_{0};
+  std::vector<int> conns_;
+  std::mutex conns_mutex_;
+};
+
+}  // namespace shield::faultinject
+
+#endif  // SHIELDSTORE_SRC_FAULTINJECT_NODEKILLER_H_

@@ -80,6 +80,7 @@ Status Client::ConnectSocket(uint16_t port) {
 }
 
 Status Client::Connect(uint16_t port) {
+  port_ = port;
   const int attempts = std::max(options_.connect_attempts, 1);
   int backoff_ms = options_.connect_backoff_ms;
   Status last;
@@ -115,6 +116,18 @@ void Client::Close() {
     fd_ = -1;
   }
   session_.reset();
+}
+
+Status Client::Reconnect(uint16_t port) {
+  if (port == 0) {
+    port = port_;
+  }
+  if (port == 0) {
+    return Status(Code::kInvalidArgument, "never connected and no port given");
+  }
+  Close();  // stale socket AND stale session keys
+  // Connect() owns the fresh retry/backoff budget and the new key exchange.
+  return Connect(port);
 }
 
 Status Client::SendRequest(const Request& request) {

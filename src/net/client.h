@@ -49,6 +49,17 @@ class Client {
   Status Connect(uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }
+  // Last port Connect()/Reconnect() was asked to reach (0 = never connected).
+  uint16_t port() const { return port_; }
+
+  // Re-establishes the connection AND the session: tears down the old socket
+  // and key material, then runs the full attestation handshake against
+  // `port` (0 = the previous address) with a fresh retry/backoff budget.
+  // This is the failover path: when the router redirects a client to a
+  // promoted standby, the old session keys are useless — the new node never
+  // saw that handshake — so a plain retry against the old address (or a raw
+  // socket reconnect keeping the stale SessionCrypto) can only fail.
+  Status Reconnect(uint16_t port = 0);
 
   // Synchronous request/response.
   Result<Response> Execute(const Request& request);
@@ -93,6 +104,7 @@ class Client {
   bool encrypt_;
   ClientOptions options_;
   int fd_ = -1;
+  uint16_t port_ = 0;
   std::unique_ptr<SessionCrypto> session_;
 };
 

@@ -82,11 +82,13 @@ Status TakeRequest(ByteSpan& in, Request& request, bool in_batch) {
     return Status(Code::kProtocolError, "request too short");
   }
   const uint8_t op = in[0];
-  if (op < 1 || op > 8 || op == static_cast<uint8_t>(OpCode::kBatch)) {
+  if (op < 1 || op > static_cast<uint8_t>(OpCode::kReplicate) ||
+      op == static_cast<uint8_t>(OpCode::kBatch)) {
     return Status(Code::kProtocolError, "unknown opcode");
   }
-  if (in_batch && op == static_cast<uint8_t>(OpCode::kStats)) {
-    return Status(Code::kProtocolError, "stats not allowed in a batch");
+  if (in_batch && (op == static_cast<uint8_t>(OpCode::kStats) ||
+                   op == static_cast<uint8_t>(OpCode::kReplicate))) {
+    return Status(Code::kProtocolError, "singleton-only verb inside a batch");
   }
   request.op = static_cast<OpCode>(op);
   request.delta = static_cast<int64_t>(LoadLe64(in.data() + 1));
@@ -136,7 +138,7 @@ Result<Response> DecodeResponse(ByteSpan payload) {
     return Status(Code::kProtocolError, "response too short");
   }
   Response response;
-  if (payload[0] > static_cast<uint8_t>(Code::kUnsupportedUnderWal)) {
+  if (payload[0] > kMaxWireStatus) {
     return Status(Code::kProtocolError, "unknown status code");
   }
   response.status = static_cast<Code>(payload[0]);
@@ -230,7 +232,7 @@ Result<std::vector<Response>> DecodeBatchResponse(ByteSpan payload) {
       return Status(Code::kProtocolError, "truncated batch response");
     }
     Response r;
-    if (rest[0] > static_cast<uint8_t>(Code::kUnsupportedUnderWal)) {
+    if (rest[0] > kMaxWireStatus) {
       return Status(Code::kProtocolError, "unknown status code");
     }
     r.status = static_cast<Code>(rest[0]);

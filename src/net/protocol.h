@@ -38,6 +38,11 @@ enum class OpCode : uint8_t {
   // frame (src/obs/snapshot.h). Singleton frames only — rejected inside a
   // kBatch at decode time.
   kStats = 8,
+  // Replication: the request value carries a replication payload
+  // (src/net/replication.h) — committed WAL entries streamed from a primary's
+  // group-commit leader to its warm standby, plus the bootstrap/promote
+  // control messages. Singleton frames only — rejected inside a kBatch.
+  kReplicate = 9,
 };
 
 struct Request {

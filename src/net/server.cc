@@ -17,7 +17,7 @@ namespace {
 
 // Indexed by raw opcode; slot 0 is the "unknown" sentinel.
 constexpr const char* kVerbNames[] = {nullptr,  "get",  "set",   "delete", "append",
-                                      "increment", "ping", "batch", "stats"};
+                                      "increment", "ping", "batch", "stats", "replicate"};
 
 }  // namespace
 
@@ -37,6 +37,7 @@ Server::Server(sgx::Enclave& enclave, kv::KeyValueStore& store,
   inflight_ = &metrics_->GetGauge("net.inflight");
   auth_failures_ = &metrics_->GetCounter("net.auth_failures");
   protocol_errors_ = &metrics_->GetCounter("net.protocol_errors");
+  batch_frame_bytes_ = &metrics_->GetHistogram("net.batch_frame_bytes");
 }
 
 Server::~Server() {
@@ -206,6 +207,16 @@ Response Server::Dispatch(const Request& request) {
       response.value.assign(reinterpret_cast<const char*>(frame.data()), frame.size());
       break;
     }
+    case OpCode::kReplicate:
+      // Replication semantics live with the deployment (ReplicaNode on a
+      // warm standby, a replication host on a primary); a server with no
+      // handler is simply not part of a replicated topology.
+      if (options_.replicate_handler) {
+        response = options_.replicate_handler(request);
+      } else {
+        response.status = Code::kUnsupported;
+      }
+      break;
     case OpCode::kBatch:
       // Batches are decoded and dispatched by DispatchBatch; a kBatch that
       // reaches here is a sub-op smuggled past decode validation.
@@ -246,8 +257,9 @@ std::vector<Response> Server::DispatchBatch(const std::vector<Request>& ops) {
         op.type = kv::BatchOpType::kIncrement;
         break;
       case OpCode::kPing:
-      case OpCode::kBatch:  // decode rejects nested batches
-      case OpCode::kStats:  // decode rejects stats inside a batch
+      case OpCode::kBatch:      // decode rejects nested batches
+      case OpCode::kStats:      // decode rejects stats inside a batch
+      case OpCode::kReplicate:  // decode rejects replicate inside a batch
         responses[i].status = r.op == OpCode::kPing ? Code::kOk : Code::kProtocolError;
         if (r.op == OpCode::kPing) {
           responses[i].value = "pong";
@@ -305,6 +317,9 @@ Bytes Server::ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* 
     // One Open above and one Seal below cover every sub-op in the frame —
     // the whole point of the batch opcode. A malformed batch answers with a
     // SINGLE typed error (the client's decoder falls back on the marker).
+    // Frame-size distribution feeds capacity planning: router-forwarded
+    // batches and pipelined clients show up here without a packet capture.
+    batch_frame_bytes_->Record(plaintext->size());
     *status = Status::Ok();
     Result<std::vector<Request>> batch = [&] {
       obs::ScopedStage stage(metrics_, obs::Stage::kDecode);

@@ -45,6 +45,12 @@ struct ServerOptions {
   // registry for exact-count assertions.
   obs::Registry* metrics = nullptr;
 
+  // Replication hook: when set, kReplicate frames (singleton-only, already
+  // session-authenticated) are handed to the deployment instead of answering
+  // kUnsupported. A warm standby points this at ReplicaNode::HandleReplicate;
+  // the net layer stays ignorant of replication semantics.
+  std::function<Response(const Request&)> replicate_handler;
+
   // Optional extension hook for BuildStatsSnapshot: the deployment adds
   // component stats the net layer cannot see (WAL shards, self-healer,
   // per-partition quarantine) before the snapshot is encoded for kStats or
@@ -143,8 +149,8 @@ class Server {
   std::atomic<uint64_t> crossings_saved_{0};
 
   // Metric handles, cached at construction (registry lookups take a mutex).
-  // Verb-indexed arrays use the raw opcode (1..8); slot 0 stays null.
-  static constexpr size_t kVerbSlots = 9;
+  // Verb-indexed arrays use the raw opcode (1..9); slot 0 stays null.
+  static constexpr size_t kVerbSlots = 10;
   obs::Registry* metrics_ = nullptr;
   obs::Counter* op_counters_[kVerbSlots] = {};        // net.ops.<verb>
   obs::Counter* batch_verb_counters_[kVerbSlots] = {};  // net.batch_ops.<verb>
@@ -152,6 +158,7 @@ class Server {
   obs::Gauge* inflight_ = nullptr;                    // net.inflight
   obs::Counter* auth_failures_ = nullptr;             // net.auth_failures
   obs::Counter* protocol_errors_ = nullptr;           // net.protocol_errors
+  obs::Histogram* batch_frame_bytes_ = nullptr;       // net.batch_frame_bytes
 };
 
 }  // namespace shield::net

@@ -336,4 +336,65 @@ std::string RenderTable(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+// Metric names are registry-controlled identifiers, but a snapshot can also
+// arrive over the wire — escape defensively so the output is always valid.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderJson(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.metrics.size() * 72);
+  AppendLine(out, "{\"version\":%u,\"unix_nanos\":%" PRIu64 ",\"metrics\":{",
+             snapshot.version, snapshot.unix_nanos);
+  bool first = true;
+  for (const Metric& m : snapshot.metrics) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    const std::string name = JsonEscape(m.name);
+    switch (m.type) {
+      case MetricType::kCounter:
+        AppendLine(out, "\"%s\":{\"type\":\"counter\",\"value\":%" PRIu64 "}", name.c_str(),
+                   m.counter);
+        break;
+      case MetricType::kGauge:
+        AppendLine(out, "\"%s\":{\"type\":\"gauge\",\"value\":%" PRId64 "}", name.c_str(),
+                   m.gauge);
+        break;
+      case MetricType::kHistogram:
+        AppendLine(out,
+                   "\"%s\":{\"type\":\"histogram\",\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                   ",\"max\":%" PRIu64 ",\"p50\":%.0f,\"p95\":%.0f,\"p99\":%.0f}",
+                   name.c_str(), m.histogram.count, m.histogram.sum, m.histogram.max,
+                   m.histogram.Quantile(0.5), m.histogram.Quantile(0.95),
+                   m.histogram.Quantile(0.99));
+        break;
+    }
+  }
+  out += "}}\n";
+  return out;
+}
+
 }  // namespace shield::obs

@@ -78,6 +78,14 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot, std::string_view p
 // Aligned human-readable table used by the CLI stats command.
 std::string RenderTable(const MetricsSnapshot& snapshot);
 
+// Machine-readable JSON object:
+//   {"version":1,"unix_nanos":...,"metrics":{"net.requests":{"type":"counter",
+//    "value":42},...}}
+// Histograms carry count/sum/max plus p50/p95/p99. Used by
+// `shieldstore_cli stats --json` so scripts (the failover smoke stage) can
+// assert on counters without scraping the human table.
+std::string RenderJson(const MetricsSnapshot& snapshot);
+
 // Current wall clock in nanoseconds since the epoch (snapshot timestamps).
 uint64_t WallClockNanos();
 

@@ -1,0 +1,200 @@
+#include "src/router/replica.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace shield::router {
+
+ReplicaNode::ReplicaNode(kv::KeyValueStore& store, obs::Registry* metrics)
+    : store_(store) {
+  obs::Registry* reg = metrics != nullptr ? metrics : &obs::Registry::Global();
+  frames_ = &reg->GetCounter("repl.frames");
+  applied_ = &reg->GetCounter("repl.applied_entries");
+  snapshot_entries_ = &reg->GetCounter("repl.snapshot_entries");
+  rejected_ = &reg->GetCounter("repl.rejected_frames");
+  role_gauge_ = &reg->GetGauge("repl.role");
+  role_gauge_->Set(static_cast<int64_t>(role_));
+}
+
+net::Response ReplicaNode::ReplyLocked(Code code) const {
+  net::ReplicaStatusFrame status;
+  status.role = role_;
+  status.epoch = epoch_;
+  status.watermarks = watermarks_;
+  net::Response response;
+  response.status = code;
+  const Bytes encoded = net::EncodeReplicaStatus(status);
+  response.value.assign(AsString(encoded));
+  return response;
+}
+
+net::Response ReplicaNode::Reply(Code code) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ReplyLocked(code);
+}
+
+Status ReplicaNode::ApplyEntry(const net::ReplicateEntry& e) {
+  if (e.is_delete) {
+    Status st = store_.Delete(e.key);
+    if (st.code() == Code::kNotFound) {
+      // A retransmitted delete, or a delete racing the bootstrap snapshot
+      // (the key was already gone when the dump read its partition): the
+      // intended end state holds either way.
+      return Status::Ok();
+    }
+    return st;
+  }
+  return store_.Set(e.key, e.value);
+}
+
+net::Response ReplicaNode::HandleReplicate(const net::Request& request) {
+  frames_->Inc();
+  Result<net::ReplicateFrame> decoded = net::DecodeReplicateFrame(AsBytes(request.value));
+  if (!decoded.ok()) {
+    rejected_->Inc();
+    return Reply(Code::kProtocolError);
+  }
+  const net::ReplicateFrame& frame = *decoded;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (frame.type) {
+    case net::ReplicateType::kQuery:
+      return ReplyLocked(Code::kOk);
+
+    case net::ReplicateType::kPromote:
+      if (role_ != net::ReplicaRole::kPrimary) {
+        role_ = net::ReplicaRole::kPrimary;
+        role_gauge_->Set(static_cast<int64_t>(role_));
+        SHIELD_LOG(Info) << "replica promoted to primary (epoch " << epoch_ << ")";
+      }
+      return ReplyLocked(Code::kOk);
+
+    case net::ReplicateType::kHello: {
+      if (role_ == net::ReplicaRole::kPrimary) {
+        rejected_->Inc();
+        return ReplyLocked(Code::kUnsupported);
+      }
+      if (frame.num_shards == 0) {
+        rejected_->Inc();
+        return ReplyLocked(Code::kProtocolError);
+      }
+      // A re-Hello (same or new epoch) restarts the bootstrap: the dump that
+      // follows subsumes everything shipped so far, so the watermarks reset
+      // and every shard's next kEntries frame re-bases.
+      epoch_ = frame.epoch;
+      bootstrapping_ = true;
+      watermarks_.assign(frame.num_shards, 0);
+      fresh_.assign(frame.num_shards, true);
+      return ReplyLocked(Code::kOk);
+    }
+
+    case net::ReplicateType::kSnapshotChunk: {
+      if (role_ == net::ReplicaRole::kPrimary) {
+        rejected_->Inc();
+        return ReplyLocked(Code::kUnsupported);
+      }
+      if (!bootstrapping_ || frame.epoch != epoch_) {
+        rejected_->Inc();
+        return ReplyLocked(Code::kInvalidArgument);
+      }
+      for (const net::ReplicateEntry& e : frame.entries) {
+        if (Status st = ApplyEntry(e); !st.ok()) {
+          rejected_->Inc();
+          return ReplyLocked(st.code());
+        }
+        snapshot_entries_->Inc();
+      }
+      return ReplyLocked(Code::kOk);
+    }
+
+    case net::ReplicateType::kSnapshotDone:
+      if (role_ == net::ReplicaRole::kPrimary) {
+        rejected_->Inc();
+        return ReplyLocked(Code::kUnsupported);
+      }
+      if (!bootstrapping_ || frame.epoch != epoch_) {
+        rejected_->Inc();
+        return ReplyLocked(Code::kInvalidArgument);
+      }
+      bootstrapping_ = false;
+      return ReplyLocked(Code::kOk);
+
+    case net::ReplicateType::kEntries: {
+      if (role_ == net::ReplicaRole::kPrimary) {
+        rejected_->Inc();
+        return ReplyLocked(Code::kUnsupported);
+      }
+      if (frame.entries.empty() || frame.first_seq == 0 ||
+          frame.first_seq > UINT64_MAX - frame.entries.size()) {
+        rejected_->Inc();
+        return ReplyLocked(Code::kProtocolError);
+      }
+      if (epoch_ == 0 || frame.epoch != epoch_ || bootstrapping_ ||
+          frame.shard >= watermarks_.size()) {
+        rejected_->Inc();
+        return ReplyLocked(Code::kInvalidArgument);
+      }
+      uint64_t& w = watermarks_[frame.shard];
+      uint64_t apply_from = frame.first_seq;  // first seq we still need
+      if (fresh_[frame.shard]) {
+        // First frame after a bootstrap sets the shard's base: the snapshot
+        // dump subsumed every earlier sequence.
+        w = frame.first_seq - 1;
+      } else if (frame.first_seq > w + 1) {
+        // Gap: records between w and first_seq are missing here and may be
+        // gone from the shipper's backlog too — only a fresh bootstrap can
+        // close it. Never apply across a gap.
+        rejected_->Inc();
+        return ReplyLocked(Code::kInvalidArgument);
+      } else {
+        apply_from = std::max(apply_from, w + 1);  // skip retransmitted prefix
+      }
+      const uint64_t last = frame.first_seq + frame.entries.size() - 1;
+      for (uint64_t seq = apply_from; seq <= last; ++seq) {
+        const net::ReplicateEntry& e = frame.entries[seq - frame.first_seq];
+        if (Status st = ApplyEntry(e); !st.ok()) {
+          // Partial application is safe: w records exactly what applied, so
+          // the shipper's retransmit resumes at the failed record.
+          w = seq - 1;
+          fresh_[frame.shard] = false;
+          rejected_->Inc();
+          return ReplyLocked(st.code());
+        }
+        applied_->Inc();
+        applied_entries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      w = std::max(w, last);
+      fresh_[frame.shard] = false;
+      return ReplyLocked(Code::kOk);
+    }
+  }
+  rejected_->Inc();
+  return ReplyLocked(Code::kProtocolError);  // unreachable: decode bounds the type
+}
+
+void ReplicaNode::Promote() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (role_ != net::ReplicaRole::kPrimary) {
+    role_ = net::ReplicaRole::kPrimary;
+    role_gauge_->Set(static_cast<int64_t>(role_));
+    SHIELD_LOG(Info) << "replica promoted to primary (epoch " << epoch_ << ")";
+  }
+}
+
+net::ReplicaRole ReplicaNode::role() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return role_;
+}
+
+uint64_t ReplicaNode::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::vector<uint64_t> ReplicaNode::watermarks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watermarks_;
+}
+
+}  // namespace shield::router

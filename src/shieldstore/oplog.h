@@ -35,12 +35,43 @@
 #include <atomic>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/sgx/counter.h"
 #include "src/sgx/seal.h"
 #include "src/shieldstore/store.h"
 
 namespace shield::shieldstore {
+
+// One mutation as shipped to a replica: the resulting state (value for
+// set-like ops, tombstone for delete), exactly what the WAL records — replay
+// on the standby is therefore as deterministic as local log replay.
+struct ReplicatedOp {
+  bool is_delete = false;
+  std::string key;
+  std::string value;
+};
+
+// Cross-process replication hook. The WriteAheadStore's group-commit leader
+// calls ShipCommitted AFTER its batch is fsync'd and BEFORE any writer in the
+// batch is acknowledged — so with a healthy sink, acked ⇒ logged ∧ shipped.
+// `first_seq` numbers entries in a per-shard ship-sequence space that is
+// monotone across compactions (unlike the WAL's own record sequence, which
+// resets when a shard log is truncated); a sink resumes a reconnected
+// follower from its watermark in this space.
+//
+// Called outside the shard lock (one in-flight call per shard, but shards
+// ship concurrently), so implementations must be thread-safe and should
+// buffer-and-return rather than block forever: a slow sink stalls that
+// shard's acks, which is the synchronous-replication contract, but a DEAD
+// sink must fail fast so the primary can keep serving (the invariant then
+// degrades to acked ⇒ logged ∧ recoverable-from-local-WAL).
+class ReplicationSink {
+ public:
+  virtual ~ReplicationSink() = default;
+  virtual Status ShipCommitted(size_t shard, uint64_t first_seq,
+                               std::vector<ReplicatedOp> ops) = 0;
+};
 
 struct OpLogOptions {
   std::string path;              // log file (shard i of a sharded WAL appends ".p<i>")

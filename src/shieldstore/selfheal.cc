@@ -58,7 +58,38 @@ void WriteAheadStore::BuildShards() {
   for (size_t i = 0; i < n; ++i) {
     OpLogOptions per_shard = options_;
     per_shard.path = options_.path + ".p" + std::to_string(i);
-    shards_.push_back(std::make_unique<Shard>(std::move(per_shard)));
+    auto s = std::make_unique<Shard>(std::move(per_shard));
+    s->index = i;
+    const std::string prefix = "wal.shard" + std::to_string(i) + ".";
+    s->ctr_appends = &metrics_->GetCounter(prefix + "appends");
+    s->ctr_commit_waits = &metrics_->GetCounter(prefix + "commit_waits");
+    s->ctr_compactions = &metrics_->GetCounter(prefix + "compactions");
+    shards_.push_back(std::move(s));
+  }
+}
+
+void WriteAheadStore::SetReplicationSink(ReplicationSink* sink) {
+  sink_.store(sink, std::memory_order_release);
+}
+
+void WriteAheadStore::ShipLocked(Shard& s) {
+  if (s.pending_ship.empty()) {
+    return;
+  }
+  ReplicationSink* sink = sink_.load(std::memory_order_acquire);
+  if (sink == nullptr) {
+    s.pending_ship.clear();  // sink detached mid-flight: nothing to resume
+    return;
+  }
+  std::vector<ReplicatedOp> ops = std::move(s.pending_ship);
+  s.pending_ship.clear();
+  const uint64_t first = s.ship_seq + 1;
+  const size_t n = ops.size();
+  s.ship_seq += n;
+  if (sink->ShipCommitted(s.index, first, std::move(ops)).ok()) {
+    shipped_records_.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    ship_failures_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -88,7 +119,17 @@ Status WriteAheadStore::AppendLocked(Shard& s, bool is_delete, std::string_view 
   if (options_.group_commit_window_us == 0) {
     // Legacy cadence: ack ⇒ logged; the log fsyncs itself every
     // group_commit_ops records.
-    return is_delete ? s.log->LogDelete(key) : s.log->LogSet(key, value);
+    Status st = is_delete ? s.log->LogDelete(key) : s.log->LogSet(key, value);
+    if (st.ok()) {
+      s.ctr_appends->Inc();
+      if (sink_.load(std::memory_order_acquire) != nullptr) {
+        // No group-commit leader exists to drain the buffer later, so ship
+        // each record under the lock, right behind its append.
+        s.pending_ship.push_back({is_delete, std::string(key), std::string(value)});
+        ShipLocked(s);
+      }
+    }
+    return st;
   }
   if (s.appended == s.durable && !s.committing) {
     s.batch_start = std::chrono::steady_clock::now();
@@ -98,6 +139,12 @@ Status WriteAheadStore::AppendLocked(Shard& s, bool is_delete, std::string_view 
     return st;
   }
   *my_seq = ++s.appended;
+  s.ctr_appends->Inc();
+  if (sink_.load(std::memory_order_acquire) != nullptr) {
+    // Captured now, shipped by the commit leader once the record's group
+    // fsyncs — the record order in pending_ship is the shard's apply order.
+    s.pending_ship.push_back({is_delete, std::string(key), std::string(value)});
+  }
   if (s.committing && s.appended - s.durable >= options_.group_commit_ops) {
     s.cv.notify_all();  // batch is full: the leader may close it early
   }
@@ -110,6 +157,9 @@ Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& loc
     return Status::Ok();
   }
   obs::ScopedStage stage(metrics_, obs::Stage::kCommitWait);
+  if (s.durable < my_seq) {
+    s.ctr_commit_waits->Inc();
+  }
   const auto window = std::chrono::microseconds(options_.group_commit_window_us);
   for (;;) {
     if (!s.failed.ok()) {
@@ -137,8 +187,41 @@ Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& loc
       st = s.log->CommitPrepare();
     }
     if (st.ok()) {
+      // Steal the replication buffer while still under the lock: the lock
+      // was held continuously since `upto` was read, so the buffer holds
+      // exactly the records this commit covers (records appended during the
+      // fsync below land in a fresh buffer for the NEXT leader). Ship-seqs
+      // are assigned here, under the lock, so the per-shard stream stays
+      // contiguous; the ship itself runs outside the lock — but strictly
+      // before this leader marks anything durable, which is what upgrades
+      // every ack in the batch to "fsync'd AND shipped".
+      std::vector<ReplicatedOp> to_ship;
+      uint64_t ship_first = 0;
+      if (sink_.load(std::memory_order_acquire) != nullptr && !s.pending_ship.empty()) {
+        to_ship = std::move(s.pending_ship);
+        s.pending_ship.clear();
+        ship_first = s.ship_seq + 1;
+        s.ship_seq += to_ship.size();
+      } else {
+        s.pending_ship.clear();  // sink detached: drop, nothing to resume
+      }
       lock.unlock();
       st = s.log->CommitSync();
+      if (!to_ship.empty()) {
+        // Ship even if the fsync failed: the seqs are already claimed, the
+        // mutations DID apply in memory, and a follower running ahead of a
+        // latched-dead primary is harmless — a gap in the stream is not.
+        ReplicationSink* sink = sink_.load(std::memory_order_acquire);
+        const size_t n = to_ship.size();
+        if (sink != nullptr && sink->ShipCommitted(s.index, ship_first,
+                                                   std::move(to_ship)).ok()) {
+          shipped_records_.fetch_add(n, std::memory_order_relaxed);
+        } else {
+          // Sink rejected (or vanished): the invariant degrades to acked ⇒
+          // logged ∧ recoverable-from-local-WAL; the primary keeps serving.
+          ship_failures_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       lock.lock();
     }
     s.committing = false;
@@ -377,6 +460,9 @@ Status WriteAheadStore::CommitShardLocked(Shard& s, std::unique_lock<std::mutex>
     s.cv.notify_all();
     return st;
   }
+  // A maintenance commit durable-izes records no leader will ever drain;
+  // ship them under the lock (rare path: heal/compact/repartition windows).
+  ShipLocked(s);
   s.durable = s.appended;
   s.cv.notify_all();
   return Status::Ok();
@@ -458,8 +544,11 @@ Status WriteAheadStore::CompactShard(size_t shard_index, const std::string& dire
     s.cv.notify_all();
     return st;
   }
+  // The WAL record sequence resets with the truncated log, but ship_seq
+  // survives: follower watermarks must never move backwards.
   s.appended = s.durable = 0;
   s.cv.notify_all();
+  s.ctr_compactions->Inc();
   compactions_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -698,6 +787,8 @@ WalStats WriteAheadStore::Stats() const {
   WalStats total;
   total.shards = shards_.size();
   total.compactions = compactions_.load(std::memory_order_relaxed);
+  total.shipped_records = shipped_records_.load(std::memory_order_relaxed);
+  total.ship_failures = ship_failures_.load(std::memory_order_relaxed);
   for (const auto& shard_ptr : shards_) {
     if (shard_ptr->log == nullptr) {
       continue;
@@ -718,6 +809,10 @@ void WriteAheadStore::BridgeStats(obs::MetricsSnapshot& snap) const {
   snap.SetCounter("wal.compactions", ws.compactions);
   snap.SetGauge("wal.log_bytes", static_cast<int64_t>(ws.log_bytes));
   snap.SetGauge("wal.shards", static_cast<int64_t>(ws.shards));
+  snap.SetCounter("wal.shipped_records", ws.shipped_records);
+  snap.SetCounter("wal.ship_failures", ws.ship_failures);
+  snap.SetGauge("wal.replication_attached",
+                sink_.load(std::memory_order_acquire) != nullptr ? 1 : 0);
 }
 
 SelfHealer::SelfHealer(WriteAheadStore& wal, const sgx::SealingService& sealer,

@@ -64,6 +64,8 @@ struct WalStats {
   uint64_t compactions = 0;
   uint64_t log_bytes = 0;  // current total across shards, not monotonic
   size_t shards = 0;
+  uint64_t shipped_records = 0;  // records handed to the replication sink
+  uint64_t ship_failures = 0;    // ShipCommitted calls the sink rejected
 };
 
 // Write-ahead facade: apply to the partitioned store, then log to the key's
@@ -172,19 +174,42 @@ class WriteAheadStore : public kv::KeyValueStore {
   // ServerOptions::stats_augment.
   void BridgeStats(obs::MetricsSnapshot& snap) const;
 
+  // Installs (nullptr clears) the replication sink. From then on every
+  // mutation record is captured at append time and handed to the sink once
+  // its group commit fsyncs, BEFORE any writer in the group is acked — see
+  // ReplicationSink for the ordering contract. Records appended while no
+  // sink was installed are NOT buffered retroactively; the sink's attach-
+  // time bootstrap snapshot is what covers them. Safe to call while serving.
+  void SetReplicationSink(ReplicationSink* sink);
+  ReplicationSink* replication_sink() const {
+    return sink_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Shard {
     explicit Shard(OpLogOptions opts) : options(std::move(opts)) {}
     OpLogOptions options;  // options.path is this shard's file
     std::unique_ptr<OperationLog> log;
+    size_t index = 0;  // position in shards_ (shipped to the sink as-is)
     std::mutex mutex;  // serializes apply + append for this shard's partitions
     std::condition_variable cv;  // group-commit leader/follower handoff
     uint64_t appended = 0;       // records appended (durable-window mode)
     uint64_t durable = 0;        // records known fsync'd
     bool committing = false;     // a leader is inside CommitPrepare/Sync
+    // Replication: records captured at append time, drained to the sink at
+    // commit time. ship_seq counts records ever handed to the sink in a
+    // sequence space that — unlike `appended`, which resets on compaction
+    // and log reset — is monotone for the life of this process; follower
+    // watermarks live in this space.
+    std::vector<ReplicatedOp> pending_ship;
+    uint64_t ship_seq = 0;
     std::chrono::steady_clock::time_point batch_start{};
     Status failed;  // latched fatal commit error: durability can no longer
                     // be promised, so every later mutation fails fast
+    // Per-shard observability (wal.shard<i>.*), cached in BuildShards.
+    obs::Counter* ctr_appends = nullptr;
+    obs::Counter* ctr_commit_waits = nullptr;
+    obs::Counter* ctr_compactions = nullptr;
   };
 
   void BuildShards();
@@ -200,6 +225,12 @@ class WriteAheadStore : public kv::KeyValueStore {
   // commit leader if the batch has none. No-op in legacy mode.
   Status AwaitDurable(Shard& s, std::unique_lock<std::mutex>& lock, uint64_t my_seq);
   Status CommitShardLocked(Shard& s, std::unique_lock<std::mutex>& lock);
+  // Drains s.pending_ship to the sink under the shard lock (legacy-cadence
+  // and maintenance-commit paths; the group-commit leader instead steals the
+  // buffer under the lock and ships outside it). Clears the buffer without
+  // shipping when no sink is installed. Never fails the caller: a sink
+  // rejection only bumps ship_failures_.
+  void ShipLocked(Shard& s);
   std::vector<OpLogOptions> ShardLogsOnDisk() const;
 
   PartitionedStore& inner_;
@@ -211,6 +242,9 @@ class WriteAheadStore : public kv::KeyValueStore {
   mutable std::shared_mutex structure_mutex_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> compactions_{0};
+  std::atomic<ReplicationSink*> sink_{nullptr};
+  std::atomic<uint64_t> shipped_records_{0};
+  std::atomic<uint64_t> ship_failures_{0};
 
   // Metric handles cached at construction (see OpLogOptions::metrics).
   obs::Registry* metrics_ = nullptr;

@@ -1,0 +1,224 @@
+// Cross-process zero-loss failover: a REAL primary process
+// (shieldstore_server --replicate-to) ships every committed WAL entry to a
+// REAL follower process (--replica-of) while an in-process Router drives
+// mixed traffic at the primary. The primary is SIGKILL'd mid-load — no
+// flush, no destructors — and the router must promote the follower and serve
+// every write that was acked before the kill. Loss is asserted two ways:
+// reading every acked key back through the router, AND from the follower's
+// replication counters via the kStats verb (the wire twin of
+// `shieldstore_cli stats --json`).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/faultinject/nodekiller.h"
+#include "src/net/client.h"
+#include "src/obs/snapshot.h"
+#include "src/router/router.h"
+#include "src/sgx/attestation.h"
+
+#ifndef SHIELD_SERVER_BIN
+#error "build must define SHIELD_SERVER_BIN (path to shieldstore_server)"
+#endif
+
+namespace shield {
+namespace {
+
+constexpr char kAuthoritySeed[] = "failover-ias";
+
+struct ServerProc {
+  pid_t pid = -1;
+  int out = -1;
+  sgx::Measurement measurement{};
+};
+
+void ReapServer(ServerProc* proc, int sig) {
+  if (proc->pid > 0) {
+    ::kill(proc->pid, sig);
+    int status = 0;
+    ::waitpid(proc->pid, &status, 0);
+    proc->pid = -1;
+  }
+  if (proc->out >= 0) {
+    ::close(proc->out);
+    proc->out = -1;
+  }
+}
+
+// Launches shieldstore_server with the given extra flags and blocks until it
+// prints its measurement line (emitted only once the listener is up — and,
+// for a primary, after the replication attach attempt finished).
+bool StartServer(const std::string& heal_dir, uint16_t port,
+                 const std::vector<std::string>& extra, ServerProc* proc) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return false;
+  }
+  const std::string port_s = std::to_string(port);
+  std::vector<const char*> argv = {
+      SHIELD_SERVER_BIN, "--port", port_s.c_str(), "--partitions", "2",
+      "--buckets", "4096", "--heal-dir", heal_dir.c_str(),
+      "--authority-seed", kAuthoritySeed,
+      "--wal-window-us", "100", "--wal-group-ops", "8"};
+  for (const std::string& arg : extra) {
+    argv.push_back(arg.c_str());
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    ::execv(SHIELD_SERVER_BIN, const_cast<char* const*>(argv.data()));
+    _exit(127);
+  }
+  ::close(pipe_fds[1]);
+  proc->pid = pid;
+  proc->out = pipe_fds[0];
+
+  std::string buffered;
+  char chunk[256];
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::read(proc->out, chunk, sizeof(chunk));
+    if (n <= 0) {
+      ReapServer(proc, SIGKILL);
+      return false;
+    }
+    buffered.append(chunk, static_cast<size_t>(n));
+    const size_t tag = buffered.find("clients): ");
+    if (tag == std::string::npos) {
+      continue;
+    }
+    const size_t hex_at = tag + strlen("clients): ");
+    if (buffered.size() < hex_at + 64) {
+      continue;
+    }
+    const Bytes digest = HexDecode(std::string_view(buffered).substr(hex_at, 64));
+    if (digest.size() != proc->measurement.size()) {
+      ReapServer(proc, SIGKILL);
+      return false;
+    }
+    std::memcpy(proc->measurement.data(), digest.data(), digest.size());
+    ::fcntl(proc->out, F_SETFL, O_NONBLOCK);
+    return true;
+  }
+  ReapServer(proc, SIGKILL);
+  return false;
+}
+
+TEST(FailoverTest, Kill9PrimaryMidLoadPromotesFollowerWithZeroAckedLoss) {
+  const std::string base =
+      ::testing::TempDir() + "/failover_" + std::to_string(::getpid());
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base + "/primary");
+  std::filesystem::create_directories(base + "/follower");
+  const uint16_t primary_port = static_cast<uint16_t>(26000 + ::getpid() % 2000);
+  const uint16_t follower_port = primary_port + 2000;
+  const sgx::AttestationAuthority authority(AsBytes(kAuthoritySeed));
+
+  // Follower first (so the primary's attach lands), then the primary.
+  ServerProc follower;
+  ASSERT_TRUE(StartServer(base + "/follower", follower_port,
+                          {"--replica-of", std::to_string(primary_port)}, &follower))
+      << "follower did not come up";
+  ServerProc primary;
+  ASSERT_TRUE(StartServer(base + "/primary", primary_port,
+                          {"--replicate-to", std::to_string(follower_port)}, &primary))
+      << "primary did not come up";
+  // Same binary, same enclave config → same measurement: one trust anchor
+  // authenticates both nodes (and the shipper's session between them).
+  ASSERT_EQ(0, std::memcmp(primary.measurement.data(), follower.measurement.data(),
+                           primary.measurement.size()));
+
+  router::RouterOptions options;
+  options.probe_interval_ms = 0;  // deterministic: recovery happens on-demand
+  options.op_retries = 5;
+  options.retry_backoff_ms = 100;
+  options.client.connect_attempts = 2;
+  options.client.recv_timeout_ms = 2000;
+  std::vector<router::RouterNode> nodes;
+  nodes.push_back({"n0", primary_port, follower_port});
+  router::Router rt(authority, primary.measurement, std::move(nodes), options);
+  ASSERT_TRUE(rt.Start().ok());
+
+  // Durable-ack load. Every ok() Set is a promise: logged, fsync'd, and
+  // (ship-before-ack) already offered to the follower.
+  std::map<std::string, std::string> acked;
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = "k" + std::to_string(i % 128);
+    const std::string value = "v" + std::to_string(i) + std::string(100, 'x');
+    if (rt.Set(key, value).ok()) {
+      acked[key] = value;
+    }
+  }
+  ASSERT_GE(acked.size(), 128u) << "load never got going";
+
+  // Fail-stop crash with sessions hot, then keep writing: ops racing the
+  // kill may ack (fsync'd+shipped before death) or fail over — both fine.
+  ASSERT_TRUE(faultinject::NodeKiller::Kill(primary.pid).ok());
+  const auto killed_at = std::chrono::steady_clock::now();
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "post" + std::to_string(i);
+    if (rt.Set(key, "after-kill").ok()) {
+      acked[key] = "after-kill";
+    }
+  }
+
+  // Recovery gate: the router must reach the promoted follower within 5s.
+  Result<std::string> probe = rt.Get(acked.begin()->first);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_LT(std::chrono::steady_clock::now() - killed_at, std::chrono::seconds(5));
+  EXPECT_EQ(rt.ActivePort("n0"), follower_port);
+
+  // Zero acked-write loss, byte for byte, through the router.
+  for (const auto& [key, value] : acked) {
+    const Result<std::string> got = rt.Get(key);
+    ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+    EXPECT_EQ(got.value(), value) << key;
+  }
+  // The promoted node accepts new writes.
+  ASSERT_TRUE(rt.Set("post-promotion", "works").ok());
+  EXPECT_EQ(rt.Get("post-promotion").value(), "works");
+  rt.Stop();
+
+  // Counter-level cross-check straight off the follower (the wire form of
+  // `shieldstore_cli stats --json`): every replicated mutation is counted,
+  // none were rejected, and the node reports itself primary.
+  net::Client stats_client(authority, follower.measurement);
+  ASSERT_TRUE(stats_client.Connect(follower_port).ok());
+  Result<obs::MetricsSnapshot> snap = stats_client.Stats();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  const uint64_t replicated = snap->CounterValue("repl.applied_entries") +
+                              snap->CounterValue("repl.snapshot_entries");
+  EXPECT_GE(replicated, acked.size()) << "follower applied fewer entries than were acked";
+  EXPECT_EQ(snap->CounterValue("repl.rejected_frames"), 0u);
+  EXPECT_EQ(snap->GaugeValue("repl.role"), 2) << "follower never promoted";
+  // The follower re-logs replicated entries into its OWN WAL: it is durable,
+  // promotable state, not a cache.
+  EXPECT_GE(snap->CounterValue("wal.records"), acked.size());
+  stats_client.Close();
+
+  ReapServer(&primary, SIGKILL);
+  ReapServer(&follower, SIGTERM);
+  std::filesystem::remove_all(base);
+}
+
+}  // namespace
+}  // namespace shield

@@ -13,6 +13,7 @@
 
 #include "src/common/rng.h"
 #include "src/net/client.h"
+#include "src/net/replication.h"
 #include "src/net/server.h"
 #include "src/shieldstore/partitioned.h"
 
@@ -130,6 +131,168 @@ TEST(ProtocolTest, DecodeResponseFuzzNeverCrashes) {
     if (!decoded.ok()) {
       EXPECT_EQ(decoded.status().code(), Code::kProtocolError) << "blob " << i;
     }
+  }
+}
+
+// --------------------------------------------------- replication codec
+
+TEST(ReplicationCodecTest, FrameRoundTrip) {
+  ReplicateFrame frame;
+  frame.type = ReplicateType::kEntries;
+  frame.epoch = 0xfeedfacecafebeefULL;
+  frame.shard = 3;
+  frame.first_seq = 42;
+  frame.entries.push_back({false, "alpha", std::string(300, 'v')});
+  frame.entries.push_back({true, "beta", ""});
+  const Bytes wire = EncodeReplicateFrame(frame);
+  Result<ReplicateFrame> decoded = DecodeReplicateFrame(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, ReplicateType::kEntries);
+  EXPECT_EQ(decoded->epoch, frame.epoch);
+  EXPECT_EQ(decoded->shard, 3u);
+  EXPECT_EQ(decoded->first_seq, 42u);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_FALSE(decoded->entries[0].is_delete);
+  EXPECT_EQ(decoded->entries[0].key, "alpha");
+  EXPECT_EQ(decoded->entries[0].value, std::string(300, 'v'));
+  EXPECT_TRUE(decoded->entries[1].is_delete);
+  EXPECT_EQ(decoded->entries[1].key, "beta");
+
+  ReplicateFrame hello;
+  hello.type = ReplicateType::kHello;
+  hello.epoch = 7;
+  hello.num_shards = 16;
+  Result<ReplicateFrame> hello2 = DecodeReplicateFrame(EncodeReplicateFrame(hello));
+  ASSERT_TRUE(hello2.ok());
+  EXPECT_EQ(hello2->type, ReplicateType::kHello);
+  EXPECT_EQ(hello2->num_shards, 16u);
+}
+
+TEST(ReplicationCodecTest, DecodeRejectsMalformedFrames) {
+  ReplicateFrame seed;
+  seed.type = ReplicateType::kEntries;
+  seed.epoch = 1;
+  seed.first_seq = 1;
+  seed.entries.push_back({false, "key", "value"});
+  const Bytes good = EncodeReplicateFrame(seed);
+  ASSERT_TRUE(DecodeReplicateFrame(good).ok());
+  auto rejects = [](Bytes payload, const char* what) {
+    Result<ReplicateFrame> r = DecodeReplicateFrame(payload);
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_EQ(r.status().code(), Code::kProtocolError) << what;
+  };
+  rejects({}, "empty");
+  // Truncated entry: every prefix of the good frame must fail typed.
+  for (size_t cut = 1; cut < good.size(); ++cut) {
+    Bytes truncated(good.begin(), good.begin() + static_cast<ptrdiff_t>(cut));
+    Result<ReplicateFrame> r = DecodeReplicateFrame(truncated);
+    ASSERT_FALSE(r.ok()) << "prefix " << cut << " decoded";
+    EXPECT_EQ(r.status().code(), Code::kProtocolError);
+  }
+  // Oversized frame: rejected on the total size BEFORE any parsing.
+  rejects(Bytes(kMaxReplicateBytes + 1, 0), "oversized frame");
+  {
+    Bytes bad = good;
+    bad[0] = 0;
+    rejects(bad, "type zero");
+    bad[0] = 7;
+    rejects(bad, "type past kQuery");
+  }
+  {
+    // Entry count forged past the cap (count lives at offset 1+8+4+8+4).
+    Bytes bad = good;
+    StoreLe32(bad.data() + 25, kMaxReplicateEntries + 1);
+    rejects(bad, "entry count over cap");
+    StoreLe32(bad.data() + 25, 2);  // count says 2, bytes hold 1
+    rejects(bad, "count past payload");
+  }
+  {
+    Bytes bad = good;
+    StoreLe32(bad.data() + 9, kMaxReplicateShards);  // shard field
+    rejects(bad, "shard out of range");
+  }
+  {
+    Bytes bad = good;
+    bad[29] = 2;  // entry op byte: neither set nor delete
+    rejects(bad, "bad entry op");
+  }
+  {
+    // Entries riding on a control frame must be refused, not applied.
+    Bytes bad = good;
+    bad[0] = static_cast<uint8_t>(ReplicateType::kPromote);
+    rejects(bad, "entries on control frame");
+  }
+  {
+    Bytes bad = good;
+    bad.push_back(0);
+    rejects(bad, "trailing bytes");
+  }
+}
+
+TEST(ReplicationCodecTest, DecodeFrameFuzzNeverCrashes) {
+  Xoshiro256 rng(0x5e91c0deULL);
+  ReplicateFrame seed;
+  seed.type = ReplicateType::kEntries;
+  seed.epoch = 99;
+  seed.shard = 1;
+  seed.first_seq = 1000;
+  for (int i = 0; i < 4; ++i) {
+    seed.entries.push_back({i % 2 == 1, "key" + std::to_string(i), std::string(40, 'x')});
+  }
+  const Bytes base = EncodeReplicateFrame(seed);
+  for (int i = 0; i < 5000; ++i) {
+    Bytes mutated = base;
+    const size_t flips = 1 + rng.NextBelow(8);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    }
+    if (rng.NextBelow(4) == 0) {
+      mutated.resize(rng.NextBelow(mutated.size() + 1));
+    }
+    Result<ReplicateFrame> decoded = DecodeReplicateFrame(mutated);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), Code::kProtocolError) << "mutant " << i;
+    }
+  }
+}
+
+TEST(ReplicationCodecTest, StatusRoundTripAndMalformedWatermarks) {
+  ReplicaStatusFrame status;
+  status.role = ReplicaRole::kPrimary;
+  status.epoch = 77;
+  status.watermarks = {0, 12, 0xffffffffffffffffULL};
+  const Bytes wire = EncodeReplicaStatus(status);
+  Result<ReplicaStatusFrame> decoded = DecodeReplicaStatus(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->role, ReplicaRole::kPrimary);
+  EXPECT_EQ(decoded->epoch, 77u);
+  EXPECT_EQ(decoded->watermarks, status.watermarks);
+
+  auto rejects = [](Bytes payload, const char* what) {
+    Result<ReplicaStatusFrame> r = DecodeReplicaStatus(payload);
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_EQ(r.status().code(), Code::kProtocolError) << what;
+  };
+  rejects({}, "empty");
+  {
+    Bytes bad = wire;
+    bad[0] = 3;
+    rejects(bad, "unknown role");
+  }
+  {
+    // Malformed watermark vector: count disagrees with the bytes present.
+    Bytes bad = wire;
+    StoreLe32(bad.data() + 9, 2);
+    rejects(bad, "watermark count below payload");
+    StoreLe32(bad.data() + 9, 4);
+    rejects(bad, "watermark count past payload");
+    StoreLe32(bad.data() + 9, kMaxReplicateShards + 1);
+    rejects(bad, "watermark count over cap");
+  }
+  {
+    Bytes bad = wire;
+    bad.pop_back();
+    rejects(bad, "truncated watermark");
   }
 }
 

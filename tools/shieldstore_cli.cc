@@ -12,19 +12,58 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/net/client.h"
 #include "src/obs/snapshot.h"
+#include "src/router/router.h"
 
 namespace {
 
 void Usage() {
   std::fprintf(stderr,
                "usage: shieldstore_cli --port N --measurement HEX64 [--authority-seed S]\n"
-               "       [--plaintext] COMMAND ARGS...\n"
+               "       [--plaintext] [--cluster SPEC] COMMAND ARGS...\n"
                "commands: get K | set K V | del K | append K SUFFIX | incr K DELTA | ping\n"
                "          mset K V [K V ...] | mget K [K ...]   (one kBatch frame)\n"
-               "          stats [--prometheus] [--check]        (kStats snapshot dump)\n");
+               "          stats [--prometheus] [--json] [--check]  (kStats snapshot dump)\n"
+               "cluster proxy mode: --cluster PORT[:FOLLOWER][,PORT[:FOLLOWER]...] routes\n"
+               "get/set/del/incr by consistent hash across the listed nodes, failing over\n"
+               "to a node's follower if the primary dies; `nodefor K` prints the owner.\n");
+}
+
+// --cluster "4555:4556,4557:4558" → router nodes named node0, node1, ...
+bool ParseClusterSpec(const std::string& spec, std::vector<shield::router::RouterNode>* nodes) {
+  size_t pos = 0;
+  int index = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string part = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) {
+      return false;
+    }
+    shield::router::RouterNode node;
+    node.name = "node" + std::to_string(index++);
+    const size_t colon = part.find(':');
+    const int port = std::atoi(part.substr(0, colon).c_str());
+    if (port <= 0 || port > 65535) {
+      return false;
+    }
+    node.port = static_cast<uint16_t>(port);
+    if (colon != std::string::npos) {
+      const int follower = std::atoi(part.substr(colon + 1).c_str());
+      if (follower <= 0 || follower > 65535) {
+        return false;
+      }
+      node.follower_port = static_cast<uint16_t>(follower);
+    }
+    nodes->push_back(std::move(node));
+  }
+  return !nodes->empty();
 }
 
 // Cross-metric invariants a live server's snapshot must satisfy. Returns the
@@ -80,6 +119,7 @@ int main(int argc, char** argv) {
   uint16_t port = 4555;
   std::string measurement_hex;
   std::string authority_seed = "dev-authority";
+  std::string cluster_spec;
   bool plaintext = false;
   int i = 1;
   for (; i < argc; ++i) {
@@ -92,6 +132,8 @@ int main(int argc, char** argv) {
       authority_seed = argv[++i];
     } else if (arg == "--plaintext") {
       plaintext = true;
+    } else if (arg == "--cluster" && i + 1 < argc) {
+      cluster_spec = argv[++i];
     } else {
       break;  // start of the command
     }
@@ -109,6 +151,70 @@ int main(int argc, char** argv) {
   std::memcpy(expected.data(), measurement_bytes.data(), 32);
 
   sgx::AttestationAuthority authority(AsBytes(authority_seed));
+
+  // Cluster proxy mode: one attested session per node, keys routed by
+  // consistent hash, transparent failover to a node's follower.
+  if (!cluster_spec.empty()) {
+    std::vector<router::RouterNode> nodes;
+    if (!ParseClusterSpec(cluster_spec, &nodes)) {
+      std::fprintf(stderr, "bad --cluster spec (want PORT[:FOLLOWER],...)\n");
+      return 2;
+    }
+    router::RouterOptions router_options;
+    router_options.encrypt = !plaintext;
+    router::Router rt(authority, expected, std::move(nodes), router_options);
+    if (Status s = rt.Start(); !s.ok()) {
+      std::fprintf(stderr, "cluster connect failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const std::string command = argv[i];
+    auto arg_at = [&](int offset) -> const char* {
+      return i + offset < argc ? argv[i + offset] : nullptr;
+    };
+    int rc = 0;
+    if (command == "get" && arg_at(1) != nullptr) {
+      Result<std::string> value = rt.Get(arg_at(1));
+      if (!value.ok()) {
+        std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+        rc = 1;
+      } else {
+        std::printf("%s\n", value->c_str());
+      }
+    } else if (command == "set" && arg_at(2) != nullptr) {
+      const Status s = rt.Set(arg_at(1), arg_at(2));
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        rc = 1;
+      } else {
+        std::printf("OK (%s)\n", rt.NodeFor(arg_at(1)).c_str());
+      }
+    } else if (command == "del" && arg_at(1) != nullptr) {
+      const Status s = rt.Delete(arg_at(1));
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        rc = 1;
+      } else {
+        std::printf("OK\n");
+      }
+    } else if (command == "incr" && arg_at(2) != nullptr) {
+      Result<int64_t> value = rt.Increment(arg_at(1), std::atoll(arg_at(2)));
+      if (!value.ok()) {
+        std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+        rc = 1;
+      } else {
+        std::printf("%lld\n", static_cast<long long>(*value));
+      }
+    } else if (command == "nodefor" && arg_at(1) != nullptr) {
+      const std::string& owner = rt.NodeFor(arg_at(1));
+      std::printf("%s (port %u)\n", owner.c_str(), rt.ActivePort(owner));
+    } else {
+      Usage();
+      rc = 2;
+    }
+    rt.Stop();
+    return rc;
+  }
+
   net::Client client(authority, expected, !plaintext);
   if (Status s = client.Connect(port); !s.ok()) {
     std::fprintf(stderr, "connect/attestation failed: %s\n", s.ToString().c_str());
@@ -189,11 +295,14 @@ int main(int argc, char** argv) {
     return rc;
   } else if (command == "stats") {
     bool prometheus = false;
+    bool json = false;
     bool check = false;
     for (int j = i + 1; j < argc; ++j) {
       const std::string opt = argv[j];
       if (opt == "--prometheus") {
         prometheus = true;
+      } else if (opt == "--json") {
+        json = true;
       } else if (opt == "--check") {
         check = true;
       } else {
@@ -206,8 +315,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "stats failed: %s\n", snap.status().ToString().c_str());
       return 1;
     }
-    std::fputs(prometheus ? obs::RenderPrometheus(*snap).c_str()
-                          : obs::RenderTable(*snap).c_str(),
+    std::fputs(json        ? obs::RenderJson(*snap).c_str()
+               : prometheus ? obs::RenderPrometheus(*snap).c_str()
+                            : obs::RenderTable(*snap).c_str(),
                stdout);
     if (check) {
       const int violations = CheckInvariants(*snap);

@@ -15,16 +15,21 @@
 //
 // The enclave measurement is printed at startup; clients pass it to
 // shieldstore_cli (out-of-band trust anchor, like a release checksum).
+#include <unistd.h>
+
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <memory>
 #include <string>
 
 #include "src/net/server.h"
 #include "src/obs/snapshot.h"
+#include "src/router/replica.h"
+#include "src/router/shipper.h"
 #include "src/shieldstore/oplog.h"
 #include "src/shieldstore/partitioned.h"
 #include "src/shieldstore/selfheal.h"
@@ -57,6 +62,9 @@ struct Flags {
   bool stats_prometheus = false;  // full Prometheus-style dump each report
   int hotcall_idle_us = 50;     // idle responder sleep; 0 = legacy pure-spin
   size_t replay_threads = 0;    // parallel shard-log replay; 0 = auto, 1 = sequential
+  bool replica = false;         // warm standby: accept a primary's kReplicate stream
+  uint16_t replica_of = 0;      // that primary's port — informational (push model)
+  uint16_t replicate_to = 0;    // primary: ship committed WAL entries to this follower port
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -101,6 +109,11 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->hotcall_idle_us = std::atoi(next());
     } else if (arg == "--replay-threads") {
       flags->replay_threads = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--replica-of") {
+      flags->replica = true;
+      flags->replica_of = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--replicate-to") {
+      flags->replicate_to = static_cast<uint16_t>(std::atoi(next()));
     } else {
       std::fprintf(stderr,
                    "usage: shieldstore_server [--port N] [--partitions N] [--buckets N]\n"
@@ -108,7 +121,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
                    "    [--heal-dir DIR] [--scrub-interval-ms N] [--scrub-budget N]\n"
                    "    [--wal-shards N] [--wal-window-us N] [--wal-group-ops N]\n"
                    "    [--wal-compact-bytes N] [--stats-interval-s N] [--stats-prometheus]\n"
-                   "    [--hotcall-idle-us N] [--replay-threads N]\n");
+                   "    [--hotcall-idle-us N] [--replay-threads N]\n"
+                   "    [--replica-of PRIMARY_PORT] [--replicate-to FOLLOWER_PORT]\n"
+                   "replication: --replica-of makes this node a warm standby (the primary on\n"
+                   "PRIMARY_PORT pushes its stream here; the port is recorded for logs).\n"
+                   "--replicate-to ships every committed WAL entry to the follower listening\n"
+                   "on FOLLOWER_PORT (requires --heal-dir; both nodes must share the binary\n"
+                   "and --authority-seed so the sessions attest).\n");
       return false;
     }
   }
@@ -186,10 +205,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (flags.replicate_to != 0 && wal == nullptr) {
+    std::fprintf(stderr, "--replicate-to requires --heal-dir (replication ships the WAL)\n");
+    return 2;
+  }
+
+  // Warm standby: the primary's WalShipper pushes kReplicate frames at us;
+  // they apply through the SAME facade clients would write through, so a
+  // follower with --heal-dir re-logs every replicated entry into its own WAL
+  // and is itself durable (and promotable) state.
+  std::unique_ptr<router::ReplicaNode> replica;
+  if (flags.replica) {
+    replica = std::make_unique<router::ReplicaNode>(
+        wal != nullptr ? static_cast<kv::KeyValueStore&>(*wal)
+                       : static_cast<kv::KeyValueStore&>(store));
+  }
+
   // Set after the Server is constructed; the maintenance lambda (created
   // first) reads it to fold batch stats into the periodic report.
   net::Server* server_ref = nullptr;
   net::ServerOptions server_options;
+  if (replica != nullptr) {
+    server_options.replicate_handler = [&replica](const net::Request& request) {
+      return replica->HandleReplicate(request);
+    };
+  }
   server_options.port = flags.port;
   server_options.use_hotcalls = flags.hotcalls;
   server_options.enclave_workers = flags.partitions;
@@ -291,6 +331,33 @@ int main(int argc, char** argv) {
                      authority, server_options);
   server_ref = &server;
   *last_snap = server.BuildStatsSnapshot();  // rate baseline for the first report
+
+  // Primary half of replication. Install the sink BEFORE Attach() so entries
+  // committed during the bootstrap dump are backlogged, not lost. A failed
+  // attach (follower still booting) is not fatal: the commit path keeps
+  // retrying the connection and the follower forces a bootstrap on contact.
+  std::unique_ptr<router::WalShipper> shipper;
+  if (flags.replicate_to != 0) {
+    router::ShipperOptions ship_opts;
+    ship_opts.follower_port = flags.replicate_to;
+    ship_opts.encrypt = !flags.plaintext;
+    // Epoch must change across primary restarts so a follower never merges
+    // two primary lifetimes into one stream.
+    ship_opts.epoch = (static_cast<uint64_t>(std::time(nullptr)) << 16) ^
+                      static_cast<uint64_t>(getpid());
+    if (ship_opts.epoch == 0) {
+      ship_opts.epoch = 1;
+    }
+    ship_opts.attach_attempts = 50;
+    shipper = std::make_unique<router::WalShipper>(*wal, authority, enclave.measurement(),
+                                                   ship_opts);
+    wal->SetReplicationSink(shipper.get());
+    if (Status s = shipper->Attach(); !s.ok()) {
+      std::fprintf(stderr, "replication attach deferred: %s (commit path will retry)\n",
+                   s.ToString().c_str());
+    }
+  }
+
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
     return 1;
@@ -309,6 +376,14 @@ int main(int argc, char** argv) {
   } else if (flags.scrub_interval_ms > 0) {
     std::printf("self-healing: off (background scrub every %d ms)\n", flags.scrub_interval_ms);
   }
+  if (replica != nullptr) {
+    std::printf("replication: warm standby for primary on port %u (kPromote flips to primary)\n",
+                flags.replica_of);
+  }
+  if (shipper != nullptr) {
+    std::printf("replication: shipping committed WAL entries to follower on port %u (%s)\n",
+                flags.replicate_to, shipper->connected() ? "attached" : "attach pending");
+  }
   std::fflush(stdout);
 
   // Serve until signalled.
@@ -318,6 +393,12 @@ int main(int argc, char** argv) {
   std::printf("shutting down (%llu requests served)\n",
               static_cast<unsigned long long>(server.requests_served()));
   server.Stop();
+  if (shipper != nullptr) {
+    // Detach before the shipper is destroyed (it dies before the WAL).
+    wal->SetReplicationSink(nullptr);
+    std::printf("replication: %zu entries still backlogged at shutdown\n",
+                shipper->backlog_entries());
+  }
   // Batching observability alongside the WAL stats: how much boundary work
   // the multi-op frames amortized away.
   const uint64_t batches = server.batches_served();
