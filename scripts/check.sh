@@ -21,8 +21,8 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== concurrency battery under TSan =="
 cmake -B build-tsan -S . -DSHIELD_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target concurrency_test selfheal_test
-ctest --test-dir build-tsan --output-on-failure -R 'ConcurrencyTest|SelfHealNetTest'
+cmake --build build-tsan -j "$JOBS" --target concurrency_test selfheal_test reactor_test
+ctest --test-dir build-tsan --output-on-failure -R 'ConcurrencyTest|SelfHealNetTest|ReactorTorture'
 
 echo "== WAL scaling bench (smoke) =="
 # Exit code enforces the acceptance gate: sharded >= 3x single-log at 8
@@ -40,8 +40,9 @@ echo "== stats pipeline: live server -> kStats -> invariant check =="
 # invariants and the Prometheus rendering carries the WAL/stage metrics.
 STATS_DIR="$(mktemp -d)"
 FO_DIR="$(mktemp -d)"
+NL_DIR="$(mktemp -d)"
 FO_PIDS=""
-trap 'kill ${SERVER_PID:-} ${FO_PIDS:-} 2>/dev/null || true; rm -rf "$STATS_DIR" "$FO_DIR"' EXIT
+trap 'kill ${SERVER_PID:-} ${FO_PIDS:-} ${NL_PID:-} 2>/dev/null || true; rm -rf "$STATS_DIR" "$FO_DIR" "$NL_DIR"' EXIT
 ./build/tools/shieldstore_server --port 0 --partitions 2 --heal-dir "$STATS_DIR/heal" \
   --stats-interval-s 1 > "$STATS_DIR/server.log" 2>&1 &
 SERVER_PID=$!
@@ -134,6 +135,35 @@ grep -q '"repl.rejected_frames":{"type":"counter","value":0}' "$FO_DIR/fa-stats.
   || { echo "failover smoke: replication stream saw rejected frames"; exit 1; }
 kill $FO_PIDS 2>/dev/null || true
 echo "failover smoke OK (recovery ${FO_MS}ms, ${#FO_ACKED[@]} acked writes verified)"
+
+echo "== reactor netload: 10k sessions against a live daemon =="
+# One epoll generator process ramps to 10k attested sessions against the
+# real daemon (reactor + durable-ack WAL). The bench's exit code enforces:
+# zero acked-op loss / protocol errors at every point, implicit batching
+# engaged (coalesced-batch counter advanced), no throughput collapse from
+# 100 to 1k sessions, and pipelined >= 2x singleton throughput.
+# SHIELD_NETLOAD_SESSIONS trims the curve for sanitizer or constrained runs.
+NL_SESSIONS="${SHIELD_NETLOAD_SESSIONS:-1,100,1000,10000}"
+./build/tools/shieldstore_server --port 0 --partitions 2 --buckets 8192 \
+  --io-threads 2 --max-sessions 16384 --heal-dir "$NL_DIR/heal" \
+  --wal-window-us 100 --wal-group-ops 64 --stats-interval-s 1 \
+  --stats-json "$NL_DIR/stats.json" > "$NL_DIR/server.log" 2>&1 &
+NL_PID=$!
+for _ in $(seq 1 100); do
+  grep -q 'listening on' "$NL_DIR/server.log" 2>/dev/null && break
+  sleep 0.1
+done
+NL_PORT="$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$NL_DIR/server.log")"
+NL_MEAS="$(sed -n 's/.*measurement (give to clients): \([0-9a-f]*\).*/\1/p' "$NL_DIR/server.log")"
+./build/bench/bench_netload --port "$NL_PORT" --measurement "$NL_MEAS" \
+  --sessions "$NL_SESSIONS" --seconds 0.5 --out "$NL_DIR/BENCH_netload.json"
+# The periodic --stats-json dump must carry the reactor series.
+sleep 1.5
+for series in '"net.sessions_opened"' '"net.coalesced.batches"' '"net.sessions"'; do
+  grep -q "$series" "$NL_DIR/stats.json" || { echo "stats-json missing $series"; exit 1; }
+done
+kill "$NL_PID"; wait "$NL_PID" 2>/dev/null || true
+echo "reactor netload OK"
 
 echo "== metrics overhead gate (< 3% vs no-op build) =="
 # Same bench compiled twice: metrics recording always-on (default) vs

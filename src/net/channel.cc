@@ -109,18 +109,14 @@ Result<Bytes> SessionCrypto::Open(ByteSpan record) {
   return plaintext;
 }
 
-Result<Bytes> ServerHandshake(int fd, sgx::Enclave& enclave,
-                              const sgx::AttestationAuthority& authority) {
-  Result<Bytes> hello = RecvFrame(fd);
-  if (!hello.ok()) {
-    return hello.status();
-  }
-  if (hello->size() != 32 + 16) {
+Result<ServerHandshakeReply> ServerHandshakeHello(ByteSpan hello, sgx::Enclave& enclave,
+                                                  const sgx::AttestationAuthority& authority) {
+  if (hello.size() != 32 + 16) {
     return Status(Code::kProtocolError, "bad client hello");
   }
   crypto::X25519Key client_pub;
-  std::memcpy(client_pub.data(), hello->data(), 32);
-  const ByteSpan client_nonce(hello->data() + 32, 16);
+  std::memcpy(client_pub.data(), hello.data(), 32);
+  const ByteSpan client_nonce(hello.data() + 32, 16);
 
   crypto::X25519Key server_priv;
   enclave.ReadRand(MutableByteSpan(server_priv.data(), server_priv.size()));
@@ -130,23 +126,37 @@ Result<Bytes> ServerHandshake(int fd, sgx::Enclave& enclave,
 
   // Quote binds the server DH key and transcript into report_data.
   const crypto::Sha256Digest transcript =
-      TranscriptHash(*hello, server_pub, ByteSpan(server_nonce, 16));
+      TranscriptHash(hello, server_pub, ByteSpan(server_nonce, 16));
   Bytes report_data;
   report_data.insert(report_data.end(), server_pub.begin(), server_pub.end());
   report_data.insert(report_data.end(), transcript.begin(), transcript.end());
   const sgx::Quote quote = authority.GenerateQuote(enclave, report_data);
 
-  Bytes reply;
-  reply.insert(reply.end(), server_pub.begin(), server_pub.end());
-  reply.insert(reply.end(), server_nonce, server_nonce + 16);
+  ServerHandshakeReply out;
+  out.reply.insert(out.reply.end(), server_pub.begin(), server_pub.end());
+  out.reply.insert(out.reply.end(), server_nonce, server_nonce + 16);
   const Bytes quote_wire = quote.Serialize();
-  reply.insert(reply.end(), quote_wire.begin(), quote_wire.end());
-  if (Status s = SendFrame(fd, reply); !s.ok()) {
-    return s;
-  }
+  out.reply.insert(out.reply.end(), quote_wire.begin(), quote_wire.end());
 
   const crypto::X25519Key shared = crypto::X25519(server_priv, client_pub);
-  return DeriveSessionKeys(shared, client_nonce, ByteSpan(server_nonce, 16));
+  out.key_material = DeriveSessionKeys(shared, client_nonce, ByteSpan(server_nonce, 16));
+  return out;
+}
+
+Result<Bytes> ServerHandshake(int fd, sgx::Enclave& enclave,
+                              const sgx::AttestationAuthority& authority) {
+  Result<Bytes> hello = RecvFrame(fd);
+  if (!hello.ok()) {
+    return hello.status();
+  }
+  Result<ServerHandshakeReply> reply = ServerHandshakeHello(*hello, enclave, authority);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (Status s = SendFrame(fd, reply->reply); !s.ok()) {
+    return s;
+  }
+  return std::move(reply->key_material);
 }
 
 Result<Bytes> ClientHandshake(int fd, const sgx::AttestationAuthority& authority,

@@ -55,8 +55,20 @@ class SessionCrypto {
   bool encrypt_;
 };
 
-// Server side of the handshake; returns the session key material. All
+// Frame-level server handshake: consumes a complete client-hello payload and
+// produces the reply payload plus the derived session key material. All
 // cryptographic steps are enclave work (the caller wraps this in an ECALL).
+// The reactor uses this directly once a full hello frame has been buffered;
+// the blocking `ServerHandshake` below is a convenience wrapper around it.
+struct ServerHandshakeReply {
+  Bytes reply;         // server pub || server nonce || quote, to be framed
+  Bytes key_material;  // HKDF output for SessionCrypto
+};
+Result<ServerHandshakeReply> ServerHandshakeHello(ByteSpan hello, sgx::Enclave& enclave,
+                                                  const sgx::AttestationAuthority& authority);
+
+// Server side of the handshake over a blocking socket; returns the session
+// key material.
 Result<Bytes> ServerHandshake(int fd, sgx::Enclave& enclave,
                               const sgx::AttestationAuthority& authority);
 

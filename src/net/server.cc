@@ -38,6 +38,9 @@ Server::Server(sgx::Enclave& enclave, kv::KeyValueStore& store,
   auth_failures_ = &metrics_->GetCounter("net.auth_failures");
   protocol_errors_ = &metrics_->GetCounter("net.protocol_errors");
   batch_frame_bytes_ = &metrics_->GetHistogram("net.batch_frame_bytes");
+  coalesced_batches_ = &metrics_->GetCounter("net.coalesced.batches");
+  coalesced_ops_ = &metrics_->GetCounter("net.coalesced.ops");
+  coalesce_depth_ = &metrics_->GetHistogram("net.coalesce_depth");
 }
 
 Server::~Server() {
@@ -63,7 +66,9 @@ Status Server::Start() {
   socklen_t addr_len = sizeof(addr);
   getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
-  if (listen(listen_fd_, 128) != 0) {
+  // Deep backlog: a many-session client ramp (bench_netload's 10k sockets)
+  // arrives much faster than single-core handshakes drain it.
+  if (listen(listen_fd_, 1024) != 0) {
     close(listen_fd_);
     listen_fd_ = -1;
     return Status(Code::kIoError, "listen() failed");
@@ -78,7 +83,67 @@ Status Server::Start() {
   if (options_.maintenance) {
     maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
   }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+
+  ReactorOptions ropts;
+  ropts.io_threads = options_.io_threads;
+  ropts.max_sessions = options_.max_sessions;
+  ropts.coalesce_depth = std::max<size_t>(options_.coalesce_depth, 1);
+  ropts.max_output_bytes = options_.max_session_output_bytes;
+  ropts.sessions_gauge = &metrics_->GetGauge("net.sessions");
+  ropts.sessions_opened = &metrics_->GetCounter("net.sessions_opened");
+  ropts.sessions_rejected = &metrics_->GetCounter("net.sessions_rejected");
+  ropts.loop_lag = &metrics_->GetHistogram("net.reactor_loop_lag");
+
+  Reactor::Handlers handlers;
+  handlers.on_handshake = [this](Session& s, ByteSpan hello, Bytes* reply) {
+    // Handshake: enclave work, entered once per connection.
+    Result<ServerHandshakeReply> hs = enclave_.boundary().Ecall(
+        [&] { return ServerHandshakeHello(hello, enclave_, authority_); });
+    if (!hs.ok()) {
+      SHIELD_LOG(Info) << "handshake failed: " << hs.status().ToString();
+      return false;
+    }
+    s.InstallCrypto(hs->key_material, options_.encrypt);
+    *reply = std::move(hs->reply);
+    return true;
+  };
+  handlers.on_frames = [this](Session& s, std::vector<Bytes>& records,
+                              std::vector<Bytes>& responses, bool* close_after) {
+    inflight_->Add(static_cast<int64_t>(records.size()));
+    if (options_.use_hotcalls) {
+      SessionRunTask task;
+      task.session = s.crypto();
+      task.records = &records;
+      bool submitted;
+      {
+        // Boundary round-trip: post in shared memory -> responder done flag.
+        obs::ScopedStage stage(metrics_, obs::Stage::kEnclaveSubmit);
+        submitted = hotcalls_->Call(0, &task);
+      }
+      if (!submitted) {
+        *close_after = true;  // server stopping
+      } else {
+        responses = std::move(task.responses);
+        *close_after = task.close_session;
+      }
+    } else {
+      // Classic path: one ECALL (two crossings) per run of frames.
+      obs::ScopedStage stage(metrics_, obs::Stage::kEnclaveSubmit);
+      enclave_.boundary().Ecall([&] {
+        ProcessSessionRun(*s.crypto(), records, responses, close_after);
+        return 0;
+      });
+    }
+    inflight_->Add(-static_cast<int64_t>(records.size()));
+  };
+
+  reactor_ = std::make_unique<Reactor>(ropts, std::move(handlers));
+  if (Status s = reactor_->Start(listen_fd_); !s.ok()) {
+    reactor_.reset();
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
   return Status::Ok();
 }
 
@@ -110,31 +175,16 @@ void Server::Stop() {
   if (maintenance_thread_.joinable()) {
     maintenance_thread_.join();
   }
+  // Reactor first: its threads drain pending responses (an in-flight
+  // request keeps its write side so the response still reaches the client)
+  // and may be parked inside a HotCall, so the responders must outlive them.
+  if (reactor_ != nullptr) {
+    reactor_->Stop();
+  }
   if (listen_fd_ >= 0) {
     shutdown(listen_fd_, SHUT_RDWR);
     close(listen_fd_);
-  }
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  // Cleared only after the accept thread is joined: it reads listen_fd_
-  // right up until its final stopping_ check.
-  listen_fd_ = -1;
-  {
-    // Unblock connection threads parked in recv() on live clients, then
-    // join. SHUT_RD only: a thread mid-request keeps its write side so the
-    // in-flight response still reaches the client (drain semantics).
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (int fd : connection_fds_) {
-      shutdown(fd, SHUT_RD);
-    }
-    for (std::thread& t : connection_threads_) {
-      if (t.joinable()) {
-        t.join();
-      }
-    }
-    connection_threads_.clear();
-    connection_fds_.clear();
+    listen_fd_ = -1;
   }
   if (hotcalls_ != nullptr) {
     hotcalls_->Stop();
@@ -144,23 +194,6 @@ void Server::Stop() {
       }
     }
     enclave_workers_.clear();
-  }
-}
-
-void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load(std::memory_order_acquire)) {
-        return;
-      }
-      continue;
-    }
-    int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
 }
 
@@ -227,16 +260,24 @@ Response Server::Dispatch(const Request& request) {
 }
 
 std::vector<Response> Server::DispatchBatch(const std::vector<Request>& ops) {
+  return RunOps(ops, /*implicit=*/false);
+}
+
+std::vector<Response> Server::RunOps(const std::vector<Request>& ops, bool implicit) {
   std::vector<Response> responses(ops.size());
   // Pings answer inline; everything else funnels into ONE store ExecuteBatch
   // call, where the engine amortizes locks / MAC recomputes / log commits.
+  // Metric family: explicit kBatch frames count as batch sub-ops; implicit
+  // (reactor-coalesced) frames count as the singleton requests they are —
+  // exactly what sequential execution would have recorded.
   std::vector<kv::BatchOp> batch;
   std::vector<size_t> index;
   batch.reserve(ops.size());
   index.reserve(ops.size());
+  obs::Counter* const* family = implicit ? op_counters_ : batch_verb_counters_;
   for (size_t i = 0; i < ops.size(); ++i) {
     const Request& r = ops[i];
-    if (obs::Counter* c = batch_verb_counters_[static_cast<uint8_t>(r.op)]; c != nullptr) {
+    if (obs::Counter* c = family[static_cast<uint8_t>(r.op)]; c != nullptr) {
       c->Inc();
     }
     kv::BatchOp op;
@@ -284,71 +325,167 @@ std::vector<Response> Server::DispatchBatch(const std::vector<Request>& ops) {
       }
     }
   }
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batch_ops_.fetch_add(ops.size(), std::memory_order_relaxed);
-  // Each sub-op beyond the first would otherwise have been its own frame,
-  // session Seal/Open, and enclave submission.
-  crossings_saved_.fetch_add(ops.size() - 1, std::memory_order_relaxed);
+  if (implicit) {
+    coalesced_batches_->Inc();
+    coalesced_ops_->Inc(ops.size());
+    coalesce_depth_->Record(ops.size());
+    coalesced_batches_n_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_ops_n_.fetch_add(ops.size(), std::memory_order_relaxed);
+  } else {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_ops_.fetch_add(ops.size(), std::memory_order_relaxed);
+    // Each sub-op beyond the first would otherwise have been its own frame,
+    // session Seal/Open, and enclave submission.
+    crossings_saved_.fetch_add(ops.size() - 1, std::memory_order_relaxed);
+  }
   return responses;
 }
 
-Bytes Server::ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status,
-                               uint8_t* verb) {
-  *verb = 0;  // unknown until decoded; e2e latency is attributed per verb
+void Server::ProcessSessionRun(SessionCrypto& session, const std::vector<Bytes>& records,
+                               std::vector<Bytes>& responses, bool* close_session) {
+  *close_session = false;
+  responses.reserve(records.size());
+
+  // Phase 1: open + decode every record in receipt order (the session's
+  // receive sequence numbers force this order anyway). An unauthentic
+  // record stops the scan: everything before it is still served, then the
+  // typed error becomes the session's last response.
+  struct Unit {
+    enum Kind : uint8_t { kOp, kSingle, kBatch, kError } kind = kError;
+    Request request;              // kOp / kSingle
+    std::vector<Request> batch;   // kBatch
+  };
+  std::vector<Unit> units;
+  units.reserve(records.size());
+  bool auth_failed = false;
+  for (const Bytes& record : records) {
+    Result<Bytes> plaintext = [&] {
+      obs::ScopedStage stage(metrics_, obs::Stage::kSessionOpen);
+      return session.Open(record);
+    }();
+    if (!plaintext.ok()) {
+      // Unauthentic or malformed record. Nothing in it can be trusted, so do
+      // not dispatch — but do tell the client why it is being dropped, with a
+      // sealed typed error rather than a silent hangup.
+      auth_failed = true;
+      break;
+    }
+    Unit u;
+    if (IsBatchRequest(*plaintext)) {
+      // One Open above and one Seal below cover every sub-op in the frame —
+      // the whole point of the batch opcode. A malformed batch answers with a
+      // SINGLE typed error (the client's decoder falls back on the marker).
+      // Frame-size distribution feeds capacity planning: router-forwarded
+      // batches and pipelined clients show up here without a packet capture.
+      batch_frame_bytes_->Record(plaintext->size());
+      Result<std::vector<Request>> batch = [&] {
+        obs::ScopedStage stage(metrics_, obs::Stage::kDecode);
+        return DecodeBatchRequest(*plaintext);
+      }();
+      if (batch.ok()) {
+        u.kind = Unit::kBatch;
+        u.batch = std::move(*batch);
+      } else {
+        protocol_errors_->Inc();
+        u.kind = Unit::kError;
+      }
+    } else {
+      Result<Request> request = [&] {
+        obs::ScopedStage stage(metrics_, obs::Stage::kDecode);
+        return DecodeRequest(*plaintext);
+      }();
+      if (request.ok()) {
+        // Plain data ops (and pings) coalesce; kStats/kReplicate keep their
+        // singleton semantics and break a run.
+        u.kind = request->op <= OpCode::kPing ? Unit::kOp : Unit::kSingle;
+        u.request = std::move(*request);
+      } else {
+        protocol_errors_->Inc();
+        u.kind = Unit::kError;
+      }
+    }
+    units.push_back(std::move(u));
+  }
+
   auto seal = [&](const Bytes& payload) {
     obs::ScopedStage stage(metrics_, obs::Stage::kSessionSeal);
-    return session.Seal(payload);
+    responses.push_back(session.Seal(payload));
   };
-  Result<Bytes> plaintext = [&] {
-    obs::ScopedStage stage(metrics_, obs::Stage::kSessionOpen);
-    return session.Open(record);
-  }();
-  if (!plaintext.ok()) {
-    // Unauthentic or malformed record. Nothing in it can be trusted, so do
-    // not dispatch — but do tell the client why it is being dropped, with a
-    // sealed typed error rather than a silent hangup.
-    *status = plaintext.status();
+  auto record_latency = [&](uint8_t verb, uint64_t t_start) {
+    if (verb != 0 && verb < kVerbSlots) {
+      // End-to-end server-side latency: run entered -> response sealed. A
+      // coalesced frame is attributed its whole run (that IS its latency).
+      op_latency_[verb]->RecordCycles(obs::TimerStart() - t_start);
+    }
+  };
+
+  // Phase 2: execute in frame order and seal in frame order (send sequence
+  // numbers make any other order a forgery). Adjacent kOp units become ONE
+  // store batch — the implicit kBatch a merely-pipelining client never had
+  // to ask for — with responses byte-identical to sequential dispatch.
+  size_t i = 0;
+  while (i < units.size()) {
+    const uint64_t t_start = obs::TimerStart();
+    Unit& u = units[i];
+    switch (u.kind) {
+      case Unit::kOp: {
+        size_t j = i + 1;
+        while (j < units.size() && units[j].kind == Unit::kOp) {
+          ++j;
+        }
+        const size_t n = j - i;
+        if (n == 1) {
+          const uint8_t verb = static_cast<uint8_t>(u.request.op);
+          seal(EncodeResponse(Dispatch(u.request)));
+          record_latency(verb, t_start);
+        } else {
+          std::vector<Request> ops;
+          ops.reserve(n);
+          for (size_t k = i; k < j; ++k) {
+            ops.push_back(std::move(units[k].request));
+          }
+          const std::vector<Response> rs = RunOps(ops, /*implicit=*/true);
+          for (size_t k = 0; k < n; ++k) {
+            seal(EncodeResponse(rs[k]));
+            record_latency(static_cast<uint8_t>(ops[k].op), t_start);
+          }
+        }
+        i = j;
+        break;
+      }
+      case Unit::kSingle: {
+        const uint8_t verb = static_cast<uint8_t>(u.request.op);
+        seal(EncodeResponse(Dispatch(u.request)));
+        record_latency(verb, t_start);
+        ++i;
+        break;
+      }
+      case Unit::kBatch: {
+        const uint8_t verb = static_cast<uint8_t>(OpCode::kBatch);
+        op_counters_[verb]->Inc();
+        seal(EncodeBatchResponse(DispatchBatch(u.batch)));
+        record_latency(verb, t_start);
+        ++i;
+        break;
+      }
+      case Unit::kError: {
+        Response response;
+        response.status = Code::kProtocolError;
+        seal(EncodeResponse(response));
+        ++i;
+        break;
+      }
+    }
+  }
+  requests_.fetch_add(units.size(), std::memory_order_relaxed);
+
+  if (auth_failed) {
     auth_failures_->Inc();
     Response response;
     response.status = Code::kProtocolError;
-    return seal(EncodeResponse(response));
+    seal(EncodeResponse(response));
+    *close_session = true;
   }
-  if (IsBatchRequest(*plaintext)) {
-    // One Open above and one Seal below cover every sub-op in the frame —
-    // the whole point of the batch opcode. A malformed batch answers with a
-    // SINGLE typed error (the client's decoder falls back on the marker).
-    // Frame-size distribution feeds capacity planning: router-forwarded
-    // batches and pipelined clients show up here without a packet capture.
-    batch_frame_bytes_->Record(plaintext->size());
-    *status = Status::Ok();
-    Result<std::vector<Request>> batch = [&] {
-      obs::ScopedStage stage(metrics_, obs::Stage::kDecode);
-      return DecodeBatchRequest(*plaintext);
-    }();
-    if (!batch.ok()) {
-      protocol_errors_->Inc();
-      Response response;
-      response.status = Code::kProtocolError;
-      return seal(EncodeResponse(response));
-    }
-    *verb = static_cast<uint8_t>(OpCode::kBatch);
-    op_counters_[*verb]->Inc();
-    return seal(EncodeBatchResponse(DispatchBatch(*batch)));
-  }
-  Result<Request> request = [&] {
-    obs::ScopedStage stage(metrics_, obs::Stage::kDecode);
-    return DecodeRequest(*plaintext);
-  }();
-  Response response;
-  if (!request.ok()) {
-    protocol_errors_->Inc();
-    response.status = Code::kProtocolError;
-  } else {
-    *verb = static_cast<uint8_t>(request->op);
-    response = Dispatch(*request);
-  }
-  *status = Status::Ok();
-  return seal(EncodeResponse(response));
 }
 
 void Server::EnclaveWorkerLoop() {
@@ -360,12 +497,12 @@ void Server::EnclaveWorkerLoop() {
   // cores. Any served request resets the spin budget.
   constexpr uint64_t kIdleSpinPolls = 1024;
   uint64_t idle_polls = 0;
+  const auto serve = [this](uint16_t, void* data) {
+    SessionRunTask* task = static_cast<SessionRunTask*>(data);
+    ProcessSessionRun(*task->session, *task->records, task->responses, &task->close_session);
+  };
   while (!hotcalls_->stopped()) {
-    if (hotcalls_->Poll([this](uint16_t, void* data) {
-          HotCallTask* task = static_cast<HotCallTask*>(data);
-          task->response_record = ProcessInEnclave(*task->session, *task->request_record,
-                                                   &task->status, &task->verb);
-        })) {
+    if (hotcalls_->Poll(serve)) {
       idle_polls = 0;
     } else if (++idle_polls < kIdleSpinPolls || options_.hotcall_idle_sleep_us <= 0) {
       std::this_thread::yield();
@@ -375,78 +512,8 @@ void Server::EnclaveWorkerLoop() {
     }
   }
   // Drain after stop so no caller is left waiting.
-  while (hotcalls_->Poll([this](uint16_t, void* data) {
-    HotCallTask* task = static_cast<HotCallTask*>(data);
-    task->response_record =
-        ProcessInEnclave(*task->session, *task->request_record, &task->status, &task->verb);
-  })) {
+  while (hotcalls_->Poll(serve)) {
   }
-}
-
-void Server::ServeConnection(int fd) {
-  // Handshake: enclave work, entered once per connection.
-  Result<Bytes> key_material =
-      enclave_.boundary().Ecall([&] { return ServerHandshake(fd, enclave_, authority_); });
-  if (!key_material.ok()) {
-    SHIELD_LOG(Info) << "handshake failed: " << key_material.status().ToString();
-    close(fd);
-    return;
-  }
-  SessionCrypto session(*key_material, /*is_client=*/false, options_.encrypt);
-
-  while (!stopping_.load(std::memory_order_acquire)) {
-    Result<Bytes> record = RecvFrame(fd);
-    if (!record.ok()) {
-      break;  // client went away
-    }
-    const uint64_t t_start = obs::TimerStart();
-    inflight_->Add(1);
-    Bytes response_record;
-    Status status;
-    uint8_t verb = 0;
-    if (options_.use_hotcalls) {
-      HotCallTask task;
-      task.session = &session;
-      task.request_record = &record.value();
-      bool submitted;
-      {
-        // Boundary round-trip: post in shared memory -> responder done flag.
-        obs::ScopedStage stage(metrics_, obs::Stage::kEnclaveSubmit);
-        submitted = hotcalls_->Call(0, &task);
-      }
-      if (!submitted) {
-        inflight_->Add(-1);
-        break;  // server stopping
-      }
-      status = task.status;
-      verb = task.verb;
-      response_record = std::move(task.response_record);
-    } else {
-      // Classic path: one ECALL (two crossings) per request.
-      obs::ScopedStage stage(metrics_, obs::Stage::kEnclaveSubmit);
-      response_record = enclave_.boundary().Ecall(
-          [&] { return ProcessInEnclave(session, record.value(), &status, &verb); });
-    }
-    inflight_->Add(-1);
-    if (!status.ok()) {
-      // Unauthentic record: answer with the typed protocol error (best
-      // effort), then drop only THIS connection. The accept loop and every
-      // other session keep serving.
-      if (!response_record.empty()) {
-        (void)SendFrame(fd, response_record);
-      }
-      break;
-    }
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    if (!SendFrame(fd, response_record).ok()) {
-      break;
-    }
-    if (verb != 0 && verb < kVerbSlots) {
-      // End-to-end server-side latency: frame received -> response sent.
-      op_latency_[verb]->RecordCycles(obs::TimerStart() - t_start);
-    }
-  }
-  close(fd);
 }
 
 obs::MetricsSnapshot Server::BuildStatsSnapshot() {

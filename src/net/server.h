@@ -2,9 +2,14 @@
 //
 // Untrusted I/O threads own the sockets (an enclave cannot issue system
 // calls); every request must enter the enclave for session decryption and
-// store access. Two entry mechanisms reproduce the paper's comparison:
-//  * ECALL per request — two ~8000-cycle crossings each;
-//  * HotCalls — the I/O thread publishes the request in shared memory and a
+// store access. A small epoll reactor pool (ServerOptions::io_threads)
+// multiplexes thousands of non-blocking sessions; adjacent complete
+// pipelined singleton frames from one session are coalesced into one
+// enclave submission and one store ExecuteBatch (implicit batching), with
+// responses in order and byte-identical to sequential execution. Two enclave
+// entry mechanisms reproduce the paper's comparison:
+//  * ECALL per submission — two ~8000-cycle crossings each;
+//  * HotCalls — the I/O thread publishes the run in shared memory and a
 //    dedicated in-enclave worker thread polls and executes it, no crossings.
 #ifndef SHIELDSTORE_SRC_NET_SERVER_H_
 #define SHIELDSTORE_SRC_NET_SERVER_H_
@@ -19,6 +24,7 @@
 #include "src/kv/interface.h"
 #include "src/net/channel.h"
 #include "src/net/protocol.h"
+#include "src/net/reactor.h"
 #include "src/obs/metrics.h"
 #include "src/obs/snapshot.h"
 #include "src/sgx/attestation.h"
@@ -32,6 +38,21 @@ struct ServerOptions {
   bool use_hotcalls = false;
   size_t enclave_workers = 2;  // HotCalls responder threads
   bool encrypt = true;         // session record protection (±net crypto, §6.4)
+
+  // Reactor sizing: untrusted epoll I/O threads and the live-session cap
+  // (accepts past the cap are closed immediately and counted).
+  size_t io_threads = 4;
+  size_t max_sessions = 16384;
+
+  // Implicit pipelined batching: up to this many adjacent complete singleton
+  // frames from one session are executed as one store batch (one enclave
+  // submission, one group-commit wait per touched WAL shard). 1 disables
+  // coalescing; responses are byte-identical either way.
+  size_t coalesce_depth = 64;
+
+  // Per-session output-buffer backpressure bound: past this many pending
+  // response bytes the session's reads pause until EPOLLOUT drains it.
+  size_t max_session_output_bytes = 8u << 20;
 
   // HotCalls responder idle backoff: after a bounded spin of empty polls,
   // an idle responder sleeps this long between polls instead of pegging a
@@ -86,6 +107,7 @@ class Server {
   uint64_t maintenance_ticks() const {
     return maintenance_ticks_.load(std::memory_order_relaxed);
   }
+  size_t live_sessions() const { return reactor_ != nullptr ? reactor_->live_sessions() : 0; }
 
   // Batching observability: frames carrying kBatch, the sub-ops they held,
   // and the enclave submissions they saved (sub-ops minus one per batch —
@@ -96,6 +118,13 @@ class Server {
     return crossings_saved_.load(std::memory_order_relaxed);
   }
 
+  // Implicit-batch observability: runs of adjacent pipelined singleton
+  // frames coalesced into one enclave submission, and the frames they held.
+  uint64_t coalesced_batches() const {
+    return coalesced_batches_n_.load(std::memory_order_relaxed);
+  }
+  uint64_t coalesced_ops() const { return coalesced_ops_n_.load(std::memory_order_relaxed); }
+
   // One tear-free fold of everything observable from this server: the
   // registry (per-verb counters, latency + stage histograms), the store's
   // kv::StoreStats, EPC paging and crossing counters from the enclave, and
@@ -104,23 +133,30 @@ class Server {
   obs::MetricsSnapshot BuildStatsSnapshot();
 
  private:
-  struct HotCallTask {
+  // One reactor frame run posted to a HotCalls responder: every complete
+  // sealed record buffered for one session, answered in order.
+  struct SessionRunTask {
     SessionCrypto* session;
-    const Bytes* request_record;
-    Bytes response_record;
-    Status status;
-    uint8_t verb = 0;  // decoded opcode, 0 until known (for e2e latency)
+    const std::vector<Bytes>* records;
+    std::vector<Bytes> responses;
+    bool close_session = false;
   };
 
-  void AcceptLoop();
-  void ServeConnection(int fd);
   void EnclaveWorkerLoop();
   void MaintenanceLoop();
-  // Enclave-side request processing: open the record, run the operation,
-  // seal the response. Used by both entry mechanisms.
-  Bytes ProcessInEnclave(SessionCrypto& session, ByteSpan record, Status* status, uint8_t* verb);
+  // Enclave-side processing of one session run: open every record in
+  // receipt order, decode, execute — coalescing adjacent singleton ops into
+  // one store batch — and seal the responses in frame order. Sets
+  // *close_session on an unauthentic record (typed error is still the last
+  // response). Used by both entry mechanisms.
+  void ProcessSessionRun(SessionCrypto& session, const std::vector<Bytes>& records,
+                         std::vector<Bytes>& responses, bool* close_session);
   Response Dispatch(const Request& request);
   std::vector<Response> DispatchBatch(const std::vector<Request>& ops);
+  // Shared batch executor: maps wire requests onto ONE store ExecuteBatch
+  // call. `implicit` selects the metric family (explicit kBatch frames vs
+  // reactor-coalesced pipelined singletons).
+  std::vector<Response> RunOps(const std::vector<Request>& ops, bool implicit);
 
   sgx::Enclave& enclave_;
   kv::KeyValueStore& store_;
@@ -130,10 +166,7 @@ class Server {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<int> connection_fds_;  // live sockets, shut down on Stop()
-  std::mutex connections_mutex_;
+  std::unique_ptr<Reactor> reactor_;
 
   std::unique_ptr<sgx::HotCallChannel> hotcalls_;
   std::vector<std::thread> enclave_workers_;
@@ -147,6 +180,8 @@ class Server {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batch_ops_{0};
   std::atomic<uint64_t> crossings_saved_{0};
+  std::atomic<uint64_t> coalesced_batches_n_{0};
+  std::atomic<uint64_t> coalesced_ops_n_{0};
 
   // Metric handles, cached at construction (registry lookups take a mutex).
   // Verb-indexed arrays use the raw opcode (1..9); slot 0 stays null.
@@ -159,6 +194,9 @@ class Server {
   obs::Counter* auth_failures_ = nullptr;             // net.auth_failures
   obs::Counter* protocol_errors_ = nullptr;           // net.protocol_errors
   obs::Histogram* batch_frame_bytes_ = nullptr;       // net.batch_frame_bytes
+  obs::Counter* coalesced_batches_ = nullptr;         // net.coalesced.batches
+  obs::Counter* coalesced_ops_ = nullptr;             // net.coalesced.ops
+  obs::Histogram* coalesce_depth_ = nullptr;          // net.coalesce_depth
 };
 
 }  // namespace shield::net

@@ -102,8 +102,14 @@ struct OpLogOptions {
 
   // Observability: registry receiving the WAL-append / commit-wait stage
   // histograms and the group-commit batch-size distribution (interpreted by
-  // WriteAheadStore). nullptr uses obs::Registry::Global().
+  // WriteAheadStore), plus the log's own shard-local metrics (interpreted
+  // here: wal.fsync_ns latency, and per-shard record/size series when
+  // shard_index >= 0). nullptr uses obs::Registry::Global().
   obs::Registry* metrics = nullptr;
+  // Which WAL shard this log backs; >= 0 registers wal.shard<i>.records and
+  // wal.shard<i>.log_bytes under `metrics`. -1 (standalone logs, replay-only
+  // options) registers no per-shard series.
+  int shard_index = -1;
 };
 
 class OperationLog {
@@ -179,6 +185,11 @@ class OperationLog {
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> fsyncs_{0};
   std::atomic<uint64_t> log_bytes_{0};
+  // Registry handles cached at construction (OpLogOptions::metrics). The
+  // log-bytes gauge updates only at commit/reset cadence, never per append.
+  obs::Histogram* fsync_latency_ = nullptr;  // wal.fsync_ns
+  obs::Counter* shard_records_ = nullptr;    // wal.shard<i>.records
+  obs::Gauge* shard_log_bytes_ = nullptr;    // wal.shard<i>.log_bytes
 };
 
 }  // namespace shield::shieldstore

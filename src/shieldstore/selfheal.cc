@@ -58,6 +58,7 @@ void WriteAheadStore::BuildShards() {
   for (size_t i = 0; i < n; ++i) {
     OpLogOptions per_shard = options_;
     per_shard.path = options_.path + ".p" + std::to_string(i);
+    per_shard.shard_index = static_cast<int>(i);
     auto s = std::make_unique<Shard>(std::move(per_shard));
     s->index = i;
     const std::string prefix = "wal.shard" + std::to_string(i) + ".";

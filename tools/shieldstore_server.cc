@@ -60,6 +60,10 @@ struct Flags {
   size_t wal_compact_bytes = 64 << 20;  // compact a shard log past this; 0 = never
   int stats_interval_s = 30;    // metrics report cadence; 0 disables
   bool stats_prometheus = false;  // full Prometheus-style dump each report
+  std::string stats_json;       // periodic obs::RenderJson dump to this file
+  size_t io_threads = 4;        // reactor epoll threads
+  size_t max_sessions = 16384;  // live-session cap (excess accepts rejected)
+  size_t coalesce_depth = 64;   // implicit pipelined batching; 1 disables
   int hotcall_idle_us = 50;     // idle responder sleep; 0 = legacy pure-spin
   size_t replay_threads = 0;    // parallel shard-log replay; 0 = auto, 1 = sequential
   bool replica = false;         // warm standby: accept a primary's kReplicate stream
@@ -105,6 +109,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->stats_interval_s = std::atoi(next());
     } else if (arg == "--stats-prometheus") {
       flags->stats_prometheus = true;
+    } else if (arg == "--stats-json") {
+      flags->stats_json = next();
+    } else if (arg == "--io-threads") {
+      flags->io_threads = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--max-sessions") {
+      flags->max_sessions = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--coalesce-depth") {
+      flags->coalesce_depth = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--hotcall-idle-us") {
       flags->hotcall_idle_us = std::atoi(next());
     } else if (arg == "--replay-threads") {
@@ -121,7 +133,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
                    "    [--heal-dir DIR] [--scrub-interval-ms N] [--scrub-budget N]\n"
                    "    [--wal-shards N] [--wal-window-us N] [--wal-group-ops N]\n"
                    "    [--wal-compact-bytes N] [--stats-interval-s N] [--stats-prometheus]\n"
-                   "    [--hotcall-idle-us N] [--replay-threads N]\n"
+                   "    [--stats-json FILE] [--io-threads N] [--max-sessions N]\n"
+                   "    [--coalesce-depth N] [--hotcall-idle-us N] [--replay-threads N]\n"
                    "    [--replica-of PRIMARY_PORT] [--replicate-to FOLLOWER_PORT]\n"
                    "replication: --replica-of makes this node a warm standby (the primary on\n"
                    "PRIMARY_PORT pushes its stream here; the port is recorded for logs).\n"
@@ -235,6 +248,9 @@ int main(int argc, char** argv) {
   server_options.enclave_workers = flags.partitions;
   server_options.encrypt = !flags.plaintext;
   server_options.hotcall_idle_sleep_us = flags.hotcall_idle_us;
+  server_options.io_threads = std::max<size_t>(flags.io_threads, 1);
+  server_options.max_sessions = std::max<size_t>(flags.max_sessions, 1);
+  server_options.coalesce_depth = std::max<size_t>(flags.coalesce_depth, 1);
   // Fold component-level stats (partition health, WAL, self-heal) into every
   // kStats snapshot the server builds. The net layer knows nothing about the
   // shieldstore stack; this hook is the bridge.
@@ -250,12 +266,24 @@ int main(int argc, char** argv) {
   // Periodic metrics report: rates over the last interval from obs::Delta,
   // plus cumulative WAL/batch context. Works in both heal and volatile mode.
   auto last_snap = std::make_shared<obs::MetricsSnapshot>();
-  auto report_stats = [&server_ref, last_snap, prometheus = flags.stats_prometheus] {
+  auto report_stats = [&server_ref, last_snap, prometheus = flags.stats_prometheus,
+                       json_path = flags.stats_json] {
     net::Server* srv = server_ref;
     if (srv == nullptr) {
       return;
     }
     obs::MetricsSnapshot now = srv->BuildStatsSnapshot();
+    if (!json_path.empty()) {
+      // Machine-readable dump for scrapers: written whole, then renamed, so
+      // a reader never sees a torn file.
+      const std::string tmp = json_path + ".tmp";
+      if (FILE* f = std::fopen(tmp.c_str(), "wb"); f != nullptr) {
+        const std::string json = obs::RenderJson(now);
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::rename(tmp.c_str(), json_path.c_str());
+      }
+    }
     const obs::MetricsSnapshot d = obs::Delta(*last_snap, now);
     const double secs =
         last_snap->unix_nanos > 0 && d.unix_nanos > 0 ? static_cast<double>(d.unix_nanos) / 1e9 : 0.0;
@@ -367,6 +395,9 @@ int main(int argc, char** argv) {
               flags.plaintext ? "PLAINTEXT sessions" : "encrypted sessions");
   std::printf("enclave measurement (give to clients): %s\n",
               HexEncode(ByteSpan(enclave.measurement().data(), 32)).c_str());
+  std::printf("reactor: %zu io threads, %zu max sessions, coalesce depth %zu\n",
+              server_options.io_threads, server_options.max_sessions,
+              server_options.coalesce_depth);
   if (healer != nullptr) {
     std::printf("self-healing: on (dir %s, scrub every %d ms)\n", flags.heal_dir.c_str(),
                 flags.scrub_interval_ms);
@@ -408,6 +439,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(batch_ops),
               batches > 0 ? static_cast<double>(batch_ops) / static_cast<double>(batches) : 0.0,
               static_cast<unsigned long long>(server.crossings_saved()));
+  std::printf("implicit batching: %llu coalesced runs, %llu pipelined frames\n",
+              static_cast<unsigned long long>(server.coalesced_batches()),
+              static_cast<unsigned long long>(server.coalesced_ops()));
   if (healer != nullptr) {
     std::printf("self-healing: %llu recoveries, %llu violations detected\n",
                 static_cast<unsigned long long>(healer->recoveries()),
