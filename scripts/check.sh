@@ -34,6 +34,26 @@ echo "== batch throughput bench (smoke) =="
 # against a durable-ack (group-commit window) server.
 ./build/bench/bench_batch_throughput --smoke --out build/BENCH_batch.json
 
+echo "== crypto backend equivalence: forced-soft pass on the default build =="
+# The same test binaries, with the hardware backend disabled at runtime: the
+# table path must pass everything (and the cross-backend equivalence tests
+# skip themselves, proving the env override reaches dispatch).
+SHIELD_FORCE_SOFT_AES=1 ./build/tests/crypto_test --gtest_brief=1
+SHIELD_FORCE_SOFT_AES=1 ./build/tests/kv_test --gtest_brief=1
+
+echo "== crypto backend equivalence: -DSHIELD_DISABLE_AESNI build =="
+# Compile-time gate: a build without the AES-NI TU at all must still pass
+# the crypto, kv, and store suites on the table backend.
+cmake -B build-softaes -S . -DSHIELD_DISABLE_AESNI=ON >/dev/null
+cmake --build build-softaes -j "$JOBS" --target crypto_test kv_test shieldstore_test
+ctest --test-dir build-softaes --output-on-failure -j "$JOBS" \
+  -R 'Aes128Test|AesCtrTest|CmacTest|BackendTest|BackendEquivalenceTest|EntryTest|ShieldStoreTest'
+
+echo "== micro crypto bench (smoke): AES-NI speedup gate =="
+# Exit code enforces the tentpole target: hardware CTR and CMAC >= 2x the
+# table backend at 4 KiB (skipped automatically where AES-NI is absent).
+./build/bench/bench_micro_crypto --smoke --out build/BENCH_crypto.json
+
 echo "== stats pipeline: live server -> kStats -> invariant check =="
 # End-to-end: real daemon (WAL + self-heal mode), real CLI workload over
 # encrypted sessions, then `stats --check` validates the cross-metric
@@ -65,7 +85,8 @@ grep -q 'stats check OK' "$STATS_DIR/stats.txt"
 $CLI stats --prometheus > "$STATS_DIR/prom.txt"
 for metric in shield_net_ops_get shield_net_latency_get_count shield_stage_search_decrypt_count \
               shield_sgx_epc_touches shield_wal_records shield_wal_group_commits \
-              shield_store_partitions; do
+              shield_store_partitions shield_crypto_backend shield_store_crypto_ctr_bytes \
+              shield_store_crypto_cmac_bytes; do
   grep -q "^$metric" "$STATS_DIR/prom.txt" || { echo "missing $metric"; exit 1; }
 done
 kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/crypto/aes_ni.h"
+
 namespace shield::crypto {
 namespace {
 
@@ -144,7 +146,19 @@ inline void AddRoundKey(uint8_t s[16], const uint8_t* rk) {
 }  // namespace
 
 Aes128::Aes128(ByteSpan key) {
+  Init(key, Backend());
+}
+
+Aes128::Aes128(ByteSpan key, AesBackend backend) {
+  if (backend == AesBackend::kAesNi && !AesNiAvailable()) {
+    backend = AesBackend::kTable;
+  }
+  Init(key, backend);
+}
+
+void Aes128::Init(ByteSpan key, AesBackend backend) {
   assert(key.size() == kAesKeySize);
+  backend_ = backend;
   uint8_t* w = round_keys_.data();
   std::memcpy(w, key.data(), 16);
   for (int i = 4; i < 44; ++i) {
@@ -162,9 +176,22 @@ Aes128::Aes128(ByteSpan key) {
       w[4 * i + b] = static_cast<uint8_t>(w[4 * (i - 4) + b] ^ temp[b]);
     }
   }
+#if SHIELD_AESNI_COMPILED
+  if (backend_ == AesBackend::kAesNi) {
+    aesni::InvertSchedule(round_keys_.data(), dec_round_keys_.data());
+    return;
+  }
+#endif
+  dec_round_keys_.fill(0);
 }
 
 void Aes128::EncryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const {
+#if SHIELD_AESNI_COMPILED
+  if (backend_ == AesBackend::kAesNi) {
+    aesni::EncryptBlock(round_keys_.data(), in, out);
+    return;
+  }
+#endif
   uint8_t s[16];
   std::memcpy(s, in, 16);
   const uint8_t* rk = round_keys_.data();
@@ -182,6 +209,12 @@ void Aes128::EncryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlock
 }
 
 void Aes128::DecryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const {
+#if SHIELD_AESNI_COMPILED
+  if (backend_ == AesBackend::kAesNi) {
+    aesni::DecryptBlock(dec_round_keys_.data(), in, out);
+    return;
+  }
+#endif
   uint8_t s[16];
   std::memcpy(s, in, 16);
   const uint8_t* rk = round_keys_.data();
@@ -196,6 +229,18 @@ void Aes128::DecryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlock
   InvSubBytes(s);
   AddRoundKey(s, rk);
   std::memcpy(out, s, 16);
+}
+
+void Aes128::EncryptBlocks(uint8_t* blocks, size_t count) const {
+#if SHIELD_AESNI_COMPILED
+  if (backend_ == AesBackend::kAesNi) {
+    aesni::EncryptBlocks(round_keys_.data(), blocks, count);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < count; ++i) {
+    EncryptBlock(blocks + i * kAesBlockSize, blocks + i * kAesBlockSize);
+  }
 }
 
 }  // namespace shield::crypto

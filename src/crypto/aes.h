@@ -1,10 +1,11 @@
-// AES-128 block cipher (FIPS-197), implemented from scratch.
+// AES-128 block cipher (FIPS-197) with two interchangeable backends.
 //
 // This is the cipher the SGX SDK shim (sgx_aes_ctr_encrypt,
-// sgx_rijndael128_cmac_msg) is built on. The implementation is a portable
-// byte-oriented one: on the simulation host its software cost per byte plays
-// the role that MEE/AES-NI overheads play on real SGX hardware, which keeps
-// the relative cost of per-entry crypto vs. page crypto realistic.
+// sgx_rijndael128_cmac_msg) is built on. The portable byte-oriented table
+// implementation is the reference; when the CPU supports AES-NI (and the
+// build/env don't disable it, see cpu.h) the same expanded key schedule is
+// fed to the hardware path instead, including a pipelined multi-block
+// EncryptBlocks used by CTR and batched CMAC.
 #ifndef SHIELDSTORE_SRC_CRYPTO_AES_H_
 #define SHIELDSTORE_SRC_CRYPTO_AES_H_
 
@@ -12,6 +13,7 @@
 #include <cstdint>
 
 #include "src/common/bytes.h"
+#include "src/crypto/cpu.h"
 
 namespace shield::crypto {
 
@@ -24,15 +26,37 @@ using AesBlock = std::array<uint8_t, kAesBlockSize>;
 // AES-128 with a fixed key. Copyable; holds only expanded round keys.
 class Aes128 {
  public:
-  // key must be exactly 16 bytes.
+  // key must be exactly 16 bytes. Uses Backend() to pick the implementation.
   explicit Aes128(ByteSpan key);
+  // Pins a specific backend (tests, equivalence benches). Falls back to the
+  // table backend if kAesNi is requested but unavailable on this machine.
+  Aes128(ByteSpan key, AesBackend backend);
+
+  // The backend newly constructed ciphers select by default.
+  static AesBackend Backend() { return ActiveAesBackend(); }
+
+  // The backend this instance actually runs on.
+  AesBackend backend() const { return backend_; }
 
   void EncryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const;
   void DecryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const;
 
+  // Encrypts `count` independent 16-byte blocks in place. On the hardware
+  // backend, blocks are pipelined up to eight at a time for ILP; the table
+  // backend processes them serially. This is the primitive the multi-block
+  // CTR keystream and interleaved batch CMAC are built on.
+  void EncryptBlocks(uint8_t* blocks, size_t count) const;
+
  private:
-  // 11 round keys of 16 bytes, stored as bytes in column order.
+  void Init(ByteSpan key, AesBackend backend);
+
+  // 11 round keys of 16 bytes, stored as bytes in column order. Both
+  // backends consume this same schedule.
   std::array<uint8_t, 176> round_keys_;
+  // Equivalent-inverse-cipher schedule for _mm_aesdec_si128; only populated
+  // when backend_ == kAesNi.
+  std::array<uint8_t, 176> dec_round_keys_;
+  AesBackend backend_ = AesBackend::kTable;
 };
 
 }  // namespace shield::crypto

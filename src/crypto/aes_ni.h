@@ -1,0 +1,43 @@
+// AES-NI backend internals. Every function consumes the standard FIPS-197
+// expanded key schedule as raw bytes — the exact bytes the table backend
+// expands — so both backends share one schedule layout and Aes128 can flip
+// between them without re-deriving keys.
+//
+// Definitions live in aes_ni.cc, which is compiled only when
+// SHIELD_AESNI_COMPILED (x86, not -DSHIELD_DISABLE_AESNI); callers must
+// guard every call with a backend check. The functions themselves assume
+// AES-NI is present (AesNiAvailable() was consulted at dispatch time).
+#ifndef SHIELDSTORE_SRC_CRYPTO_AES_NI_H_
+#define SHIELDSTORE_SRC_CRYPTO_AES_NI_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/crypto/cpu.h"
+
+#if SHIELD_AESNI_COMPILED
+
+namespace shield::crypto::aesni {
+
+// AES-128 round-key schedule size in bytes (11 round keys).
+inline constexpr size_t kScheduleBytes = 176;
+
+void EncryptBlock(const uint8_t rk[kScheduleBytes], const uint8_t in[16], uint8_t out[16]);
+
+// Consumes the equivalent-inverse-cipher schedule built by InvertSchedule.
+void DecryptBlock(const uint8_t dec_rk[kScheduleBytes], const uint8_t in[16], uint8_t out[16]);
+
+// Builds the AESIMC-transformed, order-reversed schedule _mm_aesdec_si128
+// expects (FIPS-197 §5.3.5 equivalent inverse cipher).
+void InvertSchedule(const uint8_t rk[kScheduleBytes], uint8_t dec_rk[kScheduleBytes]);
+
+// Encrypts `count` independent 16-byte blocks in place, keeping up to eight
+// blocks in flight so the per-round aesenc latency overlaps — the primitive
+// the multi-block CTR and interleaved batch CMAC build on.
+void EncryptBlocks(const uint8_t rk[kScheduleBytes], uint8_t* blocks, size_t count);
+
+}  // namespace shield::crypto::aesni
+
+#endif  // SHIELD_AESNI_COMPILED
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_AES_NI_H_

@@ -1,0 +1,48 @@
+#include "src/crypto/cpu.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if SHIELD_AESNI_COMPILED
+#include <cpuid.h>
+#endif
+
+namespace shield::crypto {
+
+bool AesNiAvailable() {
+#if SHIELD_AESNI_COMPILED
+  static const bool available = [] {
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+      return false;
+    }
+    constexpr unsigned kEcxPclmulqdq = 1u << 1;
+    constexpr unsigned kEcxSsse3 = 1u << 9;
+    constexpr unsigned kEcxAesni = 1u << 25;
+    return (ecx & kEcxAesni) != 0 && (ecx & kEcxPclmulqdq) != 0 && (ecx & kEcxSsse3) != 0;
+  }();
+  return available;
+#else
+  return false;
+#endif
+}
+
+AesBackend ActiveAesBackend() {
+  static const AesBackend backend = [] {
+    if (!AesNiAvailable()) {
+      return AesBackend::kTable;
+    }
+    const char* force = std::getenv("SHIELD_FORCE_SOFT_AES");
+    if (force != nullptr && force[0] != '\0' && std::strcmp(force, "0") != 0) {
+      return AesBackend::kTable;
+    }
+    return AesBackend::kAesNi;
+  }();
+  return backend;
+}
+
+const char* AesBackendName(AesBackend backend) {
+  return backend == AesBackend::kAesNi ? "aes-ni" : "table-aes";
+}
+
+}  // namespace shield::crypto

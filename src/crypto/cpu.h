@@ -1,0 +1,48 @@
+// Runtime CPU feature detection and crypto-backend dispatch.
+//
+// The AES primitives ship with two interchangeable backends:
+//   * kTable — the portable byte-oriented FIPS-197 implementation (aes.cc),
+//     kept as the reference every hardware result is gated against, and
+//   * kAesNi — AES-NI intrinsics (aes_ni.cc) with pipelined multi-block
+//     paths, compiled only on x86 and only without -DSHIELD_DISABLE_AESNI.
+// Dispatch is decided once per process: CPUID must report AES-NI + PCLMULQDQ
+// + SSSE3, and the SHIELD_FORCE_SOFT_AES environment variable (any value but
+// "0") forces the table backend regardless. Individual Aes128/CmacKey
+// instances can also pin a backend explicitly (tests, equivalence benches).
+#ifndef SHIELDSTORE_SRC_CRYPTO_CPU_H_
+#define SHIELDSTORE_SRC_CRYPTO_CPU_H_
+
+#include <cstdint>
+
+// True when the hardware backend is compiled into this build at all.
+#if (defined(__x86_64__) || defined(__i386__)) && !defined(SHIELD_DISABLE_AESNI)
+#define SHIELD_AESNI_COMPILED 1
+#else
+#define SHIELD_AESNI_COMPILED 0
+#endif
+
+namespace shield::crypto {
+
+enum class AesBackend : uint8_t {
+  kTable = 0,  // portable software reference
+  kAesNi = 1,  // AES-NI/PCLMUL hardware path
+};
+
+// True when the hardware backend is usable: compiled in (x86, not
+// -DSHIELD_DISABLE_AESNI) and CPUID reports AES-NI + PCLMULQDQ + SSSE3.
+// Ignores SHIELD_FORCE_SOFT_AES — use this to decide whether equivalence
+// tests can exercise the hardware path at all.
+bool AesNiAvailable();
+
+// The backend newly constructed ciphers select by default: kAesNi when
+// AesNiAvailable() and SHIELD_FORCE_SOFT_AES does not force software.
+// Evaluated once per process.
+AesBackend ActiveAesBackend();
+
+// Stable human-readable backend name ("table-aes" / "aes-ni") for logs,
+// stats and bench JSON.
+const char* AesBackendName(AesBackend backend);
+
+}  // namespace shield::crypto
+
+#endif  // SHIELDSTORE_SRC_CRYPTO_CPU_H_

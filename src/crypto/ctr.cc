@@ -24,17 +24,32 @@ void IncrementCounter(uint8_t counter[kAesBlockSize], uint32_t bits, uint64_t am
 void AesCtrTransform(const Aes128& aes, const uint8_t counter[kAesBlockSize],
                      uint32_t ctr_inc_bits, ByteSpan in, MutableByteSpan out) {
   assert(in.size() == out.size());
+  // Pre-generate up to eight counter blocks per batch so the cipher can keep
+  // independent blocks in flight (pipelined on AES-NI, a plain loop on the
+  // table backend).
+  constexpr size_t kBatchBlocks = 8;
   uint8_t ctr[kAesBlockSize];
   std::memcpy(ctr, counter, kAesBlockSize);
-  uint8_t keystream[kAesBlockSize];
+  uint8_t keystream[kBatchBlocks * kAesBlockSize];
   size_t offset = 0;
   while (offset < in.size()) {
-    aes.EncryptBlock(ctr, keystream);
-    const size_t n = std::min(in.size() - offset, kAesBlockSize);
-    for (size_t i = 0; i < n; ++i) {
+    const size_t remaining = in.size() - offset;
+    const size_t blocks =
+        std::min(kBatchBlocks, (remaining + kAesBlockSize - 1) / kAesBlockSize);
+    for (size_t b = 0; b < blocks; ++b) {
+      std::memcpy(keystream + b * kAesBlockSize, ctr, kAesBlockSize);
+      IncrementCounter(ctr, ctr_inc_bits, 1);
+    }
+    aes.EncryptBlocks(keystream, blocks);
+    const size_t n = std::min(remaining, blocks * kAesBlockSize);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      StoreLe64(out.data() + offset + i,
+                LoadLe64(in.data() + offset + i) ^ LoadLe64(keystream + i));
+    }
+    for (; i < n; ++i) {
       out[offset + i] = static_cast<uint8_t>(in[offset + i] ^ keystream[i]);
     }
-    IncrementCounter(ctr, ctr_inc_bits, 1);
     offset += n;
   }
 }

@@ -12,16 +12,23 @@ namespace {
 // The SGX SDK's counter-mode increment window (sgx_aes_ctr_encrypt).
 constexpr uint32_t kCtrIncBits = 32;
 
-void EncryptPayload(const StoreKeys& keys, std::string_view key, std::string_view value,
+void EncryptPayload(const StoreCipher& cipher, std::string_view key, std::string_view value,
                     EntryHeader* header) {
   uint8_t* ct = header->Ciphertext();
   // key || value, encrypted as one CTR stream.
-  crypto::Aes128 aes(ByteSpan(keys.enc_key.data(), keys.enc_key.size()));
   std::memcpy(ct, key.data(), key.size());
   std::memcpy(ct + key.size(), value.data(), value.size());
-  crypto::AesCtrTransform(aes, header->iv_ctr, kCtrIncBits,
+  crypto::AesCtrTransform(cipher.enc, header->iv_ctr, kCtrIncBits,
                           ByteSpan(ct, key.size() + value.size()),
                           MutableByteSpan(ct, key.size() + value.size()));
+}
+
+// Serializes the authenticated non-ciphertext fields (see ComputeEntryMac).
+void PackMacFields(const EntryHeader& header, uint8_t fields[10]) {
+  StoreLe32(fields, header.key_size);
+  StoreLe32(fields + 4, header.val_size);
+  fields[8] = header.key_hint;
+  fields[9] = header.flags;
 }
 
 }  // namespace
@@ -47,19 +54,29 @@ uint64_t BucketHash(const StoreKeys& keys, std::string_view key) {
 
 void SealNewEntry(const StoreKeys& keys, std::string_view key, std::string_view value,
                   uint8_t flags, ByteSpan fresh_iv, EntryHeader* header) {
+  SealNewEntry(StoreCipher(keys), key, value, flags, fresh_iv, header);
+}
+
+void SealNewEntry(const StoreCipher& cipher, std::string_view key, std::string_view value,
+                  uint8_t flags, ByteSpan fresh_iv, EntryHeader* header) {
   assert(fresh_iv.size() == 16);
   header->key_size = static_cast<uint32_t>(key.size());
   header->val_size = static_cast<uint32_t>(value.size());
-  header->key_hint = KeyHint(keys, key);
+  header->key_hint = KeyHint(cipher.keys, key);
   header->flags = flags;
   std::memset(header->reserved, 0, sizeof(header->reserved));
   std::memcpy(header->iv_ctr, fresh_iv.data(), 16);
-  EncryptPayload(keys, key, value, header);
-  const crypto::Mac mac = ComputeEntryMac(keys, *header);
+  EncryptPayload(cipher, key, value, header);
+  const crypto::Mac mac = ComputeEntryMac(cipher, *header);
   std::memcpy(header->mac, mac.data(), mac.size());
 }
 
 void ResealEntry(const StoreKeys& keys, std::string_view key, std::string_view value,
+                 uint8_t flags, EntryHeader* header) {
+  ResealEntry(StoreCipher(keys), key, value, flags, header);
+}
+
+void ResealEntry(const StoreCipher& cipher, std::string_view key, std::string_view value,
                  uint8_t flags, EntryHeader* header) {
   // Increment the upper 64-bit half of the IV/counter: successive versions
   // use disjoint counter windows, so CTR keystreams never repeat even though
@@ -71,61 +88,102 @@ void ResealEntry(const StoreKeys& keys, std::string_view key, std::string_view v
   }
   header->key_size = static_cast<uint32_t>(key.size());
   header->val_size = static_cast<uint32_t>(value.size());
-  header->key_hint = KeyHint(keys, key);
+  header->key_hint = KeyHint(cipher.keys, key);
   header->flags = flags;
-  EncryptPayload(keys, key, value, header);
-  const crypto::Mac mac = ComputeEntryMac(keys, *header);
+  EncryptPayload(cipher, key, value, header);
+  const crypto::Mac mac = ComputeEntryMac(cipher, *header);
   std::memcpy(header->mac, mac.data(), mac.size());
 }
 
 crypto::Mac ComputeEntryMac(const StoreKeys& keys, const EntryHeader& header) {
+  return ComputeEntryMac(StoreCipher(keys), header);
+}
+
+crypto::Mac ComputeEntryMac(const StoreCipher& cipher, const EntryHeader& header) {
   // MAC over: ciphertext || key_size || val_size || key_hint || flags ||
   // iv_ctr (§4.2's field list plus the flags byte, which must be
   // authenticated because it encodes tombstones). The chain pointer is
   // intentionally excluded: placement integrity comes from the bucket-set
   // MAC hash.
-  crypto::Cmac cmac(ByteSpan(keys.mac_key.data(), keys.mac_key.size()));
+  crypto::Cmac cmac(cipher.mac);
   cmac.Update(ByteSpan(header.Ciphertext(), header.CiphertextSize()));
   uint8_t fields[10];
-  StoreLe32(fields, header.key_size);
-  StoreLe32(fields + 4, header.val_size);
-  fields[8] = header.key_hint;
-  fields[9] = header.flags;
+  PackMacFields(header, fields);
   cmac.Update(ByteSpan(fields, sizeof(fields)));
   cmac.Update(ByteSpan(header.iv_ctr, 16));
   return cmac.Finalize();
 }
 
+size_t VerifyEntryMacsBatch(const StoreCipher& cipher,
+                            std::span<const EntryHeader* const> entries) {
+  constexpr size_t kLanes = crypto::kCmacBatchLanes;
+  crypto::CmacMessage msgs[kLanes];
+  uint8_t fields[kLanes][10];
+  crypto::Mac tags[kLanes];
+  for (size_t base = 0; base < entries.size(); base += kLanes) {
+    const size_t n = std::min(kLanes, entries.size() - base);
+    for (size_t i = 0; i < n; ++i) {
+      const EntryHeader& header = *entries[base + i];
+      PackMacFields(header, fields[i]);
+      msgs[i] = crypto::CmacMessage{};
+      msgs[i].Append(ByteSpan(header.Ciphertext(), header.CiphertextSize()));
+      msgs[i].Append(ByteSpan(fields[i], sizeof(fields[i])));
+      msgs[i].Append(ByteSpan(header.iv_ctr, 16));
+    }
+    crypto::CmacSignBatch(cipher.mac, std::span<const crypto::CmacMessage>(msgs, n), tags);
+    for (size_t i = 0; i < n; ++i) {
+      const EntryHeader& header = *entries[base + i];
+      if (!ConstantTimeEqual(ByteSpan(tags[i].data(), tags[i].size()),
+                             ByteSpan(header.mac, 16))) {
+        return base + i;
+      }
+    }
+  }
+  return entries.size();
+}
+
 bool EntryKeyEquals(const StoreKeys& keys, const EntryHeader& header, std::string_view key) {
+  return EntryKeyEquals(StoreCipher(keys), header, key);
+}
+
+bool EntryKeyEquals(const StoreCipher& cipher, const EntryHeader& header, std::string_view key) {
   if (header.key_size != key.size()) {
     return false;
   }
   // CTR lets us decrypt just the key prefix of the stream.
   std::string plain_key(header.key_size, '\0');
-  crypto::AesCtrTransform(ByteSpan(keys.enc_key.data(), keys.enc_key.size()), header.iv_ctr,
-                          kCtrIncBits, ByteSpan(header.Ciphertext(), header.key_size),
+  crypto::AesCtrTransform(cipher.enc, header.iv_ctr, kCtrIncBits,
+                          ByteSpan(header.Ciphertext(), header.key_size),
                           MutableByteSpan(reinterpret_cast<uint8_t*>(plain_key.data()),
                                           plain_key.size()));
   return plain_key == key;
 }
 
 Result<std::string> OpenEntryValue(const StoreKeys& keys, const EntryHeader& header) {
-  const crypto::Mac mac = ComputeEntryMac(keys, header);
+  return OpenEntryValue(StoreCipher(keys), header);
+}
+
+Result<std::string> OpenEntryValue(const StoreCipher& cipher, const EntryHeader& header) {
+  const crypto::Mac mac = ComputeEntryMac(cipher, header);
   if (!ConstantTimeEqual(ByteSpan(mac.data(), mac.size()), ByteSpan(header.mac, 16))) {
     return Status(Code::kIntegrityFailure, "entry MAC mismatch");
   }
   std::string plaintext(header.CiphertextSize(), '\0');
-  crypto::AesCtrTransform(ByteSpan(keys.enc_key.data(), keys.enc_key.size()), header.iv_ctr,
-                          kCtrIncBits, ByteSpan(header.Ciphertext(), header.CiphertextSize()),
+  crypto::AesCtrTransform(cipher.enc, header.iv_ctr, kCtrIncBits,
+                          ByteSpan(header.Ciphertext(), header.CiphertextSize()),
                           MutableByteSpan(reinterpret_cast<uint8_t*>(plaintext.data()),
                                           plaintext.size()));
   return plaintext.substr(header.key_size);
 }
 
 std::string OpenEntryKey(const StoreKeys& keys, const EntryHeader& header) {
+  return OpenEntryKey(StoreCipher(keys), header);
+}
+
+std::string OpenEntryKey(const StoreCipher& cipher, const EntryHeader& header) {
   std::string plain_key(header.key_size, '\0');
-  crypto::AesCtrTransform(ByteSpan(keys.enc_key.data(), keys.enc_key.size()), header.iv_ctr,
-                          kCtrIncBits, ByteSpan(header.Ciphertext(), header.key_size),
+  crypto::AesCtrTransform(cipher.enc, header.iv_ctr, kCtrIncBits,
+                          ByteSpan(header.Ciphertext(), header.key_size),
                           MutableByteSpan(reinterpret_cast<uint8_t*>(plain_key.data()),
                                           plain_key.size()));
   return plain_key;

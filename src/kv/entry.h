@@ -15,11 +15,13 @@
 #define SHIELDSTORE_SRC_KV_ENTRY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/crypto/aes.h"
 #include "src/crypto/cmac.h"
 #include "src/crypto/siphash.h"
 
@@ -35,6 +37,27 @@ struct StoreKeys {
 
   // Derives all four keys from a 16..64-byte master secret.
   static StoreKeys Derive(ByteSpan master);
+};
+
+// Pre-expanded cipher state for one store: the AES-CTR schedule plus the
+// CMAC schedule/subkeys, derived once and shared by every seal/open/MAC
+// call. The engine keeps one per store in enclave memory; the StoreKeys
+// overloads below build a transient one per call (compat path for tools and
+// tests, with the old fresh-key-expansion cost).
+struct StoreCipher {
+  explicit StoreCipher(const StoreKeys& store_keys)
+      : keys(store_keys),
+        enc(ByteSpan(store_keys.enc_key.data(), store_keys.enc_key.size())),
+        mac(ByteSpan(store_keys.mac_key.data(), store_keys.mac_key.size())) {}
+  // Pins a specific crypto backend (equivalence tests; Options::soft_crypto).
+  StoreCipher(const StoreKeys& store_keys, crypto::AesBackend backend)
+      : keys(store_keys),
+        enc(ByteSpan(store_keys.enc_key.data(), store_keys.enc_key.size()), backend),
+        mac(ByteSpan(store_keys.mac_key.data(), store_keys.mac_key.size()), backend) {}
+
+  StoreKeys keys;
+  crypto::Aes128 enc;   // AES-CTR data cipher
+  crypto::CmacKey mac;  // entry/bucket-MAC key material
 };
 
 // On-wire/in-memory layout of an entry header; ciphertext follows
@@ -71,6 +94,8 @@ uint64_t BucketHash(const StoreKeys& keys, std::string_view key);
 // attacker could flip would resurrect or hide keys).
 void SealNewEntry(const StoreKeys& keys, std::string_view key, std::string_view value,
                   uint8_t flags, ByteSpan fresh_iv, EntryHeader* header);
+void SealNewEntry(const StoreCipher& cipher, std::string_view key, std::string_view value,
+                  uint8_t flags, ByteSpan fresh_iv, EntryHeader* header);
 
 // Re-seals an EXISTING entry with a new value (storage for the ciphertext
 // must already fit it): increments the IV/counter (upper 64-bit half, so
@@ -79,18 +104,31 @@ void SealNewEntry(const StoreKeys& keys, std::string_view key, std::string_view 
 // re-encrypts and re-MACs.
 void ResealEntry(const StoreKeys& keys, std::string_view key, std::string_view value,
                  uint8_t flags, EntryHeader* header);
+void ResealEntry(const StoreCipher& cipher, std::string_view key, std::string_view value,
+                 uint8_t flags, EntryHeader* header);
 
 // Recomputed entry MAC (also the leaf fed into bucket-set MAC hashes).
 crypto::Mac ComputeEntryMac(const StoreKeys& keys, const EntryHeader& header);
+crypto::Mac ComputeEntryMac(const StoreCipher& cipher, const EntryHeader& header);
 
 // Decrypts just the key portion and compares; counts one decryption.
 bool EntryKeyEquals(const StoreKeys& keys, const EntryHeader& header, std::string_view key);
+bool EntryKeyEquals(const StoreCipher& cipher, const EntryHeader& header, std::string_view key);
 
 // Decrypts and integrity-checks the whole entry; returns the value.
 Result<std::string> OpenEntryValue(const StoreKeys& keys, const EntryHeader& header);
+Result<std::string> OpenEntryValue(const StoreCipher& cipher, const EntryHeader& header);
 
 // Decrypts the key (used by snapshot recovery / full searches).
 std::string OpenEntryKey(const StoreKeys& keys, const EntryHeader& header);
+std::string OpenEntryKey(const StoreCipher& cipher, const EntryHeader& header);
+
+// Recomputes and checks every entry's MAC with interleaved CMAC lanes (one
+// shared key schedule, up to crypto::kCmacBatchLanes chains in flight).
+// Returns the index of the first mismatching entry, or entries.size() when
+// all verify. Tag comparison is constant-time per entry.
+size_t VerifyEntryMacsBatch(const StoreCipher& cipher,
+                            std::span<const EntryHeader* const> entries);
 
 }  // namespace shield::kv
 

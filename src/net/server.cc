@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/crypto/aes.h"
 
 namespace shield::net {
 
@@ -535,6 +536,12 @@ obs::MetricsSnapshot Server::BuildStatsSnapshot() {
   snap.SetCounter("store.decryptions", ss.decryptions);
   snap.SetCounter("store.mac_verifications", ss.mac_verifications);
   snap.SetCounter("store.cache_hits", ss.cache_hits);
+  snap.SetCounter("store.crypto.ctr_bytes", ss.crypto_ctr_bytes);
+  snap.SetCounter("store.crypto.cmac_bytes", ss.crypto_cmac_bytes);
+  // Which AES implementation produced this process's numbers (0 = table
+  // reference, 1 = AES-NI) — benches record it alongside their BENCH_*.json.
+  snap.SetGauge("crypto.backend",
+                crypto::Aes128::Backend() == crypto::AesBackend::kAesNi ? 1 : 0);
   // Enclave-boundary and EPC paging counters (§6: crossing + paging costs).
   const sgx::EpcStats epc = enclave_.epc().stats();
   snap.SetCounter("sgx.epc.touches", epc.touches);

@@ -44,6 +44,12 @@ struct Options {
   // Integrity machinery on/off (off is only for ablation benches).
   bool integrity = true;
 
+  // Force the portable table-AES backend for this store regardless of the
+  // process-wide dispatch (crypto::ActiveAesBackend). Used by cross-backend
+  // equivalence tests and ablation benches; SHIELD_FORCE_SOFT_AES achieves
+  // the same process-wide.
+  bool soft_crypto = false;
+
   // Background-scrub pacing: buckets audited per ScrubTick call
   // (PartitionedStore), so a full-table audit amortizes over live traffic
   // instead of stalling it. The self-healing server spends one budget per

@@ -560,6 +560,8 @@ kv::StoreStats PartitionedStore::stats() const {
     total.decryptions += s.decryptions;
     total.mac_verifications += s.mac_verifications;
     total.cache_hits += s.cache_hits;
+    total.crypto_ctr_bytes += s.crypto_ctr_bytes;
+    total.crypto_cmac_bytes += s.crypto_cmac_bytes;
   }
   return total;
 }

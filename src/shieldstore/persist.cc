@@ -132,7 +132,8 @@ Result<FooteredFile> LoadFooteredFile(const std::string& path) {
   FooteredFile file;
   const size_t content_size = bytes.size() - kFooterBytes;
   file.digest = crypto::Sha256Hash(ByteSpan(bytes.data(), content_size));
-  if (std::memcmp(file.digest.data(), bytes.data() + content_size, crypto::kSha256Size) != 0) {
+  if (!ConstantTimeEqual(ByteSpan(file.digest.data(), crypto::kSha256Size),
+                         ByteSpan(bytes.data() + content_size, crypto::kSha256Size))) {
     return Status(Code::kIntegrityFailure, "snapshot file content corrupted: " + path);
   }
   bytes.resize(content_size);

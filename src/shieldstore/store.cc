@@ -6,6 +6,8 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <new>
+#include <span>
 
 namespace shield::shieldstore {
 namespace {
@@ -108,6 +110,13 @@ Store::Store(sgx::Enclave& enclave, const Options& options)
   enclave_.Touch(keys_, sizeof(kv::StoreKeys), /*write=*/true);
   *keys_ = kv::StoreKeys::Derive(master);
 
+  // Pre-expand the AES/CMAC schedules once (enclave memory, like the raw
+  // keys): the hot paths below reuse them instead of re-deriving per call.
+  cipher_ = static_cast<kv::StoreCipher*>(enclave_.Allocate(sizeof(kv::StoreCipher)));
+  enclave_.Touch(cipher_, sizeof(kv::StoreCipher), /*write=*/true);
+  new (cipher_) kv::StoreCipher(
+      *keys_, options_.soft_crypto ? crypto::AesBackend::kTable : crypto::Aes128::Backend());
+
   // The flattened Merkle "tree" (§4.3): one trusted MAC hash per bucket set,
   // in enclave memory. Pages fault in lazily on first use; a trusted
   // initialized-bitmap distinguishes "never written" (hash of the empty set)
@@ -157,11 +166,14 @@ Store::~Store() {
   cache_.reset();
   enclave_.Free(mac_init_bitmap_);
   enclave_.Free(mac_hashes_);
+  cipher_->~StoreCipher();
+  enclave_.Free(cipher_);
   enclave_.Free(keys_);
 }
 
 void Store::TouchKeys() const {
   enclave_.Touch(keys_, sizeof(kv::StoreKeys));
+  enclave_.Touch(cipher_, sizeof(kv::StoreCipher));
 }
 
 Status Store::CheckUntrustedPointer(const void* ptr) const {
@@ -189,7 +201,10 @@ void Store::MarkSetInitialized(size_t set) {
 
 crypto::Mac Store::ComputeBucketSetMac(size_t set) const {
   TouchKeys();
-  crypto::Cmac cmac(ByteSpan(keys_->mac_key.data(), keys_->mac_key.size()));
+  // Shares the store's pre-expanded CMAC key material — the per-call key
+  // expansion this used to pay was pure overhead.
+  crypto::Cmac cmac(cipher_->mac);
+  uint64_t hashed = 8;
   uint8_t index[8];
   StoreLe64(index, static_cast<uint64_t>(set));
   cmac.Update(ByteSpan(index, sizeof(index)));
@@ -201,13 +216,16 @@ crypto::Mac Store::ComputeBucketSetMac(size_t set) const {
       // §5.2: read the contiguous MAC copies instead of chasing entries.
       for (const MacBucket* mb = bucket.macs; mb != nullptr; mb = mb->next) {
         cmac.Update(ByteSpan(&mb->macs[0][0], size_t{16} * mb->count));
+        hashed += size_t{16} * mb->count;
       }
     } else {
       for (const kv::EntryHeader* e = bucket.head; e != nullptr; e = e->next) {
         cmac.Update(ByteSpan(e->mac, 16));
+        hashed += 16;
       }
     }
   }
+  stats_.crypto_cmac_bytes.fetch_add(hashed, std::memory_order_relaxed);
   return cmac.Finalize();
 }
 
@@ -227,7 +245,7 @@ Status Store::VerifyBucketSet(size_t set) {
   }
   // Never written: the trusted value is the MAC of the empty set.
   TouchKeys();
-  crypto::Cmac empty(ByteSpan(keys_->mac_key.data(), keys_->mac_key.size()));
+  crypto::Cmac empty(cipher_->mac);
   uint8_t index[8];
   StoreLe64(index, static_cast<uint64_t>(set));
   empty.Update(ByteSpan(index, sizeof(index)));
@@ -398,7 +416,8 @@ Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key
     if (check_copies) {
       if (copy_node != nullptr && !enclave_.ContainsAddress(copy_node) &&
           copy_slot < copy_node->count &&
-          std::memcmp(entry->mac, copy_node->macs[copy_slot], 16) == 0) {
+          ConstantTimeEqual(ByteSpan(entry->mac, 16),
+                            ByteSpan(copy_node->macs[copy_slot], 16))) {
         ++copy_slot;
         if (copy_slot == MacBucket::kCapacity) {
           copy_node = copy_node->next;
@@ -410,8 +429,9 @@ Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key
     }
     if (result.entry == nullptr && (!options_.key_hint || entry->key_hint == hint)) {
       stats_.decryptions.fetch_add(1, std::memory_order_relaxed);
+      stats_.crypto_ctr_bytes.fetch_add(entry->key_size, std::memory_order_relaxed);
       TouchKeys();
-      if (kv::EntryKeyEquals(*keys_, *entry, key)) {
+      if (kv::EntryKeyEquals(*cipher_, *entry, key)) {
         result.entry = entry;
         result.prev = prev;
         result.position = position;
@@ -450,8 +470,9 @@ Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key
     }
     if (entry->key_hint != hint) {  // hint matches were decrypted in step one
       stats_.decryptions.fetch_add(1, std::memory_order_relaxed);
+      stats_.crypto_ctr_bytes.fetch_add(entry->key_size, std::memory_order_relaxed);
       TouchKeys();
-      if (kv::EntryKeyEquals(*keys_, *entry, key)) {
+      if (kv::EntryKeyEquals(*cipher_, *entry, key)) {
         result.entry = entry;
         result.prev = prev;
         result.position = position;
@@ -556,7 +577,11 @@ Result<std::string> Store::GetInternal(std::string_view key, uint8_t* flags_out)
     return Status(Code::kNotFound, "no such key");
   }
   TouchKeys();
-  Result<std::string> value = kv::OpenEntryValue(*keys_, *found->entry);
+  const size_t opened = found->entry->CiphertextSize();
+  stats_.crypto_ctr_bytes.fetch_add(opened, std::memory_order_relaxed);
+  // +26: the authenticated non-ciphertext fields (10) and IV/counter (16).
+  stats_.crypto_cmac_bytes.fetch_add(opened + 26, std::memory_order_relaxed);
+  Result<std::string> value = kv::OpenEntryValue(*cipher_, *found->entry);
   if (!value.ok()) {
     return value.status();
   }
@@ -590,7 +615,7 @@ Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t 
     const size_t needed = kv::EntryHeader::BytesNeeded(key.size(), value.size());
     if (heap_->UsableSize(entry) >= needed) {
       TouchKeys();
-      kv::ResealEntry(*keys_, key, value, flags, entry);
+      kv::ResealEntry(*cipher_, key, value, flags, entry);
     } else {
       // Grow: move to a larger block, carrying the IV/counter history along
       // so the reseal still advances it.
@@ -601,7 +626,7 @@ Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t 
       std::memcpy(grown->iv_ctr, entry->iv_ctr, 16);
       grown->next = entry->next;
       TouchKeys();
-      kv::ResealEntry(*keys_, key, value, flags, grown);
+      kv::ResealEntry(*cipher_, key, value, flags, grown);
       if (found->prev != nullptr) {
         found->prev->next = grown;
       } else {
@@ -620,13 +645,16 @@ Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t 
     uint8_t iv[16];
     enclave_.ReadRand(MutableByteSpan(iv, sizeof(iv)));
     TouchKeys();
-    kv::SealNewEntry(*keys_, key, value, flags, ByteSpan(iv, sizeof(iv)), entry);
+    kv::SealNewEntry(*cipher_, key, value, flags, ByteSpan(iv, sizeof(iv)), entry);
     entry->next = buckets_[bucket].head;
     buckets_[bucket].head = entry;
     ++entry_count_;
     RebuildMacBucket(bucket);
   }
 
+  const uint64_t sealed = key.size() + value.size();
+  stats_.crypto_ctr_bytes.fetch_add(sealed, std::memory_order_relaxed);
+  stats_.crypto_cmac_bytes.fetch_add(sealed + 26, std::memory_order_relaxed);
   NoteBucketSetMutated(set);
   if (cache_ != nullptr) {
     if (flags == 0) {
@@ -690,6 +718,8 @@ kv::StoreStats Store::stats() const {
   s.decryptions = stats_.decryptions.load(std::memory_order_relaxed);
   s.mac_verifications = stats_.mac_verifications.load(std::memory_order_relaxed);
   s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  s.crypto_ctr_bytes = stats_.crypto_ctr_bytes.load(std::memory_order_relaxed);
+  s.crypto_cmac_bytes = stats_.crypto_cmac_bytes.load(std::memory_order_relaxed);
   if (cache_ != nullptr) {
     s.cache_hits = cache_->hits();
   }
@@ -705,7 +735,7 @@ Status Store::VerifyFullIntegrity() const {
       expected = mac_hashes_[set];
     } else {
       TouchKeys();
-      crypto::Cmac empty(ByteSpan(keys_->mac_key.data(), keys_->mac_key.size()));
+      crypto::Cmac empty(cipher_->mac);
       uint8_t index[8];
       StoreLe64(index, static_cast<uint64_t>(set));
       empty.Update(ByteSpan(index, sizeof(index)));
@@ -725,6 +755,10 @@ Status Store::ScrubBucketChain(size_t b, size_t* entries_verified) const {
   const MacBucket* copy_node = bucket.macs;
   size_t copy_slot = 0;
   size_t steps = 0;
+  // First pass: structural checks (hostile pointers, cycles, MAC-bucket
+  // copies) while collecting the chain, so the expensive MAC recomputation
+  // below can run as one interleaved batch instead of entry at a time.
+  std::vector<const kv::EntryHeader*> chain;
   const kv::EntryHeader* entry = bucket.head;
   while (entry != nullptr) {
     if (Status s = CheckUntrustedPointer(entry); !s.ok()) {
@@ -733,16 +767,10 @@ Status Store::ScrubBucketChain(size_t b, size_t* entries_verified) const {
     if (++steps > max_steps) {
       return Status(Code::kIntegrityFailure, "hash chain cycle detected");
     }
-    TouchKeys();
-    const crypto::Mac mac = kv::ComputeEntryMac(*keys_, *entry);
-    if (!ConstantTimeEqual(ByteSpan(mac.data(), 16), ByteSpan(entry->mac, 16))) {
-      return Status(Code::kIntegrityFailure,
-                    "entry MAC mismatch in bucket " + std::to_string(b));
-    }
     if (check_copies) {
       if (copy_node == nullptr || enclave_.ContainsAddress(copy_node) ||
           copy_slot >= copy_node->count ||
-          std::memcmp(entry->mac, copy_node->macs[copy_slot], 16) != 0) {
+          !ConstantTimeEqual(ByteSpan(entry->mac, 16), ByteSpan(copy_node->macs[copy_slot], 16))) {
         return Status(Code::kIntegrityFailure,
                       "entry MAC diverges from MAC bucket " + std::to_string(b));
       }
@@ -751,7 +779,7 @@ Status Store::ScrubBucketChain(size_t b, size_t* entries_verified) const {
         copy_slot = 0;
       }
     }
-    ++*entries_verified;
+    chain.push_back(entry);
     entry = entry->next;
   }
   if (check_copies) {
@@ -762,6 +790,24 @@ Status Store::ScrubBucketChain(size_t b, size_t* entries_verified) const {
                     "MAC bucket longer than hash chain " + std::to_string(b));
     }
   }
+  // Second pass: recompute every entry MAC with interleaved CMAC lanes
+  // sharing the store's key schedule (one expansion per store, not per
+  // entry).
+  if (!chain.empty()) {
+    TouchKeys();
+    uint64_t hashed = 0;
+    for (const kv::EntryHeader* e : chain) {
+      hashed += e->CiphertextSize() + 26;
+    }
+    stats_.crypto_cmac_bytes.fetch_add(hashed, std::memory_order_relaxed);
+    const size_t bad = kv::VerifyEntryMacsBatch(
+        *cipher_, std::span<const kv::EntryHeader* const>(chain.data(), chain.size()));
+    if (bad != chain.size()) {
+      return Status(Code::kIntegrityFailure,
+                    "entry MAC mismatch in bucket " + std::to_string(b));
+    }
+  }
+  *entries_verified += chain.size();
   return Status::Ok();
 }
 
@@ -819,14 +865,14 @@ Status Store::ForEachDecrypted(
         return Status(Code::kIntegrityFailure, "hash chain cycle detected");
       }
       TouchKeys();
-      Result<std::string> value = kv::OpenEntryValue(*keys_, *e);
+      Result<std::string> value = kv::OpenEntryValue(*cipher_, *e);
       if (!value.ok()) {
         return value.status();
       }
       if (e->flags & kFlagTombstone) {
         continue;
       }
-      const std::string key = kv::OpenEntryKey(*keys_, *e);
+      const std::string key = kv::OpenEntryKey(*cipher_, *e);
       if (Status s = fn(key, value.value()); !s.ok()) {
         return s;
       }
@@ -885,6 +931,12 @@ Status Store::ImportSecureMetadata(ByteSpan metadata) {
   std::memcpy(keys_->mac_key.data(), p + 16, 16);
   std::memcpy(keys_->index_key.data(), p + 32, 16);
   std::memcpy(keys_->hint_key.data(), p + 48, 16);
+  // The imported keys replace the construction-time ones; re-expand the
+  // cached schedules to match.
+  enclave_.Touch(cipher_, sizeof(kv::StoreCipher), /*write=*/true);
+  cipher_->~StoreCipher();
+  new (cipher_) kv::StoreCipher(
+      *keys_, options_.soft_crypto ? crypto::AesBackend::kTable : crypto::Aes128::Backend());
   p += 64;
   enclave_.Touch(mac_init_bitmap_, bitmap_words * 8, /*write=*/true);
   std::memcpy(mac_init_bitmap_, p, bitmap_words * 8);
@@ -947,7 +999,7 @@ Status Store::RestoreEntry(ByteSpan record) {
   // Snapshot records carry ciphertext verbatim; authenticate each against
   // its MAC here so a tampered data file fails at recovery, not first read.
   TouchKeys();
-  const crypto::Mac mac = kv::ComputeEntryMac(*keys_, *entry);
+  const crypto::Mac mac = kv::ComputeEntryMac(*cipher_, *entry);
   if (!ConstantTimeEqual(ByteSpan(mac.data(), 16), ByteSpan(entry->mac, 16))) {
     heap_->Free(entry);
     return Status(Code::kIntegrityFailure, "snapshot entry MAC mismatch");
@@ -1011,8 +1063,8 @@ Status Store::EndSnapshotEpoch() {
     std::memcpy(transient->Ciphertext(), record.data() + kRecordHeader,
                 size_t{key_size} + val_size);
     temp->TouchKeys();
-    const std::string key = kv::OpenEntryKey(*temp->keys_, *transient);
-    Result<std::string> value = kv::OpenEntryValue(*temp->keys_, *transient);
+    const std::string key = kv::OpenEntryKey(*temp->cipher_, *transient);
+    Result<std::string> value = kv::OpenEntryValue(*temp->cipher_, *transient);
     if (!value.ok()) {
       result = value.status();
       return;

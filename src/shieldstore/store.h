@@ -232,6 +232,7 @@ class Store : public kv::KeyValueStore {
   size_t num_mac_hashes_;
 
   kv::StoreKeys* keys_;          // enclave memory
+  kv::StoreCipher* cipher_;      // enclave memory: pre-expanded schedules/subkeys
   crypto::Mac* mac_hashes_;      // enclave memory (the §4.3 flattened tree)
   uint64_t* mac_init_bitmap_;    // enclave memory: which sets hold a stored hash
   uint64_t restore_expected_entries_ = 0;
@@ -258,8 +259,12 @@ class Store : public kv::KeyValueStore {
     std::atomic<uint64_t> decryptions{0};
     std::atomic<uint64_t> mac_verifications{0};
     std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> crypto_ctr_bytes{0};
+    std::atomic<uint64_t> crypto_cmac_bytes{0};
   };
-  AtomicStoreStats stats_;
+  // mutable: const paths (scrub, bucket-set MAC recompute) account crypto
+  // bytes too.
+  mutable AtomicStoreStats stats_;
   obs::Registry* metrics_ = nullptr;
 
   // MAC batch scope: per-set 0 = untouched this batch, 1 = verified,

@@ -400,6 +400,184 @@ TEST(MerkleTest, ProofForWrongIndexFails) {
   EXPECT_FALSE(MerkleTree::Verify(tree.Root(), 4, tree.Leaf(4), proof));
 }
 
+// ------------------------------------------- hardware/table backend parity
+//
+// The AES-NI backend must be byte-identical to the table reference for every
+// primitive built on it. Hardware-dependent tests skip cleanly on machines
+// (or -DSHIELD_DISABLE_AESNI builds) without AES-NI; batch-CMAC-vs-serial
+// runs on the table backend so it exercises the lane logic everywhere.
+
+TEST(BackendTest, DispatchReportsCoherently) {
+  const AesBackend active = ActiveAesBackend();
+  if (!AesNiAvailable()) {
+    EXPECT_EQ(active, AesBackend::kTable);
+  }
+  EXPECT_STREQ(AesBackendName(AesBackend::kTable), "table-aes");
+  EXPECT_STREQ(AesBackendName(AesBackend::kAesNi), "aes-ni");
+  // Requesting hardware degrades to the table backend rather than failing
+  // when the CPU lacks it.
+  const Bytes key = H("000102030405060708090a0b0c0d0e0f");
+  Aes128 forced_soft(key, AesBackend::kTable);
+  EXPECT_EQ(forced_soft.backend(), AesBackend::kTable);
+  Aes128 want_hw(key, AesBackend::kAesNi);
+  EXPECT_EQ(want_hw.backend(),
+            AesNiAvailable() ? AesBackend::kAesNi : AesBackend::kTable);
+}
+
+TEST(BackendTest, HardwareBlockMatchesTable) {
+  if (!AesNiAvailable()) {
+    GTEST_SKIP() << "AES-NI not available";
+  }
+  Drbg drbg(AsBytes("backend-block"));
+  for (int trial = 0; trial < 100; ++trial) {
+    uint8_t key[16], pt[16], hw_ct[16], sw_ct[16], back[16];
+    drbg.Fill(MutableByteSpan(key, 16));
+    drbg.Fill(MutableByteSpan(pt, 16));
+    Aes128 hw(ByteSpan(key, 16), AesBackend::kAesNi);
+    Aes128 sw(ByteSpan(key, 16), AesBackend::kTable);
+    hw.EncryptBlock(pt, hw_ct);
+    sw.EncryptBlock(pt, sw_ct);
+    EXPECT_EQ(0, std::memcmp(hw_ct, sw_ct, 16));
+    hw.DecryptBlock(hw_ct, back);  // exercises the AESIMC-inverted schedule
+    EXPECT_EQ(0, std::memcmp(back, pt, 16));
+  }
+}
+
+TEST(BackendTest, HardwareMultiBlockMatchesTable) {
+  if (!AesNiAvailable()) {
+    GTEST_SKIP() << "AES-NI not available";
+  }
+  Drbg drbg(AsBytes("backend-blocks"));
+  uint8_t key[16];
+  drbg.Fill(MutableByteSpan(key, 16));
+  Aes128 hw(ByteSpan(key, 16), AesBackend::kAesNi);
+  Aes128 sw(ByteSpan(key, 16), AesBackend::kTable);
+  // Counts straddling the 8-wide interleave boundary, including the tail.
+  for (size_t count : {1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u, 31u}) {
+    Bytes blocks(count * 16);
+    drbg.Fill(blocks);
+    Bytes hw_out = blocks;
+    Bytes sw_out = blocks;
+    hw.EncryptBlocks(hw_out.data(), count);
+    sw.EncryptBlocks(sw_out.data(), count);
+    EXPECT_EQ(hw_out, sw_out) << count << " blocks";
+  }
+}
+
+TEST(BackendTest, HardwareCmacRfc4493Vectors) {
+  if (!AesNiAvailable()) {
+    GTEST_SKIP() << "AES-NI not available";
+  }
+  const Bytes key = H("2b7e151628aed2a6abf7158809cf4f3c");
+  CmacKey hw_key(key, AesBackend::kAesNi);
+  struct Case {
+    const char* msg_hex;
+    const char* tag_hex;
+  };
+  const Case cases[] = {
+      {"", "bb1d6929e95937287fa37d129b756746"},
+      {"6bc1bee22e409f96e93d7e117393172a", "070a16b46b4d4144f79bdd9dd04a287c"},
+      {"6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
+       "dfa66747de9ae63030ca32611497c827"},
+      {"6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411"
+       "e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+       "51f0bebf7e3b9d92fc49741779363cfe"},
+  };
+  for (const Case& c : cases) {
+    Cmac cmac(hw_key);
+    cmac.Update(H(c.msg_hex));
+    const Mac tag = cmac.Finalize();
+    EXPECT_EQ(HexEncode(ByteSpan(tag.data(), tag.size())), c.tag_hex);
+  }
+}
+
+TEST(BackendTest, HardwareStreamingCmacAtEverySplit) {
+  if (!AesNiAvailable()) {
+    GTEST_SKIP() << "AES-NI not available";
+  }
+  const Bytes key = H("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes msg(97);
+  Drbg drbg(AsBytes("cmac-split-hw"));
+  drbg.Fill(msg);
+  const Mac expect = CmacSign(key, msg);  // table one-shot reference
+  CmacKey hw_key(key, AesBackend::kAesNi);
+  Cmac cmac(hw_key);
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    cmac.Reset();
+    cmac.Update(ByteSpan(msg.data(), split));
+    cmac.Update(ByteSpan(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(cmac.Finalize(), expect) << "split at " << split;
+  }
+}
+
+// Batch CMAC must equal per-message serial CMAC regardless of backend, lane
+// count, or ragged/multi-part message shapes. Runs on the table backend so
+// the lane bookkeeping is covered on every machine.
+TEST(BackendTest, BatchCmacMatchesSerial) {
+  Drbg drbg(AsBytes("cmac-batch"));
+  const Bytes key = H("2b7e151628aed2a6abf7158809cf4f3c");
+  CmacKey ckey(key, AesBackend::kTable);
+  // Lengths chosen to hit: empty, sub-block, exact block, block+1, and
+  // multi-block lanes finishing on different rounds; counts straddle the
+  // kCmacBatchLanes boundary.
+  const std::vector<size_t> lens = {0, 1, 15, 16, 17, 32, 33, 100, 255, 256, 700};
+  for (size_t count : {1u, 3u, 8u, 9u, 11u}) {
+    std::vector<Bytes> payloads(count);
+    std::vector<CmacMessage> msgs(count);
+    for (size_t i = 0; i < count; ++i) {
+      payloads[i].resize(lens[i % lens.size()]);
+      drbg.Fill(payloads[i]);
+      // Split each payload across two parts to exercise gather across
+      // part boundaries.
+      const size_t cut = payloads[i].size() / 3;
+      msgs[i].Append(ByteSpan(payloads[i].data(), cut));
+      msgs[i].Append(ByteSpan(payloads[i].data() + cut, payloads[i].size() - cut));
+    }
+    std::vector<Mac> tags(count);
+    CmacSignBatch(ckey, std::span<const CmacMessage>(msgs.data(), count), tags.data());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(tags[i], CmacSign(key, payloads[i])) << "lane " << i << " of " << count;
+    }
+  }
+}
+
+// Randomized cross-backend fuzz: ciphertext, round-trip, and tags must be
+// byte-identical between the table and hardware implementations for random
+// keys, lengths, counters, and counter-window widths.
+TEST(BackendTest, FuzzEquivalence) {
+  if (!AesNiAvailable()) {
+    GTEST_SKIP() << "AES-NI not available";
+  }
+  Drbg drbg(AsBytes("backend-fuzz"));
+  const uint32_t inc_bits_choices[] = {32, 64, 128};
+  for (int trial = 0; trial < 300; ++trial) {
+    uint8_t key[16], ctr[16];
+    drbg.Fill(MutableByteSpan(key, 16));
+    drbg.Fill(MutableByteSpan(ctr, 16));
+    const size_t len = static_cast<size_t>(drbg.NextUint64() % 1501);
+    const uint32_t inc_bits = inc_bits_choices[drbg.NextUint64() % 3];
+    Bytes pt(len);
+    drbg.Fill(pt);
+
+    Aes128 hw(ByteSpan(key, 16), AesBackend::kAesNi);
+    Aes128 sw(ByteSpan(key, 16), AesBackend::kTable);
+    Bytes hw_ct(len), sw_ct(len), back(len);
+    AesCtrTransform(hw, ctr, inc_bits, pt, hw_ct);
+    AesCtrTransform(sw, ctr, inc_bits, pt, sw_ct);
+    ASSERT_EQ(hw_ct, sw_ct) << "trial " << trial << " len " << len;
+    AesCtrTransform(hw, ctr, inc_bits, hw_ct, back);
+    ASSERT_EQ(back, pt) << "trial " << trial;
+
+    CmacKey hw_key(ByteSpan(key, 16), AesBackend::kAesNi);
+    CmacKey sw_key(ByteSpan(key, 16), AesBackend::kTable);
+    Cmac hw_cmac(hw_key);
+    hw_cmac.Update(pt);
+    Cmac sw_cmac(sw_key);
+    sw_cmac.Update(pt);
+    ASSERT_EQ(hw_cmac.Finalize(), sw_cmac.Finalize()) << "trial " << trial;
+  }
+}
+
 // ------------------------------------------------------- constant-time cmp
 
 TEST(ConstantTimeTest, Basics) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <set>
@@ -756,6 +757,91 @@ TEST_F(ShieldStoreTest, ExtraHeapSlashesOcalls) {
     const uint64_t opt_ocalls = enclave_.boundary().ocall_count() - before_opt;
     EXPECT_LE(opt_ocalls, 10u) << "chunked extra heap amortizes OCALLs (§5.1)";
   }
+}
+
+// ------------------------------------------- crypto backend equivalence
+//
+// The AES-NI hot path must be indistinguishable from the table reference at
+// the store level: same deterministic enclave seed + master key + workload
+// must yield byte-identical sealed entries (IV, MAC, ciphertext) and
+// identical exported secure metadata. Skips where the hardware backend is
+// not active (no AES-NI, SHIELD_FORCE_SOFT_AES, -DSHIELD_DISABLE_AESNI).
+
+TEST(BackendEquivalenceTest, HardwareAndTableStoresAreByteIdentical) {
+  if (crypto::Aes128::Backend() != crypto::AesBackend::kAesNi) {
+    GTEST_SKIP() << "hardware crypto backend not active";
+  }
+  sgx::Enclave hw_enclave(TestEnclaveConfig());
+  sgx::Enclave sw_enclave(TestEnclaveConfig());
+  Options opts = SmallOptions();
+  opts.master_key = ToBytes("cross-backend-master");
+  Options soft_opts = opts;
+  soft_opts.soft_crypto = true;
+  Store hw(hw_enclave, opts);
+  Store sw(sw_enclave, soft_opts);
+
+  // Identical mixed workload on both stores: inserts, overwrites (shrink and
+  // grow), deletes, reads, and a batch with every op type.
+  auto apply = [](Store& s) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(s.Set("key-" + std::to_string(i), "value-" + std::to_string(i * 7)).ok());
+    }
+    for (int i = 0; i < 200; i += 3) {
+      ASSERT_TRUE(s.Set("key-" + std::to_string(i), "v").ok());  // shrink in place
+    }
+    for (int i = 1; i < 200; i += 5) {
+      ASSERT_TRUE(s.Set("key-" + std::to_string(i), std::string(300, 'g')).ok());  // grow
+    }
+    for (int i = 2; i < 200; i += 7) {
+      ASSERT_TRUE(s.Delete("key-" + std::to_string(i)).ok());
+    }
+    for (int i = 0; i < 200; i += 2) {
+      (void)s.Get("key-" + std::to_string(i));
+    }
+    std::vector<kv::BatchOp> batch;
+    batch.push_back({kv::BatchOpType::kSet, "batch-a", "1", 0});
+    batch.push_back({kv::BatchOpType::kIncrement, "batch-a", "", 41});
+    batch.push_back({kv::BatchOpType::kAppend, "batch-a", "-tail", 0});
+    batch.push_back({kv::BatchOpType::kGet, "batch-a", "", 0});
+    batch.push_back({kv::BatchOpType::kSet, "batch-b", "bye", 0});
+    batch.push_back({kv::BatchOpType::kDelete, "batch-b", "", 0});
+    for (const kv::BatchOpResult& r : s.ExecuteBatch(batch)) {
+      ASSERT_TRUE(r.status.ok());
+    }
+    ASSERT_TRUE(s.VerifyFullIntegrity().ok());
+  };
+  apply(hw);
+  apply(sw);
+
+  // Enclave-side secure metadata (keys + bucket-set MAC hashes) must match.
+  EXPECT_EQ(hw.ExportSecureMetadata(), sw.ExportSecureMetadata());
+
+  // Every surviving sealed entry must be byte-identical: header fields,
+  // IV/counter, MAC, and ciphertext.
+  size_t compared = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    kv::EntryHeader* he = StoreTestPeer::RawEntry(hw, key);
+    kv::EntryHeader* se = StoreTestPeer::RawEntry(sw, key);
+    ASSERT_EQ(he == nullptr, se == nullptr) << key;
+    if (he == nullptr) {
+      continue;
+    }
+    EXPECT_EQ(he->key_size, se->key_size) << key;
+    EXPECT_EQ(he->val_size, se->val_size) << key;
+    EXPECT_EQ(he->key_hint, se->key_hint) << key;
+    EXPECT_EQ(he->flags, se->flags) << key;
+    EXPECT_EQ(0, std::memcmp(he->iv_ctr, se->iv_ctr, 16)) << key;
+    EXPECT_EQ(0, std::memcmp(he->mac, se->mac, 16)) << key;
+    ASSERT_EQ(he->CiphertextSize(), se->CiphertextSize()) << key;
+    EXPECT_EQ(0, std::memcmp(he->Ciphertext(), se->Ciphertext(), he->CiphertextSize())) << key;
+    ++compared;
+  }
+  EXPECT_GT(compared, 100u);
+
+  // And the plaintext views agree too (decryption through either backend).
+  EXPECT_EQ(hw.Get("batch-a").value(), "42-tail");
+  EXPECT_EQ(sw.Get("batch-a").value(), "42-tail");
 }
 
 }  // namespace

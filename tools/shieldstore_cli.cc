@@ -97,6 +97,15 @@ int CheckInvariants(const shield::obs::MetricsSnapshot& snap) {
   if (!snap.Has("sgx.epc.touches") || (!snap.Has("sgx.ecalls") && !snap.Has("sgx.hotcalls"))) {
     fail("sgx EPC / crossing counters missing from snapshot");
   }
+  if (!snap.Has("crypto.backend")) {
+    fail("crypto.backend gauge missing from snapshot");
+  } else if (const int64_t backend = snap.GaugeValue("crypto.backend");
+             backend != 0 && backend != 1) {
+    fail("crypto.backend gauge out of range (want 0=table, 1=aes-ni)");
+  }
+  if (!snap.Has("store.crypto.ctr_bytes") || !snap.Has("store.crypto.cmac_bytes")) {
+    fail("store crypto byte counters missing from snapshot");
+  }
   // WAL metrics only exist when the server runs with --heal-dir.
   if (snap.Has("wal.records")) {
     for (const char* name : {"wal.commits", "wal.fsyncs", "wal.group_commits"}) {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "src/crypto/aes.h"
 #include "src/net/server.h"
 #include "src/obs/snapshot.h"
 #include "src/router/replica.h"
@@ -398,6 +399,9 @@ int main(int argc, char** argv) {
   std::printf("reactor: %zu io threads, %zu max sessions, coalesce depth %zu\n",
               server_options.io_threads, server_options.max_sessions,
               server_options.coalesce_depth);
+  std::printf("crypto: %s backend (aes-ni %s)\n",
+              crypto::AesBackendName(crypto::Aes128::Backend()),
+              crypto::AesNiAvailable() ? "available" : "unavailable");
   if (healer != nullptr) {
     std::printf("self-healing: on (dir %s, scrub every %d ms)\n", flags.heal_dir.c_str(),
                 flags.scrub_interval_ms);
