@@ -18,10 +18,12 @@ class StoreTestPeer {
  public:
   static kv::EntryHeader* RawEntry(Store& s, std::string_view key) {
     const size_t bucket = s.BucketIndex(kv::BucketHash(*s.keys_, key));
-    for (kv::EntryHeader* e = s.buckets_[bucket].head; e != nullptr; e = e->next) {
+    for (uint64_t ref = s.buckets_[bucket].head_ref; ref != 0;) {
+      kv::EntryHeader* e = s.Deref(ref);
       if (kv::EntryKeyEquals(*s.keys_, *e, key)) {
         return e;
       }
+      ref = e->next_ref;
     }
     return nullptr;
   }
@@ -61,9 +63,9 @@ int main() {
   std::string old_version(reinterpret_cast<char*>(entry), entry_bytes);
   store.Set("customer-record", "PIN=0000;SSN=REDACTED-PROPERLY");
   kv::EntryHeader* current = shieldstore::StoreTestPeer::RawEntry(store, "customer-record");
-  kv::EntryHeader* next = current->next;
+  const uint64_t next = current->next_ref;
   std::memcpy(current, old_version.data(), entry_bytes);  // the replay
-  current->next = next;
+  current->next_ref = next;
   Result<std::string> after_replay = store.Get("customer-record");
   std::printf("replay attack detected: %s\n", after_replay.status().ToString().c_str());
 

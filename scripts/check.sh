@@ -21,13 +21,21 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== concurrency battery under TSan =="
 cmake -B build-tsan -S . -DSHIELD_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target concurrency_test selfheal_test reactor_test
-ctest --test-dir build-tsan --output-on-failure -R 'ConcurrencyTest|SelfHealNetTest|ReactorTorture'
+cmake --build build-tsan -j "$JOBS" --target concurrency_test selfheal_test reactor_test persist_heap_test
+ctest --test-dir build-tsan --output-on-failure -R 'ConcurrencyTest|SelfHealNetTest|ReactorTorture|PersistHeapTest'
 
 echo "== WAL scaling bench (smoke) =="
 # Exit code enforces the acceptance gate: sharded >= 3x single-log at 8
 # simulated writers, equal durability discipline.
 ./build/bench/bench_wal_scaling --smoke --out build/BENCH_wal.json
+
+echo "== restart bench: persistent-arena attach vs snapshot replay at 1M entries =="
+# Exit code enforces the acceptance gate: mmap-backed arena attach >= 10x
+# faster than sealed-snapshot replay at the largest size (1M entries). The
+# arena-commit crash matrix itself runs under ASan/UBSan in the full-suite
+# pass above (PersistentArenaTest + PersistHeapTest) and under TSan in the
+# concurrency battery.
+./build/bench/bench_restart
 
 echo "== batch throughput bench (smoke) =="
 # Exit code enforces the acceptance gate: kBatch depth 16 >= 2x depth 1

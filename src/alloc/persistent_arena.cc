@@ -1,0 +1,626 @@
+#include "src/alloc/persistent_arena.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace shield::alloc {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'A', 'R', 'E', 'N', 'A', '1', '\0'};
+constexpr uint32_t kVersion = 1;
+
+// Superblock field offsets.
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffCapacity = 16;
+constexpr size_t kOffNumSlots = 24;
+constexpr size_t kOffPartition = 32;
+constexpr size_t kOffCounterId = 40;
+constexpr size_t kOffPlanSeq = 48;
+constexpr size_t kOffPlanState = 56;
+constexpr size_t kOffPlanCrc = 60;
+constexpr size_t kOffSlotA = 512;
+constexpr size_t kOffSlotB = 768;
+constexpr size_t kSlotBytes = 10 * 8 + 4;  // ten u64 fields + crc32
+
+constexpr uint64_t kAlign = 16;
+
+uint64_t RoundUpAlign(uint64_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
+
+size_t PageSize() {
+  static const size_t kPage = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return kPage;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+PersistentArena::~PersistentArena() {
+  // Deliberately no msync: un-committed fresh state is not part of the
+  // crash-recovery contract, and in-process crash tests rely on teardown
+  // behaving like a kill -9 (the page cache already holds what it holds).
+  if (base_ != nullptr) {
+    munmap(base_, capacity_);
+    base_ = nullptr;
+  }
+}
+
+Status PersistentArena::Open(const std::string& path, size_t capacity_bytes,
+                             uint64_t partition_index, uint64_t num_slots) {
+  if (base_ != nullptr) {
+    return Status(Code::kInvalidArgument, "arena already open");
+  }
+  if (num_slots == 0) {
+    return Status(Code::kInvalidArgument, "arena needs a nonzero chain index");
+  }
+  const int fd = open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status(Code::kIoError, "cannot open arena file " + path);
+  }
+  struct stat st{};
+  if (fstat(fd, &st) != 0) {
+    close(fd);
+    return Status(Code::kIoError, "cannot stat arena file " + path);
+  }
+  const bool fresh = st.st_size == 0;
+  if (fresh) {
+    capacity_ = capacity_bytes < kMinCapacity ? kMinCapacity : capacity_bytes;
+    capacity_ = (capacity_ + PageSize() - 1) & ~(PageSize() - 1);
+    if (ftruncate(fd, static_cast<off_t>(capacity_)) != 0) {
+      close(fd);
+      return Status(Code::kIoError, "cannot size arena file " + path);
+    }
+  } else {
+    // The file's own size is authoritative: the mapping must cover exactly
+    // the region refs were minted against.
+    capacity_ = static_cast<uint64_t>(st.st_size);
+    if (capacity_ < kMinCapacity || capacity_ % PageSize() != 0) {
+      close(fd);
+      return Status(Code::kIntegrityFailure, "arena file truncated: " + path);
+    }
+  }
+  void* map = mmap(nullptr, capacity_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  close(fd);
+  if (map == MAP_FAILED) {
+    return Status(Code::kIoError, "cannot map arena file " + path);
+  }
+  base_ = static_cast<uint8_t*>(map);
+  path_ = path;
+
+  if (const char* point = std::getenv("SHIELD_ARENA_CRASH"); point != nullptr) {
+    if (std::strcmp(point, "plan") == 0) crash_point_ = CrashPoint::kPlanWritten;
+    if (std::strcmp(point, "apply") == 0) crash_point_ = CrashPoint::kMidApply;
+    if (std::strcmp(point, "precommit") == 0) crash_point_ = CrashPoint::kPreCommit;
+    if (std::strcmp(point, "presync") == 0) crash_point_ = CrashPoint::kPreSuperSync;
+    const char* kill = std::getenv("SHIELD_ARENA_CRASH_KILL");
+    crash_kill_ = kill != nullptr && kill[0] == '1';
+  }
+
+  Status status = fresh ? InitFresh(partition_index, num_slots) : Recover(partition_index, num_slots);
+  if (!status.ok()) {
+    munmap(base_, capacity_);
+    base_ = nullptr;
+  }
+  return status;
+}
+
+Status PersistentArena::InitFresh(uint64_t partition_index, uint64_t num_slots) {
+  std::memset(base_, 0, kSuperblockBytes);
+  std::memcpy(base_ + kOffMagic, kMagic, sizeof(kMagic));
+  StoreLe32(base_ + kOffVersion, kVersion);
+  StoreLe64(base_ + kOffCapacity, capacity_);
+  StoreLe64(base_ + kOffNumSlots, num_slots);
+  StoreLe64(base_ + kOffPartition, partition_index);
+  uint64_t counted = 0;
+  MsyncRange(0, kSuperblockBytes, &counted);
+  bump_ = kDataStart;
+  committed_bump_ = kDataStart;
+  attached_ = false;
+  return Status::Ok();
+}
+
+Status PersistentArena::Recover(uint64_t partition_index, uint64_t num_slots) {
+  if (std::memcmp(base_ + kOffMagic, kMagic, sizeof(kMagic)) != 0) {
+    return Status(Code::kIntegrityFailure, "not a ShieldStore arena: " + path_);
+  }
+  if (LoadLe32(base_ + kOffVersion) != kVersion) {
+    return Status(Code::kIntegrityFailure, "arena version mismatch: " + path_);
+  }
+  if (LoadLe64(base_ + kOffCapacity) != capacity_) {
+    return Status(Code::kIntegrityFailure, "arena capacity mismatch: " + path_);
+  }
+  if (LoadLe64(base_ + kOffNumSlots) != num_slots ||
+      LoadLe64(base_ + kOffPartition) != partition_index) {
+    return Status(Code::kInvalidArgument,
+                  "arena geometry mismatch (partitions/buckets changed?): " + path_);
+  }
+
+  Slot slots[2];
+  const bool valid_a = ReadSlot(0, &slots[0]);
+  const bool valid_b = ReadSlot(1, &slots[1]);
+  const uint32_t plan_state = LoadLe32(base_ + kOffPlanState);
+  int pick = -1;
+  if (valid_a && valid_b) {
+    pick = slots[0].seq >= slots[1].seq ? 0 : 1;
+  } else if (valid_a) {
+    pick = 0;
+  } else if (valid_b) {
+    pick = 1;
+  }
+  if (pick < 0) {
+    // No valid commit slot. Legitimate only when no commit ever completed:
+    // a torn FIRST commit leaves its plan record pending. A nonzero seq
+    // with a bad CRC and no pending plan is tampering, not a crash.
+    if (plan_state == 0 && (slots[0].seq != 0 || slots[1].seq != 0)) {
+      return Status(Code::kIntegrityFailure, "arena commit slots corrupted: " + path_);
+    }
+    WritePlan(0, 0);
+    uint64_t counted = 0;
+    MsyncRange(0, kSuperblockBytes, &counted);
+    bump_ = kDataStart;
+    committed_bump_ = kDataStart;
+    attached_ = false;
+    return Status::Ok();
+  }
+
+  const Slot& s = slots[pick];
+  if (s.bump < kDataStart || s.bump > capacity_) {
+    return Status(Code::kIntegrityFailure, "arena commit bump out of range: " + path_);
+  }
+  if (s.table_ref != 0 && !CheckBlock(s.table_ref, num_slots * 8)) {
+    return Status(Code::kIntegrityFailure, "arena table block out of range: " + path_);
+  }
+  if (s.meta_ref != 0 && !CheckBlock(s.meta_ref, s.meta_len)) {
+    return Status(Code::kIntegrityFailure, "arena metadata block out of range: " + path_);
+  }
+  seq_ = s.seq;
+  bump_ = s.bump;
+  committed_bump_ = s.bump;
+  table_ref_ = s.table_ref;
+  delta_head_ = s.delta_head;
+  delta_count_ = s.delta_count;
+  free_ref_ = s.free_ref;
+  free_count_ = s.free_count;
+  meta_ref_ = s.meta_ref;
+  meta_len_ = s.meta_len;
+  entry_count_ = s.entry_count;
+  active_slot_ = static_cast<size_t>(pick);
+
+  // Recount the delta chain (and bounds-check it) so the squash heuristic
+  // has a correct total.
+  delta_total_ = 0;
+  uint64_t d = delta_head_;
+  uint64_t steps = 0;
+  while (d != 0) {
+    if (++steps > delta_count_ || !CheckBlock(d, 16)) {
+      return Status(Code::kIntegrityFailure, "arena delta chain corrupted: " + path_);
+    }
+    const uint64_t count = LoadLe64(base_ + d + 8);
+    if (!CheckBlock(d, 16 + count * 16)) {
+      return Status(Code::kIntegrityFailure, "arena delta chain corrupted: " + path_);
+    }
+    delta_total_ += count;
+    d = LoadLe64(base_ + d);
+  }
+
+  if (Status status = LoadFreeBlob(s); !status.ok()) {
+    return status;
+  }
+
+  // An interrupted commit (pending plan) rolled back to this slot; clear it.
+  if (plan_state != 0) {
+    WritePlan(0, 0);
+    uint64_t counted = 0;
+    MsyncRange(0, kSuperblockBytes, &counted);
+  }
+  attached_ = true;
+  return Status::Ok();
+}
+
+Status PersistentArena::LoadFreeBlob(const Slot& slot) {
+  free_bins_.clear();
+  if (slot.free_ref == 0) {
+    return Status::Ok();
+  }
+  if (!CheckBlock(slot.free_ref, 8 + slot.free_count * 16)) {
+    return Status(Code::kIntegrityFailure, "arena free blob out of range: " + path_);
+  }
+  const uint64_t count = LoadLe64(base_ + slot.free_ref);
+  if (count != slot.free_count) {
+    return Status(Code::kIntegrityFailure, "arena free blob count mismatch: " + path_);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t ref = LoadLe64(base_ + slot.free_ref + 8 + i * 16);
+    const uint64_t size = LoadLe64(base_ + slot.free_ref + 8 + i * 16 + 8);
+    if (size == 0 || size % kAlign != 0 || !CheckBlock(ref, size) || ref >= slot.bump) {
+      return Status(Code::kIntegrityFailure, "arena free blob entry corrupted: " + path_);
+    }
+    free_bins_[size].push_back(ref);
+  }
+  return Status::Ok();
+}
+
+bool PersistentArena::CheckBlock(uint64_t ref, uint64_t len) const {
+  return ref >= kDataStart + kBlockHeaderBytes && (ref & 7) == 0 && ref <= capacity_ &&
+         len <= capacity_ - ref;
+}
+
+Result<uint64_t> PersistentArena::AllocateBump(size_t bytes) {
+  const uint64_t need = RoundUpAlign(bytes == 0 ? kAlign : bytes);
+  if (bump_ + kBlockHeaderBytes + need > capacity_) {
+    return Status(Code::kCapacityExceeded, "persistent arena full: " + path_);
+  }
+  StoreLe64(base_ + bump_, need);
+  const uint64_t ref = bump_ + kBlockHeaderBytes;
+  bump_ += kBlockHeaderBytes + need;
+  return ref;
+}
+
+Result<uint64_t> PersistentArena::Allocate(size_t bytes) {
+  if (base_ == nullptr) {
+    return Status(Code::kInternal, "arena not open");
+  }
+  const uint64_t need = RoundUpAlign(bytes == 0 ? kAlign : bytes);
+  auto it = free_bins_.find(need);
+  if (it != free_bins_.end() && !it->second.empty()) {
+    const uint64_t ref = it->second.back();
+    it->second.pop_back();
+    if (ref < committed_bump_) {
+      // Recycling a committed-region block: it becomes fresh (mutable in
+      // place) and its range joins the next commit's msync set.
+      fresh_set_.insert(ref);
+      reused_ranges_.emplace_back(ref - kBlockHeaderBytes, need + kBlockHeaderBytes);
+    }
+    return ref;
+  }
+  return AllocateBump(bytes);
+}
+
+void PersistentArena::Free(uint64_t ref) {
+  if (ref == 0 || base_ == nullptr) {
+    return;
+  }
+  if (!CheckBlock(ref, 0)) {
+    return;  // not a plausible block; leak rather than poison the bins
+  }
+  const uint64_t size = LoadLe64(base_ + ref - kBlockHeaderBytes);
+  if (size == 0 || size % kAlign != 0 || !CheckBlock(ref, size)) {
+    return;  // corrupt header; leak
+  }
+  if (IsFresh(ref)) {
+    free_bins_[size].push_back(ref);
+  } else {
+    pending_free_.emplace_back(ref, size);
+  }
+}
+
+size_t PersistentArena::UsableSize(uint64_t ref) const {
+  if (ref == 0 || base_ == nullptr || !CheckBlock(ref, 0)) {
+    return 0;
+  }
+  const uint64_t size = LoadLe64(base_ + ref - kBlockHeaderBytes);
+  if (size == 0 || size % kAlign != 0 || !CheckBlock(ref, size)) {
+    return 0;
+  }
+  return static_cast<size_t>(size);
+}
+
+void PersistentArena::MsyncRange(uint64_t offset, uint64_t length, uint64_t* counted) {
+  if (length == 0) {
+    return;
+  }
+  const uint64_t page = PageSize();
+  const uint64_t start = offset & ~(page - 1);
+  uint64_t end = offset + length;
+  end = (end + page - 1) & ~(page - 1);
+  if (end > capacity_) {
+    end = capacity_;
+  }
+  msync(base_ + start, end - start, MS_SYNC);
+  *counted += end - start;
+}
+
+void PersistentArena::WriteSlot(size_t index, const Slot& slot, bool zero_crc) {
+  uint8_t buf[kSlotBytes];
+  StoreLe64(buf + 0, slot.seq);
+  StoreLe64(buf + 8, slot.bump);
+  StoreLe64(buf + 16, slot.table_ref);
+  StoreLe64(buf + 24, slot.delta_head);
+  StoreLe64(buf + 32, slot.delta_count);
+  StoreLe64(buf + 40, slot.free_ref);
+  StoreLe64(buf + 48, slot.free_count);
+  StoreLe64(buf + 56, slot.meta_ref);
+  StoreLe64(buf + 64, slot.meta_len);
+  StoreLe64(buf + 72, slot.entry_count);
+  StoreLe32(buf + 80, 0);
+  const uint32_t crc = Crc32(buf, kSlotBytes);
+  StoreLe32(buf + 80, zero_crc ? 0 : crc);
+  std::memcpy(base_ + (index == 0 ? kOffSlotA : kOffSlotB), buf, kSlotBytes);
+}
+
+bool PersistentArena::ReadSlot(size_t index, Slot* out) const {
+  const uint8_t* p = base_ + (index == 0 ? kOffSlotA : kOffSlotB);
+  out->seq = LoadLe64(p + 0);
+  out->bump = LoadLe64(p + 8);
+  out->table_ref = LoadLe64(p + 16);
+  out->delta_head = LoadLe64(p + 24);
+  out->delta_count = LoadLe64(p + 32);
+  out->free_ref = LoadLe64(p + 40);
+  out->free_count = LoadLe64(p + 48);
+  out->meta_ref = LoadLe64(p + 56);
+  out->meta_len = LoadLe64(p + 64);
+  out->entry_count = LoadLe64(p + 72);
+  const uint32_t stored = LoadLe32(p + 80);
+  uint8_t buf[kSlotBytes];
+  std::memcpy(buf, p, kSlotBytes);
+  StoreLe32(buf + 80, 0);
+  return out->seq != 0 && stored != 0 && stored == Crc32(buf, kSlotBytes);
+}
+
+void PersistentArena::WritePlan(uint64_t seq, uint32_t state) {
+  StoreLe64(base_ + kOffPlanSeq, seq);
+  StoreLe32(base_ + kOffPlanState, state);
+  uint8_t buf[12];
+  StoreLe64(buf, seq);
+  StoreLe32(buf + 8, state);
+  StoreLe32(base_ + kOffPlanCrc, Crc32(buf, sizeof(buf)));
+}
+
+bool PersistentArena::CrashFire(CrashPoint point) {
+  if (crash_point_ != point) {
+    return false;
+  }
+  crash_point_ = CrashPoint::kNone;
+  if (crash_kill_) {
+    raise(SIGKILL);
+  }
+  return true;
+}
+
+Status PersistentArena::Commit(const uint64_t* heads, uint64_t num_slots,
+                               const std::vector<uint64_t>& dirty_slots, ByteSpan sealed_meta,
+                               uint64_t entry_count) {
+  if (base_ == nullptr) {
+    return Status(Code::kInternal, "arena not open");
+  }
+  if (num_slots != LoadLe64(base_ + kOffNumSlots)) {
+    return Status(Code::kInvalidArgument, "arena commit geometry mismatch");
+  }
+  uint64_t counted = 0;
+
+  // 1. Intent: a pending plan tells recovery that a torn commit slot is a
+  // crash, not tampering.
+  WritePlan(seq_ + 1, 1);
+  MsyncRange(0, kSuperblockBytes, &counted);
+  if (CrashFire(CrashPoint::kPlanWritten)) {
+    return Status(Code::kIoError, "injected crash at plan-written");
+  }
+
+  // 2. Apply, into fresh space only. Everything superseded by this commit
+  // (old base + deltas on squash, old metadata, old free blob) is garbage:
+  // free as of the NEW generation, still referenced by the old one.
+  std::vector<std::pair<uint64_t, uint64_t>> garbage;
+  uint64_t new_table = table_ref_;
+  uint64_t new_delta_head = delta_head_;
+  uint64_t new_delta_count = delta_count_;
+  uint64_t new_delta_total = delta_total_;
+  const bool squash = table_ref_ == 0 || delta_total_ + dirty_slots.size() > num_slots / 2;
+  if (squash) {
+    Result<uint64_t> block = AllocateBump(num_slots * 8);
+    if (!block.ok()) {
+      return block.status();
+    }
+    new_table = block.value();
+    for (uint64_t i = 0; i < num_slots; ++i) {
+      StoreLe64(base_ + new_table + i * 8, heads[i]);
+    }
+    if (table_ref_ != 0) {
+      garbage.emplace_back(table_ref_, RoundUpAlign(num_slots * 8));
+    }
+    for (uint64_t d = delta_head_; d != 0; d = LoadLe64(base_ + d)) {
+      garbage.emplace_back(d, RoundUpAlign(16 + LoadLe64(base_ + d + 8) * 16));
+    }
+    new_delta_head = 0;
+    new_delta_count = 0;
+    new_delta_total = 0;
+  } else if (!dirty_slots.empty()) {
+    Result<uint64_t> block = AllocateBump(16 + dirty_slots.size() * 16);
+    if (!block.ok()) {
+      return block.status();
+    }
+    const uint64_t d = block.value();
+    StoreLe64(base_ + d, delta_head_);
+    StoreLe64(base_ + d + 8, dirty_slots.size());
+    for (size_t i = 0; i < dirty_slots.size(); ++i) {
+      const uint64_t slot = dirty_slots[i];
+      StoreLe64(base_ + d + 16 + i * 16, slot);
+      StoreLe64(base_ + d + 16 + i * 16 + 8, slot < num_slots ? heads[slot] : 0);
+    }
+    new_delta_head = d;
+    new_delta_count = delta_count_ + 1;
+    new_delta_total = delta_total_ + dirty_slots.size();
+  }
+  if (CrashFire(CrashPoint::kMidApply)) {
+    return Status(Code::kIoError, "injected crash at mid-apply");
+  }
+
+  Result<uint64_t> meta_block = AllocateBump(sealed_meta.size());
+  if (!meta_block.ok()) {
+    return meta_block.status();
+  }
+  if (!sealed_meta.empty()) {
+    std::memcpy(base_ + meta_block.value(), sealed_meta.data(), sealed_meta.size());
+  }
+  if (meta_ref_ != 0) {
+    garbage.emplace_back(meta_ref_, RoundUpAlign(meta_len_));
+  }
+  if (free_ref_ != 0) {
+    garbage.emplace_back(free_ref_, RoundUpAlign(8 + free_count_ * 16));
+  }
+
+  uint64_t n = pending_free_.size() + garbage.size();
+  for (const auto& [size, refs] : free_bins_) {
+    n += refs.size();
+  }
+  Result<uint64_t> free_block = AllocateBump(8 + n * 16);
+  if (!free_block.ok()) {
+    return free_block.status();
+  }
+  const uint64_t fb = free_block.value();
+  StoreLe64(base_ + fb, n);
+  uint64_t idx = 0;
+  auto emit = [&](uint64_t ref, uint64_t size) {
+    StoreLe64(base_ + fb + 8 + idx * 16, ref);
+    StoreLe64(base_ + fb + 8 + idx * 16 + 8, size);
+    ++idx;
+  };
+  for (const auto& [size, refs] : free_bins_) {
+    for (const uint64_t ref : refs) {
+      emit(ref, size);
+    }
+  }
+  for (const auto& [ref, size] : pending_free_) {
+    emit(ref, size);
+  }
+  for (const auto& [ref, size] : garbage) {
+    emit(ref, size);
+  }
+
+  // 3. Make the data durable before the slot that references it.
+  MsyncRange(committed_bump_, bump_ - committed_bump_, &counted);
+  for (const auto& [offset, length] : reused_ranges_) {
+    MsyncRange(offset, length, &counted);
+  }
+  if (CrashFire(CrashPoint::kPreCommit)) {
+    return Status(Code::kIoError, "injected crash at pre-commit");
+  }
+
+  // 4. Flip the alternate slot and retire the plan in one superblock sync.
+  Slot slot;
+  slot.seq = seq_ + 1;
+  slot.bump = bump_;
+  slot.table_ref = new_table;
+  slot.delta_head = new_delta_head;
+  slot.delta_count = new_delta_count;
+  slot.free_ref = fb;
+  slot.free_count = n;
+  slot.meta_ref = meta_block.value();
+  slot.meta_len = sealed_meta.size();
+  slot.entry_count = entry_count;
+  const size_t target = active_slot_ ^ 1;
+  if (CrashFire(CrashPoint::kPreSuperSync)) {
+    WriteSlot(target, slot, /*zero_crc=*/true);  // a torn slot write
+    return Status(Code::kIoError, "injected crash at pre-super-sync");
+  }
+  WriteSlot(target, slot, /*zero_crc=*/false);
+  WritePlan(0, 0);
+  MsyncRange(0, kSuperblockBytes, &counted);
+
+  // 5. Adopt the new generation: pending frees and garbage become reusable.
+  seq_ = slot.seq;
+  committed_bump_ = bump_;
+  table_ref_ = new_table;
+  delta_head_ = new_delta_head;
+  delta_count_ = new_delta_count;
+  delta_total_ = new_delta_total;
+  free_ref_ = fb;
+  free_count_ = n;
+  meta_ref_ = slot.meta_ref;
+  meta_len_ = slot.meta_len;
+  entry_count_ = entry_count;
+  active_slot_ = target;
+  for (const auto& [ref, size] : pending_free_) {
+    free_bins_[size].push_back(ref);
+  }
+  for (const auto& [ref, size] : garbage) {
+    free_bins_[size].push_back(ref);
+  }
+  pending_free_.clear();
+  fresh_set_.clear();
+  reused_ranges_.clear();
+  attached_ = true;
+  last_commit_msync_bytes_.store(counted, std::memory_order_relaxed);
+  msync_bytes_total_.fetch_add(counted, std::memory_order_relaxed);
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status PersistentArena::LoadTable(uint64_t* heads, uint64_t num_slots) const {
+  if (base_ == nullptr) {
+    return Status(Code::kInternal, "arena not open");
+  }
+  if (num_slots != LoadLe64(base_ + kOffNumSlots)) {
+    return Status(Code::kInvalidArgument, "arena table geometry mismatch");
+  }
+  std::memset(heads, 0, num_slots * 8);
+  if (table_ref_ != 0) {
+    for (uint64_t i = 0; i < num_slots; ++i) {
+      heads[i] = LoadLe64(base_ + table_ref_ + i * 8);
+    }
+  }
+  // Apply deltas oldest-first so the newest head wins. The chain head is
+  // the newest delta; collect then walk backwards.
+  std::vector<uint64_t> chain;
+  for (uint64_t d = delta_head_; d != 0; d = LoadLe64(base_ + d)) {
+    if (chain.size() >= delta_count_ || !CheckBlock(d, 16)) {
+      return Status(Code::kIntegrityFailure, "arena delta chain corrupted: " + path_);
+    }
+    chain.push_back(d);
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const uint64_t d = *it;
+    const uint64_t count = LoadLe64(base_ + d + 8);
+    if (!CheckBlock(d, 16 + count * 16)) {
+      return Status(Code::kIntegrityFailure, "arena delta chain corrupted: " + path_);
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t slot = LoadLe64(base_ + d + 16 + i * 16);
+      if (slot >= num_slots) {
+        return Status(Code::kIntegrityFailure, "arena delta slot out of range: " + path_);
+      }
+      heads[slot] = LoadLe64(base_ + d + 16 + i * 16 + 8);
+    }
+  }
+  return Status::Ok();
+}
+
+uint32_t PersistentArena::counter_id() const {
+  return base_ == nullptr ? 0 : LoadLe32(base_ + kOffCounterId);
+}
+
+Status PersistentArena::SetCounterId(uint32_t id) {
+  if (base_ == nullptr) {
+    return Status(Code::kInternal, "arena not open");
+  }
+  StoreLe32(base_ + kOffCounterId, id);
+  uint64_t counted = 0;
+  MsyncRange(0, kSuperblockBytes, &counted);
+  return Status::Ok();
+}
+
+}  // namespace shield::alloc

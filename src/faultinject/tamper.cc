@@ -89,12 +89,15 @@ Result<TamperAgent::Target> TamperAgent::PickEntry(shieldstore::Store& store,
     for (size_t b = 0; b < store.options_.num_buckets; ++b) {
       kv::EntryHeader* prev = nullptr;
       size_t steps = 0;
-      for (kv::EntryHeader* e = store.buckets_[b].head;
-           e != nullptr && steps++ <= store.entry_count_; prev = e, e = e->next) {
+      for (uint64_t ref = store.buckets_[b].head_ref; ref != 0 && steps++ <= store.entry_count_;) {
+        kv::EntryHeader* e = store.Deref(ref);
+        ref = e->next_ref;
         if (pass == 0 && e->val_size == 0) {
+          prev = e;
           continue;
         }
         candidates.push_back(Target{b, e, prev});
+        prev = e;
       }
     }
     if (!candidates.empty()) {
@@ -174,12 +177,12 @@ Status TamperAgent::Tamper(shieldstore::Store& store, TamperMode mode) {
       // entry itself stays validly MAC'd — only the trusted hashes notice.
       kv::EntryHeader* e = target->entry;
       if (target->prev != nullptr) {
-        target->prev->next = e->next;
+        target->prev->next_ref = e->next_ref;
       } else {
-        store.buckets_[target->bucket].head = e->next;
+        store.buckets_[target->bucket].head_ref = e->next_ref;
       }
-      e->next = store.buckets_[dest].head;
-      store.buckets_[dest].head = e;
+      e->next_ref = store.buckets_[dest].head_ref;
+      store.buckets_[dest].head_ref = store.Ref(e);
       return Status::Ok();
     }
 
@@ -189,13 +192,15 @@ Status TamperAgent::Tamper(shieldstore::Store& store, TamperMode mode) {
       }
       const size_t max_steps = store.entry_count_ + 8;
       size_t steps = 0;
-      for (kv::EntryHeader* e = store.buckets_[captured_bucket_].head;
-           e != nullptr && steps++ < max_steps; e = e->next) {
+      for (uint64_t ref = store.buckets_[captured_bucket_].head_ref;
+           ref != 0 && steps++ < max_steps;) {
+        kv::EntryHeader* e = store.Deref(ref);
+        ref = e->next_ref;
         store.TouchKeys();
         if (!kv::EntryKeyEquals(*store.keys_, *e, captured_key_)) {
           continue;
         }
-        if (store.heap_->UsableSize(e) < captured_bytes_.size()) {
+        if (store.EntryUsableSize(e) < captured_bytes_.size()) {
           return Status(Code::kInvalidArgument, "captured version no longer fits in place");
         }
         const kv::EntryHeader* old =
@@ -205,9 +210,9 @@ Status TamperAgent::Tamper(shieldstore::Store& store, TamperMode mode) {
           return Status(Code::kInvalidArgument,
                         "replay target unchanged: update the key between capture and replay");
         }
-        kv::EntryHeader* live_next = e->next;
+        const uint64_t live_next = e->next_ref;
         std::memcpy(e, captured_bytes_.data(), captured_bytes_.size());
-        e->next = live_next;  // keep the live chain shape; only content is stale
+        e->next_ref = live_next;  // keep the live chain shape; only content is stale
         last_target_key_ = captured_key_;
         return Status::Ok();
       }
@@ -221,10 +226,10 @@ Status TamperAgent::Tamper(shieldstore::Store& store, TamperMode mode) {
       }
       // Hide the chain head of the target's bucket (the paper's unlinking
       // attack): the trusted hashes still cover the vanished entry.
-      kv::EntryHeader* head = store.buckets_[target->bucket].head;
+      kv::EntryHeader* head = store.Deref(store.buckets_[target->bucket].head_ref);
       store.TouchKeys();
       last_target_key_ = kv::OpenEntryKey(*store.keys_, *head);
-      store.buckets_[target->bucket].head = head->next;
+      store.buckets_[target->bucket].head_ref = head->next_ref;
       return Status::Ok();
     }
 
@@ -233,13 +238,13 @@ Status TamperAgent::Tamper(shieldstore::Store& store, TamperMode mode) {
       if (!target.ok()) {
         return target.status();
       }
-      kv::EntryHeader* head = store.buckets_[target->bucket].head;
+      kv::EntryHeader* head = store.Deref(store.buckets_[target->bucket].head_ref);
       kv::EntryHeader* tail = head;
       size_t steps = 0;
-      while (tail->next != nullptr && steps++ <= store.entry_count_) {
-        tail = tail->next;
+      while (tail->next_ref != 0 && steps++ <= store.entry_count_) {
+        tail = store.Deref(tail->next_ref);
       }
-      tail->next = head;  // the walk must terminate via the cycle guard
+      tail->next_ref = store.Ref(head);  // the walk must terminate via the cycle guard
       store.TouchKeys();
       last_target_key_ = kv::OpenEntryKey(*store.keys_, *head);
       return Status::Ok();
@@ -285,9 +290,9 @@ Status TamperAgent::Tamper(shieldstore::Store& store, TamperMode mode) {
       mb->macs[slot % shieldstore::Store::MacBucket::kCapacity][rng_.NextBelow(16)] ^=
           static_cast<uint8_t>(1u << rng_.NextBelow(8));
       // The entry whose copy was hit sits at chain position `slot`.
-      kv::EntryHeader* e = store.buckets_[b].head;
+      kv::EntryHeader* e = store.Deref(store.buckets_[b].head_ref);
       for (size_t i = 0; i < slot && e != nullptr; ++i) {
-        e = e->next;
+        e = store.Deref(e->next_ref);
       }
       if (e != nullptr) {
         store.TouchKeys();

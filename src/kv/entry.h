@@ -62,8 +62,15 @@ struct StoreCipher {
 
 // On-wire/in-memory layout of an entry header; ciphertext follows
 // immediately. The struct is written to untrusted memory verbatim.
+//
+// The chain link is an offset-based ref, not a pointer: in the persistent
+// arena a ref is the entry's byte offset in the mapped file (stable across
+// remaps), in the anonymous-mmap heap it is the offset inside the heap's
+// reservation, and in ShieldBase mode it carries the raw pointer value.
+// 0 is always "end of chain". The link stays outside the MAC (plaintext,
+// availability only, §7) in every mode.
 struct EntryHeader {
-  EntryHeader* next = nullptr;
+  uint64_t next_ref = 0;
   uint32_t key_size = 0;
   uint32_t val_size = 0;
   uint8_t key_hint = 0;

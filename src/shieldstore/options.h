@@ -13,6 +13,10 @@ namespace shield::obs {
 class Registry;
 }
 
+namespace shield::alloc {
+class PersistentArena;
+}
+
 namespace shield::shieldstore {
 
 struct Options {
@@ -64,6 +68,17 @@ struct Options {
   // (MAC verify, bucket search/decrypt, MAC-batch close). nullptr uses the
   // process-wide obs::Registry::Global(); tests inject their own.
   obs::Registry* metrics = nullptr;
+
+  // mmap-backed persistent untrusted heap. `persist_dir` (PartitionedStore
+  // level) opens one arena file per partition (`p<i>.heap`) of
+  // persist_capacity_bytes each; restart then attaches the mapped file
+  // instead of replaying snapshots, deferring per-entry MAC verification to
+  // first touch + the paced scrub cursor. `arena` is the per-partition
+  // injection PartitionedStore performs when building its Stores — leave it
+  // null everywhere else (the store falls back to the volatile heap).
+  std::string persist_dir;
+  size_t persist_capacity_bytes = size_t{256} << 20;
+  alloc::PersistentArena* arena = nullptr;
 };
 
 }  // namespace shield::shieldstore

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 
@@ -36,6 +37,52 @@ class PartitionFilterStore : public kv::KeyValueStore {
   std::function<bool(std::string_view)> owns_;
 };
 
+// AAD binding an arena checkpoint's sealed metadata to its partition, its
+// monotonic counter and the counter value the commit will hold (V+1) — the
+// same live/live+1 window Snapshotter uses for roll-forward vs rollback.
+Bytes ArenaAad(uint64_t partition, uint32_t counter_id, uint64_t value) {
+  Bytes aad(4 + 8 + 4 + 8);
+  std::memcpy(aad.data(), "SSA1", 4);
+  StoreLe64(aad.data() + 4, partition);
+  StoreLe32(aad.data() + 12, counter_id);
+  StoreLe64(aad.data() + 16, value);
+  return aad;
+}
+
+// AAD for the sealed route key (persist_dir/route.seal).
+constexpr char kRouteAad[] = "SSRT1";
+
+Result<Bytes> ReadAllBytes(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(Code::kNotFound, "no file at " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes data(size > 0 ? static_cast<size_t>(size) : 0);
+  const size_t got = data.empty() ? 0 : std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (got != data.size()) {
+    return Status(Code::kIoError, "short read of " + path);
+  }
+  return data;
+}
+
+Status WriteAllBytes(const std::string& path, const Bytes& data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(Code::kIoError, "cannot open " + path);
+  }
+  const size_t put = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  const bool ok = put == data.size() && std::fflush(f) == 0 && fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    return Status(Code::kIoError, "cannot write " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 PartitionedStore::PartitionedStore(sgx::Enclave& enclave, const Options& options,
@@ -48,6 +95,11 @@ PartitionedStore::PartitionedStore(sgx::Enclave& enclave, const Options& options
   for (size_t i = 0; i < partitions_.size(); ++i) {
     locks_.push_back(std::make_unique<std::mutex>());
     quarantined_.push_back(std::make_unique<std::atomic<bool>>(false));
+    // A partition whose arena file failed to open must never serve: its
+    // durable state is unreachable, so it starts quarantined.
+    if (persist_ && arenas_[i] == nullptr) {
+      quarantined_[i]->store(true, std::memory_order_release);
+    }
   }
 }
 
@@ -63,14 +115,67 @@ Options PartitionedStore::PartitionOptions(size_t count) const {
   return per_partition;
 }
 
-std::vector<std::unique_ptr<Store>> PartitionedStore::BuildPartitions(size_t count) const {
-  const Options per_partition = PartitionOptions(count);
+std::vector<std::unique_ptr<Store>> PartitionedStore::BuildPartitions(size_t count) {
+  Options per_partition = PartitionOptions(count);
   std::vector<std::unique_ptr<Store>> result;
   result.reserve(count);
+  persist_ = !base_options_.persist_dir.empty();
+  arenas_.clear();
+  if (persist_) {
+    std::error_code ec;
+    std::filesystem::create_directories(base_options_.persist_dir, ec);
+  }
   for (size_t i = 0; i < count; ++i) {
+    per_partition.arena = nullptr;
+    if (persist_) {
+      auto arena = std::make_unique<alloc::PersistentArena>();
+      const std::string path =
+          base_options_.persist_dir + "/p" + std::to_string(i) + ".heap";
+      if (arena->Open(path, base_options_.persist_capacity_bytes, i,
+                      per_partition.num_buckets)
+              .ok()) {
+        per_partition.arena = arena.get();
+        arenas_.push_back(std::move(arena));
+      } else {
+        // Unusable heap file (corrupt superblock, geometry drift, IO error):
+        // the partition is built volatile but starts quarantined (see ctor)
+        // and attach is latched failed — it never serves until the file is
+        // restored.
+        arenas_.push_back(nullptr);
+        attach_failed_.store(true, std::memory_order_release);
+      }
+    }
     result.push_back(std::make_unique<Store>(enclave_, per_partition));
   }
   return result;
+}
+
+Status PartitionedStore::LoadOrCreateRouteKey(const sgx::SealingService& sealer) {
+  if (!persist_) {
+    return Status::Ok();
+  }
+  const std::string path = base_options_.persist_dir + "/route.seal";
+  const ByteSpan aad(reinterpret_cast<const uint8_t*>(kRouteAad), sizeof(kRouteAad) - 1);
+  Result<Bytes> blob = ReadAllBytes(path);
+  if (blob.ok()) {
+    Result<Bytes> key = sealer.Unseal(blob.value(), aad);
+    if (!key.ok()) {
+      return key.status();
+    }
+    if (key.value().size() != route_key_.size()) {
+      return Status(Code::kIntegrityFailure, "sealed route key malformed");
+    }
+    std::unique_lock<std::shared_mutex> structure(structure_mutex_);
+    std::memcpy(route_key_.data(), key.value().data(), route_key_.size());
+    return Status::Ok();
+  }
+  if (blob.status().code() != Code::kNotFound) {
+    return blob.status();
+  }
+  // First boot: persist this process's random route key so later boots route
+  // identically (persisted chains are attached, never re-routed).
+  Bytes key(route_key_.begin(), route_key_.end());
+  return WriteAllBytes(path, sealer.Seal(key, aad));
 }
 
 size_t PartitionedStore::num_partitions() const {
@@ -359,6 +464,11 @@ Status PartitionedStore::RecoverPartition(size_t p, const sgx::SealingService& s
   if (p >= partitions_.size()) {
     return Status(Code::kInvalidArgument, "no such partition");
   }
+  if (persist_) {
+    return Status(Code::kUnsupported,
+                  "snapshot-based partition recovery unsupported with a persistent heap; "
+                  "use RecoverPersistPartition");
+  }
   FILE* manifest = std::fopen((directory + "/manifest").c_str(), "r");
   if (manifest == nullptr) {
     return Status(Code::kNotFound, "no snapshot manifest in " + directory);
@@ -390,6 +500,156 @@ Status PartitionedStore::RecoverPartition(size_t p, const sgx::SealingService& s
   return Status::Ok();
 }
 
+// ------------------------------------------------------- persistent heap
+
+Status PartitionedStore::CheckpointPartitionLocked(size_t p, const sgx::SealingService& sealer,
+                                                   sgx::MonotonicCounterService& counters) {
+  if (!persist_ || arenas_[p] == nullptr) {
+    return Status(Code::kInvalidArgument, "partition has no persistent arena");
+  }
+  if (quarantined_[p]->load(std::memory_order_acquire)) {
+    // Never commit state that failed integrity as the trusted generation.
+    return Status(Code::kIntegrityFailure,
+                  "partition " + std::to_string(p) + " quarantined; checkpoint skipped");
+  }
+  alloc::PersistentArena& arena = *arenas_[p];
+  uint32_t id = arena.counter_id();
+  if (id == 0) {
+    Result<uint32_t> created = counters.CreateCounter();
+    if (!created.ok()) {
+      return created.status();
+    }
+    id = created.value();
+    if (Status s = arena.SetCounterId(id); !s.ok()) {
+      return s;
+    }
+  }
+  Result<uint64_t> value = counters.Read(id);
+  if (!value.ok()) {
+    return value.status();
+  }
+  // Seal against V+1 (the generation this commit becomes), commit, then
+  // increment: a crash between commit and increment is recoverable (attach
+  // accepts live+1 and rolls the counter forward), while re-attaching an
+  // older heap file matches neither V nor V+1 and fails typed.
+  const Bytes sealed =
+      sealer.Seal(partitions_[p]->ExportSecureMetadata(), ArenaAad(p, id, value.value() + 1));
+  if (Status s = partitions_[p]->PersistCheckpoint(sealed); !s.ok()) {
+    return s;
+  }
+  if (Result<uint64_t> inc = counters.Increment(id); !inc.ok()) {
+    return inc.status();
+  }
+  return Status::Ok();
+}
+
+Status PartitionedStore::CheckpointPartition(size_t p, const sgx::SealingService& sealer,
+                                             sgx::MonotonicCounterService& counters) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (p >= partitions_.size()) {
+    return Status(Code::kInvalidArgument, "no such partition");
+  }
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  return CheckpointPartitionLocked(p, sealer, counters);
+}
+
+Status PartitionedStore::CheckpointAll(const sgx::SealingService& sealer,
+                                       sgx::MonotonicCounterService& counters) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (!persist_) {
+    return Status(Code::kInvalidArgument, "store has no persistent heap");
+  }
+  Status first;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    std::lock_guard<std::mutex> lock(*locks_[p]);
+    if (Status s = CheckpointPartitionLocked(p, sealer, counters); !s.ok() && first.ok()) {
+      first = s;
+    }
+  }
+  return first;
+}
+
+Status PartitionedStore::AttachPartitionLocked(size_t p, const sgx::SealingService& sealer,
+                                               sgx::MonotonicCounterService& counters) {
+  alloc::PersistentArena& arena = *arenas_[p];
+  const uint32_t id = arena.counter_id();
+  if (id == 0) {
+    return Status(Code::kIntegrityFailure, "arena holds commits but no counter binding");
+  }
+  // Copy the sealed metadata OUT of the mapped file before unsealing: the
+  // file is attacker-writable, and unsealing in place would be a TOCTOU.
+  const ByteSpan mapped = arena.committed_meta();
+  const Bytes sealed(mapped.begin(), mapped.end());
+  Result<uint64_t> value = counters.Read(id);
+  if (!value.ok()) {
+    return value.status();
+  }
+  Result<Bytes> meta = sealer.Unseal(sealed, ArenaAad(p, id, value.value()));
+  if (!meta.ok()) {
+    meta = sealer.Unseal(sealed, ArenaAad(p, id, value.value() + 1));
+    if (!meta.ok()) {
+      return Status(Code::kRollbackDetected,
+                    "heap file for partition " + std::to_string(p) +
+                        " is not the latest committed generation");
+    }
+    // The commit landed but its counter increment was lost: roll forward.
+    if (Result<uint64_t> inc = counters.Increment(id); !inc.ok()) {
+      return inc.status();
+    }
+  }
+  return partitions_[p]->AttachPersistent(meta.value());
+}
+
+Status PartitionedStore::AttachPersistent(const sgx::SealingService& sealer,
+                                          sgx::MonotonicCounterService& counters) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (!persist_) {
+    return Status(Code::kInvalidArgument, "store has no persistent heap");
+  }
+  Status first;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    std::lock_guard<std::mutex> lock(*locks_[p]);
+    if (arenas_[p] == nullptr) {
+      continue;  // already latched failed + quarantined at build time
+    }
+    if (!arenas_[p]->attached()) {
+      continue;  // fresh arena: nothing committed yet (first boot)
+    }
+    if (Status s = AttachPartitionLocked(p, sealer, counters); !s.ok()) {
+      attach_failed_.store(true, std::memory_order_release);
+      quarantined_[p]->store(true, std::memory_order_release);
+      if (first.ok()) {
+        first = s;
+      }
+    }
+  }
+  return first;
+}
+
+Status PartitionedStore::RecoverPersistPartition(size_t p) {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (!persist_) {
+    return Status(Code::kInvalidArgument, "store has no persistent heap");
+  }
+  if (p >= partitions_.size()) {
+    return Status(Code::kInvalidArgument, "no such partition");
+  }
+  if (attach_failed_.load(std::memory_order_acquire)) {
+    return Status(Code::kIntegrityFailure,
+                  "persistent attach failed; restore the heap files from a replica");
+  }
+  std::lock_guard<std::mutex> lock(*locks_[p]);
+  // No clean disk baseline exists apart from the heap file itself (page
+  // writeback persists tampers too), so recovery is a full audit: clean
+  // chains re-admit the partition, anything else keeps it fenced.
+  const Store::ScrubReport report = partitions_[p]->Scrub();
+  if (!report.status.ok()) {
+    return report.status;
+  }
+  quarantined_[p]->store(false, std::memory_order_release);
+  return Status::Ok();
+}
+
 Status PartitionedStore::Repartition(size_t new_partitions) {
   if (layout_pinned_.load(std::memory_order_acquire)) {
     return Status(Code::kUnsupportedUnderWal,
@@ -399,6 +659,11 @@ Status PartitionedStore::Repartition(size_t new_partitions) {
 }
 
 Status PartitionedStore::RepartitionInternal(size_t new_partitions) {
+  if (persist_) {
+    // Re-routing keys would orphan every persisted chain; the heap files pin
+    // the partition count for the lifetime of the data set.
+    return Status(Code::kUnsupported, "repartition unsupported with --persist-heap");
+  }
   new_partitions = std::max<size_t>(new_partitions, 1);
   std::unique_lock<std::shared_mutex> structure(structure_mutex_);
   if (new_partitions == partitions_.size()) {

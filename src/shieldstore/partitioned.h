@@ -30,8 +30,10 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
+#include "src/alloc/persistent_arena.h"
 #include "src/crypto/siphash.h"
 #include "src/kv/interface.h"
 #include "src/shieldstore/oplog.h"
@@ -129,10 +131,57 @@ class PartitionedStore : public kv::KeyValueStore {
   // operation-log suffix filtered to the keys this partition owns. On
   // success the rebuilt store replaces the partition and the quarantine
   // flag clears; on failure the partition is untouched (and still
-  // quarantined if it was).
+  // quarantined if it was). Unsupported in persist-heap mode (the heap file
+  // IS the state; see RecoverPersistPartition).
   Status RecoverPartition(size_t p, const sgx::SealingService& sealer,
                           sgx::MonotonicCounterService& counters, const std::string& directory,
                           const OpLogOptions* oplog = nullptr);
+
+  // --- Persistent heap (Options::persist_dir) ---
+
+  // True when the store was built over per-partition arena files
+  // (`persist_dir/p<i>.heap`).
+  bool persist_enabled() const { return persist_; }
+  const std::string& persist_dir() const { return base_options_.persist_dir; }
+  // Per-partition arena (null when its file failed to open); test hook and
+  // replica-bootstrap plumbing.
+  alloc::PersistentArena* partition_arena(size_t p) { return arenas_[p].get(); }
+
+  // Keys must route identically across restarts in persist mode (chains are
+  // rebuilt from the per-partition files, not re-routed). The route key is
+  // sealed into `persist_dir/route.seal` on first boot and re-loaded before
+  // any attach or replay; tampering with the blob fails typed.
+  Status LoadOrCreateRouteKey(const sgx::SealingService& sealer);
+
+  // Arena checkpoint of one/all partitions: seals the secure metadata bound
+  // to (partition, counter, value+1), runs the arena's plan/commit protocol,
+  // then increments the counter — the same live/live+1 roll-forward window
+  // Snapshotter uses, so a crash between commit and increment recovers while
+  // an old heap file fails with kRollbackDetected. Quarantined partitions
+  // are skipped (first error reported): tampered state is never committed
+  // as trusted.
+  Status CheckpointPartition(size_t p, const sgx::SealingService& sealer,
+                             sgx::MonotonicCounterService& counters);
+  Status CheckpointAll(const sgx::SealingService& sealer,
+                       sgx::MonotonicCounterService& counters);
+
+  // Boot-time attach: for every partition whose arena holds a committed
+  // generation, unseals the metadata (with roll-forward) and attaches the
+  // mapped chains in O(num_buckets) — per-entry MAC verification is
+  // deferred to first touch and the scrub cursor. A partition that fails
+  // (tamper, rollback, geometry drift) is quarantined and the first error
+  // returned; healthy partitions still attach so the operator sees the
+  // blast radius, but a failed attach latches and RecoverPersistPartition
+  // refuses — the heap file must be restored (e.g. from a replica).
+  Status AttachPersistent(const sgx::SealingService& sealer,
+                          sgx::MonotonicCounterService& counters);
+
+  // Persist-mode healing: there is no clean on-disk baseline separate from
+  // the heap file (writeback persists tampers too), so recovery is a full
+  // audit — if the partition's chains now verify against the trusted
+  // in-enclave hashes, the quarantine clears; otherwise the partition stays
+  // fenced and the file must be replaced from a replica.
+  Status RecoverPersistPartition(size_t p);
 
   // Locked facade.
   Status Set(std::string_view key, std::string_view value) override;
@@ -159,8 +208,17 @@ class PartitionedStore : public kv::KeyValueStore {
   friend class WriteAheadStore;  // repartitions via RepartitionInternal
 
   Options PartitionOptions(size_t count) const;
-  std::vector<std::unique_ptr<Store>> BuildPartitions(size_t count) const;
+  // Non-const: in persist mode this opens (or creates) the per-partition
+  // arena files and wires each into its Store's options.
+  std::vector<std::unique_ptr<Store>> BuildPartitions(size_t count);
   size_t PartitionOfLocked(std::string_view key) const;
+  // Checkpoint one partition; caller holds structure_mutex_ (shared) and the
+  // partition lock.
+  Status CheckpointPartitionLocked(size_t p, const sgx::SealingService& sealer,
+                                   sgx::MonotonicCounterService& counters);
+  // Attach one partition; caller holds the locks as above.
+  Status AttachPartitionLocked(size_t p, const sgx::SealingService& sealer,
+                               sgx::MonotonicCounterService& counters);
   // Repartition minus the layout-pin check (the WAL facade drains and
   // re-splits its logs around this call).
   Status RepartitionInternal(size_t new_partitions);
@@ -183,6 +241,11 @@ class PartitionedStore : public kv::KeyValueStore {
   // structure_mutex_ guards the partition layout (shared for ops, exclusive
   // for Repartition); per-partition mutexes serialize ops within a partition.
   mutable std::shared_mutex structure_mutex_;
+  // Declared before partitions_ so the arenas (whose mappings the Stores'
+  // chain refs point into) outlive the Stores during destruction.
+  std::vector<std::unique_ptr<alloc::PersistentArena>> arenas_;
+  bool persist_ = false;
+  std::atomic<bool> attach_failed_{false};
   std::vector<std::unique_ptr<Store>> partitions_;
   mutable std::vector<std::unique_ptr<std::mutex>> locks_;
   std::vector<std::unique_ptr<std::atomic<bool>>> quarantined_;

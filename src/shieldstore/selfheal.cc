@@ -40,6 +40,8 @@ WriteAheadStore::WriteAheadStore(PartitionedStore& inner, const sgx::SealingServ
   commit_batch_hist_ = &metrics_->GetHistogram("wal.commit_batch_ops");
   group_commits_ = &metrics_->GetCounter("wal.group_commits");
   compacted_bytes_ = &metrics_->GetCounter("wal.compacted_bytes");
+  window_gauge_ = &metrics_->GetGauge("wal.window_us");
+  window_gauge_->Set(static_cast<int64_t>(options_.group_commit_window_us));
   BuildShards();
   // Direct Repartition() would re-route keys without re-splitting the shard
   // logs, silently corrupting recovery; force callers through our facade.
@@ -61,6 +63,7 @@ void WriteAheadStore::BuildShards() {
     per_shard.shard_index = static_cast<int>(i);
     auto s = std::make_unique<Shard>(std::move(per_shard));
     s->index = i;
+    s->window_us.store(options_.group_commit_window_us, std::memory_order_relaxed);
     const std::string prefix = "wal.shard" + std::to_string(i) + ".";
     s->ctr_appends = &metrics_->GetCounter(prefix + "appends");
     s->ctr_commit_waits = &metrics_->GetCounter(prefix + "commit_waits");
@@ -161,7 +164,6 @@ Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& loc
   if (s.durable < my_seq) {
     s.ctr_commit_waits->Inc();
   }
-  const auto window = std::chrono::microseconds(options_.group_commit_window_us);
   for (;;) {
     if (!s.failed.ok()) {
       return s.failed;
@@ -176,8 +178,13 @@ Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& loc
     }
     // Leader: wait out the commit window (or a full batch), then make the
     // group durable. The fsync runs with the shard lock RELEASED so
-    // concurrent writers append into the next batch meanwhile.
+    // concurrent writers append into the next batch meanwhile. The window
+    // is the shard's ADAPTIVE one: sized down when arrival rate is low (a
+    // solo writer should not idle out the configured cap for nobody), back
+    // up toward the cap under bursts (bigger batches, fewer fsyncs).
     s.committing = true;
+    const auto window =
+        std::chrono::microseconds(s.window_us.load(std::memory_order_relaxed));
     const auto deadline = s.batch_start + window;
     s.cv.wait_until(lock, deadline, [&] {
       return s.appended - s.durable >= options_.group_commit_ops || !s.failed.ok();
@@ -230,8 +237,27 @@ Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& loc
       // The leader just made (upto - durable) records durable in one
       // counter bump + fsync: the amortization the batch-size histogram
       // exists to show.
+      const uint64_t batch = upto - s.durable;
       group_commits_->Inc();
-      commit_batch_hist_->Record(upto - s.durable);
+      commit_batch_hist_->Record(batch);
+      // Adapt the window to the observed batch: a full batch means writers
+      // queued behind the cadence (grow toward the cap, ×2), a near-empty
+      // one means the window outlived the arrivals (shrink, ÷2, floored at
+      // cap/16 so a burst can climb back within a few commits).
+      if (const uint32_t cap = options_.group_commit_window_us; cap > 0) {
+        const uint32_t floor_us = std::max<uint32_t>(cap / 16, 1);
+        const uint32_t w = s.window_us.load(std::memory_order_relaxed);
+        uint32_t next_w = w;
+        if (batch >= options_.group_commit_ops) {
+          next_w = std::min<uint32_t>(cap, w * 2);
+        } else if (batch <= 2) {
+          next_w = std::max<uint32_t>(floor_us, w / 2);
+        }
+        if (next_w != w) {
+          s.window_us.store(next_w, std::memory_order_relaxed);
+          window_gauge_->Set(static_cast<int64_t>(next_w));
+        }
+      }
       s.durable = std::max(s.durable, upto);
       if (s.appended > s.durable) {
         // Records that arrived during the fsync open the next window now.
@@ -519,21 +545,33 @@ Status WriteAheadStore::CompactShard(size_t shard_index, const std::string& dire
   if (Status st = CommitShardLocked(s, lock); !st.ok()) {
     return st;
   }
-  // 2. Fold each served partition into a fresh snapshot generation. Crash
-  // anywhere here: the log is untouched, so old-or-new generation + full
-  // log replay converge to the same state.
-  Snapshotter::CrashPoint snap_crash = Snapshotter::CrashPoint::kNone;
-  if (crash == CompactionCrash::kSnapshotTempWrite) {
-    snap_crash = Snapshotter::CrashPoint::kAfterTempWrite;
-  } else if (crash == CompactionCrash::kSnapshotRename) {
-    snap_crash = Snapshotter::CrashPoint::kAfterRename;
-  }
-  for (size_t p = shard_index; p < parts; p += shards_.size()) {
-    if (Status st = inner_.SnapshotPartition(p, sealer_, counters_, directory, snap_crash);
-        !st.ok()) {
-      return st;
+  // 2. Fold each served partition into a fresh baseline. Crash anywhere
+  // here: the log is untouched, so old-or-new baseline + full log replay
+  // converge to the same state.
+  if (inner_.persist_enabled()) {
+    // Persist mode: the baseline is the arena, and the fold is an
+    // INCREMENTAL checkpoint — dirty buckets + superblock, not a full
+    // rewrite. The snapshot crash points have no analogue here (the arena
+    // has its own plan/commit injection); kBeforeTruncate still applies.
+    for (size_t p = shard_index; p < parts; p += shards_.size()) {
+      if (Status st = inner_.CheckpointPartition(p, sealer_, counters_); !st.ok()) {
+        return st;
+      }
     }
-    snap_crash = Snapshotter::CrashPoint::kNone;  // injection is one-shot
+  } else {
+    Snapshotter::CrashPoint snap_crash = Snapshotter::CrashPoint::kNone;
+    if (crash == CompactionCrash::kSnapshotTempWrite) {
+      snap_crash = Snapshotter::CrashPoint::kAfterTempWrite;
+    } else if (crash == CompactionCrash::kSnapshotRename) {
+      snap_crash = Snapshotter::CrashPoint::kAfterRename;
+    }
+    for (size_t p = shard_index; p < parts; p += shards_.size()) {
+      if (Status st = inner_.SnapshotPartition(p, sealer_, counters_, directory, snap_crash);
+          !st.ok()) {
+        return st;
+      }
+      snap_crash = Snapshotter::CrashPoint::kNone;  // injection is one-shot
+    }
   }
   if (crash == CompactionCrash::kBeforeTruncate) {
     return Status(Code::kIoError, "injected crash before log truncate");
@@ -603,9 +641,35 @@ std::vector<OpLogOptions> WriteAheadStore::ShardLogsOnDisk() const {
 
 Status WriteAheadStore::RestoreFromDisk(const std::string& snapshot_directory) {
   std::shared_lock<std::shared_mutex> structure(structure_mutex_);
-  // Phase 1: every partition snapshot under the manifest's geometry, applied
-  // through the facade (this boot's route key differs from the snapshots').
-  if (Status st = inner_.RestoreSnapshots(sealer_, counters_, snapshot_directory); !st.ok()) {
+  const auto restore_start = std::chrono::steady_clock::now();
+  // heap.restart_ns records the whole baseline-plus-tail restore (the number
+  // the persistent heap exists to shrink); set only on success.
+  const auto finish = [&](Status st) {
+    if (st.ok()) {
+      metrics_->GetGauge("heap.restart_ns")
+          .Set(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - restore_start)
+                   .count());
+    }
+    return st;
+  };
+  if (inner_.persist_enabled()) {
+    // Phase 1, persist mode: attach the mmap'd heap files. The sealed route
+    // key must load FIRST — the files' chain placement was routed under it,
+    // so a fresh per-boot key would misroute every replayed record. Attach
+    // is O(1) in entry count (superblock + sealed metadata, no entry
+    // decrypt); per-entry MACs re-verify lazily on first touch.
+    if (Status st = inner_.LoadOrCreateRouteKey(sealer_); !st.ok()) {
+      return st;
+    }
+    if (Status st = inner_.AttachPersistent(sealer_, counters_); !st.ok()) {
+      return st;
+    }
+  } else if (Status st = inner_.RestoreSnapshots(sealer_, counters_, snapshot_directory);
+             !st.ok()) {
+    // Phase 1: every partition snapshot under the manifest's geometry,
+    // applied through the facade (this boot's route key differs from the
+    // snapshots').
     return st;
   }
   // Phase 2: the committed suffix of every log on disk, straight to the
@@ -645,7 +709,7 @@ Status WriteAheadStore::RestoreFromDisk(const std::string& snapshot_directory) {
         return st;
       }
     }
-    return Status::Ok();
+    return finish(Status::Ok());
   }
   std::atomic<size_t> next{first_shard};
   std::mutex error_mutex;
@@ -671,7 +735,7 @@ Status WriteAheadStore::RestoreFromDisk(const std::string& snapshot_directory) {
   for (std::thread& t : pool) {
     t.join();
   }
-  return first_error;
+  return finish(first_error);
 }
 
 Status WriteAheadStore::Repartition(size_t new_partitions,
@@ -778,6 +842,47 @@ uint64_t WriteAheadStore::ShardLogBytes(size_t shard_index) const {
   return shards_[shard_index]->log->log_bytes();
 }
 
+uint32_t WriteAheadStore::shard_window_us(size_t shard_index) const {
+  std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+  if (shard_index >= shards_.size()) {
+    return 0;
+  }
+  return shards_[shard_index]->window_us.load(std::memory_order_relaxed);
+}
+
+Status WriteAheadStore::ExportHeapFiles(const std::string& destination_dir) {
+  if (!inner_.persist_enabled()) {
+    return Status(Code::kUnsupported, "heap export requires --persist-heap");
+  }
+  // Checkpoint under the full log lock: no mutation lands between a
+  // partition's checkpoint and its file copy, so every copied arena is a
+  // committed generation whose sealed metadata verifies on the replica.
+  return WithCommittedLog([&] {
+    if (Status st = inner_.CheckpointAll(sealer_, counters_); !st.ok()) {
+      return st;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(destination_dir, ec);
+    if (ec) {
+      return Status(Code::kIoError, "cannot create " + destination_dir);
+    }
+    const std::string& src = inner_.persist_dir();
+    std::vector<std::string> names;
+    for (size_t p = 0; p < inner_.num_partitions(); ++p) {
+      names.push_back("p" + std::to_string(p) + ".heap");
+    }
+    names.push_back("route.seal");
+    for (const std::string& name : names) {
+      std::filesystem::copy_file(src + "/" + name, destination_dir + "/" + name,
+                                 std::filesystem::copy_options::overwrite_existing, ec);
+      if (ec) {
+        return Status(Code::kIoError, "cannot export " + name + ": " + ec.message());
+      }
+    }
+    return Status::Ok();
+  });
+}
+
 const OpLogOptions& WriteAheadStore::shard_log_options(size_t shard_index) const {
   std::shared_lock<std::shared_mutex> structure(structure_mutex_);
   return shards_[shard_index]->options;
@@ -814,6 +919,15 @@ void WriteAheadStore::BridgeStats(obs::MetricsSnapshot& snap) const {
   snap.SetCounter("wal.ship_failures", ws.ship_failures);
   snap.SetGauge("wal.replication_attached",
                 sink_.load(std::memory_order_acquire) != nullptr ? 1 : 0);
+  {
+    // Widest current adaptive window across shards (0 in legacy mode).
+    std::shared_lock<std::shared_mutex> structure(structure_mutex_);
+    uint32_t widest = 0;
+    for (const auto& shard_ptr : shards_) {
+      widest = std::max(widest, shard_ptr->window_us.load(std::memory_order_relaxed));
+    }
+    snap.SetGauge("wal.window_us", static_cast<int64_t>(widest));
+  }
 }
 
 SelfHealer::SelfHealer(WriteAheadStore& wal, const sgx::SealingService& sealer,
@@ -826,6 +940,15 @@ Status SelfHealer::Restore() {
 }
 
 Status SelfHealer::Start() {
+  if (wal_.inner().persist_enabled()) {
+    // Persist mode: the arenas are the baseline. Checkpoint them (first boot
+    // binds each arena's monotonic counter; a restart folds the replayed
+    // WAL tail in) and start the logs fresh — snapshots are never written.
+    if (Status st = wal_.inner().CheckpointAll(sealer_, counters_); !st.ok()) {
+      return st;
+    }
+    return wal_.ResetAllLogs();
+  }
   if (Status st = wal_.inner().SnapshotAll(sealer_, counters_, options_.directory); !st.ok()) {
     return st;
   }
@@ -857,6 +980,13 @@ Status SelfHealer::RecoverOne(size_t p) {
   // shard — and all reads — keep serving.
   const size_t shard = wal_.ShardOfPartition(p);
   return wal_.WithCommittedShard(shard, [&] {
+    if (wal_.inner().persist_enabled()) {
+      // Persist mode has no snapshot to rebuild from — the arena IS the
+      // state. Recovery is a full integrity scrub of the partition; clean
+      // lifts the quarantine, tampered stays quarantined for a replica
+      // restore (ExportHeapFiles on a healthy peer).
+      return wal_.inner().RecoverPersistPartition(p);
+    }
     return wal_.inner().RecoverPartition(p, sealer_, counters_, options_.directory,
                                          &wal_.shard_log_options(shard));
   });

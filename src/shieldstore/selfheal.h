@@ -126,12 +126,13 @@ class WriteAheadStore : public kv::KeyValueStore {
   };
 
   // Folds the committed state of every partition served by `shard` into a
-  // fresh snapshot generation under `directory` (the SnapshotAll layout),
-  // then truncates the shard log to a fresh epoch. Runs under the shard
-  // lock: mutations to those partitions wait, everything else proceeds.
-  // Refuses (kPartitionRecovering) while a served partition is quarantined —
-  // its in-memory state is untrusted and the log suffix is its recovery
-  // input.
+  // fresh snapshot generation under `directory` (the SnapshotAll layout) —
+  // or, with Options::persist_dir, into an incremental arena checkpoint
+  // (dirty buckets + superblock, no full rewrite) — then truncates the
+  // shard log to a fresh epoch. Runs under the shard lock: mutations to
+  // those partitions wait, everything else proceeds. Refuses
+  // (kPartitionRecovering) while a served partition is quarantined — its
+  // in-memory state is untrusted and the log suffix is its recovery input.
   Status CompactShard(size_t shard, const std::string& directory,
                       CompactionCrash crash = CompactionCrash::kNone);
 
@@ -149,6 +150,12 @@ class WriteAheadStore : public kv::KeyValueStore {
   // including a legacy unsharded log at options.path. Call after Open() and
   // before serving; follow with SelfHealer::Start() (or ResetAllLogs()) so
   // the restored state becomes the new baseline.
+  //
+  // With Options::persist_dir the baseline is the mmap'd heap files, not
+  // snapshots: the sealed route key is loaded (so routing matches the files'
+  // chain layout), every partition attaches its arena's committed generation
+  // — O(1) in entry count, per-entry MAC verification deferred to first
+  // touch — and only the WAL tail replays. Sets the heap.restart_ns gauge.
   Status RestoreFromDisk(const std::string& snapshot_directory);
 
   // Drains and commits every shard, rebuilds the inner store with
@@ -161,10 +168,21 @@ class WriteAheadStore : public kv::KeyValueStore {
   Status Repartition(size_t new_partitions,
                      const std::function<Status()>& rebaseline = nullptr);
 
+  // Copies the committed persistent-heap files (p<i>.heap + route.seal) into
+  // `destination_dir`, checkpointing every partition first under the full
+  // log lock so the copies are self-consistent: this is the file-shipped
+  // replica bootstrap path — a replica maps the copies and attaches in O(1),
+  // lazily re-verifying entries as it serves. kUnsupported without
+  // Options::persist_dir. The monotonic-counter backing file is NOT copied
+  // (it belongs to the counter service, not the store); ship it alongside.
+  Status ExportHeapFiles(const std::string& destination_dir);
+
   PartitionedStore& inner() { return inner_; }
   size_t num_shards() const;
   size_t ShardOfPartition(size_t p) const;
   uint64_t ShardLogBytes(size_t shard) const;
+  // Current adaptive group-commit window for `shard` (0 in legacy mode).
+  uint32_t shard_window_us(size_t shard) const;
   const OpLogOptions& shard_log_options(size_t shard) const;
   WalStats Stats() const;
   uint64_t records_logged() const { return Stats().records_logged; }
@@ -191,6 +209,13 @@ class WriteAheadStore : public kv::KeyValueStore {
     OpLogOptions options;  // options.path is this shard's file
     std::unique_ptr<OperationLog> log;
     size_t index = 0;  // position in shards_ (shipped to the sink as-is)
+    // Adaptive group-commit window (microseconds). Starts at the configured
+    // cap (options.group_commit_window_us); each leader halves it after a
+    // near-empty batch (solo writers should not wait out a window sized for
+    // bursts) and doubles it back toward the cap after a full one. Floor is
+    // cap/16 (min 1). Read by the next leader, so adjustments take effect on
+    // the following batch.
+    std::atomic<uint32_t> window_us{0};
     std::mutex mutex;  // serializes apply + append for this shard's partitions
     std::condition_variable cv;  // group-commit leader/follower handoff
     uint64_t appended = 0;       // records appended (durable-window mode)
@@ -251,6 +276,7 @@ class WriteAheadStore : public kv::KeyValueStore {
   obs::Histogram* commit_batch_hist_ = nullptr;  // wal.commit_batch_ops (records/commit)
   obs::Counter* group_commits_ = nullptr;        // wal.group_commits
   obs::Counter* compacted_bytes_ = nullptr;      // wal.compacted_bytes
+  obs::Gauge* window_gauge_ = nullptr;           // wal.window_us (last adapted window)
 };
 
 struct SelfHealOptions {

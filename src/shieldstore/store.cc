@@ -2,6 +2,8 @@
 
 #include <sys/mman.h>
 
+#include "src/alloc/persistent_arena.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
@@ -23,19 +25,35 @@ constexpr size_t kRecordHeader = 8 + 4 + 4 + 1 + 1 + 16 + 16;
 UntrustedHeap::UntrustedHeap(sgx::Boundary& boundary, bool extra_heap, size_t chunk_bytes)
     : boundary_(boundary), extra_heap_(extra_heap) {
   if (extra_heap_) {
+    // One up-front PROT_NONE address-space reservation; chunks are carved
+    // sequentially and made accessible with mprotect inside the OCALL. Chain
+    // refs are offsets from base(), the same position-independent layout the
+    // persistent arena uses, so one chain format serves both modes. The
+    // reservation costs address space only (MAP_NORESERVE, no backing until
+    // carved); carving starts one page in so ref 0 stays "end of chain".
+    reserved_ = size_t{1} << 34;
+    void* mem = mmap(nullptr, reserved_, PROT_NONE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (mem == MAP_FAILED) {
+      reserved_ = 0;
+    } else {
+      base_ = static_cast<uint8_t*>(mem);
+      carved_.store(4096, std::memory_order_release);
+    }
     free_list_ = std::make_unique<alloc::FreeListAllocator>(
         [this](size_t min_bytes) -> alloc::Chunk {
           // §5.1: the in-enclave allocator ran out of pooled memory; one
-          // OCALL obtains a fresh chunk of untrusted memory via mmap.
+          // OCALL makes the next slice of the reservation accessible.
           return boundary_.Ocall([this, min_bytes]() -> alloc::Chunk {
-            void* mem = mmap(nullptr, min_bytes, PROT_READ | PROT_WRITE,
-                             MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-            if (mem == MAP_FAILED) {
+            std::lock_guard<std::mutex> lock(carve_mutex_);
+            const size_t len = (min_bytes + 4095) & ~size_t{4095};
+            const uint64_t at = carved_.load(std::memory_order_relaxed);
+            if (base_ == nullptr || at + len > reserved_ ||
+                mprotect(base_ + at, len, PROT_READ | PROT_WRITE) != 0) {
               return {};
             }
-            std::lock_guard<std::mutex> lock(mappings_mutex_);
-            mappings_.emplace_back(mem, min_bytes);
-            return alloc::Chunk{mem, min_bytes};
+            carved_.store(at + len, std::memory_order_release);
+            return alloc::Chunk{base_ + at, len};
           });
         },
         chunk_bytes, /*thread_safe=*/true);
@@ -43,8 +61,8 @@ UntrustedHeap::UntrustedHeap(sgx::Boundary& boundary, bool extra_heap, size_t ch
 }
 
 UntrustedHeap::~UntrustedHeap() {
-  for (const auto& [base, bytes] : mappings_) {
-    munmap(base, bytes);
+  if (base_ != nullptr) {
+    munmap(base_, reserved_);
   }
 }
 
@@ -126,6 +144,13 @@ Store::Store(sgx::Enclave& enclave, const Options& options)
   buckets_.assign(options_.num_buckets, Bucket{});
   heap_ = std::make_unique<UntrustedHeap>(enclave_.boundary(), options_.extra_heap,
                                           options_.heap_chunk_bytes);
+  arena_ = options_.arena;
+  ref_base_ = arena_ != nullptr ? arena_->base() : heap_->base();
+  if (arena_ != nullptr) {
+    dirty_bitmap_.assign((options_.num_buckets + 63) / 64, 0);
+    lazy_verified_ctr_ = &metrics_->GetCounter("heap.lazy_verified");
+    msync_bytes_ctr_ = &metrics_->GetCounter("heap.msync_bytes");
+  }
   if (options_.epc_cache) {
     const size_t slots =
         options_.cache_slots != 0 ? options_.cache_slots : std::max<size_t>(options_.cache_bytes / 512, 16);
@@ -148,9 +173,15 @@ Store::~Store() {
   std::vector<void*> doomed;
   for (Bucket& bucket : buckets_) {
     size_t steps = 0;
-    for (kv::EntryHeader* e = bucket.head;
-         e != nullptr && !enclave_.ContainsAddress(e) && steps++ < max_steps; e = e->next) {
-      doomed.push_back(e);
+    // Entries in a persistent arena are the durable state itself — never
+    // freed at teardown. Volatile entries go back to the heap.
+    if (arena_ == nullptr) {
+      for (uint64_t ref = bucket.head_ref;
+           ref != 0 && CheckEntryRef(ref).ok() && steps++ < max_steps;) {
+        kv::EntryHeader* e = Deref(ref);
+        doomed.push_back(e);
+        ref = e->next_ref;
+      }
     }
     steps = 0;
     for (MacBucket* mb = bucket.macs;
@@ -181,6 +212,195 @@ Status Store::CheckUntrustedPointer(const void* ptr) const {
   // store overwrite trusted state; refuse to follow such pointers.
   if (ptr != nullptr && enclave_.ContainsAddress(ptr)) {
     return Status(Code::kIntegrityFailure, "untrusted pointer aliases enclave memory");
+  }
+  return Status::Ok();
+}
+
+Status Store::CheckEntryRef(uint64_t ref) const {
+  if (ref == 0) {
+    return Status::Ok();
+  }
+  if (ref_base_ == nullptr) {
+    // ShieldBase: refs carry raw pointer values.
+    return CheckUntrustedPointer(reinterpret_cast<const void*>(static_cast<uintptr_t>(ref)));
+  }
+  // Offset modes: the ref and the full entry extent must land inside the
+  // zone. The header bound is checked BEFORE the size fields are read, so a
+  // tampered ref can neither alias enclave memory (offsets never leave the
+  // untrusted mapping) nor fault on an unmapped page via a forged size.
+  const uint64_t zone = arena_ != nullptr ? arena_->capacity() : heap_->carved();
+  if ((ref & 7) != 0 || ref < 4096 || ref + sizeof(kv::EntryHeader) > zone) {
+    return Status(Code::kIntegrityFailure, "chain ref outside untrusted zone");
+  }
+  const kv::EntryHeader* e = Deref(ref);
+  if (ref + sizeof(kv::EntryHeader) + e->CiphertextSize() > zone) {
+    return Status(Code::kIntegrityFailure, "entry extent outside untrusted zone");
+  }
+  return Status::Ok();
+}
+
+kv::EntryHeader* Store::AllocateEntry(size_t bytes) {
+  if (arena_ != nullptr) {
+    Result<uint64_t> ref = arena_->Allocate(bytes);
+    return ref.ok() ? Deref(ref.value()) : nullptr;
+  }
+  return static_cast<kv::EntryHeader*>(heap_->Allocate(bytes));
+}
+
+void Store::FreeEntry(kv::EntryHeader* e) {
+  if (e == nullptr) {
+    return;
+  }
+  if (arena_ != nullptr) {
+    arena_->Free(Ref(e));
+    return;
+  }
+  heap_->Free(e);
+}
+
+size_t Store::EntryUsableSize(const kv::EntryHeader* e) const {
+  if (arena_ != nullptr) {
+    return arena_->UsableSize(Ref(e));
+  }
+  return heap_->UsableSize(const_cast<kv::EntryHeader*>(e));
+}
+
+void Store::MarkBucketDirty(size_t bucket) {
+  if (dirty_bitmap_.empty()) {
+    return;
+  }
+  uint64_t& word = dirty_bitmap_[bucket / 64];
+  const uint64_t bit = uint64_t{1} << (bucket % 64);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++dirty_count_;
+  }
+}
+
+Status Store::PersistRelink(size_t b, uint64_t old_ref, uint64_t new_ref) {
+  Bucket& bucket = buckets_[b];
+  // Collect the refs preceding old_ref. FindEntry just walked this chain,
+  // but it lives in untrusted memory — bound and re-check everything.
+  std::vector<uint64_t> path;
+  const size_t max_steps = entry_count_ + 8;
+  uint64_t ref = bucket.head_ref;
+  size_t steps = 0;
+  while (ref != old_ref) {
+    if (ref == 0 || ++steps > max_steps) {
+      return Status(Code::kIntegrityFailure, "chain changed under relink");
+    }
+    if (Status s = CheckEntryRef(ref); !s.ok()) {
+      return s;
+    }
+    path.push_back(ref);
+    ref = Deref(ref)->next_ref;
+  }
+  if (path.empty()) {
+    bucket.head_ref = new_ref;
+    MarkBucketDirty(b);
+    return Status::Ok();
+  }
+  if (arena_->IsFresh(path.back())) {
+    Deref(path.back())->next_ref = new_ref;
+    return Status::Ok();
+  }
+  // The predecessor is a committed block, which must never be mutated in
+  // place (page-cache writeback can persist any store at any time). Copy
+  // every committed node on the path into fresh blocks, deepest first, and
+  // splice at the first fresh ancestor or the head. Committed nodes form a
+  // suffix of the path by the COW invariant; copies are verbatim with only
+  // the link patched — entry MACs exclude the link and positions are
+  // unchanged, so the MAC-bucket copies and set hashes stay valid.
+  size_t first_committed = path.size();
+  while (first_committed > 0 && !arena_->IsFresh(path[first_committed - 1])) {
+    --first_committed;
+  }
+  uint64_t link = new_ref;
+  std::vector<uint64_t> copies;
+  for (size_t j = path.size(); j-- > first_committed;) {
+    const kv::EntryHeader* old_node = Deref(path[j]);
+    const size_t bytes = sizeof(kv::EntryHeader) + old_node->CiphertextSize();
+    Result<uint64_t> moved = arena_->Allocate(bytes);
+    if (!moved.ok()) {
+      // Nothing was spliced yet; release the copies and leave the chain as
+      // it was.
+      for (uint64_t c : copies) {
+        arena_->Free(c);
+      }
+      return moved.status();
+    }
+    std::memcpy(Deref(moved.value()), old_node, bytes);
+    Deref(moved.value())->next_ref = link;
+    copies.push_back(moved.value());
+    link = moved.value();
+  }
+  if (first_committed == 0) {
+    bucket.head_ref = link;
+    MarkBucketDirty(b);
+  } else {
+    Deref(path[first_committed - 1])->next_ref = link;  // fresh by the invariant
+  }
+  for (size_t j = path.size(); j-- > first_committed;) {
+    arena_->Free(path[j]);
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------ persistent arena
+
+Status Store::AttachPersistent(ByteSpan metadata) {
+  if (arena_ == nullptr) {
+    return Status(Code::kInvalidArgument, "store has no persistent arena");
+  }
+  if (entry_count_ != 0) {
+    return Status(Code::kInvalidArgument, "attach requires an empty store");
+  }
+  if (Status s = ImportSecureMetadata(metadata); !s.ok()) {
+    return s;
+  }
+  std::vector<uint64_t> heads(options_.num_buckets, 0);
+  if (Status s = arena_->LoadTable(heads.data(), heads.size()); !s.ok()) {
+    return s;
+  }
+  for (size_t b = 0; b < options_.num_buckets; ++b) {
+    buckets_[b].head_ref = heads[b];
+  }
+  entry_count_ = static_cast<size_t>(arena_->committed_entry_count());
+  if (entry_count_ != restore_expected_entries_) {
+    return Status(Code::kIntegrityFailure, "arena entry count diverges from sealed metadata");
+  }
+  // Defer ALL per-entry work: every bucket set owes one verification against
+  // its trusted in-enclave hash, paid on first touch (VerifyBucketSet) or by
+  // the paced scrub cursor. This is what keeps attach O(num_buckets).
+  lazy_pending_.assign(num_mac_hashes_, 1);
+  return Status::Ok();
+}
+
+Status Store::PersistCheckpoint(ByteSpan sealed_meta) {
+  if (arena_ == nullptr) {
+    return Status(Code::kInvalidArgument, "store has no persistent arena");
+  }
+  std::vector<uint64_t> heads(options_.num_buckets);
+  for (size_t b = 0; b < options_.num_buckets; ++b) {
+    heads[b] = buckets_[b].head_ref;
+  }
+  std::vector<uint64_t> dirty;
+  dirty.reserve(dirty_count_);
+  for (size_t w = 0; w < dirty_bitmap_.size(); ++w) {
+    uint64_t word = dirty_bitmap_[w];
+    while (word != 0) {
+      dirty.push_back(uint64_t{w} * 64 + static_cast<uint64_t>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
+  if (Status s = arena_->Commit(heads.data(), heads.size(), dirty, sealed_meta, entry_count_);
+      !s.ok()) {
+    return s;  // dirty tracking kept: a retry re-covers the same buckets
+  }
+  std::fill(dirty_bitmap_.begin(), dirty_bitmap_.end(), 0);
+  dirty_count_ = 0;
+  if (msync_bytes_ctr_ != nullptr) {
+    msync_bytes_ctr_->Inc(arena_->last_commit_msync_bytes());
   }
   return Status::Ok();
 }
@@ -219,9 +439,18 @@ crypto::Mac Store::ComputeBucketSetMac(size_t set) const {
         hashed += size_t{16} * mb->count;
       }
     } else {
-      for (const kv::EntryHeader* e = bucket.head; e != nullptr; e = e->next) {
+      // Entry-walk fallback (copies not built yet — e.g. lazily after an
+      // arena attach): byte-identical to the copy path, but the chain may be
+      // unverified, so bound the walk and stop on a bad ref. Dropped tail
+      // bytes surface as a hash mismatch, never a hang or fault.
+      const size_t max_steps = entry_count_ + 8;
+      size_t steps = 0;
+      uint64_t ref = bucket.head_ref;
+      while (ref != 0 && steps++ < max_steps && CheckEntryRef(ref).ok()) {
+        const kv::EntryHeader* e = Deref(ref);
         cmac.Update(ByteSpan(e->mac, 16));
         hashed += 16;
+        ref = e->next_ref;
       }
     }
   }
@@ -241,6 +470,7 @@ Status Store::VerifyBucketSet(size_t set) {
     if (!ConstantTimeEqual(ByteSpan(computed.data(), 16), ByteSpan(mac_hashes_[set].data(), 16))) {
       return Status(Code::kIntegrityFailure, "bucket-set MAC hash mismatch");
     }
+    NoteLazyVerified(set);
     return Status::Ok();
   }
   // Never written: the trusted value is the MAC of the empty set.
@@ -253,7 +483,19 @@ Status Store::VerifyBucketSet(size_t set) {
   if (!ConstantTimeEqual(ByteSpan(computed.data(), 16), ByteSpan(expected.data(), 16))) {
     return Status(Code::kIntegrityFailure, "entries forged into untouched bucket set");
   }
+  NoteLazyVerified(set);
   return Status::Ok();
+}
+
+void Store::NoteLazyVerified(size_t set) {
+  // First successful post-attach verification of this set: the deferred
+  // restart-time check has now been paid.
+  if (!lazy_pending_.empty() && lazy_pending_[set] != 0) {
+    lazy_pending_[set] = 0;
+    if (lazy_verified_ctr_ != nullptr) {
+      lazy_verified_ctr_->Inc();
+    }
+  }
 }
 
 void Store::StoreBucketSetMac(size_t set) {
@@ -326,15 +568,27 @@ void Store::NoteBucketSetMutated(size_t set) {
 
 // ------------------------------------------------------------- MAC buckets
 
-void Store::RebuildMacBucket(size_t bucket_index) {
+Status Store::RebuildMacBucket(size_t bucket_index) {
   if (!options_.mac_bucketing) {
-    return;
+    return Status::Ok();
   }
   Bucket& bucket = buckets_[bucket_index];
   MacBucket* node = bucket.macs;
   MacBucket* prev = nullptr;
   size_t slot = 0;
-  for (const kv::EntryHeader* e = bucket.head; e != nullptr; e = e->next) {
+  // Bounded, ref-checked walk: after an arena attach this rebuilds lazily on
+  // first touch over a not-yet-verified chain, so a hostile chain must fail
+  // typed here rather than hang or fault.
+  const size_t max_steps = entry_count_ + 8;
+  size_t steps = 0;
+  for (uint64_t ref = bucket.head_ref; ref != 0;) {
+    if (Status s = CheckEntryRef(ref); !s.ok()) {
+      return s;
+    }
+    if (++steps > max_steps) {
+      return Status(Code::kIntegrityFailure, "hash chain cycle detected");
+    }
+    const kv::EntryHeader* e = Deref(ref);
     if (node == nullptr) {
       node = static_cast<MacBucket*>(heap_->Allocate(sizeof(MacBucket)));
       node->next = nullptr;
@@ -353,6 +607,7 @@ void Store::RebuildMacBucket(size_t bucket_index) {
       node = node->next;
       slot = 0;
     }
+    ref = e->next_ref;
   }
   // Trim surplus nodes.
   MacBucket* surplus;
@@ -373,6 +628,7 @@ void Store::RebuildMacBucket(size_t bucket_index) {
     heap_->Free(surplus);
     surplus = next;
   }
+  return Status::Ok();
 }
 
 void Store::UpdateMacBucketSlot(size_t bucket_index, size_t position, const uint8_t mac[16]) {
@@ -396,20 +652,31 @@ Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key
   const bool check_copies = options_.mac_bucketing && options_.integrity;
   SearchResult result;
 
+  // Lazy rebuild after an arena attach: the MAC-copy list is volatile and
+  // never persisted, so the first touch of a restored bucket rebuilds it
+  // from the chain. The copies then trivially match below — real integrity
+  // comes from VerifyBucketSetForOp binding them to the trusted hash.
+  if (check_copies && buckets_[bucket].macs == nullptr && buckets_[bucket].head_ref != 0) {
+    if (Status s = RebuildMacBucket(bucket); !s.ok()) {
+      return s;
+    }
+  }
+
   // Cross-check cursor into the bucket's MAC-copy list.
   const MacBucket* copy_node = buckets_[bucket].macs;
   size_t copy_slot = 0;
 
   // First step (§5.4): follow the chain, decrypting only hint matches.
   kv::EntryHeader* prev = nullptr;
-  kv::EntryHeader* entry = buckets_[bucket].head;
+  uint64_t ref = buckets_[bucket].head_ref;
   size_t steps = 0;
   size_t position = 0;
   bool walked_to_end = true;
-  while (entry != nullptr) {
-    if (Status s = CheckUntrustedPointer(entry); !s.ok()) {
+  while (ref != 0) {
+    if (Status s = CheckEntryRef(ref); !s.ok()) {
       return s;
     }
+    kv::EntryHeader* entry = Deref(ref);
     if (++steps > max_steps) {
       return Status(Code::kIntegrityFailure, "hash chain cycle detected");
     }
@@ -442,7 +709,7 @@ Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key
       }
     }
     prev = entry;
-    entry = entry->next;
+    ref = entry->next_ref;
     ++position;
   }
   if (check_copies && walked_to_end) {
@@ -461,10 +728,11 @@ Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key
   // Second step: full search decrypting every key — preserves availability
   // when an attacker tampers with the plaintext hints (§5.4).
   prev = nullptr;
-  entry = buckets_[bucket].head;
+  ref = buckets_[bucket].head_ref;
   steps = 0;
   position = 0;
-  while (entry != nullptr) {
+  while (ref != 0) {
+    kv::EntryHeader* entry = Deref(ref);  // every ref was checked in step one
     if (++steps > max_steps) {
       return Status(Code::kIntegrityFailure, "hash chain cycle detected");
     }
@@ -481,7 +749,7 @@ Result<Store::SearchResult> Store::FindEntry(size_t bucket, std::string_view key
       }
     }
     prev = entry;
-    entry = entry->next;
+    ref = entry->next_ref;
     ++position;
   }
   return result;  // not found
@@ -613,32 +881,43 @@ Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t 
   if (found->entry != nullptr) {
     kv::EntryHeader* entry = found->entry;
     const size_t needed = kv::EntryHeader::BytesNeeded(key.size(), value.size());
-    if (heap_->UsableSize(entry) >= needed) {
+    // In persist mode a COMMITTED block is never resealed in place —
+    // page-cache writeback can persist any store at any time, and a torn
+    // in-place update would leave the file neither fully-old nor fully-new.
+    // Updates to committed entries always relocate to a fresh block.
+    const bool in_place =
+        (arena_ == nullptr || arena_->IsFresh(Ref(entry))) && EntryUsableSize(entry) >= needed;
+    if (in_place) {
       TouchKeys();
       kv::ResealEntry(*cipher_, key, value, flags, entry);
     } else {
-      // Grow: move to a larger block, carrying the IV/counter history along
-      // so the reseal still advances it.
-      kv::EntryHeader* grown = static_cast<kv::EntryHeader*>(heap_->Allocate(needed));
+      // Grow or COW-relocate: move to a fresh block, carrying the IV/counter
+      // history along so the reseal still advances it.
+      kv::EntryHeader* grown = AllocateEntry(needed);
       if (grown == nullptr) {
         return Status(Code::kCapacityExceeded, "untrusted heap exhausted");
       }
       std::memcpy(grown->iv_ctr, entry->iv_ctr, 16);
-      grown->next = entry->next;
+      grown->next_ref = entry->next_ref;
       TouchKeys();
       kv::ResealEntry(*cipher_, key, value, flags, grown);
-      if (found->prev != nullptr) {
-        found->prev->next = grown;
+      if (arena_ != nullptr) {
+        if (Status s = PersistRelink(bucket, Ref(entry), Ref(grown)); !s.ok()) {
+          FreeEntry(grown);
+          return s;
+        }
+      } else if (found->prev != nullptr) {
+        found->prev->next_ref = Ref(grown);
       } else {
-        buckets_[bucket].head = grown;
+        buckets_[bucket].head_ref = Ref(grown);
       }
-      heap_->Free(entry);
+      FreeEntry(entry);
       entry = grown;
     }
     UpdateMacBucketSlot(bucket, found->position, entry->mac);
   } else {
     const size_t needed = kv::EntryHeader::BytesNeeded(key.size(), value.size());
-    kv::EntryHeader* entry = static_cast<kv::EntryHeader*>(heap_->Allocate(needed));
+    kv::EntryHeader* entry = AllocateEntry(needed);
     if (entry == nullptr) {
       return Status(Code::kCapacityExceeded, "untrusted heap exhausted");
     }
@@ -646,10 +925,13 @@ Status Store::SetInternal(std::string_view key, std::string_view value, uint8_t 
     enclave_.ReadRand(MutableByteSpan(iv, sizeof(iv)));
     TouchKeys();
     kv::SealNewEntry(*cipher_, key, value, flags, ByteSpan(iv, sizeof(iv)), entry);
-    entry->next = buckets_[bucket].head;
-    buckets_[bucket].head = entry;
+    entry->next_ref = buckets_[bucket].head_ref;
+    buckets_[bucket].head_ref = Ref(entry);
+    MarkBucketDirty(bucket);
     ++entry_count_;
-    RebuildMacBucket(bucket);
+    if (Status s = RebuildMacBucket(bucket); !s.ok()) {
+      return s;
+    }
   }
 
   const uint64_t sealed = key.size() + value.size();
@@ -684,14 +966,21 @@ Status Store::DeleteInternal(std::string_view key) {
   if (found->entry == nullptr) {
     return Status(Code::kNotFound, "no such key");
   }
-  if (found->prev != nullptr) {
-    found->prev->next = found->entry->next;
+  if (arena_ != nullptr) {
+    // COW unlink: committed predecessors are relocated rather than patched.
+    if (Status s = PersistRelink(bucket, Ref(found->entry), found->entry->next_ref); !s.ok()) {
+      return s;
+    }
+  } else if (found->prev != nullptr) {
+    found->prev->next_ref = found->entry->next_ref;
   } else {
-    buckets_[bucket].head = found->entry->next;
+    buckets_[bucket].head_ref = found->entry->next_ref;
   }
-  heap_->Free(found->entry);
+  FreeEntry(found->entry);
   --entry_count_;
-  RebuildMacBucket(bucket);
+  if (Status s = RebuildMacBucket(bucket); !s.ok()) {
+    return s;
+  }
   NoteBucketSetMutated(set);
   if (cache_ != nullptr) {
     cache_->Invalidate(hash, key);
@@ -750,20 +1039,26 @@ Status Store::VerifyFullIntegrity() const {
 
 Status Store::ScrubBucketChain(size_t b, size_t* entries_verified) const {
   const size_t max_steps = entry_count_ + 8;  // cycle guard for corrupted chains
-  const bool check_copies = options_.mac_bucketing && options_.integrity;
   const Bucket& bucket = buckets_[b];
+  // After an arena attach the MAC-copy list is rebuilt lazily on first
+  // touch; a chain with no copies yet is audited structurally and per-entry
+  // only (its set hash still binds via the entry-walk fallback, which is
+  // byte-identical to the copy path).
+  const bool check_copies =
+      options_.mac_bucketing && options_.integrity && bucket.macs != nullptr;
   const MacBucket* copy_node = bucket.macs;
   size_t copy_slot = 0;
   size_t steps = 0;
-  // First pass: structural checks (hostile pointers, cycles, MAC-bucket
-  // copies) while collecting the chain, so the expensive MAC recomputation
-  // below can run as one interleaved batch instead of entry at a time.
+  // First pass: structural checks (hostile refs, cycles, MAC-bucket copies)
+  // while collecting the chain, so the expensive MAC recomputation below can
+  // run as one interleaved batch instead of entry at a time.
   std::vector<const kv::EntryHeader*> chain;
-  const kv::EntryHeader* entry = bucket.head;
-  while (entry != nullptr) {
-    if (Status s = CheckUntrustedPointer(entry); !s.ok()) {
+  uint64_t ref = bucket.head_ref;
+  while (ref != 0) {
+    if (Status s = CheckEntryRef(ref); !s.ok()) {
       return s;
     }
+    const kv::EntryHeader* entry = Deref(ref);
     if (++steps > max_steps) {
       return Status(Code::kIntegrityFailure, "hash chain cycle detected");
     }
@@ -780,7 +1075,7 @@ Status Store::ScrubBucketChain(size_t b, size_t* entries_verified) const {
       }
     }
     chain.push_back(entry);
-    entry = entry->next;
+    ref = entry->next_ref;
   }
   if (check_copies) {
     const bool leftovers =
@@ -857,10 +1152,12 @@ Status Store::ForEachDecrypted(
   for (size_t b = 0; b < options_.num_buckets; ++b) {
     size_t steps = 0;
     const size_t max_steps = entry_count_ + 8;
-    for (const kv::EntryHeader* e = buckets_[b].head; e != nullptr; e = e->next) {
-      if (Status s = CheckUntrustedPointer(e); !s.ok()) {
+    for (uint64_t ref = buckets_[b].head_ref; ref != 0;) {
+      if (Status s = CheckEntryRef(ref); !s.ok()) {
         return s;
       }
+      const kv::EntryHeader* e = Deref(ref);
+      ref = e->next_ref;
       if (++steps > max_steps) {
         return Status(Code::kIntegrityFailure, "hash chain cycle detected");
       }
@@ -951,8 +1248,10 @@ void Store::ForEachEntryRecord(const std::function<void(ByteSpan record)>& fn) c
   std::vector<const kv::EntryHeader*> chain;
   for (size_t b = 0; b < options_.num_buckets; ++b) {
     chain.clear();
-    for (const kv::EntryHeader* e = buckets_[b].head; e != nullptr; e = e->next) {
+    for (uint64_t ref = buckets_[b].head_ref; ref != 0;) {
+      const kv::EntryHeader* e = Deref(ref);
       chain.push_back(e);
+      ref = e->next_ref;
     }
     // Reverse order: restoring with head-insertion recreates today's chain.
     for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
@@ -982,8 +1281,7 @@ Status Store::RestoreEntry(ByteSpan record) {
       record.size() != kRecordHeader + size_t{key_size} + val_size) {
     return Status(Code::kIntegrityFailure, "entry record fields corrupted");
   }
-  kv::EntryHeader* entry = static_cast<kv::EntryHeader*>(
-      heap_->Allocate(kv::EntryHeader::BytesNeeded(key_size, val_size)));
+  kv::EntryHeader* entry = AllocateEntry(kv::EntryHeader::BytesNeeded(key_size, val_size));
   if (entry == nullptr) {
     return Status(Code::kCapacityExceeded, "untrusted heap exhausted");
   }
@@ -1001,11 +1299,12 @@ Status Store::RestoreEntry(ByteSpan record) {
   TouchKeys();
   const crypto::Mac mac = kv::ComputeEntryMac(*cipher_, *entry);
   if (!ConstantTimeEqual(ByteSpan(mac.data(), 16), ByteSpan(entry->mac, 16))) {
-    heap_->Free(entry);
+    FreeEntry(entry);
     return Status(Code::kIntegrityFailure, "snapshot entry MAC mismatch");
   }
-  entry->next = buckets_[bucket].head;
-  buckets_[bucket].head = entry;
+  entry->next_ref = buckets_[bucket].head_ref;
+  buckets_[bucket].head_ref = Ref(entry);
+  MarkBucketDirty(bucket);
   ++entry_count_;
   return Status::Ok();
 }
@@ -1015,7 +1314,9 @@ Status Store::FinishRestore() {
     return Status(Code::kIntegrityFailure, "snapshot entry count mismatch");
   }
   for (size_t b = 0; b < options_.num_buckets; ++b) {
-    RebuildMacBucket(b);
+    if (Status s = RebuildMacBucket(b); !s.ok()) {
+      return s;
+    }
   }
   // Every restored entry and chain must reproduce the sealed MAC hashes.
   return VerifyFullIntegrity();
@@ -1032,6 +1333,7 @@ Status Store::BeginSnapshotEpoch() {
   temp_options.num_mac_hashes = 0;
   temp_options.epc_cache = false;
   temp_options.master_key.clear();  // fresh keys for the temporary table
+  temp_options.arena = nullptr;     // the temporary table is always volatile
   temp_table_ = std::make_unique<Store>(enclave_, temp_options);
   return Status::Ok();
 }
@@ -1053,7 +1355,7 @@ Status Store::EndSnapshotEpoch() {
     // Rebuild a transient header to reuse the codec.
     Bytes storage(sizeof(kv::EntryHeader) + key_size + val_size);
     kv::EntryHeader* transient = reinterpret_cast<kv::EntryHeader*>(storage.data());
-    transient->next = nullptr;
+    transient->next_ref = 0;
     transient->key_size = key_size;
     transient->val_size = val_size;
     transient->key_hint = record[16];

@@ -58,12 +58,22 @@ class UntrustedHeap {
 
   uint64_t ocall_count() const;
 
+  // Offset-addressed refs (one chain layout across heap modes): in
+  // extra-heap mode every chunk is carved sequentially out of ONE up-front
+  // PROT_NONE reservation, so `ptr - base()` is a stable ref below
+  // carved(). ShieldBase mode has no reservation — base() is null and refs
+  // carry raw pointer values.
+  uint8_t* base() const { return base_; }
+  uint64_t carved() const { return carved_.load(std::memory_order_acquire); }
+
  private:
   sgx::Boundary& boundary_;
   const bool extra_heap_;
+  uint8_t* base_ = nullptr;  // extra-heap reservation (PROT_NONE until carved)
+  size_t reserved_ = 0;
+  std::atomic<uint64_t> carved_{0};
   std::unique_ptr<alloc::FreeListAllocator> free_list_;
-  std::vector<std::pair<void*, size_t>> mappings_;  // chunks to unmap
-  std::mutex mappings_mutex_;
+  std::mutex carve_mutex_;
   std::atomic<uint64_t> direct_ocalls_{0};
 };
 
@@ -151,6 +161,20 @@ class Store : public kv::KeyValueStore {
   Status ForEachDecrypted(
       const std::function<Status(std::string_view key, std::string_view value)>& fn) const;
 
+  // --- persistent arena hooks (Options::arena; driven by PartitionedStore) -
+  bool persist_enabled() const { return arena_ != nullptr; }
+  // Attaches the arena's committed generation to an EMPTY store: imports the
+  // sealed metadata and loads the chain-index heads, deferring ALL per-entry
+  // work — MAC-bucket copies rebuild on first touch, bucket-set hashes
+  // verify lazily per op and via the scrub cursor. O(num_buckets), not
+  // O(entries): this is what makes restart near-instant.
+  Status AttachPersistent(ByteSpan metadata);
+  // Arena checkpoint: commits the chain heads, dirty buckets, and sealed
+  // metadata through the plan/commit protocol. On failure (including an
+  // injected crash) the dirty tracking is kept so a retry re-covers it.
+  Status PersistCheckpoint(ByteSpan sealed_meta);
+  size_t dirty_buckets() const { return dirty_count_; }
+
  private:
   friend class StoreTestPeer;
   friend class faultinject::TamperAgent;
@@ -166,7 +190,10 @@ class Store : public kv::KeyValueStore {
   };
 
   struct Bucket {  // untrusted
-    kv::EntryHeader* head = nullptr;
+    // Offset-based chain head (see kv::EntryHeader::next_ref); 0 = empty.
+    uint64_t head_ref = 0;
+    // MAC-copy list: volatile acceleration state, pointer-based in every
+    // mode and never persisted — rebuilt lazily after an arena attach.
     MacBucket* macs = nullptr;
   };
 
@@ -183,6 +210,46 @@ class Store : public kv::KeyValueStore {
 
   // §7: untrusted pointers must not alias enclave memory.
   Status CheckUntrustedPointer(const void* ptr) const;
+
+  // Chain refs <-> pointers. ref_base_ set => refs are offsets into the
+  // arena file / heap reservation; null => refs carry raw pointer values
+  // (ShieldBase mode).
+  kv::EntryHeader* Deref(uint64_t ref) const {
+    if (ref == 0) {
+      return nullptr;
+    }
+    return ref_base_ != nullptr ? reinterpret_cast<kv::EntryHeader*>(ref_base_ + ref)
+                                : reinterpret_cast<kv::EntryHeader*>(static_cast<uintptr_t>(ref));
+  }
+  uint64_t Ref(const kv::EntryHeader* e) const {
+    if (e == nullptr) {
+      return 0;
+    }
+    return ref_base_ != nullptr
+               ? static_cast<uint64_t>(reinterpret_cast<const uint8_t*>(e) - ref_base_)
+               : static_cast<uint64_t>(reinterpret_cast<uintptr_t>(e));
+  }
+  // Replaces CheckUntrustedPointer at chain-walk sites: in offset modes the
+  // ref plus its full ciphertext extent must land inside the zone (arena
+  // capacity / carved heap), so a tampered ref or size field can neither
+  // alias enclave memory nor read past the mapping.
+  Status CheckEntryRef(uint64_t ref) const;
+
+  // Entry storage dispatch: persistent arena when Options::arena is set,
+  // the volatile heap otherwise.
+  kv::EntryHeader* AllocateEntry(size_t bytes);
+  void FreeEntry(kv::EntryHeader* e);
+  size_t EntryUsableSize(const kv::EntryHeader* e) const;
+
+  // Persist mode: records a chain-head change for the next checkpoint's
+  // table delta. No-op in volatile modes.
+  void MarkBucketDirty(size_t bucket);
+  // Persist-mode COW relink: replaces `old_ref` with `new_ref` in bucket
+  // b's chain. Committed blocks are never mutated in place (page-cache
+  // writeback can persist any store at any time), so committed predecessors
+  // are copied verbatim into fresh blocks — entry MACs exclude the chain
+  // link and positions are unchanged, so MAC copies and set hashes survive.
+  Status PersistRelink(size_t b, uint64_t old_ref, uint64_t new_ref);
 
   // Two-step search (§5.4): hint-filtered pass, then a full-decryption pass.
   // With MAC bucketing, the walk cross-checks each entry's header MAC
@@ -201,6 +268,8 @@ class Store : public kv::KeyValueStore {
 
   crypto::Mac ComputeBucketSetMac(size_t set) const;
   Status VerifyBucketSet(size_t set);
+  // Clears the set's deferred post-attach verification debt (persist mode).
+  void NoteLazyVerified(size_t set);
   void StoreBucketSetMac(size_t set);
   bool SetInitialized(size_t set) const;
   void MarkSetInitialized(size_t set);
@@ -217,7 +286,11 @@ class Store : public kv::KeyValueStore {
   Status VerifyBucketSetForOp(size_t set);
   void NoteBucketSetMutated(size_t set);
 
-  void RebuildMacBucket(size_t bucket);
+  // Rebuilds a bucket's MAC-copy list from its chain. Bounded and
+  // ref-checked: after an arena attach this runs on first touch over not
+  // yet verified chains (lazy rebuild), so a hostile chain must fail typed
+  // here rather than hang or fault.
+  Status RebuildMacBucket(size_t bucket);
   void UpdateMacBucketSlot(size_t bucket, size_t position, const uint8_t mac[16]);
 
   Status SetInternal(std::string_view key, std::string_view value, uint8_t flags);
@@ -240,6 +313,15 @@ class Store : public kv::KeyValueStore {
   std::vector<Bucket> buckets_;  // untrusted
   std::unique_ptr<UntrustedHeap> heap_;
   std::unique_ptr<EnclaveCache> cache_;
+
+  // Persistent-arena state (null/empty in volatile modes).
+  alloc::PersistentArena* arena_ = nullptr;
+  uint8_t* ref_base_ = nullptr;  // arena or heap-reservation base
+  std::vector<uint64_t> dirty_bitmap_;  // buckets whose head changed since the last checkpoint
+  size_t dirty_count_ = 0;
+  std::vector<uint8_t> lazy_pending_;  // per-set: bucket-set verify still owed since attach
+  obs::Counter* lazy_verified_ctr_ = nullptr;  // heap.lazy_verified
+  obs::Counter* msync_bytes_ctr_ = nullptr;    // heap.msync_bytes
 
   std::unique_ptr<Store> temp_table_;  // live during a snapshot epoch
 

@@ -6,8 +6,17 @@
 #include <map>
 #include <vector>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
 #include "src/alloc/free_list.h"
+#include "src/common/bytes.h"
 #include "src/alloc/memsys5.h"
+#include "src/alloc/persistent_arena.h"
 #include "src/alloc/slab.h"
 #include "src/common/rng.h"
 
@@ -252,6 +261,229 @@ TEST(PoolSetTest, GrowsPoolsUpToLimit) {
     pools.Free(b);
   }
   EXPECT_NE(pools.Allocate(4096), nullptr);
+}
+
+// ------------------------------------------------------- persistent arena
+
+class PersistentArenaTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kCapacity = 4 << 20;
+  static constexpr uint64_t kSlots = 64;
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/arena_" + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/p0.heap";
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<PersistentArena> OpenArena() {
+    auto a = std::make_unique<PersistentArena>();
+    EXPECT_TRUE(a->Open(path_, kCapacity, 0, kSlots).ok());
+    return a;
+  }
+
+  // One committed generation: a block holding `payload` linked from slot 0.
+  uint64_t CommitOne(PersistentArena& a, const std::string& payload,
+                     const std::string& meta) {
+    Result<uint64_t> ref = a.Allocate(payload.size());
+    EXPECT_TRUE(ref.ok());
+    std::memcpy(a.Deref(*ref), payload.data(), payload.size());
+    uint64_t heads[kSlots] = {0};
+    heads[0] = *ref;
+    EXPECT_TRUE(a.Commit(heads, kSlots, {0}, AsBytes(meta), 1).ok());
+    return *ref;
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(PersistentArenaTest, CommitAttachRoundTrip) {
+  uint64_t ref = 0;
+  {
+    auto a = OpenArena();
+    EXPECT_FALSE(a->attached()) << "fresh file has no committed generation";
+    ref = CommitOne(*a, "sealed-entry-bytes", "sealed-meta");
+  }  // destructor unmaps WITHOUT msync: page cache still holds the writes
+  auto a = OpenArena();
+  ASSERT_TRUE(a->attached());
+  EXPECT_EQ(a->committed_entry_count(), 1u);
+  uint64_t heads[kSlots] = {0};
+  ASSERT_TRUE(a->LoadTable(heads, kSlots).ok());
+  EXPECT_EQ(heads[0], ref);
+  for (size_t s = 1; s < kSlots; ++s) {
+    EXPECT_EQ(heads[s], 0u);
+  }
+  EXPECT_EQ(std::memcmp(a->Deref(ref), "sealed-entry-bytes", 18), 0);
+  const ByteSpan meta = a->committed_meta();
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(meta.data()), meta.size()),
+            "sealed-meta");
+}
+
+TEST_F(PersistentArenaTest, FreedBlocksSurviveReopenViaFreeBlob) {
+  uint64_t freed = 0;
+  {
+    auto a = OpenArena();
+    Result<uint64_t> keep = a->Allocate(32);
+    Result<uint64_t> drop = a->Allocate(32);
+    ASSERT_TRUE(keep.ok() && drop.ok());
+    uint64_t heads[kSlots] = {0};
+    heads[0] = *keep;
+    ASSERT_TRUE(a->Commit(heads, kSlots, {0}, AsBytes("m1"), 1).ok());
+    a->Free(*drop);  // committed block: reusable only after the NEXT commit
+    ASSERT_TRUE(a->Commit(heads, kSlots, {}, AsBytes("m2"), 1).ok());
+    freed = *drop;
+  }
+  auto a = OpenArena();
+  ASSERT_TRUE(a->attached());
+  // The free blob restored the bin: an exact-size allocation reuses the slot
+  // instead of bumping fresh space.
+  Result<uint64_t> again = a->Allocate(32);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, freed);
+  EXPECT_TRUE(a->IsFresh(*again)) << "recycled committed block must be mutable";
+}
+
+TEST_F(PersistentArenaTest, PendingFreeNotReusedUntilNextCommit) {
+  auto a = OpenArena();
+  Result<uint64_t> first = a->Allocate(48);
+  ASSERT_TRUE(first.ok());
+  uint64_t heads[kSlots] = {0};
+  heads[0] = *first;
+  ASSERT_TRUE(a->Commit(heads, kSlots, {0}, AsBytes("m"), 1).ok());
+  a->Free(*first);
+  // The previous commit slot may still reference the block; reuse before the
+  // next commit would tear the fallback generation.
+  Result<uint64_t> second = a->Allocate(48);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*second, *first);
+  heads[0] = *second;
+  ASSERT_TRUE(a->Commit(heads, kSlots, {0}, AsBytes("m"), 1).ok());
+  Result<uint64_t> third = a->Allocate(48);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, *first) << "after the commit the freed block is fair game";
+}
+
+TEST_F(PersistentArenaTest, IncrementalCommitSyncsOnlyDirtyRanges) {
+  auto a = OpenArena();
+  std::vector<uint64_t> refs;
+  uint64_t heads[kSlots] = {0};
+  std::vector<uint64_t> all_dirty;
+  for (size_t s = 0; s < kSlots; ++s) {
+    Result<uint64_t> r = a->Allocate(256);
+    ASSERT_TRUE(r.ok());
+    heads[s] = *r;
+    all_dirty.push_back(s);
+  }
+  ASSERT_TRUE(a->Commit(heads, kSlots, all_dirty, AsBytes("meta"), kSlots).ok());
+  const uint64_t full = a->last_commit_msync_bytes();
+  // Touch ONE slot: the second commit must sync a small delta, not the table.
+  Result<uint64_t> r = a->Allocate(256);
+  ASSERT_TRUE(r.ok());
+  heads[3] = *r;
+  ASSERT_TRUE(a->Commit(heads, kSlots, {3}, AsBytes("meta"), kSlots).ok());
+  const uint64_t incremental = a->last_commit_msync_bytes();
+  // Bound: the dirty data (entry + delta + meta + free blob, all well under
+  // one page, page-rounded to at most two) plus the two superblock syncs the
+  // protocol always pays. The full-table commit must cost strictly more.
+  EXPECT_LE(incremental, 4 * 4096u)
+      << "incremental checkpoint wrote " << incremental << " bytes";
+  EXPECT_LT(incremental, full);
+}
+
+TEST_F(PersistentArenaTest, DeltaChainSquashesAndStillRecovers) {
+  uint64_t heads[kSlots] = {0};
+  {
+    auto a = OpenArena();
+    // Enough single-slot commits to force at least one squash
+    // (delta_total + dirty > kSlots/2), cycling through every slot twice.
+    for (size_t i = 0; i < kSlots * 2; ++i) {
+      const size_t s = i % kSlots;
+      Result<uint64_t> r = a->Allocate(64);
+      ASSERT_TRUE(r.ok());
+      if (heads[s] != 0) {
+        a->Free(heads[s]);
+      }
+      heads[s] = *r;
+      ASSERT_TRUE(a->Commit(heads, kSlots, {s}, AsBytes("meta"), i + 1).ok());
+    }
+  }
+  auto a = OpenArena();
+  ASSERT_TRUE(a->attached());
+  uint64_t loaded[kSlots] = {0};
+  ASSERT_TRUE(a->LoadTable(loaded, kSlots).ok());
+  for (size_t s = 0; s < kSlots; ++s) {
+    EXPECT_EQ(loaded[s], heads[s]) << "slot " << s;
+  }
+}
+
+// Crash matrix: stop the commit protocol at each injection point, tear down
+// without msync (the kill -9 equivalent for in-process state), reopen, and
+// require the FULLY-OLD generation — never a blend.
+TEST_F(PersistentArenaTest, CrashMatrixRecoversFullyOldState) {
+  using CP = PersistentArena::CrashPoint;
+  for (const CP point : {CP::kPlanWritten, CP::kMidApply, CP::kPreCommit, CP::kPreSuperSync}) {
+    std::filesystem::remove(path_);
+    uint64_t old_ref = 0;
+    {
+      auto a = OpenArena();
+      old_ref = CommitOne(*a, "generation-one-bytes", "meta-v1");
+      // Attempt generation two, dying mid-protocol.
+      Result<uint64_t> next = a->Allocate(64);
+      ASSERT_TRUE(next.ok());
+      uint64_t heads[kSlots] = {0};
+      heads[0] = *next;
+      heads[1] = *next;
+      a->InjectCrash(point);
+      const Status st = a->Commit(heads, kSlots, {0, 1}, AsBytes("meta-v2"), 2);
+      ASSERT_EQ(st.code(), Code::kIoError) << "injection " << static_cast<int>(point);
+    }
+    auto a = OpenArena();
+    ASSERT_TRUE(a->attached()) << "injection " << static_cast<int>(point);
+    EXPECT_EQ(a->seq(), 1u) << "injection " << static_cast<int>(point);
+    EXPECT_EQ(a->committed_entry_count(), 1u);
+    uint64_t heads[kSlots] = {0};
+    ASSERT_TRUE(a->LoadTable(heads, kSlots).ok());
+    EXPECT_EQ(heads[0], old_ref);
+    EXPECT_EQ(heads[1], 0u) << "generation-two head must not be visible";
+    const ByteSpan meta = a->committed_meta();
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(meta.data()), meta.size()),
+              "meta-v1");
+    // And the store can move on: a fresh commit on the recovered arena works.
+    heads[1] = CommitOne(*a, "generation-three", "meta-v3");
+  }
+}
+
+TEST_F(PersistentArenaTest, GeometryMismatchRefusesToAttach) {
+  { auto a = OpenArena(); CommitOne(*a, "payload", "meta"); }
+  PersistentArena wrong_slots;
+  EXPECT_EQ(wrong_slots.Open(path_, kCapacity, 0, kSlots * 2).code(),
+            Code::kInvalidArgument);
+  PersistentArena wrong_partition;
+  EXPECT_EQ(wrong_partition.Open(path_, kCapacity, 1, kSlots).code(),
+            Code::kInvalidArgument);
+}
+
+TEST_F(PersistentArenaTest, CorruptedSuperblockIsTamperNotFreshStart) {
+  { auto a = OpenArena(); CommitOne(*a, "payload", "meta"); }
+  // Flip one byte inside both commit slots: no valid generation remains, no
+  // plan is pending — that is tampering, not a torn write.
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  for (const long off : {512L, 768L}) {
+    f.seekg(off);
+    char b = 0;
+    f.get(b);
+    f.seekp(off);
+    f.put(static_cast<char>(b ^ 0x01));
+  }
+  f.close();
+  PersistentArena a;
+  EXPECT_EQ(a.Open(path_, kCapacity, 0, kSlots).code(), Code::kIntegrityFailure);
 }
 
 }  // namespace

@@ -25,16 +25,24 @@ class StoreTestPeer {
     return s.BucketIndex(kv::BucketHash(*s.keys_, key));
   }
 
-  static kv::EntryHeader*& BucketHead(Store& s, size_t bucket) {
-    return s.buckets_[bucket].head;
+  // Chains link by ref (offset or as-if pointer), not raw pointer; the peer
+  // exposes both the head ref slot and the translation helpers so attacks
+  // can forge either form.
+  static uint64_t& BucketHead(Store& s, size_t bucket) {
+    return s.buckets_[bucket].head_ref;
   }
+
+  static kv::EntryHeader* Deref(Store& s, uint64_t ref) { return s.Deref(ref); }
+  static uint64_t Ref(Store& s, kv::EntryHeader* e) { return s.Ref(e); }
 
   static kv::EntryHeader* RawEntry(Store& s, std::string_view key) {
     const size_t bucket = BucketIndexFor(s, key);
-    for (kv::EntryHeader* e = s.buckets_[bucket].head; e != nullptr; e = e->next) {
+    for (uint64_t ref = s.buckets_[bucket].head_ref; ref != 0;) {
+      kv::EntryHeader* e = s.Deref(ref);
       if (kv::EntryKeyEquals(*s.keys_, *e, key)) {
         return e;
       }
+      ref = e->next_ref;
     }
     return nullptr;
   }
@@ -253,8 +261,8 @@ TEST_F(ShieldStoreTest, DetectsEntryUnlinking) {
   ASSERT_TRUE(store.Set("first", "1").ok());
   ASSERT_TRUE(store.Set("second", "2").ok());
   // Unlink the chain head ("second", inserted last) behind the store's back.
-  kv::EntryHeader*& head = StoreTestPeer::BucketHead(store, 0);
-  head = head->next;
+  uint64_t& head = StoreTestPeer::BucketHead(store, 0);
+  head = StoreTestPeer::Deref(store, head)->next_ref;
   // Both the lookup of the removed key and of the surviving key must flag
   // tampering rather than report a clean miss/hit.
   EXPECT_EQ(store.Get("second").status().code(), Code::kIntegrityFailure);
@@ -271,9 +279,9 @@ TEST_F(ShieldStoreTest, DetectsReplayOfOldVersion) {
   // Same-length update re-seals in place.
   ASSERT_TRUE(store.Set("account", "balance=000").ok());
   ASSERT_EQ(StoreTestPeer::RawEntry(store, "account"), entry);
-  kv::EntryHeader* next = entry->next;
+  const uint64_t next = entry->next_ref;
   std::memcpy(entry, old_bytes.data(), total);  // replay the old version
-  entry->next = next;
+  entry->next_ref = next;
   // The old entry carries a valid *entry* MAC, but the bucket-set MAC hash
   // in the enclave reflects the newer version: replay is detected.
   EXPECT_EQ(store.Get("account").status().code(), Code::kIntegrityFailure);
@@ -307,8 +315,8 @@ TEST_F(ShieldStoreTest, DetectsForgedEntryInEmptyBucket) {
   const size_t other_bucket = 1 - legit_bucket;
   // Splice the (validly MAC'd) entry into a bucket the enclave never wrote.
   kv::EntryHeader* entry = StoreTestPeer::RawEntry(store, "legit");
-  StoreTestPeer::BucketHead(store, other_bucket) = entry;
-  StoreTestPeer::BucketHead(store, legit_bucket) = nullptr;
+  StoreTestPeer::BucketHead(store, other_bucket) = StoreTestPeer::Ref(store, entry);
+  StoreTestPeer::BucketHead(store, legit_bucket) = 0;
   EXPECT_EQ(store.Get("legit").status().code(), Code::kIntegrityFailure);
 }
 
@@ -318,8 +326,11 @@ TEST_F(ShieldStoreTest, RejectsChainPointerIntoEnclave) {
   const size_t bucket = StoreTestPeer::BucketIndexFor(store, "victim");
   // §7 attack: redirect the chain head into enclave memory to trick the
   // store into reading/writing trusted state.
+  // The ref forged as-if it were a raw pointer: in pointer mode this is a
+  // pointer into trusted memory, in offset mode a ref far past the carved
+  // zone — either way outside the untrusted window the store accepts.
   void* inside = enclave_.Allocate(64);
-  StoreTestPeer::BucketHead(store, bucket) = static_cast<kv::EntryHeader*>(inside);
+  StoreTestPeer::BucketHead(store, bucket) = reinterpret_cast<uint64_t>(inside);
   EXPECT_EQ(store.Get("victim").status().code(), Code::kIntegrityFailure);
   enclave_.Free(inside);
 }
@@ -331,8 +342,9 @@ TEST_F(ShieldStoreTest, ChainCycleDoesNotHang) {
   Store store(enclave_, options);
   ASSERT_TRUE(store.Set("a", "1").ok());
   ASSERT_TRUE(store.Set("b", "2").ok());
-  kv::EntryHeader* head = StoreTestPeer::BucketHead(store, 0);
-  head->next->next = head;  // cycle
+  const uint64_t head_ref = StoreTestPeer::BucketHead(store, 0);
+  kv::EntryHeader* head = StoreTestPeer::Deref(store, head_ref);
+  StoreTestPeer::Deref(store, head->next_ref)->next_ref = head_ref;  // cycle
   EXPECT_EQ(store.Get("nonexistent").status().code(), Code::kIntegrityFailure);
 }
 

@@ -54,8 +54,13 @@ void KillServer(ServerProc* proc, int sig) {
 }
 
 // Launches the daemon and blocks until it prints its measurement line
-// (which it emits only after the listener is up).
-bool StartServer(const std::string& heal_dir, uint16_t port, ServerProc* proc) {
+// (which it emits only after the listener is up). extra_args are appended to
+// the command line; extra_env entries are set in the CHILD only, between
+// fork and execv — this is how the persist-heap matrix arms
+// SHIELD_ARENA_CRASH without poisoning the test process's own environment.
+bool StartServer(const std::string& heal_dir, uint16_t port, ServerProc* proc,
+                 const std::vector<std::string>& extra_args = {},
+                 const std::vector<std::pair<std::string, std::string>>& extra_env = {}) {
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
     return false;
@@ -67,7 +72,11 @@ bool StartServer(const std::string& heal_dir, uint16_t port, ServerProc* proc) {
       "--buckets", "4096", "--heal-dir", heal_dir.c_str(),
       "--scrub-interval-ms", "2", "--authority-seed", kAuthoritySeed,
       "--wal-window-us", "100", "--wal-group-ops", "8",
-      "--wal-compact-bytes", compact_s.c_str(), nullptr};
+      "--wal-compact-bytes", compact_s.c_str()};
+  for (const std::string& arg : extra_args) {
+    argv.push_back(arg.c_str());
+  }
+  argv.push_back(nullptr);
   const pid_t pid = ::fork();
   if (pid < 0) {
     ::close(pipe_fds[0]);
@@ -78,6 +87,9 @@ bool StartServer(const std::string& heal_dir, uint16_t port, ServerProc* proc) {
     ::dup2(pipe_fds[1], STDOUT_FILENO);
     ::close(pipe_fds[0]);
     ::close(pipe_fds[1]);
+    for (const auto& [name, value] : extra_env) {
+      ::setenv(name.c_str(), value.c_str(), 1);
+    }
     ::execv(SHIELD_SERVER_BIN, const_cast<char* const*>(argv.data()));
     _exit(127);
   }
@@ -209,6 +221,72 @@ TEST(WalCrashTest, Kill9MidLoadLosesNoAckedWriteAndLogsStayBounded) {
   verify.Close();
   KillServer(&server, SIGTERM);
   std::filesystem::remove_all(dir);
+}
+
+// Persist-heap crash matrix against the REAL binary: for each arena commit
+// crash point, (1) load acked writes into a --persist-heap server and
+// SIGKILL it hot, (2) relaunch with SHIELD_ARENA_CRASH armed so the boot-time
+// checkpoint dies by SIGKILL mid-commit at exactly that point, (3) relaunch
+// clean and demand every acknowledged write back byte for byte. The arena
+// file has now survived two unclean deaths — one arbitrary, one surgically
+// placed inside the plan/commit protocol — and recovery must still land on a
+// consistent slot plus the WAL tail.
+TEST(WalCrashTest, PersistHeapKill9CrashMatrixLosesNoAckedWrite) {
+  const sgx::AttestationAuthority authority(AsBytes(kAuthoritySeed));
+  const char* const kPoints[] = {"plan", "apply", "precommit", "presync"};
+  for (const char* point : kPoints) {
+    SCOPED_TRACE(point);
+    const std::string dir = ::testing::TempDir() + "/persist_crash_" + point + "_" +
+                            std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const uint16_t port = static_cast<uint16_t>(25000 + ::getpid() % 2000);
+    const std::vector<std::string> persist_args = {
+        "--persist-heap", dir + "/heap", "--persist-capacity-mb", "16"};
+
+    // Run 1: durable-ack load. Values are big enough that the compactor's
+    // arena checkpoints fire mid-load, so the kill lands on a file holding
+    // BOTH committed state and a live WAL tail.
+    ServerProc server;
+    ASSERT_TRUE(StartServer(dir, port, &server, persist_args)) << "daemon did not come up";
+    std::map<std::string, std::string> acked;
+    {
+      net::Client client(authority, server.measurement);
+      ASSERT_TRUE(client.Connect(port).ok());
+      for (int i = 0; i < 300; ++i) {
+        const std::string key = "pk" + std::to_string(i % 128);
+        const std::string value = "pv" + std::to_string(i) + "-" + point + std::string(120, 'y');
+        if (client.Set(key, value).ok()) {
+          acked[key] = value;
+        }
+      }
+      ASSERT_GE(acked.size(), 128u) << "load never got going";
+      ::kill(server.pid, SIGKILL);
+    }
+    KillServer(&server, SIGKILL);  // reap
+
+    // Run 2: the recovery checkpoint itself dies at the injected point. The
+    // measurement line prints only after SelfHealer::Start, so a commit-time
+    // SIGKILL surfaces as a failed launch — which is exactly the assertion.
+    EXPECT_FALSE(StartServer(dir, port, &server, persist_args,
+                             {{"SHIELD_ARENA_CRASH", point}, {"SHIELD_ARENA_CRASH_KILL", "1"}}))
+        << "injected " << point << " crash did not kill the boot-time checkpoint";
+
+    // Run 3: clean relaunch. Fully-old-or-fully-new arena + WAL tail replay
+    // must reproduce every acknowledged write.
+    ASSERT_TRUE(StartServer(dir, port, &server, persist_args))
+        << "daemon did not recover after " << point << " crash";
+    net::Client verify(authority, server.measurement);
+    ASSERT_TRUE(verify.Connect(port).ok());
+    for (const auto& [key, value] : acked) {
+      const Result<std::string> got = verify.Get(key);
+      ASSERT_TRUE(got.ok()) << key << " lost after " << point << ": " << got.status().ToString();
+      EXPECT_EQ(got.value(), value) << key;
+    }
+    verify.Close();
+    KillServer(&server, SIGTERM);
+    std::filesystem::remove_all(dir);
+  }
 }
 
 }  // namespace

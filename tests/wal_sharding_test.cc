@@ -564,5 +564,51 @@ TEST_F(WalShardingTest, ShardLocalMetricsRegisterPerShardSeries) {
   EXPECT_GE(registry.GetHistogram("wal.fsync_ns").Data().count, wal.num_shards());
 }
 
+// Adaptive group-commit window: near-empty batches (a solo synchronous
+// writer) shrink the window toward the floor so singleton acks stop idling
+// out the full cap; a burst that fills batches grows it back, 2x per commit,
+// capped at the configured value. Deterministic: batch size alone drives the
+// adaptation, never wall-clock arrival timing.
+TEST_F(WalShardingTest, GroupCommitWindowAdaptsToBatchSize) {
+  obs::Registry registry;
+  PartitionedStore store(enclave_, SmallOptions(), 1);
+  OpLogOptions log_opts = LogOptions();
+  log_opts.group_commit_window_us = 3200;
+  log_opts.group_commit_ops = 8;
+  log_opts.metrics = &registry;
+  WriteAheadStore wal(store, *sealer_, *counters_, log_opts);
+  ASSERT_TRUE(wal.Open().ok());
+  const uint32_t cap = 3200;
+  const uint32_t floor_us = cap / 16;
+  ASSERT_EQ(wal.shard_window_us(0), cap) << "window starts at the configured cap";
+
+  // Solo writers: every commit is a batch of one, halving the window until
+  // the floor. 3200 -> 1600 -> 800 -> 400 -> 200 (floor) in four commits.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(wal.Set("solo-" + std::to_string(i), "v").ok());
+  }
+  EXPECT_EQ(wal.shard_window_us(0), floor_us);
+  EXPECT_EQ(registry.GetGauge("wal.window_us").Value(), static_cast<int64_t>(floor_us));
+
+  // Bursts: a batch with >= group_commit_ops mutations lands under ONE
+  // commit handle, so each ExecuteBatch doubles the window back: 200 -> 400
+  // -> 800 -> 1600 -> 3200, then pins at the cap.
+  for (int round = 0; round < 6; ++round) {
+    std::vector<kv::BatchOp> ops;
+    for (int i = 0; i < 8; ++i) {
+      kv::BatchOp op;
+      op.type = kv::BatchOpType::kSet;
+      op.key = "burst-" + std::to_string(round) + "-" + std::to_string(i);
+      op.value = "v";
+      ops.push_back(op);
+    }
+    for (const kv::BatchOpResult& r : wal.ExecuteBatch(ops)) {
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    }
+  }
+  EXPECT_EQ(wal.shard_window_us(0), cap) << "burst growth must saturate at the cap";
+  EXPECT_EQ(registry.GetGauge("wal.window_us").Value(), static_cast<int64_t>(cap));
+}
+
 }  // namespace
 }  // namespace shield

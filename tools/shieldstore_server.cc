@@ -53,6 +53,8 @@ struct Flags {
   std::string authority_seed = "dev-authority";
   std::string enclave_name = "shieldstore-server-v1";
   std::string heal_dir;         // empty = volatile (no WAL, no recovery)
+  std::string persist_heap;     // mmap-backed untrusted heap dir (needs --heal-dir)
+  size_t persist_capacity_mb = 256;  // arena capacity per partition
   int scrub_interval_ms = 50;   // maintenance cadence; 0 disables the scrub
   size_t scrub_budget = 0;      // buckets per tick; 0 = Options default
   size_t wal_shards = 0;        // log shards; 0 = one per partition
@@ -94,6 +96,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->enclave_name = next();
     } else if (arg == "--heal-dir") {
       flags->heal_dir = next();
+    } else if (arg == "--persist-heap") {
+      flags->persist_heap = next();
+    } else if (arg == "--persist-capacity-mb") {
+      flags->persist_capacity_mb = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--scrub-interval-ms") {
       flags->scrub_interval_ms = std::atoi(next());
     } else if (arg == "--scrub-budget") {
@@ -131,7 +137,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       std::fprintf(stderr,
                    "usage: shieldstore_server [--port N] [--partitions N] [--buckets N]\n"
                    "    [--epc-mb N] [--hotcalls] [--plaintext] [--authority-seed S] [--name S]\n"
-                   "    [--heal-dir DIR] [--scrub-interval-ms N] [--scrub-budget N]\n"
+                   "    [--heal-dir DIR] [--persist-heap DIR] [--persist-capacity-mb N]\n"
+                   "    [--scrub-interval-ms N] [--scrub-budget N]\n"
                    "    [--wal-shards N] [--wal-window-us N] [--wal-group-ops N]\n"
                    "    [--wal-compact-bytes N] [--stats-interval-s N] [--stats-prometheus]\n"
                    "    [--stats-json FILE] [--io-threads N] [--max-sessions N]\n"
@@ -141,7 +148,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
                    "PRIMARY_PORT pushes its stream here; the port is recorded for logs).\n"
                    "--replicate-to ships every committed WAL entry to the follower listening\n"
                    "on FOLLOWER_PORT (requires --heal-dir; both nodes must share the binary\n"
-                   "and --authority-seed so the sessions attest).\n");
+                   "and --authority-seed so the sessions attest).\n"
+                   "--persist-heap DIR mmaps the untrusted heap onto p<i>.heap files in DIR:\n"
+                   "restart attaches the files in O(1) and replays only the WAL tail instead\n"
+                   "of decrypting every snapshot entry (requires --heal-dir for the WAL).\n");
       return false;
     }
   }
@@ -165,11 +175,20 @@ int main(int argc, char** argv) {
   sgx::Enclave enclave(enclave_config);
   sgx::AttestationAuthority authority(AsBytes(flags.authority_seed));
 
+  if (!flags.persist_heap.empty() && flags.heal_dir.empty()) {
+    std::fprintf(stderr,
+                 "--persist-heap requires --heal-dir: the arena checkpoint is the baseline\n"
+                 "but acked-write durability still rides on the WAL tail\n");
+    return 2;
+  }
+
   shieldstore::Options options;
   options.num_buckets = flags.buckets;
   if (flags.scrub_budget > 0) {
     options.scrub_budget_buckets = flags.scrub_budget;
   }
+  options.persist_dir = flags.persist_heap;
+  options.persist_capacity_bytes = std::max<size_t>(flags.persist_capacity_mb, 1) << 20;
   shieldstore::PartitionedStore store(enclave, options, flags.partitions);
 
   // Self-healing stack (only when --heal-dir names a durable directory).
@@ -205,13 +224,23 @@ int main(int argc, char** argv) {
     // committed suffix of every shard log) into the empty store before
     // Start() rebaselines it. Replayed ops go straight to the inner store so
     // they are not re-logged.
+    const auto restore_start = std::chrono::steady_clock::now();
     if (Status s = healer->Restore(); !s.ok()) {
       std::fprintf(stderr, "restore failed: %s\n", s.ToString().c_str());
       return 1;
     }
+    const auto restore_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - restore_start)
+                                .count();
     if (store.Size() > 0) {
       std::printf("self-healing: restored %zu keys from %s\n", store.Size(),
                   flags.heal_dir.c_str());
+    }
+    if (store.persist_enabled()) {
+      std::printf("persistent heap: attached %zu keys from %s in %.2f ms "
+                  "(entry MACs re-verify lazily)\n",
+                  store.Size(), flags.persist_heap.c_str(),
+                  static_cast<double>(restore_ns) / 1e6);
     }
     if (Status s = healer->Start(); !s.ok()) {
       std::fprintf(stderr, "baseline snapshot failed: %s\n", s.ToString().c_str());
@@ -408,6 +437,10 @@ int main(int argc, char** argv) {
     std::printf("wal: %zu shards, %u us group-commit window, %zu ops/group, compact at %zu bytes\n",
                 wal->num_shards(), flags.wal_window_us, flags.wal_group_ops,
                 flags.wal_compact_bytes);
+    if (store.persist_enabled()) {
+      std::printf("persistent heap: %s (%zu MB per partition, %zu partitions)\n",
+                  flags.persist_heap.c_str(), flags.persist_capacity_mb, flags.partitions);
+    }
   } else if (flags.scrub_interval_ms > 0) {
     std::printf("self-healing: off (background scrub every %d ms)\n", flags.scrub_interval_ms);
   }
