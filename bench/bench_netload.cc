@@ -18,6 +18,7 @@
 #include <sys/resource.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -56,6 +57,10 @@ struct Args {
   double seconds = 1.0;
   std::string out = "BENCH_netload.json";
   bool gates = true;
+  uint32_t trace_sample = 0;  // 0 = tracing off; N = sample 1-in-N roots
+  // Interleaved tracing-overhead A/B: this many (off, on@1/256) window pairs
+  // over the SAME session pool, gated at >= 0.97 throughput ratio. 0 = skip.
+  int trace_overhead_pairs = 0;
 };
 
 struct Point {
@@ -156,8 +161,11 @@ int Run(Args args) {
   };
   const uint64_t coalesced_before = coalesced_batches();
 
+  obs::TraceSetSampleEvery(args.trace_sample);
   ManySessionLoad pool(port, authority, measurement, /*encrypt=*/true,
-                       /*handshake_threads=*/4);
+                       /*handshake_threads=*/4,
+                       /*request_tracing=*/args.trace_sample > 0 ||
+                           args.trace_overhead_pairs > 0);
 
   // --- the connections curve: ramp strictly upward so every point means
   // "exactly this many live sessions" -------------------------------------
@@ -204,6 +212,39 @@ int Run(Args args) {
                 (pipelined.ops_sent - pipelined.ops_acked);
   const uint64_t coalesced_delta = coalesced_batches() - coalesced_before;
 
+  // --- tracing overhead A/B: interleaved pairs over the same live pool, so
+  // machine-level drift hits both sides of every pair equally. Sampling is a
+  // runtime knob; with it at 0 the wire bytes are identical to a pre-tracing
+  // client, so the ratio isolates exactly what default-rate tracing costs.
+  double trace_ratio = -1;
+  if (args.trace_overhead_pairs > 0) {
+    ManySessionOptions to;
+    to.active_sessions = std::min<size_t>(pool.sessions(), 64);
+    to.pipeline_depth = 8;
+    to.seconds = args.seconds;
+    to.bursty_fraction = 0;
+    double off_kops = 0;
+    double on_kops = 0;
+    for (int p = 0; p < args.trace_overhead_pairs; ++p) {
+      obs::TraceSetSampleEvery(0);
+      const ManySessionResult off = pool.Measure(to);
+      obs::TraceSetSampleEvery(256);
+      const ManySessionResult on = pool.Measure(to);
+      off_kops += off.kops;
+      on_kops += on.kops;
+      errors_total += off.errors + on.errors;
+      lost_total +=
+          (off.ops_sent - off.ops_acked) + (on.ops_sent - on.ops_acked);
+    }
+    obs::TraceSetSampleEvery(args.trace_sample);
+    trace_ratio = off_kops > 0 ? on_kops / off_kops : 0;
+    std::printf("# tracing off %.1f Kop/s vs 1/256 sampled %.1f Kop/s "
+                "(ratio %.3f, gate >= 0.97)\n",
+                off_kops / args.trace_overhead_pairs,
+                on_kops / args.trace_overhead_pairs, trace_ratio);
+  }
+  const bool trace_overhead_ok = trace_ratio < 0 || trace_ratio >= 0.97;
+
   // --- gates -------------------------------------------------------------
   auto kops_at = [&](size_t sessions) -> double {
     for (const Point& p : points) {
@@ -242,10 +283,13 @@ int Run(Args args) {
        << "  \"coalesced_batches\": " << coalesced_delta << ",\n"
        << "  \"lost_ops\": " << lost_total << ",\n"
        << "  \"errors\": " << errors_total << ",\n"
+       << "  \"trace_overhead_ratio\": " << Fmt(trace_ratio, "%.3f") << ",\n"
        << "  \"gates\": {\"zero_loss\": " << (zero_loss ? "true" : "false")
        << ", \"coalescing_engaged\": " << (coalesced_ok ? "true" : "false")
        << ", \"no_collapse\": " << (no_collapse ? "true" : "false")
-       << ", \"pipeline_2x\": " << (speedup_ok ? "true" : "false") << "}\n}\n";
+       << ", \"pipeline_2x\": " << (speedup_ok ? "true" : "false")
+       << ", \"trace_overhead\": " << (trace_overhead_ok ? "true" : "false")
+       << "}\n}\n";
   std::ofstream(args.out) << json.str();
 
   std::printf("# pipelined %.1f Kop/s vs singleton %.1f Kop/s (%.2fx, target >= 2x)\n",
@@ -260,6 +304,16 @@ int Run(Args args) {
     server->Stop();
     wal.reset();
     std::filesystem::remove_all(dir);
+  }
+  // The trace-overhead gate only runs when explicitly requested, so enforce
+  // it even under --no-gates (check.sh disables the generic gates to keep
+  // the overhead stage focused).
+  if (!trace_overhead_ok) {
+    std::fprintf(stderr,
+                 "GATE FAILED: tracing at 1/256 cost more than 3%% throughput "
+                 "(ratio %.3f)\n",
+                 trace_ratio);
+    return 1;
   }
   if (!args.gates) {
     return 0;
@@ -322,13 +376,24 @@ int main(int argc, char** argv) {
       args.curve = {1, 100};
     } else if (arg == "--no-gates") {
       args.gates = false;
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      if (v != nullptr) args.trace_sample = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--trace-overhead") {
+      const char* v = next();
+      if (v != nullptr) args.trace_overhead_pairs = std::atoi(v);
     } else {
       std::fprintf(stderr,
                    "usage: bench_netload [--port N --measurement HEX64] "
                    "[--authority-seed S] [--sessions 1,100,1000,10000] "
-                   "[--seconds S] [--out PATH] [--smoke] [--no-gates]\n");
+                   "[--seconds S] [--out PATH] [--smoke] [--no-gates] "
+                   "[--trace-sample N] [--trace-overhead PAIRS]\n");
       return 2;
     }
+  }
+  if (const char* env = std::getenv("SHIELD_NETLOAD_TRACE_SAMPLE");
+      env != nullptr && args.trace_sample == 0) {
+    args.trace_sample = static_cast<uint32_t>(std::atoi(env));
   }
   if (args.port != 0 && args.measurement_hex.empty()) {
     std::fprintf(stderr, "--port requires --measurement\n");

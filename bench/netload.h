@@ -25,6 +25,8 @@
 #include "bench/harness.h"
 #include "src/common/rng.h"
 #include "src/net/client.h"
+#include "src/net/protocol.h"
+#include "src/obs/tracer.h"
 
 namespace shield::bench {
 
@@ -214,12 +216,13 @@ class ManySessionLoad {
  public:
   ManySessionLoad(uint16_t port, const sgx::AttestationAuthority& authority,
                   const sgx::Measurement& measurement, bool encrypt = true,
-                  size_t handshake_threads = 4)
+                  size_t handshake_threads = 4, bool request_tracing = false)
       : port_(port),
         authority_(authority),
         measurement_(measurement),
         encrypt_(encrypt),
-        handshake_threads_(std::max<size_t>(handshake_threads, 1)) {}
+        handshake_threads_(std::max<size_t>(handshake_threads, 1)),
+        request_tracing_(request_tracing) {}
 
   ~ManySessionLoad() {
     for (auto& s : pool_) {
@@ -322,6 +325,10 @@ class ManySessionLoad {
     auto send_burst = [&](size_t idx) {
       Gen& s = *pool_[idx];
       const uint64_t now = NowNs();
+      // One sampled root per burst: overhead measurement at --trace-sample N
+      // exercises the real per-root-op sampling path end to end.
+      obs::TraceRoot root("netload.burst");
+      const obs::TraceContext trace_ctx = obs::CurrentTrace();
       for (size_t d = 0; d < options.pipeline_depth; ++d) {
         net::Request request;
         const uint64_t key_index = rng.NextBelow(options.key_space);
@@ -332,7 +339,11 @@ class ManySessionLoad {
         } else {
           request.op = net::OpCode::kGet;
         }
-        const Bytes record = s.crypto->Seal(net::EncodeRequest(request));
+        Bytes plain = net::EncodeRequest(request);
+        if (s.tracing && trace_ctx.active()) {
+          plain = net::PrependTraceContext(trace_ctx, plain);
+        }
+        const Bytes record = s.crypto->Seal(plain);
         uint8_t prefix[4];
         StoreLe32(prefix, static_cast<uint32_t>(record.size()));
         s.out.insert(s.out.end(), prefix, prefix + 4);
@@ -495,6 +506,7 @@ class ManySessionLoad {
     uint32_t events = EPOLLIN;
     bool active = false;
     bool bursty = false;
+    bool tracing = false;  // server granted the trace-propagation capability
     bool dead = false;
     bool has_pending_out() const { return out_off < out.size(); }
   };
@@ -521,8 +533,11 @@ class ManySessionLoad {
     timeval tv{};
     tv.tv_sec = 10;  // handshakes queue behind each other on small machines
     setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    Result<Bytes> key_material = net::ClientHandshake(fd, authority_, measurement_);
-    if (!key_material.ok()) {
+    net::ClientHandshakeOptions hopts;
+    hopts.request_tracing = request_tracing_;
+    Result<net::ClientHandshakeResult> hs =
+        net::ClientHandshakeEx(fd, authority_, measurement_, hopts);
+    if (!hs.ok()) {
       ::close(fd);
       return nullptr;
     }
@@ -531,8 +546,9 @@ class ManySessionLoad {
     fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
     auto s = std::make_unique<Gen>();
     s->fd = fd;
-    s->crypto =
-        std::make_unique<net::SessionCrypto>(*key_material, /*is_client=*/true, encrypt_);
+    s->tracing = hs->tracing;
+    s->crypto = std::make_unique<net::SessionCrypto>(hs->key_material,
+                                                     /*is_client=*/true, encrypt_);
     return s;
   }
 
@@ -587,6 +603,7 @@ class ManySessionLoad {
   sgx::Measurement measurement_;
   bool encrypt_;
   size_t handshake_threads_;
+  bool request_tracing_ = false;
   size_t handshake_failures_ = 0;
   std::vector<std::unique_ptr<Gen>> pool_;
 };

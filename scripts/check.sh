@@ -69,8 +69,10 @@ echo "== stats pipeline: live server -> kStats -> invariant check =="
 STATS_DIR="$(mktemp -d)"
 FO_DIR="$(mktemp -d)"
 NL_DIR="$(mktemp -d)"
+OBS_DIR="$(mktemp -d)"
 FO_PIDS=""
-trap 'kill ${SERVER_PID:-} ${FO_PIDS:-} ${NL_PID:-} 2>/dev/null || true; rm -rf "$STATS_DIR" "$FO_DIR" "$NL_DIR"' EXIT
+OBS_PIDS=""
+trap 'kill ${SERVER_PID:-} ${FO_PIDS:-} ${NL_PID:-} ${OBS_PIDS:-} 2>/dev/null || true; rm -rf "$STATS_DIR" "$FO_DIR" "$NL_DIR" "$OBS_DIR"' EXIT
 ./build/tools/shieldstore_server --port 0 --partitions 2 --heal-dir "$STATS_DIR/heal" \
   --stats-interval-s 1 > "$STATS_DIR/server.log" 2>&1 &
 SERVER_PID=$!
@@ -164,6 +166,85 @@ grep -q '"repl.rejected_frames":{"type":"counter","value":0}' "$FO_DIR/fa-stats.
   || { echo "failover smoke: replication stream saw rejected frames"; exit 1; }
 kill $FO_PIDS 2>/dev/null || true
 echo "failover smoke OK (recovery ${FO_MS}ms, ${#FO_ACKED[@]} acked writes verified)"
+
+echo "== observability smoke: traced failover, hash-chained audit, tracing overhead gate =="
+# Two primaries + warm standbys, every process tracing at 1/1 with an audit
+# log. A traced mset rides the router; the merged Chrome trace must hold
+# client-, server- and WAL-side spans. Then one primary dies by SIGKILL and
+# every surviving audit chain must verify bit for bit — while a flipped byte
+# or a truncation must be rejected.
+obs_start() { # obs_start NAME [extra server flags...]
+  local name="$1"; shift
+  ./build/tools/shieldstore_server --port 0 --partitions 2 --buckets 4096 \
+    --heal-dir "$OBS_DIR/$name" --stats-interval-s 0 --wal-window-us 100 \
+    --wal-group-ops 8 --trace-sample 1 --audit-log "$OBS_DIR/$name.audit" \
+    "$@" > "$OBS_DIR/$name.log" 2>&1 &
+  OBS_LAST_PID=$!
+  OBS_PIDS="$OBS_PIDS $OBS_LAST_PID"
+  for _ in $(seq 1 100); do
+    grep -q 'listening on' "$OBS_DIR/$name.log" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "obs smoke: $name did not come up"; cat "$OBS_DIR/$name.log"; exit 1
+}
+obs_port() { sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$OBS_DIR/$1.log"; }
+obs_start ofa --replica-of 0
+obs_start ofb --replica-of 0
+OFA_PORT="$(obs_port ofa)"; OFB_PORT="$(obs_port ofb)"
+obs_start opa --replicate-to "$OFA_PORT"
+OPA_PID=$OBS_LAST_PID
+obs_start opb --replicate-to "$OFB_PORT"
+OPA_PORT="$(obs_port opa)"; OPB_PORT="$(obs_port opb)"
+OBS_MEAS="$(sed -n 's/.*clients): \([0-9a-f]*\).*/\1/p' "$OBS_DIR/opa.log")"
+OBS_CLI="./build/tools/shieldstore_cli --measurement $OBS_MEAS --cluster $OPA_PORT:$OFA_PORT,$OPB_PORT:$OFB_PORT"
+# A sampled MSet through the router, then the merged per-node trace dump.
+$OBS_CLI trace --json mset tr-k1 tr-v1 tr-k2 tr-v2 tr-k3 tr-v3 tr-k4 tr-v4 \
+  > "$OBS_DIR/trace.json"
+python3 - "$OBS_DIR/trace.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no spans in the trace dump"
+# One root op: every complete span must share its trace id.
+ids = {s["args"]["trace_id"] for s in spans}
+assert len(ids) == 1, f"expected one trace id, got {ids}"
+names = {s["name"] for s in spans}
+for want in ("cli.op", "client.batch", "server.batch", "wal.append"):
+    assert want in names, f"missing span {want!r} (have {sorted(names)})"
+# Client (pid 0) and server (pid >= 1) both contributed.
+pids = {s["pid"] for s in spans}
+assert 0 in pids and any(p >= 1 for p in pids), f"single-process trace: {pids}"
+print(f"trace OK: {len(spans)} spans, {len(names)} stages, one trace id")
+PYEOF
+# Kill one primary mid-service; its standby serves, and every audit chain
+# written so far — including the dead primary's — must still verify.
+for i in $(seq 1 10); do $OBS_CLI set "obs-key$i" "obs-val$i" > /dev/null; done
+kill -9 "$OPA_PID"
+$OBS_CLI get obs-key1 > /dev/null || { echo "obs smoke: read after kill failed"; exit 1; }
+./build/tools/audit_verify --quiet "$OBS_DIR"/opa.audit "$OBS_DIR"/opb.audit \
+  "$OBS_DIR"/ofa.audit "$OBS_DIR"/ofb.audit \
+  || { echo "obs smoke: audit chain broke across kill -9"; exit 1; }
+# Tamper demo: any single flipped byte and any truncation must be rejected.
+cp "$OBS_DIR/opb.audit" "$OBS_DIR/tampered.audit"
+AUD_SIZE="$(stat -c%s "$OBS_DIR/tampered.audit")"
+printf '\xff' | dd of="$OBS_DIR/tampered.audit" bs=1 seek="$((AUD_SIZE / 2))" \
+  conv=notrunc status=none
+./build/tools/audit_verify --quiet "$OBS_DIR/tampered.audit" > /dev/null 2>&1 \
+  && { echo "obs smoke: flipped byte went undetected"; exit 1; }
+head -c "$((AUD_SIZE - 7))" "$OBS_DIR/opb.audit" > "$OBS_DIR/truncated.audit"
+./build/tools/audit_verify --quiet "$OBS_DIR/truncated.audit" > /dev/null 2>&1 \
+  && { echo "obs smoke: truncation went undetected"; exit 1; }
+kill $OBS_PIDS 2>/dev/null || true
+echo "observability smoke OK"
+
+echo "== tracing overhead gate (< 3% at default 1/256 sampling) =="
+# Interleaved A/B windows over one live session pool inside bench_netload:
+# sampling off vs the default 1/256, same sessions, same process — machine
+# drift hits both sides of every pair. The bench's exit code enforces the
+# >= 0.97 throughput ratio.
+./build/bench/bench_netload --sessions 1,64 --seconds 1.0 --no-gates \
+  --trace-overhead 3 --out "$OBS_DIR/nl-trace.json"
 
 echo "== reactor netload: 10k sessions against a live daemon =="
 # One epoll generator process ramps to 10k attested sessions against the

@@ -9,6 +9,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/obs/audit.h"
+
 namespace shield::alloc {
 namespace {
 
@@ -123,6 +125,12 @@ Status PersistentArena::Open(const std::string& path, size_t capacity_bytes,
 
   Status status = fresh ? InitFresh(partition_index, num_slots) : Recover(partition_index, num_slots);
   if (!status.ok()) {
+    if (status.code() == Code::kIntegrityFailure) {
+      // Superblock/geometry/chain refusal: the heap file exists but cannot
+      // be trusted. One audit record per refusal, at the single funnel every
+      // validation path drains through.
+      obs::AuditEvent(obs::AuditType::kArenaRefusal, status.message());
+    }
     munmap(base_, capacity_);
     base_ = nullptr;
   }

@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <string>
 #include <vector>
+
+#include "src/obs/audit.h"
 
 namespace shield::faultinject {
 namespace {
@@ -126,6 +129,10 @@ Status TamperAgent::CaptureEntry(shieldstore::Store& store) {
 }
 
 Status TamperAgent::Tamper(shieldstore::Store& store, TamperMode mode) {
+  // Tamper activations are themselves integrity-relevant events: the audit
+  // chain must show the injection that explains the findings that follow.
+  obs::AuditEvent(obs::AuditType::kTamperInject,
+                  std::string("tamper injection: ") + std::string(TamperModeName(mode)));
   switch (mode) {
     case TamperMode::kBitFlipCiphertext: {
       Result<Target> target = PickEntry(store, /*prefer_value=*/true);

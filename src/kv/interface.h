@@ -48,6 +48,8 @@ struct StoreStats {
   uint64_t decryptions = 0;        // entry decrypt operations (Figure 9)
   uint64_t mac_verifications = 0;  // bucket-set MAC-hash checks
   uint64_t cache_hits = 0;         // EPC-resident plaintext cache (§6.3)
+  uint64_t cache_lookups = 0;      // plaintext-cache probes (hits + misses)
+  uint64_t cache_bytes = 0;        // plaintext bytes resident in the cache
   uint64_t crypto_ctr_bytes = 0;   // bytes through AES-CTR (entry payloads)
   uint64_t crypto_cmac_bytes = 0;  // bytes through CMAC (entry + set MACs)
 };

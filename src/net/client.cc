@@ -23,6 +23,23 @@ timeval ToTimeval(int ms) {
   return tv;
 }
 
+// Static span names: the tracer stores the pointer, not a copy.
+const char* VerbSpanName(OpCode op) {
+  switch (op) {
+    case OpCode::kGet: return "client.get";
+    case OpCode::kSet: return "client.set";
+    case OpCode::kDelete: return "client.delete";
+    case OpCode::kAppend: return "client.append";
+    case OpCode::kIncrement: return "client.increment";
+    case OpCode::kPing: return "client.ping";
+    case OpCode::kBatch: return "client.batch";
+    case OpCode::kStats: return "client.stats";
+    case OpCode::kReplicate: return "client.replicate";
+    case OpCode::kTraceDump: return "client.tracedump";
+  }
+  return "client.op";
+}
+
 }  // namespace
 
 Client::Client(const sgx::AttestationAuthority& authority, const sgx::Measurement& expected,
@@ -83,6 +100,7 @@ Status Client::Connect(uint16_t port) {
   port_ = port;
   const int attempts = std::max(options_.connect_attempts, 1);
   int backoff_ms = options_.connect_backoff_ms;
+  bool try_tracing = options_.enable_tracing;
   Status last;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0 && backoff_ms > 0) {
@@ -94,13 +112,27 @@ Status Client::Connect(uint16_t port) {
     if (!last.ok()) {
       continue;
     }
-    Result<Bytes> key_material = ClientHandshake(fd_, authority_, expected_);
-    if (key_material.ok()) {
-      session_ = std::make_unique<SessionCrypto>(*key_material, /*is_client=*/true, encrypt_);
+    ClientHandshakeOptions hs;
+    hs.request_tracing = try_tracing;
+    Result<ClientHandshakeResult> handshake =
+        ClientHandshakeEx(fd_, authority_, expected_, hs);
+    if (handshake.ok()) {
+      session_tracing_ = handshake->tracing;
+      session_ = std::make_unique<SessionCrypto>(handshake->key_material,
+                                                 /*is_client=*/true, encrypt_);
       return Status::Ok();
     }
-    last = key_material.status();
+    last = handshake.status();
     Close();
+    if (try_tracing) {
+      // An old server rejects the extended hello and closes the connection.
+      // Fall back to the legacy hello once (without consuming an attempt)
+      // before treating the failure as real.
+      try_tracing = false;
+      --attempt;
+      backoff_ms = options_.connect_backoff_ms;
+      continue;
+    }
     if (last.code() != Code::kIoError) {
       // Attestation / protocol rejection: retrying cannot help, and hides
       // a possibly-impersonated server behind "transient failure".
@@ -116,6 +148,7 @@ void Client::Close() {
     fd_ = -1;
   }
   session_.reset();
+  session_tracing_ = false;
 }
 
 Status Client::Reconnect(uint16_t port) {
@@ -134,7 +167,14 @@ Status Client::SendRequest(const Request& request) {
   if (!connected()) {
     return Status(Code::kIoError, "not connected");
   }
-  return SendFrame(fd_, session_->Seal(EncodeRequest(request)));
+  Bytes plaintext = EncodeRequest(request);
+  if (session_tracing_) {
+    const obs::TraceContext ctx = obs::CurrentTrace();
+    if (ctx.active()) {
+      plaintext = PrependTraceContext(ctx, plaintext);
+    }
+  }
+  return SendFrame(fd_, session_->Seal(plaintext));
 }
 
 Result<Response> Client::ReceiveResponse() {
@@ -153,6 +193,7 @@ Result<Response> Client::ReceiveResponse() {
 }
 
 Result<Response> Client::Execute(const Request& request) {
+  obs::TraceScope span(VerbSpanName(request.op));
   if (Status s = SendRequest(request); !s.ok()) {
     return s;
   }
@@ -169,7 +210,15 @@ Result<std::vector<Response>> Client::ExecuteBatch(const std::vector<Request>& o
   if (ops.size() > kMaxBatchOps) {
     return Status(Code::kProtocolError, "batch has too many sub-ops");
   }
-  if (Status s = SendFrame(fd_, session_->Seal(EncodeBatchRequest(ops))); !s.ok()) {
+  obs::TraceScope span("client.batch");
+  Bytes wire = EncodeBatchRequest(ops);
+  if (session_tracing_) {
+    const obs::TraceContext ctx = obs::CurrentTrace();
+    if (ctx.active()) {
+      wire = PrependTraceContext(ctx, wire);
+    }
+  }
+  if (Status s = SendFrame(fd_, session_->Seal(wire)); !s.ok()) {
     return s;
   }
   Result<Bytes> record = RecvFrame(fd_);
@@ -210,6 +259,19 @@ Result<obs::MetricsSnapshot> Client::Stats() {
     return Status(response->status, "stats request rejected");
   }
   return obs::DecodeStatsSnapshot(AsBytes(response->value));
+}
+
+Result<std::vector<obs::SpanRecord>> Client::TraceDump() {
+  Request request;
+  request.op = OpCode::kTraceDump;
+  Result<Response> response = Execute(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response->status != Code::kOk) {
+    return Status(response->status, "trace dump rejected");
+  }
+  return obs::DecodeTraceDump(AsBytes(response->value));
 }
 
 Result<std::vector<Response>> Client::MGet(const std::vector<std::string>& keys) {

@@ -30,6 +30,13 @@ struct ClientOptions {
   // times with fixed backoff before surfacing the code to the caller.
   int recovering_retries = 0;
   int recovering_backoff_ms = 20;
+
+  // Request trace propagation at handshake. When granted, sampled ops carry
+  // the 16-byte trace-context frame extension. Off by default: a client
+  // without this flag is byte-identical to a pre-tracing client, and a
+  // tracing client talking to an old server falls back to the legacy
+  // handshake automatically (one extra connect attempt).
+  bool enable_tracing = false;
 };
 
 class Client {
@@ -81,6 +88,13 @@ class Client {
   // self-heal state. A malformed snapshot frame decodes to kProtocolError.
   Result<obs::MetricsSnapshot> Stats();
 
+  // Drains the server's span buffer over the kTraceDump verb. Destructive:
+  // each span is returned exactly once across all callers.
+  Result<std::vector<obs::SpanRecord>> TraceDump();
+
+  // True when the connected session negotiated trace propagation.
+  bool tracing() const { return session_tracing_; }
+
   // Pipelined interface: up to `depth` Sends may be outstanding before the
   // matching Receives (responses arrive in order).
   Status SendRequest(const Request& request);
@@ -105,6 +119,7 @@ class Client {
   ClientOptions options_;
   int fd_ = -1;
   uint16_t port_ = 0;
+  bool session_tracing_ = false;
   std::unique_ptr<SessionCrypto> session_;
 };
 

@@ -82,12 +82,13 @@ Status TakeRequest(ByteSpan& in, Request& request, bool in_batch) {
     return Status(Code::kProtocolError, "request too short");
   }
   const uint8_t op = in[0];
-  if (op < 1 || op > static_cast<uint8_t>(OpCode::kReplicate) ||
+  if (op < 1 || op > static_cast<uint8_t>(OpCode::kTraceDump) ||
       op == static_cast<uint8_t>(OpCode::kBatch)) {
     return Status(Code::kProtocolError, "unknown opcode");
   }
   if (in_batch && (op == static_cast<uint8_t>(OpCode::kStats) ||
-                   op == static_cast<uint8_t>(OpCode::kReplicate))) {
+                   op == static_cast<uint8_t>(OpCode::kReplicate) ||
+                   op == static_cast<uint8_t>(OpCode::kTraceDump))) {
     return Status(Code::kProtocolError, "singleton-only verb inside a batch");
   }
   request.op = static_cast<OpCode>(op);
@@ -246,6 +247,29 @@ Result<std::vector<Response>> DecodeBatchResponse(ByteSpan payload) {
     return Status(Code::kProtocolError, "trailing bytes after batch response");
   }
   return responses;
+}
+
+Bytes PrependTraceContext(const obs::TraceContext& ctx, ByteSpan inner) {
+  Bytes out;
+  out.reserve(kTraceExtBytes + inner.size());
+  out.push_back(kTraceExtMarker);
+  out.push_back(kTraceExtVersion);
+  uint8_t wire[obs::kTraceContextWireSize];
+  obs::EncodeTraceContext(ctx, wire);
+  out.insert(out.end(), wire, wire + sizeof(wire));
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+Result<std::pair<obs::TraceContext, ByteSpan>> PeelTraceExtension(ByteSpan payload) {
+  if (payload.size() < kTraceExtBytes || payload[0] != kTraceExtMarker) {
+    return Status(Code::kProtocolError, "malformed trace extension");
+  }
+  if (payload[1] != kTraceExtVersion) {
+    return Status(Code::kProtocolError, "unsupported trace extension version");
+  }
+  const obs::TraceContext ctx = obs::DecodeTraceContext(payload.data() + 2);
+  return std::make_pair(ctx, payload.subspan(kTraceExtBytes));
 }
 
 Status SendFrame(int fd, ByteSpan payload) {

@@ -7,10 +7,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/obs/tracer.h"
 
 namespace shield::net {
 
@@ -43,6 +45,10 @@ enum class OpCode : uint8_t {
   // group-commit leader to its warm standby, plus the bootstrap/promote
   // control messages. Singleton frames only — rejected inside a kBatch.
   kReplicate = 9,
+  // Observability: drains the server's central span buffer; the response
+  // value carries a versioned trace dump (src/obs/tracer.h). Singleton
+  // frames only — rejected inside a kBatch.
+  kTraceDump = 10,
 };
 
 struct Request {
@@ -84,6 +90,32 @@ Bytes EncodeBatchRequest(const std::vector<Request>& ops);
 Result<std::vector<Request>> DecodeBatchRequest(ByteSpan payload);
 Bytes EncodeBatchResponse(const std::vector<Response>& responses);
 Result<std::vector<Response>> DecodeBatchResponse(ByteSpan payload);
+
+// --- trace-context frame extension ---
+//
+// A versioned prefix that may precede any sealed request plaintext (single
+// or batch): [u8 0xC7][u8 version=1][16-byte trace context]. 0xC7 is
+// outside the opcode range and outside the batch marker, so a receiver can
+// always distinguish an extended frame from a bare request. Senders attach
+// it only on handshake-negotiated tracing sessions and only for sampled
+// ops; the extension never changes response bytes, so old and new peers
+// remain byte-compatible whenever tracing is off. Unknown future versions
+// are a typed decode error, not a crash.
+inline constexpr uint8_t kTraceExtMarker = 0xC7;
+inline constexpr uint8_t kTraceExtVersion = 1;
+inline constexpr size_t kTraceExtBytes = 2 + obs::kTraceContextWireSize;
+
+inline bool HasTraceExtension(ByteSpan payload) {
+  return !payload.empty() && payload[0] == kTraceExtMarker;
+}
+
+// Prepends the extension to an encoded request payload.
+Bytes PrependTraceContext(const obs::TraceContext& ctx, ByteSpan inner);
+
+// Splits an extended payload into (context, inner request bytes). Call only
+// when HasTraceExtension(); malformed or unknown-version extensions return
+// kProtocolError.
+Result<std::pair<obs::TraceContext, ByteSpan>> PeelTraceExtension(ByteSpan payload);
 
 // Blocking length-prefixed framing over a socket. A frame is
 // [u32 little-endian length][payload]. Recv returns kIoError on EOF.

@@ -50,6 +50,7 @@ struct ReactorOptions {
   obs::Counter* sessions_opened = nullptr;   // lifetime accepts
   obs::Counter* sessions_rejected = nullptr; // closed at accept (max_sessions)
   obs::Histogram* loop_lag = nullptr;        // ns per loop handling pass
+  obs::Gauge* coalesce_target = nullptr;     // most recent adaptive batch budget
 };
 
 class Reactor {

@@ -18,7 +18,15 @@ namespace {
 
 // Indexed by raw opcode; slot 0 is the "unknown" sentinel.
 constexpr const char* kVerbNames[] = {nullptr,  "get",  "set",   "delete", "append",
-                                      "increment", "ping", "batch", "stats", "replicate"};
+                                      "increment", "ping", "batch", "stats", "replicate",
+                                      "tracedump"};
+
+// Server-side span names, indexed the same way (static literals: the tracer
+// stores the pointer).
+constexpr const char* kServerSpanNames[] = {
+    "server.op",        "server.get",   "server.set",   "server.delete",
+    "server.append",    "server.increment", "server.ping", "server.batch",
+    "server.stats",     "server.replicate", "server.tracedump"};
 
 }  // namespace
 
@@ -94,6 +102,7 @@ Status Server::Start() {
   ropts.sessions_opened = &metrics_->GetCounter("net.sessions_opened");
   ropts.sessions_rejected = &metrics_->GetCounter("net.sessions_rejected");
   ropts.loop_lag = &metrics_->GetHistogram("net.reactor_loop_lag");
+  ropts.coalesce_target = &metrics_->GetGauge("net.coalesce_target");
 
   Reactor::Handlers handlers;
   handlers.on_handshake = [this](Session& s, ByteSpan hello, Bytes* reply) {
@@ -157,6 +166,10 @@ void Server::MaintenanceLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     lock.unlock();
     options_.maintenance();
+    // Fold per-thread span rings into the central buffer so kTraceDump sees
+    // spans from every I/O and responder thread, and overflow drops are
+    // bounded by one maintenance interval.
+    obs::TraceDrain();
     maintenance_ticks_.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
     maintenance_cv_.wait_for(lock, interval, [this] {
@@ -251,6 +264,15 @@ Response Server::Dispatch(const Request& request) {
         response.status = Code::kUnsupported;
       }
       break;
+    case OpCode::kTraceDump: {
+      // Destructive drain of the span buffer: fold every thread ring first
+      // so the dump includes spans recorded since the last maintenance tick.
+      obs::TraceDrain();
+      const Bytes frame = obs::EncodeTraceDump(obs::TraceConsume());
+      response.status = Code::kOk;
+      response.value.assign(reinterpret_cast<const char*>(frame.data()), frame.size());
+      break;
+    }
     case OpCode::kBatch:
       // Batches are decoded and dispatched by DispatchBatch; a kBatch that
       // reaches here is a sub-op smuggled past decode validation.
@@ -355,6 +377,7 @@ void Server::ProcessSessionRun(SessionCrypto& session, const std::vector<Bytes>&
     enum Kind : uint8_t { kOp, kSingle, kBatch, kError } kind = kError;
     Request request;              // kOp / kSingle
     std::vector<Request> batch;   // kBatch
+    obs::TraceContext trace;      // peeled frame-header extension (if any)
   };
   std::vector<Unit> units;
   units.reserve(records.size());
@@ -372,16 +395,31 @@ void Server::ProcessSessionRun(SessionCrypto& session, const std::vector<Bytes>&
       break;
     }
     Unit u;
-    if (IsBatchRequest(*plaintext)) {
+    // The optional trace-context extension precedes the request proper.
+    // Accepted unconditionally (it rode inside the authenticated record);
+    // a malformed extension is a typed protocol error like any bad request.
+    ByteSpan payload(*plaintext);
+    if (HasTraceExtension(payload)) {
+      Result<std::pair<obs::TraceContext, ByteSpan>> peeled = PeelTraceExtension(payload);
+      if (!peeled.ok()) {
+        protocol_errors_->Inc();
+        u.kind = Unit::kError;
+        units.push_back(std::move(u));
+        continue;
+      }
+      u.trace = peeled->first;
+      payload = peeled->second;
+    }
+    if (IsBatchRequest(payload)) {
       // One Open above and one Seal below cover every sub-op in the frame —
       // the whole point of the batch opcode. A malformed batch answers with a
       // SINGLE typed error (the client's decoder falls back on the marker).
       // Frame-size distribution feeds capacity planning: router-forwarded
       // batches and pipelined clients show up here without a packet capture.
-      batch_frame_bytes_->Record(plaintext->size());
+      batch_frame_bytes_->Record(payload.size());
       Result<std::vector<Request>> batch = [&] {
         obs::ScopedStage stage(metrics_, obs::Stage::kDecode);
-        return DecodeBatchRequest(*plaintext);
+        return DecodeBatchRequest(payload);
       }();
       if (batch.ok()) {
         u.kind = Unit::kBatch;
@@ -393,7 +431,7 @@ void Server::ProcessSessionRun(SessionCrypto& session, const std::vector<Bytes>&
     } else {
       Result<Request> request = [&] {
         obs::ScopedStage stage(metrics_, obs::Stage::kDecode);
-        return DecodeRequest(*plaintext);
+        return DecodeRequest(payload);
       }();
       if (request.ok()) {
         // Plain data ops (and pings) coalesce; kStats/kReplicate keep their
@@ -437,9 +475,21 @@ void Server::ProcessSessionRun(SessionCrypto& session, const std::vector<Bytes>&
         const size_t n = j - i;
         if (n == 1) {
           const uint8_t verb = static_cast<uint8_t>(u.request.op);
+          obs::TraceScope span(kServerSpanNames[verb < kVerbSlots ? verb : 0], u.trace);
           seal(EncodeResponse(Dispatch(u.request)));
           record_latency(verb, t_start);
         } else {
+          // A coalesced run carries at most a handful of traced frames; the
+          // run-level span adopts the first sampled context so the client's
+          // frame shows up under the submission that actually executed it.
+          obs::TraceContext run_trace;
+          for (size_t k = i; k < j; ++k) {
+            if (units[k].trace.active()) {
+              run_trace = units[k].trace;
+              break;
+            }
+          }
+          obs::TraceScope span("server.coalesced", run_trace);
           std::vector<Request> ops;
           ops.reserve(n);
           for (size_t k = i; k < j; ++k) {
@@ -456,6 +506,7 @@ void Server::ProcessSessionRun(SessionCrypto& session, const std::vector<Bytes>&
       }
       case Unit::kSingle: {
         const uint8_t verb = static_cast<uint8_t>(u.request.op);
+        obs::TraceScope span(kServerSpanNames[verb < kVerbSlots ? verb : 0], u.trace);
         seal(EncodeResponse(Dispatch(u.request)));
         record_latency(verb, t_start);
         ++i;
@@ -463,6 +514,7 @@ void Server::ProcessSessionRun(SessionCrypto& session, const std::vector<Bytes>&
       }
       case Unit::kBatch: {
         const uint8_t verb = static_cast<uint8_t>(OpCode::kBatch);
+        obs::TraceScope span(kServerSpanNames[verb], u.trace);
         op_counters_[verb]->Inc();
         seal(EncodeBatchResponse(DispatchBatch(u.batch)));
         record_latency(verb, t_start);
@@ -536,6 +588,13 @@ obs::MetricsSnapshot Server::BuildStatsSnapshot() {
   snap.SetCounter("store.decryptions", ss.decryptions);
   snap.SetCounter("store.mac_verifications", ss.mac_verifications);
   snap.SetCounter("store.cache_hits", ss.cache_hits);
+  // EPC plaintext-cache effectiveness (§6.3): probes, outcomes, and bytes
+  // resident, so operators can size --cache-bytes from a live server.
+  snap.SetCounter("store.cache.lookups", ss.cache_lookups);
+  snap.SetCounter("store.cache.hits", ss.cache_hits);
+  snap.SetCounter("store.cache.misses",
+                  ss.cache_lookups >= ss.cache_hits ? ss.cache_lookups - ss.cache_hits : 0);
+  snap.SetGauge("store.cache.bytes", static_cast<int64_t>(ss.cache_bytes));
   snap.SetCounter("store.crypto.ctr_bytes", ss.crypto_ctr_bytes);
   snap.SetCounter("store.crypto.cmac_bytes", ss.crypto_cmac_bytes);
   // Which AES implementation produced this process's numbers (0 = table

@@ -184,8 +184,8 @@ class Server {
   std::atomic<uint64_t> coalesced_ops_n_{0};
 
   // Metric handles, cached at construction (registry lookups take a mutex).
-  // Verb-indexed arrays use the raw opcode (1..9); slot 0 stays null.
-  static constexpr size_t kVerbSlots = 10;
+  // Verb-indexed arrays use the raw opcode (1..10); slot 0 stays null.
+  static constexpr size_t kVerbSlots = 11;
   obs::Registry* metrics_ = nullptr;
   obs::Counter* op_counters_[kVerbSlots] = {};        // net.ops.<verb>
   obs::Counter* batch_verb_counters_[kVerbSlots] = {};  // net.batch_ops.<verb>

@@ -66,6 +66,32 @@ class Session {
   // drained or would-block).
   bool Flush();
 
+  // --- adaptive coalescing --------------------------------------------
+  // Per-session implicit-batch budget. Starts at the configured maximum (a
+  // fresh pipelined burst coalesces fully from frame one) and follows the
+  // observed burst-size EWMA: a session extracting full runs doubles back
+  // toward the max, a request/response session shrinks toward 1 so the
+  // reactor stops over-scanning its parse buffer. Responses are identical
+  // either way — only the enclave-submission grouping changes.
+  size_t coalesce_target(size_t max) {
+    if (coalesce_target_ == 0 || coalesce_target_ > max) {
+      coalesce_target_ = max;
+    }
+    return coalesce_target_;
+  }
+  void NoteBurst(size_t n, size_t max) {
+    burst_ewma_ = burst_ewma_ == 0.0
+                      ? static_cast<double>(n)
+                      : 0.75 * burst_ewma_ + 0.25 * static_cast<double>(n);
+    if (n >= coalesce_target_) {
+      coalesce_target_ = coalesce_target_ * 2 > max ? max : coalesce_target_ * 2;
+    } else {
+      size_t want = static_cast<size_t>(burst_ewma_ * 2.0) + 1;
+      if (want > max) want = max;
+      coalesce_target_ = want;
+    }
+  }
+
   // The peer half-closed its write side (read() returned 0): no more input
   // will ever arrive, but buffered frames must still be answered.
   bool peer_eof = false;
@@ -92,6 +118,10 @@ class Session {
   // Output buffer with a flushed-prefix offset.
   Bytes out_;
   size_t out_off_ = 0;
+
+  // Adaptive coalescing state (see coalesce_target/NoteBurst).
+  size_t coalesce_target_ = 0;  // 0 = uninitialised; clamped to max on first use
+  double burst_ewma_ = 0.0;
 
   void CompactInput();
   void CompactOutput();

@@ -1,0 +1,262 @@
+#include "src/obs/audit.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "src/common/bytes.h"
+#include "src/obs/metrics.h"
+
+namespace shield::obs {
+namespace {
+
+uint64_t UnixNanos() {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// Serialises header+detail (everything covered by the chain digest, minus
+// the digest itself) into `out`.
+void BuildRecordBytes(uint64_t seq, uint64_t nanos, AuditType type,
+                      std::string_view detail, Bytes& out) {
+  out.resize(kAuditHeaderBytes + detail.size());
+  uint8_t* p = out.data();
+  StoreLe32(p, kAuditMagic);
+  StoreLe64(p + 4, seq);
+  StoreLe64(p + 12, nanos);
+  p[20] = static_cast<uint8_t>(static_cast<uint16_t>(type) & 0xff);
+  p[21] = static_cast<uint8_t>(static_cast<uint16_t>(type) >> 8);
+  StoreLe32(p + 22, static_cast<uint32_t>(detail.size()));
+  std::memcpy(p + kAuditHeaderBytes, detail.data(), detail.size());
+}
+
+crypto::Sha256Digest ChainDigest(const crypto::Sha256Digest& prev,
+                                 ByteSpan record_bytes) {
+  crypto::Sha256 hasher;
+  hasher.Update(ByteSpan(prev.data(), prev.size()));
+  hasher.Update(record_bytes);
+  return hasher.Finalize();
+}
+
+Status IoError(const char* what, const std::string& path) {
+  return Status(Code::kIoError,
+                std::string(what) + " " + path + ": " + strerror(errno));
+}
+
+// Walks the chain in an in-memory buffer. Shared by Open() resume and
+// VerifyAuditFile.
+Status WalkChain(ByteSpan data, AuditChainSummary* summary,
+                 std::vector<AuditRecord>* records_out) {
+  crypto::Sha256Digest prev{};
+  uint64_t count = 0;
+  size_t off = 0;
+  while (off < data.size()) {
+    const size_t record_start = off;
+    if (data.size() - off < kAuditHeaderBytes) {
+      return Status(Code::kIntegrityFailure,
+                    "audit chain: truncated record header at offset " +
+                        std::to_string(record_start));
+    }
+    const uint8_t* p = data.data() + off;
+    if (LoadLe32(p) != kAuditMagic) {
+      return Status(Code::kIntegrityFailure,
+                    "audit chain: bad record magic at offset " +
+                        std::to_string(record_start));
+    }
+    const uint64_t seq = LoadLe64(p + 4);
+    const uint64_t nanos = LoadLe64(p + 12);
+    const uint16_t type_raw = static_cast<uint16_t>(p[20]) |
+                              (static_cast<uint16_t>(p[21]) << 8);
+    const uint32_t detail_len = LoadLe32(p + 22);
+    if (detail_len > kAuditMaxDetailBytes) {
+      return Status(Code::kIntegrityFailure,
+                    "audit chain: oversized detail at offset " +
+                        std::to_string(record_start));
+    }
+    const size_t body = kAuditHeaderBytes + detail_len;
+    if (data.size() - off < body + crypto::kSha256Size) {
+      return Status(Code::kIntegrityFailure,
+                    "audit chain: truncated record at offset " +
+                        std::to_string(record_start));
+    }
+    if (seq != count) {
+      return Status(Code::kIntegrityFailure,
+                    "audit chain: sequence discontinuity at offset " +
+                        std::to_string(record_start));
+    }
+    const crypto::Sha256Digest want =
+        ChainDigest(prev, data.subspan(off, body));
+    const uint8_t* got = p + body;
+    if (!ConstantTimeEqual(ByteSpan(want.data(), want.size()),
+                           ByteSpan(got, crypto::kSha256Size))) {
+      return Status(Code::kIntegrityFailure,
+                    "audit chain: digest mismatch at offset " +
+                        std::to_string(record_start));
+    }
+    if (records_out != nullptr) {
+      AuditRecord r;
+      r.seq = seq;
+      r.unix_nanos = nanos;
+      r.type = static_cast<AuditType>(type_raw);
+      r.detail.assign(reinterpret_cast<const char*>(p + kAuditHeaderBytes),
+                      detail_len);
+      std::memcpy(r.digest.data(), got, crypto::kSha256Size);
+      records_out->push_back(std::move(r));
+    }
+    std::memcpy(prev.data(), got, crypto::kSha256Size);
+    off += body + crypto::kSha256Size;
+    ++count;
+  }
+  if (summary != nullptr) {
+    summary->records = count;
+    summary->head = prev;
+  }
+  return Status::Ok();
+}
+
+Status ReadWholeFile(const std::string& path, Bytes& out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoError("open", path);
+  out.clear();
+  uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoError("read", path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+std::atomic<AuditLog*> g_audit_log{nullptr};
+
+}  // namespace
+
+const char* AuditTypeName(AuditType type) {
+  switch (type) {
+    case AuditType::kStart: return "start";
+    case AuditType::kScrubFinding: return "scrub_finding";
+    case AuditType::kMacMismatch: return "mac_mismatch";
+    case AuditType::kArenaRefusal: return "arena_refusal";
+    case AuditType::kQuarantineEnter: return "quarantine_enter";
+    case AuditType::kQuarantineExit: return "quarantine_exit";
+    case AuditType::kEpochFenceReject: return "epoch_fence_reject";
+    case AuditType::kPromotion: return "promotion";
+    case AuditType::kTamperInject: return "tamper_inject";
+    case AuditType::kRecovery: return "recovery";
+    case AuditType::kSloBreach: return "slo_breach";
+  }
+  return "unknown";
+}
+
+AuditLog::~AuditLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AuditLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return Status(Code::kInvalidArgument, "audit log already open");
+
+  Bytes existing;
+  Status read = ReadWholeFile(path, existing);
+  if (!read.ok() && read.code() != Code::kIoError) return read;
+  if (read.ok() && !existing.empty()) {
+    AuditChainSummary summary;
+    Status chain = WalkChain(existing, &summary, nullptr);
+    if (!chain.ok()) return chain;
+    next_seq_ = summary.records;
+    prev_digest_ = summary.head;
+  } else {
+    next_seq_ = 0;
+    prev_digest_ = {};
+  }
+
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) return IoError("open", path);
+
+  // kStart marks every (re)open so restarts are themselves audited.
+  Bytes record;
+  BuildRecordBytes(next_seq_, UnixNanos(), AuditType::kStart,
+                   "audit log opened", record);
+  const crypto::Sha256Digest digest = ChainDigest(prev_digest_, record);
+  record.insert(record.end(), digest.begin(), digest.end());
+  ssize_t n = ::write(fd_, record.data(), record.size());
+  if (n != static_cast<ssize_t>(record.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    return IoError("write", path);
+  }
+  ::fdatasync(fd_);
+  prev_digest_ = digest;
+  ++next_seq_;
+  return Status::Ok();
+}
+
+Status AuditLog::Append(AuditType type, std::string_view detail) {
+  if (detail.size() > kAuditMaxDetailBytes) {
+    detail = detail.substr(0, kAuditMaxDetailBytes);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status(Code::kInvalidArgument, "audit log not open");
+  Bytes record;
+  BuildRecordBytes(next_seq_, UnixNanos(), type, detail, record);
+  const crypto::Sha256Digest digest = ChainDigest(prev_digest_, record);
+  record.insert(record.end(), digest.begin(), digest.end());
+  const ssize_t n = ::write(fd_, record.data(), record.size());
+  if (n != static_cast<ssize_t>(record.size())) {
+    return Status(Code::kIoError,
+                  std::string("audit append: ") + strerror(errno));
+  }
+  ::fdatasync(fd_);
+  prev_digest_ = digest;
+  ++next_seq_;
+  return Status::Ok();
+}
+
+uint64_t AuditLog::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+Status VerifyAuditFile(const std::string& path, AuditChainSummary* summary,
+                       std::vector<AuditRecord>* records_out) {
+  Bytes data;
+  Status read = ReadWholeFile(path, data);
+  if (!read.ok()) return read;
+  return WalkChain(data, summary, records_out);
+}
+
+void InstallAuditLog(AuditLog* log) {
+  g_audit_log.store(log, std::memory_order_release);
+}
+
+AuditLog* InstalledAuditLog() {
+  return g_audit_log.load(std::memory_order_acquire);
+}
+
+void AuditEvent(AuditType type, std::string_view detail) {
+#if SHIELD_OBS_ENABLED
+  {
+    static Counter* events = &Registry::Global().GetCounter("audit.events");
+    events->Inc();
+    std::string name = std::string("audit.") + AuditTypeName(type);
+    Registry::Global().GetCounter(name).Inc();
+  }
+#endif
+  AuditLog* log = g_audit_log.load(std::memory_order_acquire);
+  if (log != nullptr) (void)log->Append(type, detail);
+}
+
+}  // namespace shield::obs

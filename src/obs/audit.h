@@ -1,0 +1,121 @@
+// Hash-chained security audit log.
+//
+// Every integrity-relevant event in the system — scrub findings, bucket-set
+// MAC mismatches, arena attach refusals, quarantine transitions, epoch fence
+// rejections, replica promotions, tamper-injection activations, SLO breaches
+// — is appended as a structured record whose trailer chains
+// SHA-256(prev_digest || record_header || detail). The chain makes the file
+// append-only in an adversarial sense: a host that flips a byte, rewrites a
+// record, or truncates the tail is detected exactly like a tampered store
+// entry, by anyone holding the file (tools/audit_verify) — no enclave
+// secret is needed because the chain protects ordering and integrity, not
+// confidentiality.
+//
+// Record layout (all little-endian):
+//   [u32 magic "SSA1"][u64 seq][u64 unix_nanos][u16 type]
+//   [u32 detail_len <= 4096][detail bytes][32-byte chain digest]
+// digest = SHA-256(prev_digest || everything before the digest field);
+// the genesis prev_digest is 32 zero bytes.
+//
+// Appends take one mutex, build the full record in memory, and issue a
+// single write() followed by fdatasync() — so a kill -9 can leave at most
+// one partial record at the tail, which Open() and VerifyFile() treat as a
+// detectable-but-distinguishable torn tail (Open refuses to resume past
+// it; VerifyFile reports it as corruption).
+#ifndef SHIELDSTORE_SRC_OBS_AUDIT_H_
+#define SHIELDSTORE_SRC_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/sha256.h"
+
+namespace shield::obs {
+
+enum class AuditType : uint16_t {
+  kStart = 1,            // log opened (or re-opened after restart)
+  kScrubFinding = 2,     // background scrub detected a violation
+  kMacMismatch = 3,      // bucket-set MAC verification failed on an op path
+  kArenaRefusal = 4,     // persistent arena attach rejected (superblock/geometry)
+  kQuarantineEnter = 5,  // partition quarantined
+  kQuarantineExit = 6,   // partition recovered and re-admitted
+  kEpochFenceReject = 7, // replica rejected a stale-epoch or gapped ship
+  kPromotion = 8,        // replica promoted to primary
+  kTamperInject = 9,     // fault-injection agent activated
+  kRecovery = 10,        // self-healer replayed a partition from WAL
+  kSloBreach = 11,       // watchdog threshold exceeded
+};
+
+const char* AuditTypeName(AuditType type);
+
+inline constexpr uint32_t kAuditMagic = 0x31415353;  // "SSA1" little-endian
+inline constexpr size_t kAuditMaxDetailBytes = 4096;
+inline constexpr size_t kAuditHeaderBytes = 4 + 8 + 8 + 2 + 4;
+
+struct AuditRecord {
+  uint64_t seq = 0;
+  uint64_t unix_nanos = 0;
+  AuditType type = AuditType::kStart;
+  std::string detail;
+  crypto::Sha256Digest digest{};  // chain digest over this record
+};
+
+// Result of walking a chain file front to back.
+struct AuditChainSummary {
+  uint64_t records = 0;
+  crypto::Sha256Digest head{};  // digest of the last intact record (zeros if none)
+};
+
+class AuditLog {
+ public:
+  AuditLog() = default;
+  ~AuditLog();
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  // Opens (creating if absent) and verifies the existing chain, resuming
+  // seq/digest from its tail, then appends a kStart record. Refuses a file
+  // whose chain does not verify — an operator must inspect and move it
+  // aside rather than have the daemon silently continue a broken chain.
+  Status Open(const std::string& path);
+
+  // Appends one fsync'd record. Detail beyond kAuditMaxDetailBytes is
+  // truncated. Safe from any thread.
+  Status Append(AuditType type, std::string_view detail);
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t records_written() const;
+
+ private:
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t next_seq_ = 0;
+  crypto::Sha256Digest prev_digest_{};
+};
+
+// Walks the chain in `path`, verifying every digest. On success fills
+// `summary`. `records_out`, when non-null, additionally receives every
+// decoded record (for rendering). Any flipped byte, rewritten record,
+// truncation mid-record, or trailing garbage yields kIntegrityFailure with
+// a message naming the offending byte offset.
+Status VerifyAuditFile(const std::string& path, AuditChainSummary* summary,
+                       std::vector<AuditRecord>* records_out = nullptr);
+
+// --- process-global sink ------------------------------------------------
+//
+// Deep components (arena attach, scrub, replica fences) emit through this
+// free function so they need no plumbing; it is a no-op until the daemon
+// installs a log. Install once at startup, before threads spawn.
+void InstallAuditLog(AuditLog* log);
+AuditLog* InstalledAuditLog();
+
+// Appends to the installed log (if any) and bumps the `audit.events` and
+// per-type `audit.<type>` counters in the global registry.
+void AuditEvent(AuditType type, std::string_view detail);
+
+}  // namespace shield::obs
+
+#endif  // SHIELDSTORE_SRC_OBS_AUDIT_H_

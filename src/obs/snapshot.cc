@@ -49,11 +49,41 @@ void PutU64(Bytes& out, uint64_t v) {
 Status Malformed(const char* what) { return Status(Code::kProtocolError, what); }
 
 std::string PrometheusName(std::string_view prefix, std::string_view name) {
-  std::string out(prefix);
+  // Exposition-format metric names match [a-zA-Z_:][a-zA-Z0-9_:]*. The
+  // prefix is caller-supplied and the metric name can arrive over the wire
+  // (a kStats snapshot from a remote peer), so sanitize BOTH: every
+  // non-word byte collapses to '_', and a leading digit gets one prepended.
+  std::string out;
+  out.reserve(prefix.size() + name.size() + 2);
+  for (char c : prefix) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    out.push_back(word ? c : '_');
+  }
   out.push_back('_');
   for (char c : name) {
     const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
     out.push_back(word ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// HELP text per the exposition format: backslash and newline must be
+// escaped ("\\" and "\n"); everything else passes through. Used for the
+// original dotted metric name, which may have crossed the wire.
+std::string PrometheusHelpEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
   }
   return out;
 }
@@ -291,6 +321,10 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot, std::string_view p
   out.reserve(snapshot.metrics.size() * 64);
   for (const Metric& m : snapshot.metrics) {
     const std::string name = PrometheusName(prefix, m.name);
+    // HELP carries the original dotted registry name (escaped): scrapes
+    // keep a lossless pointer back to the source metric even after the
+    // name-mangling above.
+    AppendLine(out, "# HELP %s %s\n", name.c_str(), PrometheusHelpEscape(m.name).c_str());
     switch (m.type) {
       case MetricType::kCounter:
         AppendLine(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(), name.c_str(), m.counter);

@@ -1,8 +1,10 @@
 #include "src/router/replica.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/common/logging.h"
+#include "src/obs/audit.h"
 
 namespace shield::router {
 
@@ -66,6 +68,9 @@ net::Response ReplicaNode::HandleReplicate(const net::Request& request) {
       if (role_ != net::ReplicaRole::kPrimary) {
         role_ = net::ReplicaRole::kPrimary;
         role_gauge_->Set(static_cast<int64_t>(role_));
+        obs::AuditEvent(obs::AuditType::kPromotion,
+                        "promoted to primary by wire request (epoch " +
+                            std::to_string(epoch_) + ")");
         SHIELD_LOG(Info) << "replica promoted to primary (epoch " << epoch_ << ")";
       }
       return ReplyLocked(Code::kOk);
@@ -96,6 +101,9 @@ net::Response ReplicaNode::HandleReplicate(const net::Request& request) {
       }
       if (!bootstrapping_ || frame.epoch != epoch_) {
         rejected_->Inc();
+        obs::AuditEvent(obs::AuditType::kEpochFenceReject,
+                        "snapshot chunk fenced: frame epoch " + std::to_string(frame.epoch) +
+                            " vs replica epoch " + std::to_string(epoch_));
         return ReplyLocked(Code::kInvalidArgument);
       }
       for (const net::ReplicateEntry& e : frame.entries) {
@@ -115,6 +123,9 @@ net::Response ReplicaNode::HandleReplicate(const net::Request& request) {
       }
       if (!bootstrapping_ || frame.epoch != epoch_) {
         rejected_->Inc();
+        obs::AuditEvent(obs::AuditType::kEpochFenceReject,
+                        "snapshot done fenced: frame epoch " + std::to_string(frame.epoch) +
+                            " vs replica epoch " + std::to_string(epoch_));
         return ReplyLocked(Code::kInvalidArgument);
       }
       bootstrapping_ = false;
@@ -133,6 +144,9 @@ net::Response ReplicaNode::HandleReplicate(const net::Request& request) {
       if (epoch_ == 0 || frame.epoch != epoch_ || bootstrapping_ ||
           frame.shard >= watermarks_.size()) {
         rejected_->Inc();
+        obs::AuditEvent(obs::AuditType::kEpochFenceReject,
+                        "entries fenced: frame epoch " + std::to_string(frame.epoch) +
+                            " vs replica epoch " + std::to_string(epoch_));
         return ReplyLocked(Code::kInvalidArgument);
       }
       uint64_t& w = watermarks_[frame.shard];
@@ -146,6 +160,10 @@ net::Response ReplicaNode::HandleReplicate(const net::Request& request) {
         // gone from the shipper's backlog too — only a fresh bootstrap can
         // close it. Never apply across a gap.
         rejected_->Inc();
+        obs::AuditEvent(obs::AuditType::kEpochFenceReject,
+                        "sequence gap fenced: shard " + std::to_string(frame.shard) +
+                            " watermark " + std::to_string(w) + " got first_seq " +
+                            std::to_string(frame.first_seq));
         return ReplyLocked(Code::kInvalidArgument);
       } else {
         apply_from = std::max(apply_from, w + 1);  // skip retransmitted prefix
@@ -178,6 +196,8 @@ void ReplicaNode::Promote() {
   if (role_ != net::ReplicaRole::kPrimary) {
     role_ = net::ReplicaRole::kPrimary;
     role_gauge_->Set(static_cast<int64_t>(role_));
+    obs::AuditEvent(obs::AuditType::kPromotion,
+                    "promoted to primary locally (epoch " + std::to_string(epoch_) + ")");
     SHIELD_LOG(Info) << "replica promoted to primary (epoch " << epoch_ << ")";
   }
 }

@@ -1,5 +1,6 @@
 #include "src/router/router.h"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 
@@ -183,6 +184,88 @@ Result<net::Response> Router::Execute(const net::Request& request) {
   }
   failing_over_ctr_->Inc();
   return Status(Code::kFailingOver, "node " + name + " is failing over; retry later");
+}
+
+Result<std::vector<net::Response>> Router::ExecuteBatchOnNode(
+    Node* node, const std::vector<net::Request>& ops) {
+  const int tries = std::max(options_.op_retries, 1);
+  for (int attempt = 0; attempt < tries; ++attempt) {
+    if (attempt > 0) {
+      retries_ctr_->Inc();
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.retry_backoff_ms));
+    }
+    std::lock_guard<std::mutex> lock(node->mutex);
+    if (node->dead) {
+      break;
+    }
+    if (!node->client->connected()) {
+      if (!RecoverNodeLocked(*node).ok()) {
+        continue;
+      }
+    }
+    Result<std::vector<net::Response>> responses = node->client->ExecuteBatch(ops);
+    if (responses.ok()) {
+      node->probe_misses = 0;
+      return responses;
+    }
+    RecoverNodeLocked(*node);
+  }
+  failing_over_ctr_->Inc();
+  return Status(Code::kFailingOver,
+                "node " + node->config.name + " is failing over; retry later");
+}
+
+Status Router::MSet(const std::vector<std::pair<std::string, std::string>>& pairs) {
+  if (pairs.empty()) {
+    return Status::Ok();
+  }
+  // Group by ring owner, preserving per-node pair order.
+  std::vector<std::pair<Node*, std::vector<net::Request>>> groups;
+  for (const auto& [key, value] : pairs) {
+    const std::string& name = ring_.NodeFor(key);
+    if (name.empty()) {
+      return Status(Code::kInvalidArgument, "empty ring");
+    }
+    Node* node = FindNode(name);
+    if (node == nullptr) {
+      return Status(Code::kInternal, "ring names unknown node " + name);
+    }
+    net::Request request;
+    request.op = net::OpCode::kSet;
+    request.key = key;
+    request.value = value;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == node; });
+    if (it == groups.end()) {
+      groups.emplace_back(node, std::vector<net::Request>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(std::move(request));
+  }
+  for (auto& [node, ops] : groups) {
+    Result<std::vector<net::Response>> responses = ExecuteBatchOnNode(node, ops);
+    if (!responses.ok()) {
+      return responses.status();
+    }
+    for (const net::Response& r : *responses) {
+      if (r.status != Code::kOk) {
+        return Status(r.status, "server error");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<obs::SpanRecord>> Router::TraceDump(const std::string& name) {
+  Node* node = FindNode(name);
+  if (node == nullptr) {
+    return Status(Code::kInvalidArgument, "unknown node " + name);
+  }
+  std::lock_guard<std::mutex> lock(node->mutex);
+  if (node->dead || node->client == nullptr || !node->client->connected()) {
+    return Status(Code::kIoError, "node " + name + " not connected");
+  }
+  return node->client->TraceDump();
 }
 
 Status Router::Set(std::string_view key, std::string_view value) {

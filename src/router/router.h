@@ -32,6 +32,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/net/client.h"
@@ -80,6 +81,19 @@ class Router {
   Status Delete(std::string_view key);
   Result<int64_t> Increment(std::string_view key, int64_t delta);
 
+  // Multi-key set: pairs are grouped by ring owner and each group rides ONE
+  // kBatch frame to its node (one session Seal/Open, one enclave submission,
+  // one group-commit wait per touched WAL shard). Each group gets the same
+  // bounded failover retry as a single op; the first failing group's status
+  // is returned (earlier groups may have applied — the usual at-least-once
+  // caveat of retried mutations).
+  Status MSet(const std::vector<std::pair<std::string, std::string>>& pairs);
+
+  // Drains the span buffer of node `name` (kTraceDump). The cli's `trace`
+  // command merges these per-node dumps with the client-side spans into one
+  // Chrome trace.
+  Result<std::vector<obs::SpanRecord>> TraceDump(const std::string& name);
+
   // Ring introspection (tests, cli).
   const std::string& NodeFor(std::string_view key) const;
   std::vector<std::string> Nodes() const;
@@ -107,6 +121,9 @@ class Router {
   const Node* FindNode(const std::string& name) const;
   // One routed attempt + the retry/failover loop.
   Result<net::Response> Execute(const net::Request& request);
+  // Same retry/failover loop for an explicit batch against one node.
+  Result<std::vector<net::Response>> ExecuteBatchOnNode(Node* node,
+                                                        const std::vector<net::Request>& ops);
   // Requires node.mutex: try to restore service, promoting if needed.
   Status RecoverNodeLocked(Node& node);
   void ProbeLoop();

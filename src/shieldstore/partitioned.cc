@@ -1,5 +1,6 @@
 #include "src/shieldstore/partitioned.h"
 
+#include "src/obs/audit.h"
 #include "src/obs/snapshot.h"
 
 #include <unistd.h>
@@ -197,7 +198,12 @@ size_t PartitionedStore::PartitionOf(std::string_view key) const {
 
 void PartitionedStore::NoteOutcome(size_t p, const Status& s) {
   if (s.code() == Code::kIntegrityFailure || s.code() == Code::kRollbackDetected) {
-    quarantined_[p]->store(true, std::memory_order_release);
+    if (!quarantined_[p]->exchange(true, std::memory_order_release)) {
+      // Transition only: a quarantined partition fast-fails every op, so
+      // auditing each outcome would flood the chain with duplicates.
+      obs::AuditEvent(obs::AuditType::kQuarantineEnter,
+                      "partition " + std::to_string(p) + " quarantined: " + s.message());
+    }
   }
 }
 
@@ -496,7 +502,10 @@ Status PartitionedStore::RecoverPartition(size_t p, const sgx::SealingService& s
     }
   }
   partitions_[p] = std::move(restored.value());
-  quarantined_[p]->store(false, std::memory_order_release);
+  if (quarantined_[p]->exchange(false, std::memory_order_release)) {
+    obs::AuditEvent(obs::AuditType::kQuarantineExit,
+                    "partition " + std::to_string(p) + " rebuilt from snapshot+log");
+  }
   return Status::Ok();
 }
 
@@ -617,7 +626,10 @@ Status PartitionedStore::AttachPersistent(const sgx::SealingService& sealer,
     }
     if (Status s = AttachPartitionLocked(p, sealer, counters); !s.ok()) {
       attach_failed_.store(true, std::memory_order_release);
-      quarantined_[p]->store(true, std::memory_order_release);
+      if (!quarantined_[p]->exchange(true, std::memory_order_release)) {
+        obs::AuditEvent(obs::AuditType::kQuarantineEnter,
+                        "partition " + std::to_string(p) + " attach refused: " + s.message());
+      }
       if (first.ok()) {
         first = s;
       }
@@ -646,7 +658,10 @@ Status PartitionedStore::RecoverPersistPartition(size_t p) {
   if (!report.status.ok()) {
     return report.status;
   }
-  quarantined_[p]->store(false, std::memory_order_release);
+  if (quarantined_[p]->exchange(false, std::memory_order_release)) {
+    obs::AuditEvent(obs::AuditType::kQuarantineExit,
+                    "partition " + std::to_string(p) + " persistent scrub clean");
+  }
   return Status::Ok();
 }
 
@@ -825,6 +840,8 @@ kv::StoreStats PartitionedStore::stats() const {
     total.decryptions += s.decryptions;
     total.mac_verifications += s.mac_verifications;
     total.cache_hits += s.cache_hits;
+    total.cache_lookups += s.cache_lookups;
+    total.cache_bytes += s.cache_bytes;
     total.crypto_ctr_bytes += s.crypto_ctr_bytes;
     total.crypto_cmac_bytes += s.crypto_cmac_bytes;
   }

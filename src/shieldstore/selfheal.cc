@@ -1,12 +1,15 @@
 #include "src/shieldstore/selfheal.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <thread>
 
 #include "src/common/cycles.h"
 #include "src/common/logging.h"
+#include "src/obs/audit.h"
 #include "src/obs/snapshot.h"
+#include "src/obs/tracer.h"
 
 namespace shield::shieldstore {
 namespace {
@@ -120,6 +123,7 @@ Status WriteAheadStore::AppendLocked(Shard& s, bool is_delete, std::string_view 
     return Status(Code::kInvalidArgument, "log not open");
   }
   obs::ScopedStage stage(metrics_, obs::Stage::kWalAppend);
+  obs::TraceScope span("wal.append");
   if (options_.group_commit_window_us == 0) {
     // Legacy cadence: ack ⇒ logged; the log fsyncs itself every
     // group_commit_ops records.
@@ -161,6 +165,7 @@ Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& loc
     return Status::Ok();
   }
   obs::ScopedStage stage(metrics_, obs::Stage::kCommitWait);
+  obs::TraceScope span("wal.commit_wait");
   if (s.durable < my_seq) {
     s.ctr_commit_waits->Inc();
   }
@@ -183,6 +188,9 @@ Status WriteAheadStore::AwaitDurable(Shard& s, std::unique_lock<std::mutex>& loc
     // solo writer should not idle out the configured cap for nobody), back
     // up toward the cap under bursts (bigger batches, fewer fsyncs).
     s.committing = true;
+    // Leader span: window wait, fsync, and the shipped batch all bill to
+    // the op that happened to become the group-commit leader.
+    obs::TraceScope leader_span("wal.group_commit");
     const auto window =
         std::chrono::microseconds(s.window_us.load(std::memory_order_relaxed));
     const auto deadline = s.batch_start + window;
@@ -1035,6 +1043,9 @@ void SelfHealer::Tick() {
       if (p < attempts_.size()) {
         attempts_[p] = 0;
       }
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), "partition %zu recovered and re-admitted", p);
+      obs::AuditEvent(obs::AuditType::kRecovery, detail);
       SHIELD_LOG(Info) << "partition " << p << " recovered and re-admitted";
     } else {
       failed_recoveries_.fetch_add(1, std::memory_order_relaxed);
@@ -1053,6 +1064,7 @@ void SelfHealer::Tick() {
     const Status s = store.ScrubTick(options_.scrub_budget_buckets);
     if (!s.ok()) {
       violations_detected_.fetch_add(1, std::memory_order_relaxed);
+      obs::AuditEvent(obs::AuditType::kScrubFinding, s.message());
       std::lock_guard<std::mutex> lock(error_mutex_);
       last_error_ = s;
     }

@@ -6,10 +6,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <span>
+
+#include "src/obs/audit.h"
+#include "src/obs/tracer.h"
 
 namespace shield::shieldstore {
 namespace {
@@ -465,9 +469,12 @@ Status Store::VerifyBucketSet(size_t set) {
   obs::ScopedStage stage(metrics_, obs::Stage::kMacVerify);
   stats_.mac_verifications.fetch_add(1, std::memory_order_relaxed);
   const crypto::Mac computed = ComputeBucketSetMac(set);
+  char detail[64];
   if (SetInitialized(set)) {
     enclave_.Touch(&mac_hashes_[set], 16);
     if (!ConstantTimeEqual(ByteSpan(computed.data(), 16), ByteSpan(mac_hashes_[set].data(), 16))) {
+      std::snprintf(detail, sizeof(detail), "bucket set %zu MAC hash mismatch", set);
+      obs::AuditEvent(obs::AuditType::kMacMismatch, detail);
       return Status(Code::kIntegrityFailure, "bucket-set MAC hash mismatch");
     }
     NoteLazyVerified(set);
@@ -481,6 +488,8 @@ Status Store::VerifyBucketSet(size_t set) {
   empty.Update(ByteSpan(index, sizeof(index)));
   const crypto::Mac expected = empty.Finalize();
   if (!ConstantTimeEqual(ByteSpan(computed.data(), 16), ByteSpan(expected.data(), 16))) {
+    std::snprintf(detail, sizeof(detail), "bucket set %zu forged while untouched", set);
+    obs::AuditEvent(obs::AuditType::kMacMismatch, detail);
     return Status(Code::kIntegrityFailure, "entries forged into untouched bucket set");
   }
   NoteLazyVerified(set);
@@ -526,6 +535,7 @@ void Store::EndMacBatch() {
   // Stage-traced: closing the scope pays the deferred one-recompute-per-
   // touched-set cost that the batch amortized.
   obs::ScopedStage stage(metrics_, obs::Stage::kMacBatch);
+  obs::TraceScope span("store.mac_batch");
   mac_batch_active_ = false;
   for (const uint32_t set : mac_batch_touched_) {
     if (mac_batch_state_[set] == 2) {
@@ -1011,6 +1021,8 @@ kv::StoreStats Store::stats() const {
   s.crypto_cmac_bytes = stats_.crypto_cmac_bytes.load(std::memory_order_relaxed);
   if (cache_ != nullptr) {
     s.cache_hits = cache_->hits();
+    s.cache_lookups = cache_->lookups();
+    s.cache_bytes = cache_->bytes_used();
   }
   return s;
 }

@@ -15,6 +15,7 @@
 #include "src/net/client.h"
 #include "src/net/replication.h"
 #include "src/net/server.h"
+#include "src/obs/tracer.h"
 #include "src/shieldstore/partitioned.h"
 
 namespace shield::net {
@@ -928,6 +929,147 @@ TEST_F(NetEndToEndTest, StatsConsistencyUnderConcurrentLoad) {
   // Every sub-op was a set: 2 per batch frame.
   EXPECT_EQ(snap->CounterValue("net.batch_ops.set"),
             2 * uint64_t{kClients} * (kOpsPerClient / 3));
+}
+
+// ------------------------------------------------- trace frame extension
+
+TEST(ProtocolTest, TraceExtensionRoundTrip) {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0xfeedfacecafef00dull;
+  ctx.span_id = 0x123456789abcull;
+  ctx.sampled = true;
+  const Bytes inner = EncodeRequest({OpCode::kSet, "k", "v", 0});
+  EXPECT_FALSE(HasTraceExtension(inner));
+
+  const Bytes framed = PrependTraceContext(ctx, inner);
+  ASSERT_TRUE(HasTraceExtension(framed));
+  EXPECT_EQ(framed.size(), inner.size() + kTraceExtBytes);
+  Result<std::pair<obs::TraceContext, ByteSpan>> peeled = PeelTraceExtension(framed);
+  ASSERT_TRUE(peeled.ok());
+  EXPECT_EQ(peeled->first.trace_id, ctx.trace_id);
+  EXPECT_EQ(peeled->first.span_id, ctx.span_id);
+  EXPECT_TRUE(peeled->first.sampled);
+  ASSERT_EQ(peeled->second.size(), inner.size());
+  EXPECT_EQ(std::memcmp(peeled->second.data(), inner.data(), inner.size()), 0);
+  Result<Request> back = DecodeRequest(peeled->second);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->key, "k");
+}
+
+// Mixed-version byte compatibility: with tracing off, nothing the client
+// emits carries the marker — every legacy frame must decode exactly as
+// before, and no opcode byte may alias the extension marker.
+TEST(ProtocolTest, LegacyFramesNeverAliasTheTraceMarker) {
+  for (uint8_t op = 0; op <= 10; ++op) {
+    Request r;
+    r.op = static_cast<OpCode>(op);
+    r.key = "k";
+    const Bytes wire = EncodeRequest(r);
+    EXPECT_FALSE(HasTraceExtension(wire)) << "opcode " << int{op};
+  }
+  EXPECT_NE(static_cast<uint8_t>(OpCode::kTraceDump), kTraceExtMarker);
+}
+
+TEST(ProtocolTest, TraceExtensionPeelFuzzNeverCrashes) {
+  obs::TraceContext ctx;
+  ctx.trace_id = 7;
+  ctx.span_id = 9;
+  ctx.sampled = true;
+  const Bytes seed =
+      PrependTraceContext(ctx, EncodeRequest({OpCode::kSet, "fuzz", "vv", 0}));
+  Xoshiro256 rng(0x7e17aceULL);
+  for (int i = 0; i < 5000; ++i) {
+    Bytes mutated = seed;
+    const size_t flips = 1 + rng.NextBelow(6);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextBelow(8));
+    }
+    if (rng.NextBelow(4) == 0) {
+      mutated.resize(rng.NextBelow(mutated.size() + 1));
+    }
+    if (!HasTraceExtension(mutated)) {
+      continue;  // mutated marker: the payload is read as a legacy frame
+    }
+    Result<std::pair<obs::TraceContext, ByteSpan>> peeled = PeelTraceExtension(mutated);
+    if (!peeled.ok()) {
+      EXPECT_EQ(peeled.status().code(), Code::kProtocolError) << "mutant " << i;
+    }
+  }
+  // Truncations inside the extension header are always typed errors.
+  for (size_t cut = 1; cut < kTraceExtBytes; ++cut) {
+    const ByteSpan truncated(seed.data(), cut);
+    if (HasTraceExtension(truncated)) {
+      EXPECT_EQ(PeelTraceExtension(truncated).status().code(), Code::kProtocolError)
+          << "cut " << cut;
+    }
+  }
+}
+
+TEST_F(NetEndToEndTest, TraceDumpEndToEndUnderFullSampling) {
+  StartServer({});
+  obs::TraceSetSampleEvery(1);
+  ClientOptions copts;
+  copts.enable_tracing = true;
+  Client client(authority_, enclave_.measurement(), /*encrypt=*/true, copts);
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  EXPECT_TRUE(client.tracing());
+
+  uint64_t trace_id = 0;
+  {
+    obs::TraceRoot root("test.op");
+    ASSERT_TRUE(root.sampled());
+    trace_id = root.trace_id();
+    ASSERT_TRUE(client.Set("traced-key", "tv").ok());
+    ASSERT_EQ(client.Get("traced-key").value(), "tv");
+  }
+  obs::TraceSetSampleEvery(256);  // restore before any assert can bail
+
+  Result<std::vector<obs::SpanRecord>> dump = client.TraceDump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  // Client and server share this process, so the dump holds both sides;
+  // the server-side spans must have adopted the SAME trace id from the
+  // frame extension.
+  bool saw_server_set = false;
+  bool saw_server_get = false;
+  for (const obs::SpanRecord& s : *dump) {
+    if (s.trace_id != trace_id) {
+      continue;
+    }
+    saw_server_set |= s.name == "server.set";
+    saw_server_get |= s.name == "server.get";
+  }
+  EXPECT_TRUE(saw_server_set);
+  EXPECT_TRUE(saw_server_get);
+}
+
+TEST_F(NetEndToEndTest, TracingOffStaysLegacyCompatible) {
+  StartServer({});
+  // Legacy client (no tracing requested) against a tracing-capable server.
+  Client legacy(authority_, enclave_.measurement());
+  ASSERT_TRUE(legacy.Connect(server_->port()).ok());
+  EXPECT_FALSE(legacy.tracing());
+  ASSERT_TRUE(legacy.Set("legacy", "ok").ok());
+  EXPECT_EQ(legacy.Get("legacy").value(), "ok");
+
+  // Tracing-negotiated session with sampling disabled: ops must flow as
+  // plain legacy frames (no root in flight -> no extension prepended).
+  obs::TraceSetSampleEvery(0);
+  ClientOptions copts;
+  copts.enable_tracing = true;
+  Client traced(authority_, enclave_.measurement(), /*encrypt=*/true, copts);
+  ASSERT_TRUE(traced.Connect(server_->port()).ok());
+  EXPECT_TRUE(traced.tracing());
+  {
+    obs::TraceRoot root("never.sampled");
+    EXPECT_FALSE(root.sampled());
+    ASSERT_TRUE(traced.Set("quiet", "q").ok());
+    EXPECT_EQ(traced.Get("quiet").value(), "q");
+  }
+  obs::TraceSetSampleEvery(256);
+  Result<obs::MetricsSnapshot> snap = legacy.Stats();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->CounterValue("net.protocol_errors"), 0u);
 }
 
 }  // namespace

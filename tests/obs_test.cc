@@ -3,15 +3,23 @@
 // semantics, the versioned kStats wire codec (round-trip + decode fuzz), and
 // the text renderings.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/obs/audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/snapshot.h"
+#include "src/obs/tracer.h"
+#include "src/obs/watchdog.h"
 
 namespace shield::obs {
 namespace {
@@ -343,6 +351,388 @@ TEST(SnapshotTest, SetterUpsertKeepsNameOrder) {
   EXPECT_EQ(snap.CounterValue("aa"), 3u);
   // Encodable after hand-assembly (the bridged component path).
   EXPECT_TRUE(DecodeStatsSnapshot(EncodeStatsSnapshot(snap)).ok());
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(TracerTest, ContextWireRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_id = 0x0123456789abcdefull;
+  ctx.span_id = 0x00aabbccddeeff11ull & kSpanIdMask;
+  ctx.sampled = true;
+  uint8_t wire[kTraceContextWireSize];
+  EncodeTraceContext(ctx, wire);
+  const TraceContext back = DecodeTraceContext(wire);
+  EXPECT_EQ(back.trace_id, ctx.trace_id);
+  EXPECT_EQ(back.span_id, ctx.span_id);
+  EXPECT_TRUE(back.sampled);
+  EXPECT_TRUE(back.active());
+}
+
+TEST(TracerTest, SamplingEveryNIsPeriodic) {
+  TraceSetSampleEvery(4);
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (SampleRoot()) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 16);
+  TraceSetSampleEvery(0);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(SampleRoot());
+  }
+  TraceSetSampleEvery(256);  // restore the default for neighbors
+}
+
+TEST(TracerTest, ScopesRecordOnlyWhenSampled) {
+  TraceSetSampleEvery(0);
+  TraceDrain();
+  TraceConsume();  // clear anything a neighbor left behind
+  {
+    TraceRoot root("unsampled");
+    EXPECT_FALSE(root.sampled());
+    TraceScope child("child");
+    EXPECT_FALSE(child.active());
+  }
+  TraceDrain();
+  EXPECT_TRUE(TraceConsume().empty());
+
+  TraceSetSampleEvery(1);
+  uint64_t trace_id = 0;
+  {
+    TraceRoot root("sampled");
+    EXPECT_TRUE(root.sampled());
+    trace_id = root.trace_id();
+    TraceScope child("child");
+    EXPECT_TRUE(child.active());
+  }
+  TraceDrain();
+  const std::vector<Span> spans = TraceConsume();
+  ASSERT_EQ(spans.size(), 2u);  // child closes before root
+  EXPECT_EQ(spans[0].trace_id, trace_id);
+  EXPECT_EQ(spans[1].trace_id, trace_id);
+  EXPECT_EQ(spans[0].parent_span, spans[1].span_id);
+  TraceSetSampleEvery(256);
+}
+
+TEST(TracerTest, DumpCodecRoundTrip) {
+  std::vector<Span> spans;
+  for (int i = 0; i < 5; ++i) {
+    Span s;
+    s.trace_id = 100 + i;
+    s.span_id = 200 + i;
+    s.parent_span = i == 0 ? 0 : 200;
+    s.start_unix_ns = 1'000'000ull * i;
+    s.duration_ns = 42 + i;
+    s.tid = 7;
+    s.name = "unit.test";
+    spans.push_back(s);
+  }
+  const Bytes wire = EncodeTraceDump(spans);
+  Result<std::vector<SpanRecord>> decoded = DecodeTraceDump(wire);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].trace_id, spans[i].trace_id);
+    EXPECT_EQ((*decoded)[i].span_id, spans[i].span_id);
+    EXPECT_EQ((*decoded)[i].duration_ns, spans[i].duration_ns);
+    EXPECT_EQ((*decoded)[i].name, "unit.test");
+  }
+}
+
+// Mutation fuzz: no mutant of a valid dump may crash the decoder; truncations
+// must be rejected outright.
+TEST(TracerTest, DumpDecodeFuzzNeverCrashes) {
+  std::vector<Span> spans;
+  Span s;
+  s.trace_id = 1;
+  s.span_id = 2;
+  s.name = "fuzz.victim";
+  spans.push_back(s);
+  spans.push_back(s);
+  const Bytes wire = EncodeTraceDump(spans);
+
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    const ByteSpan truncated(wire.data(), cut);
+    EXPECT_FALSE(DecodeTraceDump(truncated).ok()) << "cut at " << cut;
+  }
+  Xoshiro256 rng(0x7ace5ULL);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes mutant = wire;
+    const size_t flips = 1 + rng.NextBelow(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutant[rng.NextBelow(mutant.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextBelow(8));
+    }
+    (void)DecodeTraceDump(mutant);  // must not crash; ok() either way
+  }
+  Bytes garbage(64);
+  for (int iter = 0; iter < 500; ++iter) {
+    for (auto& b : garbage) {
+      b = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    (void)DecodeTraceDump(garbage);
+  }
+}
+
+TEST(TracerTest, ChromeTraceIsWellFormedJson) {
+  std::vector<SpanRecord> spans;
+  SpanRecord r;
+  r.trace_id = 0xabc;
+  r.span_id = 1;
+  r.start_unix_ns = 5'000;
+  r.duration_ns = 2'000;
+  r.tid = 3;
+  r.pid = 1;
+  r.name = "with\"quote\\and\nnewline";
+  spans.push_back(r);
+  const std::string json = RenderChromeTrace(spans, {"cli", "server"});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  // Control characters and quotes must be escaped, never raw.
+  EXPECT_EQ(json.find("with\"quote"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quote"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+// ------------------------------------------------------- prometheus escaping
+
+TEST(SnapshotTest, PrometheusEscapesHostileNames) {
+  MetricsSnapshot snap;
+  snap.SetCounter("evil\nname{with=\"label\"} 9e9\ninjected 1", 7);
+  snap.SetCounter("1starts.with.digit", 3);
+  snap.SetCounter("back\\slash", 1);
+  const std::string prom = RenderPrometheus(snap);
+  // No raw newline or quote from a metric name may survive into the body of
+  // an exposition line: every emitted line must be "# ..." or "name value".
+  std::istringstream lines(prom);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP", 0) == 0 || line.rfind("# TYPE", 0) == 0)
+          << "stray comment line: " << line;
+      continue;
+    }
+    const size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    for (const char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_')
+          << "unsanitized metric-name char " << static_cast<int>(c) << " in "
+          << line;
+    }
+    EXPECT_FALSE(name.empty());
+    EXPECT_FALSE(name[0] >= '0' && name[0] <= '9') << line;
+  }
+  // The HELP line keeps the original (escaped) dotted name as a pointer.
+  EXPECT_NE(prom.find("\\n"), std::string::npos);
+  EXPECT_EQ(prom.find("9e9\ninjected"), std::string::npos);
+}
+
+// -------------------------------------------------------------- audit chain
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("shield_audit_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  Bytes FileBytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    return Bytes(std::istreambuf_iterator<char>(in), {});
+  }
+  void WriteFileBytes(const Bytes& data) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+
+  std::string path_;
+};
+
+TEST_F(AuditTest, AppendVerifyRoundTrip) {
+  AuditLog log;
+  ASSERT_TRUE(log.Open(path_).ok());
+  ASSERT_TRUE(log.Append(AuditType::kScrubFinding, "bucket 12 violated").ok());
+  ASSERT_TRUE(log.Append(AuditType::kQuarantineEnter, "partition 3").ok());
+  ASSERT_TRUE(log.Append(AuditType::kQuarantineExit, "partition 3 healed").ok());
+
+  AuditChainSummary summary;
+  std::vector<AuditRecord> records;
+  ASSERT_TRUE(VerifyAuditFile(path_, &summary, &records).ok());
+  ASSERT_EQ(summary.records, 4u);  // kStart + 3
+  EXPECT_EQ(records[0].type, AuditType::kStart);
+  EXPECT_EQ(records[1].type, AuditType::kScrubFinding);
+  EXPECT_EQ(records[1].detail, "bucket 12 violated");
+  EXPECT_EQ(records[3].type, AuditType::kQuarantineExit);
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, records[i - 1].seq + 1);
+  }
+}
+
+TEST_F(AuditTest, EveryByteFlipIsDetected) {
+  {
+    AuditLog log;
+    ASSERT_TRUE(log.Open(path_).ok());
+    ASSERT_TRUE(log.Append(AuditType::kMacMismatch, "set 5 mac mismatch").ok());
+    ASSERT_TRUE(log.Append(AuditType::kPromotion, "promoted").ok());
+  }
+  const Bytes original = FileBytes();
+  ASSERT_FALSE(original.empty());
+  AuditChainSummary summary;
+  ASSERT_TRUE(VerifyAuditFile(path_, &summary).ok());
+
+  for (size_t i = 0; i < original.size(); ++i) {
+    Bytes mutant = original;
+    mutant[i] ^= 0x01;
+    WriteFileBytes(mutant);
+    EXPECT_FALSE(VerifyAuditFile(path_, &summary).ok())
+        << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST_F(AuditTest, TruncationIsDetected) {
+  {
+    AuditLog log;
+    ASSERT_TRUE(log.Open(path_).ok());
+    ASSERT_TRUE(log.Append(AuditType::kRecovery, "partition 1 recovered").ok());
+  }
+  const Bytes original = FileBytes();
+  AuditChainSummary full;
+  std::vector<AuditRecord> records;
+  ASSERT_TRUE(VerifyAuditFile(path_, &full, &records).ok());
+  // Record boundaries: cuts exactly there drop whole tail records, which no
+  // backward-chained file can detect on its own — those must instead change
+  // the head digest the operator (or check.sh) pins out of band.
+  std::vector<size_t> boundaries;
+  size_t off = 0;
+  for (const AuditRecord& r : records) {
+    off += kAuditHeaderBytes + r.detail.size() + 32;
+    boundaries.push_back(off);
+  }
+  ASSERT_EQ(off, original.size());
+  AuditChainSummary summary;
+  for (size_t cut = 1; cut < original.size(); ++cut) {
+    WriteFileBytes(Bytes(original.begin(), original.begin() + cut));
+    if (std::find(boundaries.begin(), boundaries.end(), cut) != boundaries.end()) {
+      ASSERT_TRUE(VerifyAuditFile(path_, &summary).ok());
+      EXPECT_NE(summary.head, full.head) << "boundary cut kept the head";
+      EXPECT_LT(summary.records, full.records);
+    } else {
+      EXPECT_FALSE(VerifyAuditFile(path_, &summary).ok()) << "cut at " << cut;
+    }
+  }
+  // Trailing garbage is corruption too, not slack.
+  Bytes extended = original;
+  extended.push_back(0xEE);
+  WriteFileBytes(extended);
+  EXPECT_FALSE(VerifyAuditFile(path_, &summary).ok());
+}
+
+TEST_F(AuditTest, ReopenResumesTheChain) {
+  {
+    AuditLog log;
+    ASSERT_TRUE(log.Open(path_).ok());
+    ASSERT_TRUE(log.Append(AuditType::kTamperInject, "mode=bitflip").ok());
+  }
+  {
+    AuditLog log;
+    ASSERT_TRUE(log.Open(path_).ok());  // verifies, resumes, appends kStart
+    ASSERT_TRUE(log.Append(AuditType::kSloBreach, "stage.p99 over").ok());
+  }
+  AuditChainSummary summary;
+  std::vector<AuditRecord> records;
+  ASSERT_TRUE(VerifyAuditFile(path_, &summary, &records).ok());
+  ASSERT_EQ(summary.records, 4u);  // start, tamper, start, breach
+  EXPECT_EQ(records[2].type, AuditType::kStart);
+  EXPECT_EQ(records[3].type, AuditType::kSloBreach);
+  EXPECT_EQ(records[3].seq, 3u);
+
+  // A tampered chain refuses to open: the daemon must not extend it.
+  Bytes broken = FileBytes();
+  broken[broken.size() / 2] ^= 0x80;
+  WriteFileBytes(broken);
+  AuditLog log;
+  EXPECT_FALSE(log.Open(path_).ok());
+}
+
+TEST_F(AuditTest, GlobalSinkCountsEvents) {
+  AuditLog log;
+  ASSERT_TRUE(log.Open(path_).ok());
+  InstallAuditLog(&log);
+  const uint64_t before = log.records_written();
+  AuditEvent(AuditType::kEpochFenceReject, "epoch 4 < 7");
+  EXPECT_EQ(log.records_written(), before + 1);
+  InstallAuditLog(nullptr);
+  AuditEvent(AuditType::kEpochFenceReject, "after uninstall");  // must not crash
+  EXPECT_EQ(log.records_written(), before + 1);
+}
+
+// ----------------------------------------------------------------- watchdog
+
+namespace {
+
+MetricsSnapshot WatchdogSample(uint64_t stage_ns, uint64_t violations) {
+  MetricsSnapshot snap;
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(stage_ns);
+  }
+  snap.SetHistogram("stage.mac_batch", h.Data());
+  snap.SetCounter("heal.violations_detected", violations);
+  snap.SetGauge("repl.backlog_entries", 10);
+  return snap;
+}
+
+}  // namespace
+
+TEST(WatchdogTest, FirstCallBaselinesThenDeltasBreach) {
+  SloThresholds t;
+  t.stage_p99_ns = 1'000'000;  // 1ms
+  SloWatchdog dog(t);
+  // Baseline: a horrid p99 in the first snapshot must NOT breach (no delta).
+  EXPECT_TRUE(dog.Evaluate(WatchdogSample(50'000'000, 0)).empty());
+  // Steady state below threshold: no breach.
+  EXPECT_TRUE(dog.Evaluate(WatchdogSample(50'000'000, 0)).empty());
+  // New interval full of 80ms samples: stage p99 breach.
+  MetricsSnapshot bad = WatchdogSample(50'000'000, 0);
+  Histogram h;
+  for (int i = 0; i < 4000; ++i) {
+    h.Record(80'000'000);
+  }
+  bad.SetHistogram("stage.mac_batch", h.Data());
+  const std::vector<SloBreach> breaches = dog.Evaluate(bad);
+  ASSERT_FALSE(breaches.empty());
+  EXPECT_EQ(breaches[0].metric, "stage.mac_batch.p99");
+  EXPECT_GT(breaches[0].observed, t.stage_p99_ns);
+}
+
+TEST(WatchdogTest, ScrubViolationsAndBacklogBreach) {
+  SloThresholds t;
+  SloWatchdog dog(t);
+  EXPECT_TRUE(dog.Evaluate(WatchdogSample(1000, 5)).empty());  // baseline
+  // One new violation in the interval breaches (threshold 1).
+  std::vector<SloBreach> breaches = dog.Evaluate(WatchdogSample(1000, 6));
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].metric, "heal.violations_detected");
+
+  // Backlog is point-in-time: exceeding it breaches immediately.
+  MetricsSnapshot lagging = WatchdogSample(1000, 6);
+  lagging.SetGauge("repl.backlog_entries", t.repl_backlog_entries + 1);
+  breaches = dog.Evaluate(lagging);
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].metric, "repl.backlog_entries");
 }
 
 }  // namespace

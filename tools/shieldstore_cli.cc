@@ -16,6 +16,7 @@
 
 #include "src/net/client.h"
 #include "src/obs/snapshot.h"
+#include "src/obs/tracer.h"
 #include "src/router/router.h"
 
 namespace {
@@ -23,13 +24,48 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: shieldstore_cli --port N --measurement HEX64 [--authority-seed S]\n"
-               "       [--plaintext] [--cluster SPEC] COMMAND ARGS...\n"
+               "       [--plaintext] [--cluster SPEC] [--trace-sample N] COMMAND ARGS...\n"
                "commands: get K | set K V | del K | append K SUFFIX | incr K DELTA | ping\n"
                "          mset K V [K V ...] | mget K [K ...]   (one kBatch frame)\n"
                "          stats [--prometheus] [--json] [--check]  (kStats snapshot dump)\n"
+               "          trace [--json] [CMD ARGS...]  (run CMD sampled at 1/1, then merge\n"
+               "          the client's spans with every reachable node's kTraceDump; --json\n"
+               "          emits Chrome trace_event JSON for chrome://tracing / Perfetto)\n"
                "cluster proxy mode: --cluster PORT[:FOLLOWER][,PORT[:FOLLOWER]...] routes\n"
-               "get/set/del/incr by consistent hash across the listed nodes, failing over\n"
-               "to a node's follower if the primary dies; `nodefor K` prints the owner.\n");
+               "get/set/del/incr/mset by consistent hash across the listed nodes, failing\n"
+               "over to a node's follower if the primary dies; `nodefor K` prints the owner.\n");
+}
+
+// Moves the client-local span buffer into `out` tagged with pid 0 ("cli").
+void CollectLocalSpans(std::vector<shield::obs::SpanRecord>* out) {
+  shield::obs::TraceDrain();
+  for (const shield::obs::Span& sp : shield::obs::TraceConsume()) {
+    shield::obs::SpanRecord r;
+    r.trace_id = sp.trace_id;
+    r.span_id = sp.span_id;
+    r.parent_span = sp.parent_span;
+    r.start_unix_ns = sp.start_unix_ns;
+    r.duration_ns = sp.duration_ns;
+    r.tid = sp.tid;
+    r.pid = 0;
+    r.name = sp.name != nullptr ? sp.name : "";
+    out->push_back(std::move(r));
+  }
+}
+
+void PrintSpanTable(const std::vector<shield::obs::SpanRecord>& spans,
+                    const std::vector<std::string>& process_names) {
+  std::printf("%-18s %-18s %-18s %-10s %12s  %s\n", "trace", "span", "parent", "process",
+              "dur_us", "name");
+  for (const auto& s : spans) {
+    const char* proc =
+        s.pid < process_names.size() ? process_names[s.pid].c_str() : "?";
+    std::printf("%016llx   %014llx     %014llx     %-10s %12.1f  %s\n",
+                static_cast<unsigned long long>(s.trace_id),
+                static_cast<unsigned long long>(s.span_id),
+                static_cast<unsigned long long>(s.parent_span), proc,
+                static_cast<double>(s.duration_ns) / 1e3, s.name.c_str());
+  }
 }
 
 // --cluster "4555:4556,4557:4558" → router nodes named node0, node1, ...
@@ -106,6 +142,23 @@ int CheckInvariants(const shield::obs::MetricsSnapshot& snap) {
   if (!snap.Has("store.crypto.ctr_bytes") || !snap.Has("store.crypto.cmac_bytes")) {
     fail("store crypto byte counters missing from snapshot");
   }
+  // EPC plaintext-cache rate arithmetic: hits and misses partition lookups,
+  // and the hit rate can never exceed 1. Holds trivially (all zeros) when
+  // the cache is disabled, so it is always asserted.
+  if (!snap.Has("store.cache.lookups") || !snap.Has("store.cache.hits") ||
+      !snap.Has("store.cache.misses") || !snap.Has("store.cache.bytes")) {
+    fail("store.cache.* plaintext-cache counters missing from snapshot");
+  } else {
+    const uint64_t lookups = snap.CounterValue("store.cache.lookups");
+    const uint64_t cache_hits = snap.CounterValue("store.cache.hits");
+    const uint64_t cache_misses = snap.CounterValue("store.cache.misses");
+    if (cache_hits > lookups) {
+      fail("store.cache.hits > store.cache.lookups (hit rate over 1)");
+    }
+    if (cache_hits + cache_misses != lookups) {
+      fail("store.cache.hits + store.cache.misses != store.cache.lookups");
+    }
+  }
   // WAL metrics only exist when the server runs with --heal-dir.
   if (snap.Has("wal.records")) {
     for (const char* name : {"wal.commits", "wal.fsyncs", "wal.group_commits"}) {
@@ -130,6 +183,7 @@ int main(int argc, char** argv) {
   std::string authority_seed = "dev-authority";
   std::string cluster_spec;
   bool plaintext = false;
+  uint32_t trace_sample = 0;  // 0 = no client-side tracing unless `trace` cmd
   int i = 1;
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -143,6 +197,8 @@ int main(int argc, char** argv) {
       plaintext = true;
     } else if (arg == "--cluster" && i + 1 < argc) {
       cluster_spec = argv[++i];
+    } else if (arg == "--trace-sample" && i + 1 < argc) {
+      trace_sample = static_cast<uint32_t>(std::atoll(argv[++i]));
     } else {
       break;  // start of the command
     }
@@ -151,6 +207,13 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  // The trace command forces 1/1 sampling: the one op it wraps IS the trace.
+  const bool trace_cmd = std::string(argv[i]) == "trace";
+  if (trace_cmd) {
+    trace_sample = 1;
+  }
+  obs::TraceSetSampleEvery(trace_sample);
+  const bool tracing = trace_sample > 0;
   const Bytes measurement_bytes = HexDecode(measurement_hex);
   if (measurement_bytes.size() != 32) {
     std::fprintf(stderr, "--measurement must be 64 hex characters\n");
@@ -171,6 +234,7 @@ int main(int argc, char** argv) {
     }
     router::RouterOptions router_options;
     router_options.encrypt = !plaintext;
+    router_options.client.enable_tracing = tracing;
     router::Router rt(authority, expected, std::move(nodes), router_options);
     if (Status s = rt.Start(); !s.ok()) {
       std::fprintf(stderr, "cluster connect failed: %s\n", s.ToString().c_str());
@@ -213,6 +277,78 @@ int main(int argc, char** argv) {
       } else {
         std::printf("%lld\n", static_cast<long long>(*value));
       }
+    } else if (command == "mset" && arg_at(2) != nullptr && (argc - i - 1) % 2 == 0) {
+      std::vector<std::pair<std::string, std::string>> pairs;
+      for (int j = i + 1; j + 1 < argc; j += 2) {
+        pairs.emplace_back(argv[j], argv[j + 1]);
+      }
+      const Status s = rt.MSet(pairs);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        rc = 1;
+      } else {
+        std::printf("OK (%zu keys, one batch frame per owner node)\n", pairs.size());
+      }
+    } else if (command == "trace") {
+      bool json = false;
+      int j = i + 1;
+      if (j < argc && std::string(argv[j]) == "--json") {
+        json = true;
+        ++j;
+      }
+      // Optional traced sub-command, sampled at 1/1 under one fresh root.
+      if (j < argc) {
+        obs::TraceRoot root("cli.op");
+        const std::string sub = argv[j];
+        Status s = Status::Ok();
+        if (sub == "get" && j + 1 < argc) {
+          Result<std::string> value = rt.Get(argv[j + 1]);
+          if (!value.ok()) {
+            s = value.status();
+          }
+        } else if (sub == "set" && j + 2 < argc) {
+          s = rt.Set(argv[j + 1], argv[j + 2]);
+        } else if (sub == "del" && j + 1 < argc) {
+          s = rt.Delete(argv[j + 1]);
+        } else if (sub == "mset" && j + 2 < argc && (argc - j - 1) % 2 == 0) {
+          std::vector<std::pair<std::string, std::string>> pairs;
+          for (int k = j + 1; k + 1 < argc; k += 2) {
+            pairs.emplace_back(argv[k], argv[k + 1]);
+          }
+          s = rt.MSet(pairs);
+        } else {
+          Usage();
+          rt.Stop();
+          return 2;
+        }
+        if (!s.ok()) {
+          std::fprintf(stderr, "traced op failed: %s\n", s.ToString().c_str());
+          rc = 1;
+        }
+      }
+      std::vector<obs::SpanRecord> spans;
+      CollectLocalSpans(&spans);
+      std::vector<std::string> process_names = {"cli"};
+      uint32_t pid = 1;
+      for (const std::string& name : rt.Nodes()) {
+        Result<std::vector<obs::SpanRecord>> dump = rt.TraceDump(name);
+        process_names.push_back(name);
+        if (dump.ok()) {
+          for (obs::SpanRecord& r : *dump) {
+            r.pid = pid;
+            spans.push_back(std::move(r));
+          }
+        } else {
+          std::fprintf(stderr, "trace dump from %s failed: %s\n", name.c_str(),
+                       dump.status().ToString().c_str());
+        }
+        ++pid;
+      }
+      if (json) {
+        std::fputs(obs::RenderChromeTrace(spans, process_names).c_str(), stdout);
+      } else {
+        PrintSpanTable(spans, process_names);
+      }
     } else if (command == "nodefor" && arg_at(1) != nullptr) {
       const std::string& owner = rt.NodeFor(arg_at(1));
       std::printf("%s (port %u)\n", owner.c_str(), rt.ActivePort(owner));
@@ -224,7 +360,9 @@ int main(int argc, char** argv) {
     return rc;
   }
 
-  net::Client client(authority, expected, !plaintext);
+  net::ClientOptions copts;
+  copts.enable_tracing = tracing;
+  net::Client client(authority, expected, !plaintext, copts);
   if (Status s = client.Connect(port); !s.ok()) {
     std::fprintf(stderr, "connect/attestation failed: %s\n", s.ToString().c_str());
     return 1;
@@ -335,6 +473,70 @@ int main(int argc, char** argv) {
       }
       std::printf("stats check OK (%zu metrics)\n", snap->metrics.size());
     }
+  } else if (command == "trace") {
+    bool json = false;
+    int j = i + 1;
+    if (j < argc && std::string(argv[j]) == "--json") {
+      json = true;
+      ++j;
+    }
+    int rc = 0;
+    // Optional traced sub-command, sampled at 1/1 under one fresh root.
+    if (j < argc) {
+      obs::TraceRoot root("cli.op");
+      const std::string sub = argv[j];
+      Status s = Status::Ok();
+      if (sub == "get" && j + 1 < argc) {
+        Result<std::string> value = client.Get(argv[j + 1]);
+        if (!value.ok()) {
+          s = value.status();
+        }
+      } else if (sub == "set" && j + 2 < argc) {
+        s = client.Set(argv[j + 1], argv[j + 2]);
+      } else if (sub == "del" && j + 1 < argc) {
+        s = client.Delete(argv[j + 1]);
+      } else if (sub == "mset" && j + 2 < argc && (argc - j - 1) % 2 == 0) {
+        std::vector<std::pair<std::string, std::string>> pairs;
+        for (int k = j + 1; k + 1 < argc; k += 2) {
+          pairs.emplace_back(argv[k], argv[k + 1]);
+        }
+        s = client.MSet(pairs);
+      } else if (sub == "ping") {
+        net::Request request;
+        request.op = net::OpCode::kPing;
+        Result<net::Response> response = client.Execute(request);
+        if (!response.ok()) {
+          s = response.status();
+        }
+      } else {
+        Usage();
+        return 2;
+      }
+      if (!s.ok()) {
+        std::fprintf(stderr, "traced op failed: %s\n", s.ToString().c_str());
+        rc = 1;
+      }
+    }
+    std::vector<obs::SpanRecord> spans;
+    CollectLocalSpans(&spans);
+    Result<std::vector<obs::SpanRecord>> dump = client.TraceDump();
+    if (dump.ok()) {
+      for (obs::SpanRecord& r : *dump) {
+        r.pid = 1;
+        spans.push_back(std::move(r));
+      }
+    } else {
+      std::fprintf(stderr, "trace dump failed: %s\n",
+                   dump.status().ToString().c_str());
+      rc = 1;
+    }
+    const std::vector<std::string> process_names = {"cli", "server"};
+    if (json) {
+      std::fputs(obs::RenderChromeTrace(spans, process_names).c_str(), stdout);
+    } else {
+      PrintSpanTable(spans, process_names);
+    }
+    return rc;
   } else if (command == "ping") {
     net::Request request;
     request.op = net::OpCode::kPing;

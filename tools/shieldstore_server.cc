@@ -28,7 +28,10 @@
 
 #include "src/crypto/aes.h"
 #include "src/net/server.h"
+#include "src/obs/audit.h"
 #include "src/obs/snapshot.h"
+#include "src/obs/tracer.h"
+#include "src/obs/watchdog.h"
 #include "src/router/replica.h"
 #include "src/router/shipper.h"
 #include "src/shieldstore/oplog.h"
@@ -72,6 +75,13 @@ struct Flags {
   bool replica = false;         // warm standby: accept a primary's kReplicate stream
   uint16_t replica_of = 0;      // that primary's port — informational (push model)
   uint16_t replicate_to = 0;    // primary: ship committed WAL entries to this follower port
+  uint32_t trace_sample = 256;  // sample 1-in-N root ops; 1 = every op, 0 = tracing off
+  std::string audit_log;        // hash-chained security audit log; empty = off
+  int slo_interval_s = 5;       // SLO watchdog cadence; 0 disables the watchdog
+  int slo_stage_p99_ms = 50;    // breach: any stage.* p99 over this
+  int slo_op_p99_ms = 200;      // breach: any net.latency.* p99 over this
+  int slo_loop_lag_p99_ms = 200;  // breach: reactor loop-lag p99 over this
+  long long slo_repl_backlog = 65536;  // breach: replication backlog entries over this
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -133,6 +143,20 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->replica_of = static_cast<uint16_t>(std::atoi(next()));
     } else if (arg == "--replicate-to") {
       flags->replicate_to = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--trace-sample") {
+      flags->trace_sample = static_cast<uint32_t>(std::atoll(next()));
+    } else if (arg == "--audit-log") {
+      flags->audit_log = next();
+    } else if (arg == "--slo-interval-s") {
+      flags->slo_interval_s = std::atoi(next());
+    } else if (arg == "--slo-stage-p99-ms") {
+      flags->slo_stage_p99_ms = std::atoi(next());
+    } else if (arg == "--slo-op-p99-ms") {
+      flags->slo_op_p99_ms = std::atoi(next());
+    } else if (arg == "--slo-loop-lag-p99-ms") {
+      flags->slo_loop_lag_p99_ms = std::atoi(next());
+    } else if (arg == "--slo-repl-backlog") {
+      flags->slo_repl_backlog = std::atoll(next());
     } else {
       std::fprintf(stderr,
                    "usage: shieldstore_server [--port N] [--partitions N] [--buckets N]\n"
@@ -144,6 +168,15 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
                    "    [--stats-json FILE] [--io-threads N] [--max-sessions N]\n"
                    "    [--coalesce-depth N] [--hotcall-idle-us N] [--replay-threads N]\n"
                    "    [--replica-of PRIMARY_PORT] [--replicate-to FOLLOWER_PORT]\n"
+                   "    [--trace-sample N] [--audit-log FILE] [--slo-interval-s N]\n"
+                   "    [--slo-stage-p99-ms N] [--slo-op-p99-ms N] [--slo-loop-lag-p99-ms N]\n"
+                   "    [--slo-repl-backlog N]\n"
+                   "observability: --trace-sample N samples 1-in-N root operations into the\n"
+                   "cross-node tracer (1 = every op, 0 = off; dump with `shieldstore_cli\n"
+                   "trace`). --audit-log FILE appends every integrity-relevant event to a\n"
+                   "hash-chained, fsync'd audit log (verify offline with audit_verify).\n"
+                   "--slo-* set the watchdog thresholds; breaches bump slo.breaches and land\n"
+                   "in the audit log.\n"
                    "replication: --replica-of makes this node a warm standby (the primary on\n"
                    "PRIMARY_PORT pushes its stream here; the port is recorded for logs).\n"
                    "--replicate-to ships every committed WAL entry to the follower listening\n"
@@ -168,6 +201,20 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+
+  // Observability plumbing first: events from the very first attach/restore
+  // must already land in the audit chain and the tracer.
+  obs::TraceSetSampleEvery(flags.trace_sample);
+  obs::AuditLog audit_log;
+  if (!flags.audit_log.empty()) {
+    if (Status s = audit_log.Open(flags.audit_log); !s.ok()) {
+      // A refused chain means the existing log failed verification. Starting
+      // anyway would silently fork history; make the operator move it aside.
+      std::fprintf(stderr, "audit log open failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    obs::InstallAuditLog(&audit_log);
+  }
 
   sgx::EnclaveConfig enclave_config;
   enclave_config.name = flags.enclave_name;
@@ -346,40 +393,74 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     *last_snap = std::move(now);
   };
+  // SLO watchdog: evaluated from the maintenance thread over registry deltas.
+  // Breaches bump slo.breaches and land in the audit chain (kSloBreach).
+  std::shared_ptr<obs::SloWatchdog> watchdog;
+  if (flags.slo_interval_s > 0) {
+    obs::SloThresholds thresholds;
+    thresholds.stage_p99_ns = static_cast<uint64_t>(std::max(flags.slo_stage_p99_ms, 1)) * 1000000ull;
+    thresholds.op_p99_ns = static_cast<uint64_t>(std::max(flags.slo_op_p99_ms, 1)) * 1000000ull;
+    thresholds.loop_lag_p99_ns =
+        static_cast<uint64_t>(std::max(flags.slo_loop_lag_p99_ms, 1)) * 1000000ull;
+    thresholds.repl_backlog_entries = std::max<int64_t>(flags.slo_repl_backlog, 1);
+    watchdog = std::make_shared<obs::SloWatchdog>(thresholds);
+  }
+  auto slo_tick = [&server_ref, watchdog] {
+    if (watchdog != nullptr && server_ref != nullptr) {
+      watchdog->Evaluate(server_ref->BuildStatsSnapshot());
+    }
+  };
   const bool want_stats = flags.stats_interval_s > 0;
+  const bool want_slo = watchdog != nullptr;
   if (healer != nullptr) {
     const int interval_ms = std::max(flags.scrub_interval_ms, 1);
     const uint64_t stats_every =
         want_stats
             ? std::max<uint64_t>(uint64_t{1000} * flags.stats_interval_s / interval_ms, 1)
             : 0;
+    const uint64_t slo_every =
+        want_slo ? std::max<uint64_t>(uint64_t{1000} * flags.slo_interval_s / interval_ms, 1)
+                 : 0;
     auto ticks = std::make_shared<uint64_t>(0);
-    server_options.maintenance = [&healer, stats_every, ticks, report_stats] {
+    server_options.maintenance = [&healer, stats_every, slo_every, ticks, report_stats,
+                                  slo_tick] {
       healer->Tick();
-      if (stats_every > 0 && ++*ticks % stats_every == 0) {
+      ++*ticks;
+      if (stats_every > 0 && *ticks % stats_every == 0) {
         report_stats();
+      }
+      if (slo_every > 0 && *ticks % slo_every == 0) {
+        slo_tick();
       }
     };
     server_options.maintenance_interval_ms = interval_ms;
-  } else if (flags.scrub_interval_ms > 0 || want_stats) {
+  } else if (flags.scrub_interval_ms > 0 || want_stats || want_slo) {
     // Volatile mode: still audit in the background. A violation quarantines
     // the partition (typed errors for its keys) — without a WAL there is
     // nothing to heal from, so it stays quarantined. The maintenance thread
-    // doubles as the stats reporter (and runs for stats alone if the scrub
-    // is disabled).
+    // doubles as the stats reporter and SLO watchdog (and runs for those
+    // alone if the scrub is disabled).
     const bool scrub = flags.scrub_interval_ms > 0;
     const int interval_ms = scrub ? flags.scrub_interval_ms : 1000;
     const uint64_t stats_every =
         want_stats
             ? std::max<uint64_t>(uint64_t{1000} * flags.stats_interval_s / interval_ms, 1)
             : 0;
+    const uint64_t slo_every =
+        want_slo ? std::max<uint64_t>(uint64_t{1000} * flags.slo_interval_s / interval_ms, 1)
+                 : 0;
     auto ticks = std::make_shared<uint64_t>(0);
-    server_options.maintenance = [&store, scrub, stats_every, ticks, report_stats] {
+    server_options.maintenance = [&store, scrub, stats_every, slo_every, ticks, report_stats,
+                                  slo_tick] {
       if (scrub) {
         (void)store.ScrubTick();
       }
-      if (stats_every > 0 && ++*ticks % stats_every == 0) {
+      ++*ticks;
+      if (stats_every > 0 && *ticks % stats_every == 0) {
         report_stats();
+      }
+      if (slo_every > 0 && *ticks % slo_every == 0) {
+        slo_tick();
       }
     };
     server_options.maintenance_interval_ms = interval_ms;
@@ -407,6 +488,9 @@ int main(int argc, char** argv) {
       ship_opts.epoch = 1;
     }
     ship_opts.attach_attempts = 50;
+    // Thread trace contexts through the replication stream: a sampled
+    // mutation's trace follows its WAL records onto the follower.
+    ship_opts.client.enable_tracing = flags.trace_sample > 0;
     shipper = std::make_unique<router::WalShipper>(*wal, authority, enclave.measurement(),
                                                    ship_opts);
     wal->SetReplicationSink(shipper.get());
@@ -431,6 +515,21 @@ int main(int argc, char** argv) {
   std::printf("crypto: %s backend (aes-ni %s)\n",
               crypto::AesBackendName(crypto::Aes128::Backend()),
               crypto::AesNiAvailable() ? "available" : "unavailable");
+  if (flags.trace_sample > 0) {
+    std::printf("tracing: sampling 1-in-%u root ops (drain with `shieldstore_cli trace`)\n",
+                flags.trace_sample);
+  }
+  if (audit_log.is_open()) {
+    std::printf("audit: hash-chained log at %s (%llu records so far)\n",
+                flags.audit_log.c_str(),
+                static_cast<unsigned long long>(audit_log.records_written()));
+  }
+  if (watchdog != nullptr) {
+    std::printf("slo watchdog: every %d s (stage p99 %d ms, op p99 %d ms, loop lag p99 %d ms, "
+                "repl backlog %lld)\n",
+                flags.slo_interval_s, flags.slo_stage_p99_ms, flags.slo_op_p99_ms,
+                flags.slo_loop_lag_p99_ms, flags.slo_repl_backlog);
+  }
   if (healer != nullptr) {
     std::printf("self-healing: on (dir %s, scrub every %d ms)\n", flags.heal_dir.c_str(),
                 flags.scrub_interval_ms);
